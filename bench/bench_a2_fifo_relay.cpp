@@ -1,0 +1,104 @@
+// Ablation A2: the MH-to-MH FIFO burden (§3.1.1, "Fifo channels between
+// MHs").
+//
+// L1 needs FIFO channels between every pair of mobile hosts. Our relay
+// provides them with a destination-side resequencer. This bench sends a
+// numbered burst from one MH to another while the receiver changes
+// cells under heavy latency jitter, with the resequencer on and off, and
+// reports how many deliveries the resequencer had to hold versus how
+// badly ordering breaks without it.
+
+#include <iostream>
+#include <vector>
+
+#include "core/mobidist.hpp"
+
+namespace {
+
+using namespace mobidist;
+using net::Envelope;
+using net::MhId;
+using net::MssId;
+using net::NetConfig;
+using net::Network;
+
+class Receiver : public net::MhAgent {
+ public:
+  void on_message(const Envelope& env) override {
+    if (const auto* value = net::body_as<int>(env)) received.push_back(*value);
+  }
+  std::vector<int> received;
+};
+
+class Sender : public net::MhAgent {
+ public:
+  void on_message(const Envelope&) override {}
+  void burst(MhId to, int from, int count, bool fifo) {
+    for (int i = from; i < from + count; ++i) send_to_mh(to, i, fifo);
+  }
+};
+
+struct Run {
+  std::uint64_t inversions = 0;   ///< adjacent out-of-order pairs seen by the app
+  std::uint64_t held = 0;         ///< relay payloads buffered by the resequencer
+  std::size_t delivered = 0;
+};
+
+Run run_burst(bool fifo, std::uint64_t seed) {
+  NetConfig cfg;
+  cfg.num_mss = 4;
+  cfg.num_mh = 4;
+  cfg.latency.wired_min = 1;
+  cfg.latency.wired_max = 60;  // heavy jitter across searches/forwards
+  cfg.latency.search_min = 1;
+  cfg.latency.search_max = 40;
+  cfg.seed = seed;
+  Network net(cfg);
+  auto sender = std::make_shared<Sender>();
+  auto receiver = std::make_shared<Receiver>();
+  net.mh(MhId(0)).register_agent(net::protocol::kUserBase, sender);
+  net.mh(MhId(1)).register_agent(net::protocol::kUserBase, receiver);
+  net.start();
+  net.sched().schedule(1, [&] { sender->burst(MhId(1), 0, 15, fifo); });
+  net.sched().schedule(4, [&] { net.mh(MhId(1)).move_to(MssId(2), 30); });
+  net.sched().schedule(80, [&] { sender->burst(MhId(1), 15, 15, fifo); });
+  net.sched().schedule(90, [&] { net.mh(MhId(1)).move_to(MssId(3), 25); });
+  net.run();
+  Run run;
+  run.delivered = receiver->received.size();
+  for (std::size_t i = 1; i < receiver->received.size(); ++i) {
+    if (receiver->received[i] < receiver->received[i - 1]) ++run.inversions;
+  }
+  run.held = net.stats().relay_reordered;
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "A2: relay resequencer under jitter + mid-burst moves "
+               "(30 numbered messages, receiver moves twice)\n\n";
+
+  core::Table table({"seed", "mode", "delivered", "order inversions", "held by reseq"});
+  std::uint64_t total_inversions_raw = 0;
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull, 44ull, 55ull}) {
+    const auto with = run_burst(true, seed);
+    const auto without = run_burst(false, seed);
+    total_inversions_raw += without.inversions;
+    table.row({core::num(static_cast<double>(seed)), "fifo",
+               core::num(static_cast<double>(with.delivered)),
+               core::num(static_cast<double>(with.inversions)),
+               core::num(static_cast<double>(with.held))});
+    table.row({core::num(static_cast<double>(seed)), "raw",
+               core::num(static_cast<double>(without.delivered)),
+               core::num(static_cast<double>(without.inversions)),
+               core::num(static_cast<double>(without.held))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: the resequencer delivers 0 inversions at the price of\n"
+               "buffering (the 'additional burden on the underlying network\n"
+               "protocols' the paper charges against L1); raw mode saw "
+            << total_inversions_raw << " inversions across the seeds.\n";
+  return 0;
+}

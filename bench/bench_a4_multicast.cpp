@@ -1,0 +1,144 @@
+// Ablation A4: multicast delivery strategy (the paper's reference [1],
+// built on the §2 handoff).
+//
+// Flood-and-buffer multicast pays (M-1) fixed messages per publication
+// and one wireless hop per recipient, with handoff-carried watermarks
+// keeping delivery exactly-once across moves. The naive alternative —
+// search for each recipient per message — pays |R| searches instead.
+// The crossover depends on M vs |R| and on c_search.
+
+#include <iostream>
+
+#include "core/mobidist.hpp"
+#include "multicast/multicast.hpp"
+
+namespace {
+
+using namespace mobidist;
+using group::Group;
+using net::MhId;
+using net::MssId;
+using net::NetConfig;
+using net::Network;
+
+constexpr std::uint64_t kMessages = 20;
+
+NetConfig base_config(std::uint32_t m, std::uint32_t n) {
+  NetConfig cfg;
+  cfg.num_mss = m;
+  cfg.num_mh = n;
+  cfg.latency.wired_min = cfg.latency.wired_max = 2;
+  cfg.latency.wireless_min = cfg.latency.wireless_max = 1;
+  cfg.latency.search_min = cfg.latency.search_max = 3;
+  cfg.seed = 23;
+  return cfg;
+}
+
+Group recipients(std::uint32_t count) {
+  std::vector<MhId> list;
+  for (std::uint32_t i = 0; i < count; ++i) list.push_back(MhId(i));
+  return Group::of(list);
+}
+
+/// Flood-and-buffer multicast under background mobility.
+double run_mcast(std::uint32_t m, std::uint32_t r, const cost::CostParams& p,
+                 bool& exact) {
+  Network net(base_config(m, r + 4));
+  multicast::McastService mcast(net, recipients(r));
+  mobility::MobilityConfig mob;
+  mob.mean_pause = 50;
+  mob.mean_transit = 5;
+  mob.max_moves_per_host = 3;
+  mobility::MobilityDriver driver(net, mob, recipients(r).members);
+  net.start();
+  driver.start();
+  for (std::uint64_t i = 0; i < kMessages; ++i) {
+    net.sched().schedule(5 + 25 * i, [&] { mcast.publish(MssId(0)); });
+  }
+  net.run();
+  exact = mcast.monitor().exactly_once(mcast.recipients());
+  return net.ledger().total(p) / static_cast<double>(kMessages);
+}
+
+/// Naive per-recipient search delivery (send_to_mh per recipient), same
+/// workload. Implemented with a throwaway agent.
+class NaiveSender : public net::MssAgent {
+ public:
+  explicit NaiveSender(Group recipients) : recipients_(std::move(recipients)) {}
+  void on_message(const net::Envelope&) override {}
+  void blast(std::uint64_t msg_id) {
+    for (const auto mh : recipients_.members) send_to_mh(mh, msg_id);
+  }
+
+ private:
+  Group recipients_;
+};
+
+class NaiveReceiver : public net::MhAgent {
+ public:
+  explicit NaiveReceiver(group::DeliveryMonitor& monitor) : monitor_(monitor) {}
+  void on_message(const net::Envelope& env) override {
+    if (const auto* id = net::body_as<std::uint64_t>(env)) monitor_.delivered(*id, self());
+  }
+
+ private:
+  group::DeliveryMonitor& monitor_;
+};
+
+double run_naive(std::uint32_t m, std::uint32_t r, const cost::CostParams& p, bool& exact) {
+  Network net(base_config(m, r + 4));
+  const auto group = recipients(r);
+  group::DeliveryMonitor monitor;
+  auto sender = std::make_shared<NaiveSender>(group);
+  net.mss(MssId(0)).register_agent(net::protocol::kUserBase + 9, sender);
+  for (std::uint32_t i = 1; i < m; ++i) {
+    net.mss(MssId(i)).register_agent(net::protocol::kUserBase + 9,
+                                     std::make_shared<NaiveSender>(group));
+  }
+  for (const auto mh : group.members) {
+    net.mh(mh).register_agent(net::protocol::kUserBase + 9,
+                              std::make_shared<NaiveReceiver>(monitor));
+  }
+  mobility::MobilityConfig mob;
+  mob.mean_pause = 50;
+  mob.mean_transit = 5;
+  mob.max_moves_per_host = 3;
+  mobility::MobilityDriver driver(net, mob, group.members);
+  net.start();
+  driver.start();
+  for (std::uint64_t i = 0; i < kMessages; ++i) {
+    net.sched().schedule(5 + 25 * i, [&, i] {
+      monitor.sent(i + 1, net::kInvalidMh);
+      sender->blast(i + 1);
+    });
+  }
+  net.run();
+  exact = monitor.exactly_once(group);
+  return net.ledger().total(p) / static_cast<double>(kMessages);
+}
+
+}  // namespace
+
+int main() {
+  const cost::CostParams p;
+  std::cout << "A4: multicast to mobile recipients — flood+handoff (ref [1]) vs\n"
+               "per-recipient search, " << kMessages << " publications under mobility\n\n";
+
+  core::Table table({"M", "|R|", "flood+handoff /msg", "per-search /msg", "winner",
+                     "both exactly-once"});
+  for (const auto& [m, r] : {std::pair{4u, 4u}, {4u, 12u}, {16u, 4u}, {16u, 12u},
+                             {32u, 8u}, {64u, 2u}}) {
+    bool exact_mcast = false, exact_naive = false;
+    const double mcast_cost = run_mcast(m, r, p, exact_mcast);
+    const double naive_cost = run_naive(m, r, p, exact_naive);
+    table.row({core::num(m), core::num(r), core::num(mcast_cost), core::num(naive_cost),
+               mcast_cost < naive_cost ? "flood" : "search",
+               exact_mcast && exact_naive ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: flooding wins when recipients outnumber stations or when\n"
+               "searches are expensive; per-recipient search wins for tiny recipient\n"
+               "sets in large networks. Only the flood+handoff scheme never searches.\n";
+  return 0;
+}

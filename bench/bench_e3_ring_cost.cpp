@@ -1,0 +1,92 @@
+// E3 (§3.1.2 "Communication costs" + "Comparison of R1 and R2").
+//
+//   R1: one traversal costs N*(2*c_w + c_s), independent of how many
+//       requests it serves — even an idle ring drains every battery.
+//   R2: K requests cost K*(3*c_w + c_f + c_s) + M*c_f per traversal —
+//       search cost proportional to K, plus a cheap fixed ring.
+//
+// Two tables: traversal cost vs N (R1, K=0 and K=N) and cost vs K (R2),
+// then the crossover sweep the comparison paragraph implies.
+
+#include <iostream>
+
+#include "core/mobidist.hpp"
+
+namespace {
+
+using namespace mobidist;
+using net::MhId;
+using net::NetConfig;
+using net::Network;
+
+NetConfig base_config(std::uint32_t m, std::uint32_t n) {
+  NetConfig cfg;
+  cfg.num_mss = m;
+  cfg.num_mh = n;
+  cfg.latency.wired_min = cfg.latency.wired_max = 5;
+  cfg.latency.wireless_min = cfg.latency.wireless_max = 2;
+  cfg.latency.search_min = cfg.latency.search_max = 4;
+  cfg.seed = 21;
+  return cfg;
+}
+
+double run_r1(std::uint32_t n, std::uint32_t k, const cost::CostParams& p) {
+  Network net(base_config(4, n));
+  mutex::CsMonitor monitor;
+  mutex::R1Mutex r1(net, monitor);
+  net.start();
+  for (std::uint32_t i = 0; i < k; ++i) r1.request(MhId(i));
+  net.sched().schedule(1, [&] { r1.start_token(1); });
+  net.run();
+  return net.ledger().total(p);
+}
+
+double run_r2(std::uint32_t m, std::uint32_t n, std::uint32_t k, const cost::CostParams& p) {
+  Network net(base_config(m, n));
+  mutex::CsMonitor monitor;
+  mutex::R2Mutex r2(net, monitor, mutex::RingVariant::kBasic);
+  net.start();
+  for (std::uint32_t i = 0; i < k; ++i) r2.request(MhId(i));
+  net.sched().schedule(5, [&] { r2.start_token(1); });
+  net.run();
+  return net.ledger().total(p);
+}
+
+}  // namespace
+
+int main() {
+  const cost::CostParams p;
+  std::cout << "E3: token-ring traversal costs (c_fixed=" << p.c_fixed
+            << ", c_wireless=" << p.c_wireless << ", c_search=" << p.c_search << ")\n\n";
+
+  std::cout << "R1: one traversal, idle vs fully loaded (cost independent of K):\n";
+  core::Table r1_table({"N", "sim K=0", "sim K=N", "formula N(2cw+cs)"});
+  for (const std::uint32_t n : {4u, 8u, 16u, 32u, 64u}) {
+    r1_table.row({core::num(n), core::num(run_r1(n, 0, p)), core::num(run_r1(n, n, p)),
+                  core::num(analysis::r1_traversal_cost(n, p))});
+  }
+  r1_table.print(std::cout);
+
+  std::cout << "\nR2 (M = 4, N = 64): cost grows with requests served K:\n";
+  core::Table r2_table({"K", "sim", "formula K(3cw+cf+cs)+Mcf"});
+  for (const std::uint32_t k : {0u, 1u, 2u, 4u, 8u, 16u, 32u}) {
+    r2_table.row({core::num(k), core::num(run_r2(4, 64, k, p)),
+                  core::num(analysis::r2_cost(k, 4, p))});
+  }
+  r2_table.print(std::cout);
+
+  std::cout << "\nCrossover (N = 32, M = 4): R2 wins until K makes its per-request\n"
+               "search bill exceed R1's flat traversal cost:\n";
+  core::Table crossover({"K", "R1 sim", "R2 sim", "winner"});
+  const double r1_flat = run_r1(32, 0, p);
+  for (const std::uint32_t k : {1u, 4u, 8u, 16u, 24u, 32u}) {
+    const double r2_cost = run_r2(4, 32, k, p);
+    crossover.row({core::num(k), core::num(r1_flat), core::num(r2_cost),
+                   r2_cost < r1_flat ? "R2" : "R1"});
+  }
+  crossover.print(std::cout);
+
+  std::cout << "\nNote: R1's number is per traversal whether or not anyone asked;\n"
+               "R2 additionally never interrupts non-requesting (dozing) MHs.\n";
+  return 0;
+}

@@ -1,0 +1,155 @@
+// E5 (§4.1–4.3 + "Comparison of three approaches").
+//
+// Effective cost of one group message under the three strategies, as a
+// function of the mobility-to-message ratio MOB/MSG and the significant
+// fraction f:
+//   pure search:   (|G|-1)(2c_w + c_s)            — flat in mobility
+//   always inform: (MOB/MSG + 1)(|G|-1)(2c_w+c_f) — pays for every move
+//   location view: bounded by ((f*r+1)|LV^max| + 3f*r - 1)c_f + |G|c_w
+//                                                  — pays only for the
+//                                                    significant fraction
+// A scripted rover executes a controlled mix of significant (fresh-cell)
+// and non-significant (within-view) moves between sends; each strategy
+// replays the identical workload.
+
+#include <iostream>
+
+#include "core/mobidist.hpp"
+
+namespace {
+
+using namespace mobidist;
+using group::Group;
+using net::MhId;
+using net::MssId;
+using net::NetConfig;
+using net::Network;
+
+constexpr std::uint64_t kMessages = 40;
+
+NetConfig base_config() {
+  NetConfig cfg;
+  cfg.num_mss = 8;
+  cfg.num_mh = 24;  // round robin: cell0 = {0,8,16}, cell1 = {1,9,17}
+  cfg.latency.wired_min = cfg.latency.wired_max = 2;
+  cfg.latency.wireless_min = cfg.latency.wireless_max = 1;
+  cfg.latency.search_min = cfg.latency.search_max = 3;
+  cfg.seed = 11;
+  return cfg;
+}
+
+Group five_members() {
+  return Group::of({MhId(0), MhId(8), MhId(16), MhId(1), MhId(9)});
+}
+
+workload::MobMsgDriver::Config driver_config(double ratio, double f) {
+  workload::MobMsgDriver::Config cfg;
+  cfg.messages = kMessages;
+  cfg.mob_per_msg = ratio;
+  cfg.significant_fraction = f;
+  cfg.step = 40;
+  cfg.transit = 3;
+  return cfg;
+}
+
+struct Run {
+  double effective_cost = 0;  ///< ledger total / MSG
+  std::uint64_t wired = 0;
+  std::uint64_t wireless = 0;
+  std::uint64_t searches = 0;
+  double measured_f = 0;
+  std::size_t lv_max = 0;
+  bool exactly_once = false;
+};
+
+template <typename Comm>
+Run run_strategy(double ratio, double f, const cost::CostParams& p,
+                 const std::function<std::unique_ptr<Comm>(Network&, const Group&)>& make) {
+  Network net(base_config());
+  const auto group = five_members();
+  auto comm = make(net, group);
+  workload::MobMsgDriver driver(
+      net, driver_config(ratio, f), {MssId(0), MssId(1)},
+      {MssId(5), MssId(6), MssId(7)}, MhId(16),
+      [&](std::uint64_t) { comm->send_group_message(MhId(0)); });
+  net.start();
+  driver.start();
+  net.run();
+  Run run;
+  run.effective_cost = net.ledger().total(p) / static_cast<double>(kMessages);
+  run.wired = net.ledger().fixed_msgs();
+  run.wireless = net.ledger().wireless_msgs();
+  run.searches = net.ledger().searches();
+  run.exactly_once = comm->monitor().exactly_once(group);
+  if (driver.moves_scheduled() > 0) {
+    run.measured_f = static_cast<double>(driver.significant_scheduled()) /
+                     static_cast<double>(driver.moves_scheduled());
+  }
+  if constexpr (std::is_same_v<Comm, group::LocationViewGroup>) {
+    run.lv_max = comm->max_view_size();
+    run.measured_f = driver.moves_scheduled() > 0
+                         ? static_cast<double>(comm->significant_moves()) /
+                               static_cast<double>(driver.moves_scheduled())
+                         : 0.0;
+  }
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const cost::CostParams p;
+  const std::size_t g = 5;
+  std::cout << "E5: effective cost per group message, |G| = " << g
+            << ", members clustered in 2 cells, " << kMessages << " messages\n\n";
+
+  std::cout << "Sweep MOB/MSG ratio (f ~= 0.5):\n";
+  core::Table table({"MOB/MSG", "pure-search", "PS formula", "always-inform", "AI formula",
+                     "location-view", "LV bound", "f meas", "|LV|max"});
+  for (const double ratio : {0.0, 1.0, 2.0, 4.0, 8.0}) {
+    const auto ps = run_strategy<group::PureSearchGroup>(
+        ratio, 0.5, p, [](Network& net, const Group& grp) {
+          return std::make_unique<group::PureSearchGroup>(net, grp);
+        });
+    const auto ai = run_strategy<group::AlwaysInformGroup>(
+        ratio, 0.5, p, [](Network& net, const Group& grp) {
+          return std::make_unique<group::AlwaysInformGroup>(net, grp);
+        });
+    const auto lv = run_strategy<group::LocationViewGroup>(
+        ratio, 0.5, p, [](Network& net, const Group& grp) {
+          return std::make_unique<group::LocationViewGroup>(net, grp);
+        });
+    table.row({core::num(ratio), core::num(ps.effective_cost),
+               core::num(analysis::pure_search_msg_cost(g, p)),
+               core::num(ai.effective_cost),
+               core::num(analysis::always_inform_effective(ratio, g, p)),
+               core::num(lv.effective_cost),
+               core::num(analysis::location_view_effective_bound(lv.measured_f * ratio,
+                                                                 lv.lv_max, g, p)),
+               core::num(lv.measured_f), core::num(static_cast<double>(lv.lv_max))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nSweep significant fraction f (MOB/MSG = 4):\n";
+  core::Table ftable({"f target", "f meas", "location-view", "LV bound", "always-inform"});
+  for (const double f : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const auto lv = run_strategy<group::LocationViewGroup>(
+        4.0, f, p, [](Network& net, const Group& grp) {
+          return std::make_unique<group::LocationViewGroup>(net, grp);
+        });
+    const auto ai = run_strategy<group::AlwaysInformGroup>(
+        4.0, f, p, [](Network& net, const Group& grp) {
+          return std::make_unique<group::AlwaysInformGroup>(net, grp);
+        });
+    ftable.row({core::num(f), core::num(lv.measured_f), core::num(lv.effective_cost),
+                core::num(analysis::location_view_effective_bound(lv.measured_f * 4.0,
+                                                                  lv.lv_max, g, p)),
+                core::num(ai.effective_cost)});
+  }
+  ftable.print(std::cout);
+
+  std::cout << "\nReading: pure search is flat but always pays (|G|-1) searches;\n"
+               "always-inform climbs linearly with MOB/MSG; location view tracks only\n"
+               "the significant fraction and stays under its paper bound.\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// E6 (§5): the proxy scope trade-off.
+//
+// The same static-host Lamport algorithm (ProxiedLamport) runs unchanged
+// under three proxy scopes while the hosts move:
+//   local-MSS proxy: zero inform traffic, a search per delivery miss
+//   fixed home:      one inform per move ("total separation"), no search
+//   lazy home (k=3): informs every 3rd move, searches on stale cache
+// Sweeping moves-per-request shows where each scope wins — the paper's
+// closing argument that the MH-proxy association should adapt to
+// mobility.
+
+#include <iostream>
+
+#include "core/mobidist.hpp"
+
+namespace {
+
+using namespace mobidist;
+using net::MhId;
+using net::MssId;
+using net::NetConfig;
+using net::Network;
+using proxy::ProxyScope;
+
+constexpr std::uint32_t kHosts = 8;
+constexpr std::uint32_t kRequests = 8;  // one per host
+
+struct Run {
+  double total = 0;
+  std::uint64_t informs = 0;
+  std::uint64_t searches = 0;
+  std::uint64_t completed = 0;
+};
+
+Run run_scope(ProxyScope scope, std::uint32_t moves_per_request,
+              const cost::CostParams& p) {
+  NetConfig cfg;
+  cfg.num_mss = 6;
+  cfg.num_mh = kHosts;
+  cfg.latency.wired_min = cfg.latency.wired_max = 3;
+  cfg.latency.wireless_min = cfg.latency.wireless_max = 1;
+  cfg.latency.search_min = cfg.latency.search_max = 3;
+  cfg.seed = 17;
+  Network net(cfg);
+  proxy::ProxyOptions opts;
+  opts.scope = scope;
+  opts.inform_every = 3;
+  proxy::ProxyService proxies(net, opts);
+  mutex::CsMonitor monitor;
+  proxy::ProxiedLamport mutex(net, proxies, monitor);
+  net.start();
+  // Deterministic round-robin moves for every host, then one request each.
+  const std::uint32_t total_moves = moves_per_request * kRequests;
+  for (std::uint32_t move = 0; move < total_moves; ++move) {
+    const auto host = MhId(move % kHosts);
+    net.sched().schedule(1 + 25 * move, [&, host] {
+      auto& mobile = net.mh(host);
+      if (!mobile.connected()) return;
+      const auto next = static_cast<MssId>((net::index(mobile.current_mss()) + 1) % 6);
+      mobile.move_to(next, 4);
+    });
+  }
+  const sim::SimTime request_start = 10 + 25ULL * total_moves;
+  for (std::uint32_t i = 0; i < kRequests; ++i) {
+    net.sched().schedule(request_start + 60ULL * i, [&, i] { mutex.request(MhId(i)); });
+  }
+  net.run();
+  Run run;
+  run.total = net.ledger().total(p);
+  run.informs = proxies.informs();
+  run.searches = net.ledger().searches();
+  run.completed = mutex.completed();
+  return run;
+}
+
+const char* name(ProxyScope scope) {
+  switch (scope) {
+    case ProxyScope::kLocalMss: return "local-MSS";
+    case ProxyScope::kFixedHome: return "fixed home";
+    case ProxyScope::kLazyHome: return "lazy home k=3";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const cost::CostParams p;
+  std::cout << "E6: Lamport-over-proxies under three proxy scopes, " << kRequests
+            << " CS requests, varying mobility\n\n";
+
+  for (const std::uint32_t moves : {0u, 1u, 2u, 4u, 8u}) {
+    std::cout << "moves per request = " << moves << ":\n";
+    core::Table table({"scope", "total cost", "informs", "searches", "completed"});
+    for (const auto scope :
+         {ProxyScope::kLocalMss, ProxyScope::kFixedHome, ProxyScope::kLazyHome}) {
+      const auto run = run_scope(scope, moves, p);
+      table.row({name(scope), core::num(run.total),
+                 core::num(static_cast<double>(run.informs)),
+                 core::num(static_cast<double>(run.searches)),
+                 core::num(static_cast<double>(run.completed))});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Reading: with little mobility the fixed home proxy is free and\n"
+               "decouples the algorithm completely; as moves/request grow its inform\n"
+               "bill climbs linearly while the local-MSS proxy pays only per-use\n"
+               "searches — the lazy proxy interpolates (the paper's 'less static\n"
+               "solutions').\n";
+  return 0;
+}

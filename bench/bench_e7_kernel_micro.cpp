@@ -1,0 +1,174 @@
+// E7 (supporting): microbenchmarks of the substrate itself — scheduler
+// and RNG throughput, wired/relay message latency paths, and the oracle
+// vs broadcast search cost (the paper's worst case really sends M+1
+// fixed messages). google-benchmark binary.
+
+#include <benchmark/benchmark.h>
+
+#include "core/mobidist.hpp"
+
+namespace {
+
+using namespace mobidist;
+using net::MhId;
+using net::MssId;
+using net::NetConfig;
+using net::Network;
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const auto count = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      sched.schedule(i % 97, [&sum, i] { sum += i; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * count));
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_SchedulerCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(4096);
+    for (int i = 0; i < 4096; ++i) handles.push_back(sched.schedule(10, [] {}));
+    for (std::size_t i = 0; i < handles.size(); i += 2) sched.cancel(handles[i]);
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_SchedulerCancelHeavy);
+
+void BM_RngNext(benchmark::State& state) {
+  sim::Rng rng(1);
+  std::uint64_t sum = 0;
+  for (auto _ : state) sum += rng.next();
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_WiredMessageRoundtrip(benchmark::State& state) {
+  // Cost of pushing one message through the full wired path, measured
+  // end to end including dispatch. R2's token pass exercises exactly
+  // this: one idle traversal = M wired messages.
+  for (auto _ : state) {
+    NetConfig cfg;
+    cfg.num_mss = 8;
+    cfg.num_mh = 8;
+    cfg.seed = 3;
+    Network net(cfg);
+    mutex::CsMonitor monitor;
+    mutex::R2Mutex r2(net, monitor, mutex::RingVariant::kBasic);
+    net.start();
+    net.sched().schedule(1, [&] { r2.start_token(16); });
+    net.run();
+    benchmark::DoNotOptimize(net.ledger().fixed_msgs());
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 8);  // messages
+}
+BENCHMARK(BM_WiredMessageRoundtrip);
+
+void BM_RelayMhToMh(benchmark::State& state) {
+  // The 2*c_wireless + c_search path, including resequencing.
+  for (auto _ : state) {
+    state.PauseTiming();
+    NetConfig cfg;
+    cfg.num_mss = 4;
+    cfg.num_mh = 16;
+    cfg.seed = 5;
+    Network net(cfg);
+    mutex::CsMonitor monitor;
+    mutex::L1Mutex l1(net, monitor);
+    net.start();
+    state.ResumeTiming();
+    net.sched().schedule(1, [&] { l1.request(MhId(0)); });
+    net.run();
+    benchmark::DoNotOptimize(l1.completed());
+  }
+  state.SetItemsProcessed(state.iterations() * 3 * 15);  // relayed messages
+}
+BENCHMARK(BM_RelayMhToMh);
+
+void BM_SearchOracle(benchmark::State& state) {
+  for (auto _ : state) {
+    NetConfig cfg;
+    cfg.num_mss = 16;
+    cfg.num_mh = 32;
+    cfg.seed = 9;
+    Network net(cfg);
+    mutex::CsMonitor monitor;
+    mutex::L2Mutex l2(net, monitor);
+    net.start();
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      net.sched().schedule(1 + i, [&, i] { l2.request(MhId(i)); });
+    }
+    net.run();
+    benchmark::DoNotOptimize(net.ledger().searches());
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_SearchOracle);
+
+void BM_SearchBroadcast(benchmark::State& state) {
+  // The worst case the paper describes: each search really contacts the
+  // other M-1 MSSs ((M+1) fixed messages end to end).
+  std::uint64_t fixed_per_search = 0;
+  for (auto _ : state) {
+    NetConfig cfg;
+    cfg.num_mss = 16;
+    cfg.num_mh = 32;
+    cfg.search = net::SearchMode::kBroadcast;
+    cfg.seed = 9;
+    Network net(cfg);
+    net.start();
+    // One remote delivery == one broadcast search.
+    auto& station = net.mss(MssId(0));
+    (void)station;
+    mutex::CsMonitor monitor;
+    mutex::L2Mutex l2(net, monitor);
+    net.sched().schedule(1, [&] { l2.request(MhId(1)); });
+    net.run();
+    fixed_per_search = net.ledger().fixed_msgs();
+    benchmark::DoNotOptimize(fixed_per_search);
+  }
+  state.counters["fixed_msgs_incl_search"] = static_cast<double>(fixed_per_search);
+}
+BENCHMARK(BM_SearchBroadcast);
+
+void BM_FullMobilityScenario(benchmark::State& state) {
+  // End-to-end: 32 hosts moving while running L2; measures whole-system
+  // event throughput.
+  for (auto _ : state) {
+    NetConfig cfg;
+    cfg.num_mss = 8;
+    cfg.num_mh = 32;
+    cfg.latency.wired_min = 1;
+    cfg.latency.wired_max = 10;
+    cfg.seed = 13;
+    Network net(cfg);
+    mutex::CsMonitor monitor;
+    mutex::L2Mutex l2(net, monitor);
+    mobility::MobilityConfig mob;
+    mob.mean_pause = 30;
+    mob.max_moves_per_host = 4;
+    mobility::MobilityDriver driver(net, mob);
+    net.start();
+    driver.start();
+    for (std::uint32_t i = 0; i < 32; ++i) {
+      net.sched().schedule(1 + 3 * i, [&, i] { l2.request(MhId(i)); });
+    }
+    const auto events = net.run();
+    benchmark::DoNotOptimize(events);
+    state.SetItemsProcessed(state.items_processed() + static_cast<std::int64_t>(events));
+  }
+}
+BENCHMARK(BM_FullMobilityScenario);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// Campus license server: the workload the paper's introduction motivates.
+//
+// A campus has 6 buildings (cells), each with a support station, and 30
+// student laptops that move between lectures. Everyone occasionally
+// needs the single floating license (a critical section). This example
+// runs the identical day on all four §3 algorithms — L1/R1 executed
+// directly on the laptops versus the restructured L2/R2' — and reports
+// cost, battery drain, and how dozing laptops fared.
+//
+//   $ ./examples/campus_mutex
+
+#include <iostream>
+
+#include "core/mobidist.hpp"
+
+using namespace mobidist;
+using net::MhId;
+using net::MssId;
+
+namespace {
+
+constexpr std::uint32_t kBuildings = 6;
+constexpr std::uint32_t kLaptops = 30;
+constexpr std::uint32_t kLicenseRequests = 12;
+
+net::NetConfig campus_config() {
+  net::NetConfig cfg;
+  cfg.num_mss = kBuildings;
+  cfg.num_mh = kLaptops;
+  cfg.latency.wired_min = 1;
+  cfg.latency.wired_max = 8;
+  cfg.seed = 90210;
+  return cfg;
+}
+
+struct DayReport {
+  std::string algorithm;
+  std::uint64_t granted = 0;
+  bool safe = false;
+  double total_cost = 0;
+  std::uint64_t wireless = 0;
+  double battery = 0;           // total MH energy
+  std::uint64_t dozer_wakeups = 0;
+  double mean_latency = 0;      // request -> grant, virtual ticks
+};
+
+/// Run one "day": lectures end every ~80 ticks (students move), license
+/// requests arrive Poisson, a third of the laptops doze throughout.
+template <typename RequestFn>
+DayReport run_day(const std::string& name, net::Network& net, mutex::CsMonitor& monitor,
+                  RequestFn request, std::uint64_t granted_count) {
+  mobility::MobilityConfig lectures;
+  lectures.mean_pause = 80;
+  lectures.mean_transit = 6;
+  lectures.max_moves_per_host = 3;
+  lectures.pattern = mobility::MovePattern::kNeighbor;  // next building over
+  // Only the first 12 laptops wander; the rest stay parked in the library.
+  std::vector<MhId> wanderers;
+  for (std::uint32_t i = 0; i < 12; ++i) wanderers.push_back(MhId(i));
+  mobility::MobilityDriver timetable(net, lectures, wanderers);
+
+  for (std::uint32_t i = 20; i < kLaptops; ++i) net.mh(MhId(i)).set_doze(true);
+
+  net.start();
+  timetable.start();
+  workload::poisson_calls(net, kLicenseRequests, 60.0, 5,
+                          [&](std::uint64_t seq) { request(MhId(seq % 12)); });
+  net.run();
+
+  const cost::CostParams p;
+  DayReport report;
+  report.algorithm = name;
+  report.granted = granted_count == 0 ? monitor.grants() : granted_count;
+  report.safe = monitor.violations() == 0;
+  report.total_cost = net.ledger().total(p);
+  report.wireless = net.ledger().wireless_msgs();
+  report.battery = net.ledger().total_energy(p);
+  report.dozer_wakeups = net.stats().doze_interruptions;
+  report.mean_latency = monitor.mean_grant_latency();
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Campus floating-license day: " << kBuildings << " buildings, " << kLaptops
+            << " laptops (10 dozing), " << kLicenseRequests << " license requests\n\n";
+
+  std::vector<DayReport> reports;
+
+  {
+    net::Network net(campus_config());
+    mutex::CsMonitor monitor;
+    mutex::L1Mutex algo(net, monitor);
+    reports.push_back(
+        run_day("L1 (Lamport on laptops)", net, monitor, [&](MhId mh) { algo.request(mh); }, 0));
+  }
+  {
+    net::Network net(campus_config());
+    mutex::CsMonitor monitor;
+    mutex::L2Mutex algo(net, monitor);
+    reports.push_back(run_day("L2 (Lamport on stations)", net, monitor,
+                              [&](MhId mh) { algo.request(mh); }, 0));
+  }
+  {
+    net::Network net(campus_config());
+    mutex::CsMonitor monitor;
+    mutex::R1Mutex algo(net, monitor);
+    net.sched().schedule(1, [&] { algo.start_token(6); });  // circulate all day
+    reports.push_back(
+        run_day("R1 (token ring of laptops)", net, monitor, [&](MhId mh) { algo.request(mh); }, 0));
+  }
+  {
+    net::Network net(campus_config());
+    mutex::CsMonitor monitor;
+    mutex::R2Mutex algo(net, monitor, mutex::RingVariant::kCounter);
+    // The token circulates all day (idle traversals included in the
+    // cost, as the paper charges them); at closing time it parks at the
+    // first idle pass.
+    net.sched().schedule(1, [&] { algo.start_token(100000); });
+    net.sched().schedule(1200, [&] { algo.set_absorb_when_idle(true); });
+    reports.push_back(run_day("R2' (token ring of stations)", net, monitor,
+                              [&](MhId mh) { algo.request(mh); }, 0));
+  }
+
+  core::Table table({"algorithm", "granted", "safe", "total cost", "wireless msgs",
+                     "battery", "dozer wakeups", "mean latency"});
+  for (const auto& report : reports) {
+    table.row({report.algorithm, core::num(static_cast<double>(report.granted)),
+               report.safe ? "yes" : "NO", core::num(report.total_cost),
+               core::num(static_cast<double>(report.wireless)), core::num(report.battery),
+               core::num(static_cast<double>(report.dozer_wakeups)),
+               core::num(report.mean_latency)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe restructured algorithms (L2, R2') serve the same day for a\n"
+               "fraction of the cost, drain an order of magnitude less battery, and\n"
+               "never wake a dozing laptop that didn't ask for the license.\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Delivery-fleet dispatch: §4's group-location problem on a concrete
+// scenario.
+//
+// A courier company has 10 vans (a process group) working a city of 12
+// radio cells. Dispatch broadcasts a job sheet to the whole fleet every
+// few minutes while vans drive between cells — mostly within the two
+// downtown cells where the work is (non-significant moves), sometimes
+// out to the suburbs (significant moves). The example runs the same
+// shift under all three §4 strategies and shows why the dispatcher
+// should keep a location view rather than per-van locations.
+//
+//   $ ./examples/fleet_tracking
+
+#include <iostream>
+
+#include "core/mobidist.hpp"
+
+using namespace mobidist;
+using group::Group;
+using net::MhId;
+using net::MssId;
+
+namespace {
+
+constexpr std::uint64_t kJobSheets = 30;
+
+net::NetConfig city_config() {
+  net::NetConfig cfg;
+  cfg.num_mss = 12;
+  cfg.num_mh = 24;  // vans 0..9 plus other subscribers on the network
+  cfg.latency.wired_min = cfg.latency.wired_max = 2;
+  cfg.latency.wireless_min = cfg.latency.wireless_max = 1;
+  cfg.latency.search_min = cfg.latency.search_max = 3;
+  cfg.placement = net::InitialPlacement::kAllInCell0;
+  cfg.seed = 555;
+  return cfg;
+}
+
+Group fleet() {
+  std::vector<MhId> vans;
+  for (std::uint32_t i = 0; i < 10; ++i) vans.push_back(MhId(i));
+  return Group::of(vans);
+}
+
+/// Put half the fleet downtown cell 1 before the shift starts, keeping
+/// determinism (everyone starts in cell 0 by config).
+void stage_fleet(net::Network& net) {
+  for (std::uint32_t i = 5; i < 10; ++i) {
+    net.sched().schedule(1 + i, [&net, i] { net.mh(MhId(i)).move_to(MssId(1), 2); });
+  }
+}
+
+/// One van (van 9) does the driving: hops between the downtown cells,
+/// with an occasional suburb run.
+template <typename SendFn>
+void run_shift(net::Network& net, SendFn send) {
+  stage_fleet(net);
+  workload::MobMsgDriver::Config shift;
+  shift.messages = kJobSheets;
+  shift.mob_per_msg = 3.0;           // vans move a lot more than dispatch talks
+  shift.significant_fraction = 0.25; // mostly downtown hops
+  shift.step = 30;
+  shift.transit = 2;
+  workload::MobMsgDriver driver(net, shift, {MssId(0), MssId(1)},
+                                {MssId(8), MssId(9), MssId(10), MssId(11)}, MhId(9),
+                                [send](std::uint64_t) { send(); });
+  net.start();
+  // Delay the shift until the staging moves settle.
+  net.sched().schedule(40, [&driver] { driver.start(); });
+  net.run();
+}
+
+struct ShiftReport {
+  std::string strategy;
+  bool every_sheet_delivered = false;
+  double cost_per_sheet = 0;
+  std::uint64_t wired = 0;
+  std::uint64_t wireless = 0;
+  std::uint64_t searches = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "Courier fleet shift: 10 vans, 12 cells, " << kJobSheets
+            << " job sheets from dispatch (van 0), van 9 constantly driving\n\n";
+
+  const cost::CostParams p;
+  std::vector<ShiftReport> reports;
+
+  {
+    net::Network net(city_config());
+    group::PureSearchGroup comm(net, fleet());
+    run_shift(net, [&] { comm.send_group_message(MhId(0)); });
+    reports.push_back({"pure search", comm.monitor().exactly_once(comm.group()),
+                       net.ledger().total(p) / kJobSheets, net.ledger().fixed_msgs(),
+                       net.ledger().wireless_msgs(), net.ledger().searches()});
+  }
+  {
+    net::Network net(city_config());
+    group::AlwaysInformGroup comm(net, fleet());
+    run_shift(net, [&] { comm.send_group_message(MhId(0)); });
+    reports.push_back({"always inform", comm.monitor().exactly_once(comm.group()),
+                       net.ledger().total(p) / kJobSheets, net.ledger().fixed_msgs(),
+                       net.ledger().wireless_msgs(), net.ledger().searches()});
+  }
+  {
+    net::Network net(city_config());
+    group::LocationViewGroup comm(net, fleet());
+    run_shift(net, [&] { comm.send_group_message(MhId(0)); });
+    reports.push_back({"location view", comm.monitor().exactly_once(comm.group()),
+                       net.ledger().total(p) / kJobSheets, net.ledger().fixed_msgs(),
+                       net.ledger().wireless_msgs(), net.ledger().searches()});
+    std::cout << "location view details: |LV|max = " << comm.max_view_size()
+              << ", significant moves = " << comm.significant_moves()
+              << ", mid-flight chases = " << comm.chases() << "\n\n";
+  }
+
+  core::Table table({"strategy", "all sheets delivered", "cost/sheet", "wired msgs",
+                     "wireless msgs", "searches"});
+  for (const auto& report : reports) {
+    table.row({report.strategy, report.every_sheet_delivered ? "yes" : "NO",
+               core::num(report.cost_per_sheet),
+               core::num(static_cast<double>(report.wired)),
+               core::num(static_cast<double>(report.wireless)),
+               core::num(static_cast<double>(report.searches))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nWith the fleet clustered in two downtown cells, the location view\n"
+               "fans each sheet out to |LV| stations instead of |G| vans' individually\n"
+               "tracked cells, and only suburb runs touch the view at all.\n";
+  return 0;
+}

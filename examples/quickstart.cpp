@@ -1,0 +1,56 @@
+// Quickstart: the smallest complete mobidist program.
+//
+// Builds the §2 system model (4 support stations, 12 mobile hosts),
+// runs the paper's restructured mutual exclusion (L2) while one host
+// changes cells mid-request, and prints what it cost.
+//
+//   $ ./examples/quickstart
+
+#include <iostream>
+
+#include "core/mobidist.hpp"
+
+using namespace mobidist;
+
+int main() {
+  // 1. Describe the system: M = 4 fixed support stations, N = 12 mobile
+  //    hosts, deterministic seed so every run is identical.
+  net::NetConfig config;
+  config.num_mss = 4;
+  config.num_mh = 12;
+  config.seed = 2024;
+
+  net::Network network(config);
+
+  // 2. Attach an algorithm. L2 runs Lamport's mutual exclusion among the
+  //    support stations on behalf of the mobile hosts (§3.1.1).
+  mutex::CsMonitor monitor;  // asserts mutual exclusion & records grants
+  mutex::L2Mutex lock(network, monitor);
+
+  // 3. Script a workload: three hosts want the critical section; one of
+  //    them wanders to another cell while waiting.
+  network.start();
+  network.sched().schedule(1, [&] { lock.request(net::MhId(0)); });
+  network.sched().schedule(2, [&] { lock.request(net::MhId(5)); });
+  network.sched().schedule(3, [&] { lock.request(net::MhId(9)); });
+  network.sched().schedule(6, [&] {
+    network.mh(net::MhId(0)).move_to(net::MssId(2), /*transit=*/4);
+  });
+
+  // 4. Run to quiescence.
+  network.run();
+
+  // 5. Inspect the outcome.
+  const cost::CostParams params;  // c_fixed=1, c_wireless=10, c_search=4
+  std::cout << "completed CS executions : " << lock.completed() << "\n"
+            << "mutual-exclusion holds  : " << (monitor.violations() == 0 ? "yes" : "NO")
+            << "\n"
+            << "grant order respected   : "
+            << (monitor.order_inversions() == 0 ? "yes" : "NO") << "\n"
+            << "communication           : " << core::summarize(network.ledger(), params)
+            << "\n"
+            << "paper formula (3 execs) : "
+            << core::num(3 * analysis::l2_execution_cost(config.num_mss, params))
+            << " (+1 c_fixed for the mover's release relay)\n";
+  return 0;
+}

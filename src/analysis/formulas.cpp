@@ -1,0 +1,59 @@
+#include "analysis/formulas.hpp"
+
+namespace mobidist::analysis {
+
+double l1_execution_cost(std::uint32_t n, const cost::CostParams& p) {
+  return 3.0 * (n - 1) * (2 * p.c_wireless + p.c_search);
+}
+
+std::uint64_t l1_wireless_hops(std::uint32_t n) { return 6ULL * (n - 1); }
+
+std::uint64_t l1_initiator_energy(std::uint32_t n) { return 3ULL * (n - 1); }
+
+double l2_execution_cost(std::uint32_t m, const cost::CostParams& p) {
+  return (3 * p.c_wireless + p.c_fixed + p.c_search) + 3.0 * (m - 1) * p.c_fixed;
+}
+
+double r1_traversal_cost(std::uint32_t n, const cost::CostParams& p) {
+  return static_cast<double>(n) * (2 * p.c_wireless + p.c_search);
+}
+
+double r2_cost(std::uint64_t k, std::uint32_t m, const cost::CostParams& p) {
+  return static_cast<double>(k) * (3 * p.c_wireless + p.c_fixed + p.c_search) +
+         static_cast<double>(m) * p.c_fixed;
+}
+
+double pure_search_msg_cost(std::size_t g, const cost::CostParams& p) {
+  return static_cast<double>(g - 1) * (2 * p.c_wireless + p.c_search);
+}
+
+double always_inform_unit_cost(std::size_t g, const cost::CostParams& p) {
+  return static_cast<double>(g - 1) * (2 * p.c_wireless + p.c_fixed);
+}
+
+double always_inform_total(std::uint64_t mob, std::uint64_t msg, std::size_t g,
+                           const cost::CostParams& p) {
+  return static_cast<double>(mob + msg) * always_inform_unit_cost(g, p);
+}
+
+double always_inform_effective(double mob_msg_ratio, std::size_t g,
+                               const cost::CostParams& p) {
+  return (mob_msg_ratio + 1.0) * always_inform_unit_cost(g, p);
+}
+
+double location_view_msg_cost(std::size_t lv, std::size_t g, const cost::CostParams& p) {
+  return static_cast<double>(lv - 1) * p.c_fixed + static_cast<double>(g) * p.c_wireless;
+}
+
+double location_view_update_bound(std::size_t lv, const cost::CostParams& p) {
+  return (static_cast<double>(lv) + 3.0) * p.c_fixed;
+}
+
+double location_view_effective_bound(double significant_mob_msg_ratio, std::size_t lv_max,
+                                     std::size_t g, const cost::CostParams& p) {
+  const double fr = significant_mob_msg_ratio;
+  return ((fr + 1.0) * static_cast<double>(lv_max) + 3.0 * fr - 1.0) * p.c_fixed +
+         static_cast<double>(g) * p.c_wireless;
+}
+
+}  // namespace mobidist::analysis

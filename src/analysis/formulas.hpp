@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cost/cost_model.hpp"
+
+namespace mobidist::analysis {
+
+// Closed-form cost expressions from the paper, verbatim. Benches print
+// them next to simulated measurements; tests assert exact agreement in
+// controlled scenarios. All return "cost units" under the given params.
+
+// --- §3.1.1 Lamport-style mutual exclusion --------------------------------
+
+/// L1: one CS execution among N mobile hosts:
+/// 3*(N-1)*(2*c_wireless + c_search).
+[[nodiscard]] double l1_execution_cost(std::uint32_t n, const cost::CostParams& p);
+
+/// L1 wireless hops per execution: 6*(N-1) (= total MH energy in unit
+/// -energy terms).
+[[nodiscard]] std::uint64_t l1_wireless_hops(std::uint32_t n);
+
+/// L1 energy at the initiating MH: proportional to 3*(N-1).
+[[nodiscard]] std::uint64_t l1_initiator_energy(std::uint32_t n);
+
+/// L2: one CS execution with M MSSs:
+/// (3*c_wireless + c_fixed + c_search) + 3*(M-1)*c_fixed.
+[[nodiscard]] double l2_execution_cost(std::uint32_t m, const cost::CostParams& p);
+
+/// L2 wireless messages per execution: exactly 3.
+[[nodiscard]] constexpr std::uint64_t l2_wireless_msgs() { return 3; }
+
+// --- §3.1.2 token-ring mutual exclusion -----------------------------------
+
+/// R1: one traversal of the N-host ring: N*(2*c_wireless + c_search) —
+/// independent of the number of requests served.
+[[nodiscard]] double r1_traversal_cost(std::uint32_t n, const cost::CostParams& p);
+
+/// R2/R2': K requests served during one ring traversal:
+/// K*(3*c_wireless + c_fixed + c_search) + M*c_fixed.
+[[nodiscard]] double r2_cost(std::uint64_t k, std::uint32_t m, const cost::CostParams& p);
+
+/// Upper bound on grants per traversal: N*M for R2, N for R2'.
+[[nodiscard]] constexpr std::uint64_t r2_max_grants_per_traversal(std::uint32_t n,
+                                                                  std::uint32_t m) {
+  return static_cast<std::uint64_t>(n) * m;
+}
+[[nodiscard]] constexpr std::uint64_t r2prime_max_grants_per_traversal(std::uint32_t n) {
+  return n;
+}
+
+// --- §4 group location management -------------------------------------
+
+/// §4.1 pure search, one group message: (|G|-1)*(2*c_wireless + c_search).
+[[nodiscard]] double pure_search_msg_cost(std::size_t g, const cost::CostParams& p);
+
+/// §4.2 always inform, one fan-out (group message or location update):
+/// (|G|-1)*(2*c_wireless + c_fixed).
+[[nodiscard]] double always_inform_unit_cost(std::size_t g, const cost::CostParams& p);
+
+/// §4.2 total over a window: (MOB + MSG) * unit.
+[[nodiscard]] double always_inform_total(std::uint64_t mob, std::uint64_t msg,
+                                         std::size_t g, const cost::CostParams& p);
+
+/// §4.2 effective cost per group message: (MOB/MSG + 1) * unit.
+[[nodiscard]] double always_inform_effective(double mob_msg_ratio, std::size_t g,
+                                             const cost::CostParams& p);
+
+/// §4.3 location view, one group message:
+/// (|LV|-1)*c_fixed + |G|*c_wireless.
+[[nodiscard]] double location_view_msg_cost(std::size_t lv, std::size_t g,
+                                            const cost::CostParams& p);
+
+/// §4.3 one view update: at most (|LV|+3)*c_fixed.
+[[nodiscard]] double location_view_update_bound(std::size_t lv, const cost::CostParams& p);
+
+/// §4.3 effective cost bound per group message:
+/// ((f*MOB/MSG + 1)*|LV^max| + 3*f*MOB/MSG - 1)*c_fixed + |G|*c_wireless.
+[[nodiscard]] double location_view_effective_bound(double significant_mob_msg_ratio,
+                                                   std::size_t lv_max, std::size_t g,
+                                                   const cost::CostParams& p);
+
+}  // namespace mobidist::analysis

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+
+namespace mobidist::core {
+
+/// Fixed-width text table used by the experiment benches to print the
+/// paper-formula vs. simulated-measurement comparisons.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& row(std::vector<std::string> cells);
+
+  /// Render with a header rule and right-aligned numeric-looking cells.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double compactly ("12.5", "3", "0.042").
+[[nodiscard]] std::string num(double value);
+/// Format a ratio as "x1.37".
+[[nodiscard]] std::string ratio(double value);
+
+/// One-line summary of a ledger under given params:
+/// "fixed=12 wireless=6 searches=3 total=96".
+[[nodiscard]] std::string summarize(const cost::CostLedger& ledger,
+                                    const cost::CostParams& params);
+
+}  // namespace mobidist::core

@@ -1,0 +1,60 @@
+#include "cost/cost_model.hpp"
+
+namespace mobidist::cost {
+
+void CostLedger::charge_wireless(std::uint64_t mh_key, bool mh_transmitted) {
+  ++wireless_msgs_;
+  auto& counts = per_mh_[mh_key];
+  if (mh_transmitted) {
+    ++wireless_tx_;
+    ++counts.tx;
+  } else {
+    ++wireless_rx_;
+    ++counts.rx;
+  }
+}
+
+double CostLedger::total(const CostParams& p) const noexcept {
+  return static_cast<double>(fixed_msgs_) * p.c_fixed +
+         static_cast<double>(wireless_msgs_) * p.c_wireless +
+         static_cast<double>(searches_) * p.c_search;
+}
+
+double CostLedger::energy_at(std::uint64_t mh_key, const CostParams& p) const noexcept {
+  const auto it = per_mh_.find(mh_key);
+  if (it == per_mh_.end()) return 0.0;
+  return static_cast<double>(it->second.tx) * p.energy_tx +
+         static_cast<double>(it->second.rx) * p.energy_rx;
+}
+
+double CostLedger::total_energy(const CostParams& p) const noexcept {
+  return static_cast<double>(wireless_tx_) * p.energy_tx +
+         static_cast<double>(wireless_rx_) * p.energy_rx;
+}
+
+std::uint64_t CostLedger::wireless_hops_at(std::uint64_t mh_key) const noexcept {
+  const auto it = per_mh_.find(mh_key);
+  if (it == per_mh_.end()) return 0;
+  return it->second.tx + it->second.rx;
+}
+
+CostLedger CostLedger::delta_since(const CostLedger& baseline) const {
+  CostLedger d;
+  d.fixed_msgs_ = fixed_msgs_ - baseline.fixed_msgs_;
+  d.wireless_msgs_ = wireless_msgs_ - baseline.wireless_msgs_;
+  d.searches_ = searches_ - baseline.searches_;
+  d.wireless_tx_ = wireless_tx_ - baseline.wireless_tx_;
+  d.wireless_rx_ = wireless_rx_ - baseline.wireless_rx_;
+  for (const auto& [key, counts] : per_mh_) {
+    EnergyCount base;
+    if (const auto it = baseline.per_mh_.find(key); it != baseline.per_mh_.end()) {
+      base = it->second;
+    }
+    d.per_mh_[key] = EnergyCount{counts.tx - base.tx, counts.rx - base.rx};
+  }
+  return d;
+}
+
+void CostLedger::reset() { *this = CostLedger{}; }
+
+}  // namespace mobidist::cost

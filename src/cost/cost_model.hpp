@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mobidist::cost {
+
+/// The paper's communication cost parameters (Section 2).
+///
+/// - c_fixed:    one point-to-point message between two fixed hosts.
+/// - c_wireless: one message between a MH and its local MSS (either way).
+/// - c_search:   locating a MH and forwarding a message to its current
+///               local MSS from a source MSS. The paper requires
+///               c_search >= c_fixed; worst case it is (M-1) queries.
+///
+/// Energy parameters model battery drain at a MH per wireless
+/// transmit/receive, the paper's "power consumption" measure. Defaults
+/// give the paper's ordering c_wireless >> c_fixed and unit energy so
+/// energy counts equal wireless-hop counts.
+struct CostParams {
+  double c_fixed = 1.0;
+  double c_wireless = 10.0;
+  double c_search = 4.0;
+  double energy_tx = 1.0;  ///< MH battery cost per wireless transmission
+  double energy_rx = 1.0;  ///< MH battery cost per wireless reception
+
+  /// Worst-case search per the paper: the source MSS contacts each of
+  /// the other M-1 MSSs, receives the one positive reply, then forwards
+  /// over one more fixed link: (M-1) + 1 + 1 = M+1 fixed messages. This
+  /// matches the broadcast search substrate's actual charges.
+  [[nodiscard]] static CostParams with_worst_case_search(double cf, double cw, std::uint32_t m) {
+    CostParams p;
+    p.c_fixed = cf;
+    p.c_wireless = cw;
+    p.c_search = cf * static_cast<double>(m + 1);
+    return p;
+  }
+};
+
+/// Category of a charged communication action.
+enum class CostKind : int {
+  kFixedMsg = 0,    ///< wired MSS->MSS message
+  kWirelessMsg = 1, ///< wireless hop between a MH and its local MSS
+  kSearch = 2,      ///< one logical search for a MH's current MSS
+};
+
+/// Append-only account of every communication action in a run.
+///
+/// The ledger is the measurement instrument behind every experiment:
+/// substrates charge it, benches and tests read it. Per-host energy is
+/// tracked separately so battery claims (Sections 3.1.1/3.1.2) can be
+/// checked per MH.
+class CostLedger {
+ public:
+  /// Charge one wired MSS->MSS message.
+  void charge_fixed() noexcept { ++fixed_msgs_; }
+
+  /// Charge one wireless hop; `mh_key` identifies the mobile endpoint
+  /// and `mh_transmitted` says whether the MH was the sender (tx energy)
+  /// or the receiver (rx energy).
+  void charge_wireless(std::uint64_t mh_key, bool mh_transmitted);
+
+  /// Charge one logical search (oracle mode). In broadcast-search mode
+  /// the real (M-1) query messages are charged as fixed messages instead.
+  void charge_search() noexcept { ++searches_; }
+
+  [[nodiscard]] std::uint64_t fixed_msgs() const noexcept { return fixed_msgs_; }
+  [[nodiscard]] std::uint64_t wireless_msgs() const noexcept { return wireless_msgs_; }
+  [[nodiscard]] std::uint64_t searches() const noexcept { return searches_; }
+  [[nodiscard]] std::uint64_t wireless_tx() const noexcept { return wireless_tx_; }
+  [[nodiscard]] std::uint64_t wireless_rx() const noexcept { return wireless_rx_; }
+
+  /// Total monetized cost under `p`:
+  ///   fixed*c_fixed + wireless*c_wireless + searches*c_search.
+  [[nodiscard]] double total(const CostParams& p) const noexcept;
+
+  /// Battery drained at one MH (energy_tx/energy_rx weighted hops).
+  [[nodiscard]] double energy_at(std::uint64_t mh_key, const CostParams& p) const noexcept;
+
+  /// Battery drained across all MHs.
+  [[nodiscard]] double total_energy(const CostParams& p) const noexcept;
+
+  /// Wireless hops in which this MH participated (tx + rx).
+  [[nodiscard]] std::uint64_t wireless_hops_at(std::uint64_t mh_key) const noexcept;
+
+  /// Snapshot subtraction: `*this - baseline`, used to meter one phase.
+  [[nodiscard]] CostLedger delta_since(const CostLedger& baseline) const;
+
+  void reset();
+
+ private:
+  struct EnergyCount {
+    std::uint64_t tx = 0;
+    std::uint64_t rx = 0;
+  };
+
+  std::uint64_t fixed_msgs_ = 0;
+  std::uint64_t wireless_msgs_ = 0;
+  std::uint64_t searches_ = 0;
+  std::uint64_t wireless_tx_ = 0;
+  std::uint64_t wireless_rx_ = 0;
+  std::map<std::uint64_t, EnergyCount> per_mh_;
+};
+
+}  // namespace mobidist::cost

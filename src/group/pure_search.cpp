@@ -1,0 +1,78 @@
+#include "group/pure_search.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <functional>
+
+namespace mobidist::group {
+
+using net::Envelope;
+using net::MhId;
+
+namespace {
+/// The group payload: id + original sender (dedup key and attribution).
+struct GroupMsg {
+  std::uint64_t msg_id = 0;
+  MhId sender = net::kInvalidMh;
+};
+}  // namespace
+
+class PureSearchGroup::Agent : public net::MhAgent {
+ public:
+  Agent(PureSearchGroup& owner) : owner_(owner) {}
+
+  void send(std::uint64_t msg_id) {
+    run_when_connected([this, msg_id] {
+      for (const auto member : owner_.group_.members) {
+        if (member == self()) continue;
+        send_to_mh(member, GroupMsg{msg_id, self()}, /*fifo=*/false);
+      }
+    });
+  }
+
+  void on_message(const Envelope& env) override {
+    const auto* msg = net::body_as<GroupMsg>(env);
+    if (msg == nullptr) return;
+    owner_.monitor_.delivered(msg->msg_id, self());
+  }
+
+  void on_joined_cell(net::MssId) override {
+    std::deque<std::function<void()>> ready;
+    ready.swap(deferred_);
+    for (auto& action : ready) action();
+  }
+
+ private:
+  void run_when_connected(std::function<void()> action) {
+    if (net().mh(self()).connected()) {
+      action();
+    } else {
+      deferred_.push_back(std::move(action));
+    }
+  }
+
+  PureSearchGroup& owner_;
+  std::deque<std::function<void()>> deferred_;
+};
+
+PureSearchGroup::PureSearchGroup(net::Network& net, Group group, net::ProtocolId proto)
+    : net_(net), group_(std::move(group)) {
+  agents_.resize(net.num_mh());
+  for (const auto member : group_.members) {
+    auto agent = std::make_shared<Agent>(*this);
+    agents_[net::index(member)] = agent;
+    net.mh(member).register_agent(proto, agent);
+  }
+}
+
+std::uint64_t PureSearchGroup::send_group_message(MhId sender) {
+  if (!group_.contains(sender)) {
+    throw std::invalid_argument("PureSearchGroup: sender is not a member");
+  }
+  const std::uint64_t msg_id = next_msg_++;
+  monitor_.sent(msg_id, sender);
+  agents_[net::index(sender)]->send(msg_id);
+  return msg_id;
+}
+
+}  // namespace mobidist::group

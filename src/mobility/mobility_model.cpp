@@ -1,0 +1,112 @@
+#include "mobility/mobility_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mobidist::mobility {
+
+using net::MhId;
+using net::MssId;
+
+namespace {
+std::vector<MhId> all_hosts(const net::Network& net) {
+  std::vector<MhId> hosts;
+  hosts.reserve(net.num_mh());
+  for (std::uint32_t i = 0; i < net.num_mh(); ++i) hosts.push_back(static_cast<MhId>(i));
+  return hosts;
+}
+}  // namespace
+
+MobilityDriver::MobilityDriver(net::Network& net, MobilityConfig cfg)
+    : MobilityDriver(net, cfg, all_hosts(net)) {}
+
+MobilityDriver::MobilityDriver(net::Network& net, MobilityConfig cfg,
+                               std::vector<net::MhId> hosts)
+    : net_(net), cfg_(cfg), hosts_(std::move(hosts)) {
+  if (net_.num_mss() < 2 && !hosts_.empty() && cfg_.disconnect_prob < 1.0) {
+    throw std::invalid_argument("MobilityDriver: moving needs at least two cells");
+  }
+  std::uint32_t max_index = 0;
+  for (const auto host : hosts_) max_index = std::max(max_index, net::index(host));
+  moves_per_host_.assign(max_index + 1, 0);
+}
+
+void MobilityDriver::start() {
+  for (const auto host : hosts_) schedule_next(host);
+}
+
+void MobilityDriver::schedule_next(MhId host) {
+  if (stopped_) return;
+  if (moves_per_host_[net::index(host)] >= cfg_.max_moves_per_host) return;
+  const auto pause =
+      static_cast<sim::Duration>(net_.rng().exponential(cfg_.mean_pause)) + 1;
+  if (cfg_.stop_at != sim::kTimeNever && net_.sched().now() + pause > cfg_.stop_at) return;
+  net_.sched().schedule(pause, [this, host] { depart(host); });
+}
+
+void MobilityDriver::depart(MhId host) {
+  if (stopped_) return;
+  auto& mobile = net_.mh(host);
+  if (!mobile.connected()) {
+    // Busy (in transit from an algorithm-driven move, or disconnected by
+    // someone else): try again later.
+    schedule_next(host);
+    return;
+  }
+  ++moves_per_host_[net::index(host)];
+  if (cfg_.disconnect_prob > 0.0 && net_.rng().chance(cfg_.disconnect_prob)) {
+    ++disconnects_;
+    const MssId came_from = mobile.current_mss();
+    mobile.disconnect();
+    const auto away =
+        static_cast<sim::Duration>(net_.rng().exponential(cfg_.mean_disconnect)) + 1;
+    // Reconnect either where we left or in a fresh cell.
+    const MssId back = net_.rng().chance(0.5) ? came_from : pick_target(host, came_from);
+    net_.sched().schedule(away, [this, host, back] {
+      if (net_.mh(host).state() == net::MhState::kDisconnected) {
+        net_.mh(host).reconnect_at(back, 1);
+      }
+      schedule_next(host);
+    });
+    return;
+  }
+  ++moves_;
+  const MssId current = mobile.current_mss();
+  const MssId target = pick_target(host, current);
+  const auto transit =
+      static_cast<sim::Duration>(net_.rng().exponential(cfg_.mean_transit)) + 1;
+  mobile.move_to(target, transit);
+  net_.sched().schedule(transit + 1, [this, host] { schedule_next(host); });
+}
+
+MssId MobilityDriver::pick_target(MhId host, MssId current) {
+  if (picker_) {
+    const MssId chosen = picker_(host, current);
+    if (chosen == current) {
+      throw std::logic_error("MobilityDriver: target picker returned the current cell");
+    }
+    return chosen;
+  }
+  const std::uint32_t m = net_.num_mss();
+  switch (cfg_.pattern) {
+    case MovePattern::kUniform: {
+      // Uniform over the other M-1 cells.
+      const auto offset = 1 + net_.rng().below(m - 1);
+      return static_cast<MssId>((net::index(current) + offset) % m);
+    }
+    case MovePattern::kNeighbor: {
+      const bool up = net_.rng().chance(0.5);
+      const std::uint32_t cur = net::index(current);
+      return static_cast<MssId>(up ? (cur + 1) % m : (cur + m - 1) % m);
+    }
+    case MovePattern::kHotspot: {
+      for (;;) {
+        const auto cell = static_cast<std::uint32_t>(net_.rng().zipf(m, cfg_.zipf_s));
+        if (cell != net::index(current)) return static_cast<MssId>(cell);
+      }
+    }
+  }
+  throw std::logic_error("MobilityDriver: unknown pattern");
+}
+
+}  // namespace mobidist::mobility

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "net/network.hpp"
+#include "sim/time.hpp"
+
+namespace mobidist::mobility {
+
+/// Built-in target-cell distributions.
+enum class MovePattern : std::uint8_t {
+  kUniform,   ///< any other cell, uniformly
+  kNeighbor,  ///< +-1 on a ring of cells (local mobility)
+  kHotspot,   ///< Zipf-weighted cells (crowded downtown cell 0)
+};
+
+/// Parameters of the background mobility process. Pauses and transits
+/// are exponentially distributed; a MH alternates pause -> move ->
+/// pause ... until its move budget or the stop time runs out.
+struct MobilityConfig {
+  MovePattern pattern = MovePattern::kUniform;
+  double mean_pause = 200.0;    ///< ticks between arriving and next departure
+  double mean_transit = 10.0;   ///< ticks spent between cells
+  double zipf_s = 1.0;          ///< skew for kHotspot
+  std::uint64_t max_moves_per_host = UINT64_MAX;
+  sim::SimTime stop_at = sim::kTimeNever;  ///< no departures after this instant
+  /// Probability that a scheduled departure becomes a disconnect
+  /// instead; the host reconnects after mean_disconnect ticks.
+  double disconnect_prob = 0.0;
+  double mean_disconnect = 500.0;
+};
+
+/// Drives moves for a set of MHs. Plays nicely with algorithms: a host
+/// that is not connected when its departure timer fires simply
+/// reschedules. Deterministic given the network's RNG state.
+class MobilityDriver {
+ public:
+  /// Custom target picker; returns the destination cell for a host's
+  /// next move (must differ from the current cell). Overrides `pattern`
+  /// when set.
+  using TargetPicker = std::function<net::MssId(net::MhId, net::MssId current)>;
+
+  /// Drive all hosts in the network.
+  MobilityDriver(net::Network& net, MobilityConfig cfg);
+  /// Drive a subset.
+  MobilityDriver(net::Network& net, MobilityConfig cfg, std::vector<net::MhId> hosts);
+
+  void set_target_picker(TargetPicker picker) { picker_ = std::move(picker); }
+
+  /// Schedule the first departure for every driven host.
+  void start();
+
+  /// Moves completed so far (departures that actually happened).
+  [[nodiscard]] std::uint64_t moves() const noexcept { return moves_; }
+  [[nodiscard]] std::uint64_t disconnects() const noexcept { return disconnects_; }
+
+  /// Stop scheduling new departures (in-flight transits still land).
+  void stop() noexcept { stopped_ = true; }
+
+ private:
+  void schedule_next(net::MhId host);
+  void depart(net::MhId host);
+  [[nodiscard]] net::MssId pick_target(net::MhId host, net::MssId current);
+
+  net::Network& net_;
+  MobilityConfig cfg_;
+  std::vector<net::MhId> hosts_;
+  std::vector<std::uint64_t> moves_per_host_;
+  TargetPicker picker_;
+  std::uint64_t moves_ = 0;
+  std::uint64_t disconnects_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace mobidist::mobility

@@ -1,0 +1,92 @@
+#include "mutex/lamport_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mobidist::mutex {
+
+LamportEngine::LamportEngine(std::uint32_t self, std::uint32_t n) : self_(self), n_(n) {
+  if (self >= n) throw std::invalid_argument("LamportEngine: self out of range");
+  latest_ts_.assign(n, 0);
+}
+
+void LamportEngine::broadcast(const LamportMsg& msg) {
+  for (std::uint32_t peer = 0; peer < n_; ++peer) {
+    if (peer == self_) continue;
+    send_(peer, msg);
+  }
+}
+
+std::uint64_t LamportEngine::submit(std::uint64_t req_id) {
+  const std::uint64_t ts = ++clock_;
+  const Entry entry{ts, self_, req_id};
+  if (!index_.emplace(std::pair{self_, req_id}, ts).second) {
+    throw std::logic_error("LamportEngine: duplicate local req_id");
+  }
+  queue_.insert(entry);
+  sent_requests_ += n_ - 1;
+  broadcast(LamportMsg{LamportMsg::Kind::kRequest, ts, self_, req_id});
+  check_grant();  // n == 1 degenerates to immediate grant
+  return ts;
+}
+
+void LamportEngine::release(std::uint64_t req_id) {
+  const auto it = index_.find({self_, req_id});
+  if (it == index_.end()) {
+    throw std::logic_error("LamportEngine: release of unknown req_id");
+  }
+  const Entry entry{it->second, self_, req_id};
+  queue_.erase(entry);
+  index_.erase(it);
+  if (granted_ && *granted_ == entry) granted_.reset();
+  const std::uint64_t ts = ++clock_;
+  sent_releases_ += n_ - 1;
+  broadcast(LamportMsg{LamportMsg::Kind::kRelease, ts, self_, req_id});
+  check_grant();
+}
+
+void LamportEngine::on_message(std::uint32_t from, const LamportMsg& msg) {
+  if (from >= n_ || from == self_) {
+    throw std::logic_error("LamportEngine: message from invalid peer");
+  }
+  clock_ = std::max(clock_, msg.clock) + 1;
+  latest_ts_[from] = std::max(latest_ts_[from], msg.clock);
+  switch (msg.kind) {
+    case LamportMsg::Kind::kRequest: {
+      queue_.insert(Entry{msg.clock, msg.origin, msg.req_id});
+      index_.emplace(std::pair{msg.origin, msg.req_id}, msg.clock);
+      const std::uint64_t reply_ts = ++clock_;
+      ++sent_replies_;
+      send_(from, LamportMsg{LamportMsg::Kind::kReply, reply_ts, self_, msg.req_id});
+      break;
+    }
+    case LamportMsg::Kind::kReply:
+      break;
+    case LamportMsg::Kind::kRelease: {
+      const auto it = index_.find({msg.origin, msg.req_id});
+      if (it != index_.end()) {
+        queue_.erase(Entry{it->second, msg.origin, msg.req_id});
+        index_.erase(it);
+      }
+      break;
+    }
+  }
+  check_grant();
+}
+
+void LamportEngine::check_grant() {
+  if (queue_.empty()) return;
+  const Entry head = *queue_.begin();
+  if (head.origin != self_) return;
+  if (granted_ && *granted_ == head) return;  // already announced
+  // Entry rule: our request heads the queue AND every peer has been
+  // heard from with a timestamp later than the request's.
+  for (std::uint32_t peer = 0; peer < n_; ++peer) {
+    if (peer == self_) continue;
+    if (latest_ts_[peer] <= head.ts) return;
+  }
+  granted_ = head;
+  if (on_acquired_) on_acquired_(head.req_id, head.ts);
+}
+
+}  // namespace mobidist::mutex

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace mobidist::mutex {
+
+/// One message of Lamport's 1978 mutual-exclusion algorithm.
+struct LamportMsg {
+  enum class Kind : std::uint8_t { kRequest, kReply, kRelease };
+  Kind kind = Kind::kRequest;
+  std::uint64_t clock = 0;   ///< sender's logical clock at send time
+  std::uint32_t origin = 0;  ///< participant the request/release belongs to
+  std::uint64_t req_id = 0;  ///< request tag (kRequest/kRelease); L2 keys MHs by it
+};
+
+/// Transport-agnostic implementation of Lamport's timestamp mutual
+/// exclusion among n participants with FIFO pairwise channels.
+///
+/// The same engine runs both L1 (participants = the N mobile hosts,
+/// transport = the MH-to-MH relay) and L2 (participants = the M MSSs,
+/// transport = the wired mesh). A participant may have several requests
+/// outstanding at once — L2 needs this, since one MSS requests on behalf
+/// of many local MHs, each tagged with its own req_id.
+///
+/// Correctness contract (checked by unit tests): requests are granted in
+/// strictly increasing (timestamp, origin) order, one at a time
+/// system-wide, provided every participant processes every message and
+/// channels are FIFO.
+class LamportEngine {
+ public:
+  /// Deliver `msg` to participant `peer`.
+  using SendFn = std::function<void(std::uint32_t peer, const LamportMsg& msg)>;
+  /// Local request `req_id` (timestamp `ts`) now holds the lock.
+  using AcquireFn = std::function<void(std::uint64_t req_id, std::uint64_t ts)>;
+
+  LamportEngine(std::uint32_t self, std::uint32_t n);
+
+  void set_send(SendFn send) { send_ = std::move(send); }
+  void set_on_acquired(AcquireFn fn) { on_acquired_ = std::move(fn); }
+
+  /// Submit a local request. Returns the Lamport timestamp assigned —
+  /// in L2 this is "the timestamp of hl's request" the paper's
+  /// correctness argument relies on. Broadcasts REQUEST to all peers.
+  std::uint64_t submit(std::uint64_t req_id);
+
+  /// Release a previously granted (or still pending — the L2 disconnect
+  /// path) local request. Broadcasts RELEASE to all peers.
+  void release(std::uint64_t req_id);
+
+  /// Deliver a peer's message.
+  void on_message(std::uint32_t from, const LamportMsg& msg);
+
+  [[nodiscard]] std::uint64_t clock() const noexcept { return clock_; }
+  [[nodiscard]] std::size_t queue_size() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool has_local_request(std::uint64_t req_id) const noexcept {
+    return index_.contains({self_, req_id});
+  }
+  /// Messages sent by this participant, by kind (cost cross-checks).
+  [[nodiscard]] std::uint64_t sent_requests() const noexcept { return sent_requests_; }
+  [[nodiscard]] std::uint64_t sent_replies() const noexcept { return sent_replies_; }
+  [[nodiscard]] std::uint64_t sent_releases() const noexcept { return sent_releases_; }
+
+ private:
+  struct Entry {
+    std::uint64_t ts;
+    std::uint32_t origin;
+    std::uint64_t req_id;
+    friend auto operator<=>(const Entry&, const Entry&) = default;
+  };
+
+  void broadcast(const LamportMsg& msg);
+  void check_grant();
+
+  std::uint32_t self_;
+  std::uint32_t n_;
+  std::uint64_t clock_ = 0;
+  std::set<Entry> queue_;
+  /// (origin, req_id) -> ts, so releases can find their entry.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t> index_;
+  /// Highest clock value seen from each peer (self slot unused).
+  std::vector<std::uint64_t> latest_ts_;
+  /// The local entry currently holding the lock, if any.
+  std::optional<Entry> granted_;
+  SendFn send_;
+  AcquireFn on_acquired_;
+  std::uint64_t sent_requests_ = 0;
+  std::uint64_t sent_replies_ = 0;
+  std::uint64_t sent_releases_ = 0;
+};
+
+}  // namespace mobidist::mutex

@@ -1,0 +1,13 @@
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace mobidist::mutex {
+
+/// Knobs shared by all mutual-exclusion algorithms.
+struct MutexOptions {
+  /// Virtual time a MH spends inside the critical section per grant.
+  sim::Duration cs_hold = 5;
+};
+
+}  // namespace mobidist::mutex

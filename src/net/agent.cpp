@@ -1,0 +1,51 @@
+#include "net/agent.hpp"
+
+#include <utility>
+
+#include "net/mobile_host.hpp"
+#include "net/network.hpp"
+
+namespace mobidist::net {
+
+void MssAgent::send_fixed(MssId to, std::any body) {
+  Envelope env;
+  env.proto = proto_;
+  env.body = std::move(body);
+  net().send_fixed(self_, to, std::move(env));
+}
+
+void MssAgent::send_local(MhId mh, std::any body) {
+  Envelope env;
+  env.proto = proto_;
+  env.src = self_;
+  env.dst = mh;
+  env.body = std::move(body);
+  const std::any payload = env.body;  // keep for the failure callback
+  net().send_wireless_downlink(self_, std::move(env), mh, [this, mh, payload]() {
+    on_local_send_failed(mh, payload);
+  });
+}
+
+void MssAgent::send_to_mh(MhId mh, std::any body, SendPolicy policy) {
+  Envelope env;
+  env.proto = proto_;
+  env.src = self_;
+  env.dst = mh;
+  env.body = std::move(body);
+  net().send_to_mh(self_, std::move(env), mh, policy);
+}
+
+void MhAgent::send_uplink(std::any body) {
+  Envelope env;
+  env.proto = proto_;
+  env.src = self_;
+  env.dst = net().mh(self_).current_mss();
+  env.body = std::move(body);
+  net().send_wireless_uplink(self_, std::move(env));
+}
+
+void MhAgent::send_to_mh(MhId dst, std::any body, bool fifo) {
+  net().mh(self_).send_relay(dst, proto_, std::move(body), fifo);
+}
+
+}  // namespace mobidist::net

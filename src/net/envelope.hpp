@@ -1,0 +1,66 @@
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <utility>
+
+#include "net/ids.hpp"
+
+namespace mobidist::net {
+
+/// Protocols multiplexed over the substrate. Agents register under one
+/// of these ids; the substrate dispatches inbound envelopes by id.
+using ProtocolId = std::uint16_t;
+
+namespace protocol {
+/// Substrate control traffic (join/leave/handoff/search). Never charged
+/// to the cost ledger: the paper's cost analyses meter algorithm
+/// messages only.
+inline constexpr ProtocolId kSystem = 0;
+/// MH-to-MH relay service (used by L1/R1, which run directly on MHs).
+inline constexpr ProtocolId kRelay = 1;
+
+inline constexpr ProtocolId kMutexL1 = 10;
+inline constexpr ProtocolId kMutexL2 = 11;
+inline constexpr ProtocolId kMutexR1 = 12;
+inline constexpr ProtocolId kMutexR2 = 13;
+
+inline constexpr ProtocolId kGroupLocation = 20;
+inline constexpr ProtocolId kGroupData = 21;
+
+inline constexpr ProtocolId kProxy = 30;
+
+/// First id available to user-defined protocols.
+inline constexpr ProtocolId kUserBase = 100;
+}  // namespace protocol
+
+/// A message in flight. `body` holds a protocol-defined value struct;
+/// receivers any_cast it back. `control` exempts substrate bookkeeping
+/// traffic from cost accounting.
+struct Envelope {
+  ProtocolId proto = protocol::kSystem;
+  NodeRef src;
+  NodeRef dst;
+  std::any body;
+  bool control = false;
+};
+
+/// Convenience factory for an algorithm (cost-charged) envelope.
+template <typename Body>
+[[nodiscard]] Envelope make_envelope(ProtocolId proto, NodeRef src, NodeRef dst, Body body) {
+  return Envelope{proto, src, dst, std::any(std::move(body)), /*control=*/false};
+}
+
+/// Convenience factory for a substrate control envelope (not charged).
+template <typename Body>
+[[nodiscard]] Envelope make_control(NodeRef src, NodeRef dst, Body body) {
+  return Envelope{protocol::kSystem, src, dst, std::any(std::move(body)), /*control=*/true};
+}
+
+/// Extract a typed body; returns nullptr on type mismatch.
+template <typename Body>
+[[nodiscard]] const Body* body_as(const Envelope& env) noexcept {
+  return std::any_cast<Body>(&env.body);
+}
+
+}  // namespace mobidist::net

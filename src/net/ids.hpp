@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace mobidist::net {
+
+/// Identifier of a mobile support station (fixed host). The paper uses
+/// M for their count; ids are dense indices [0, M).
+enum class MssId : std::uint32_t {};
+
+/// Identifier of a mobile host. The paper uses N for their count
+/// (N >> M); ids are dense indices [0, N).
+enum class MhId : std::uint32_t {};
+
+inline constexpr MssId kInvalidMss{0xFFFFFFFFu};
+inline constexpr MhId kInvalidMh{0xFFFFFFFFu};
+
+[[nodiscard]] constexpr std::uint32_t index(MssId id) noexcept {
+  return static_cast<std::uint32_t>(id);
+}
+[[nodiscard]] constexpr std::uint32_t index(MhId id) noexcept {
+  return static_cast<std::uint32_t>(id);
+}
+
+[[nodiscard]] inline std::string to_string(MssId id) {
+  return id == kInvalidMss ? "mss:?" : "mss:" + std::to_string(index(id));
+}
+[[nodiscard]] inline std::string to_string(MhId id) {
+  return id == kInvalidMh ? "mh:?" : "mh:" + std::to_string(index(id));
+}
+
+/// Reference to either kind of host; the address form used on envelopes.
+struct NodeRef {
+  enum class Kind : std::uint8_t { kNone, kMss, kMh };
+
+  Kind kind = Kind::kNone;
+  std::uint32_t idx = 0;
+
+  constexpr NodeRef() = default;
+  constexpr NodeRef(MssId id) noexcept : kind(Kind::kMss), idx(index(id)) {}  // NOLINT(google-explicit-constructor)
+  constexpr NodeRef(MhId id) noexcept : kind(Kind::kMh), idx(index(id)) {}    // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] constexpr bool is_mss() const noexcept { return kind == Kind::kMss; }
+  [[nodiscard]] constexpr bool is_mh() const noexcept { return kind == Kind::kMh; }
+  [[nodiscard]] constexpr MssId mss() const noexcept { return static_cast<MssId>(idx); }
+  [[nodiscard]] constexpr MhId mh() const noexcept { return static_cast<MhId>(idx); }
+
+  friend constexpr bool operator==(NodeRef, NodeRef) = default;
+};
+
+[[nodiscard]] inline std::string to_string(NodeRef ref) {
+  switch (ref.kind) {
+    case NodeRef::Kind::kMss: return to_string(ref.mss());
+    case NodeRef::Kind::kMh: return to_string(ref.mh());
+    case NodeRef::Kind::kNone: break;
+  }
+  return "none";
+}
+
+}  // namespace mobidist::net
+
+template <>
+struct std::hash<mobidist::net::MssId> {
+  std::size_t operator()(mobidist::net::MssId id) const noexcept {
+    return std::hash<std::uint32_t>{}(mobidist::net::index(id));
+  }
+};
+
+template <>
+struct std::hash<mobidist::net::MhId> {
+  std::size_t operator()(mobidist::net::MhId id) const noexcept {
+    return std::hash<std::uint32_t>{}(mobidist::net::index(id));
+  }
+};

@@ -1,0 +1,397 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace mobidist::net {
+
+Network::Network(NetConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.num_mss == 0) throw std::invalid_argument("Network: need at least one MSS");
+  mss_.reserve(cfg_.num_mss);
+  for (std::uint32_t i = 0; i < cfg_.num_mss; ++i) {
+    mss_.push_back(std::make_unique<Mss>(*this, static_cast<MssId>(i)));
+  }
+  mh_.reserve(cfg_.num_mh);
+  for (std::uint32_t i = 0; i < cfg_.num_mh; ++i) {
+    mh_.push_back(std::make_unique<MobileHost>(*this, static_cast<MhId>(i)));
+  }
+  // Initial placement: direct, no protocol traffic. Agents observe it in
+  // on_start via Mss::local_mhs().
+  for (std::uint32_t i = 0; i < cfg_.num_mh; ++i) {
+    std::uint32_t cell = 0;
+    switch (cfg_.placement) {
+      case InitialPlacement::kRoundRobin: cell = i % cfg_.num_mss; break;
+      case InitialPlacement::kRandom:
+        cell = static_cast<std::uint32_t>(rng_.below(cfg_.num_mss));
+        break;
+      case InitialPlacement::kAllInCell0: cell = 0; break;
+    }
+    mh_[i]->mss_ = static_cast<MssId>(cell);
+    mh_[i]->state_ = MhState::kConnected;
+    mss_[cell]->place_local(static_cast<MhId>(i));
+  }
+}
+
+Network::~Network() = default;
+
+Mss& Network::mss(MssId id) {
+  assert(index(id) < mss_.size());
+  return *mss_[index(id)];
+}
+const Mss& Network::mss(MssId id) const {
+  assert(index(id) < mss_.size());
+  return *mss_[index(id)];
+}
+MobileHost& Network::mh(MhId id) {
+  assert(index(id) < mh_.size());
+  return *mh_[index(id)];
+}
+const MobileHost& Network::mh(MhId id) const {
+  assert(index(id) < mh_.size());
+  return *mh_[index(id)];
+}
+
+void Network::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& station : mss_) station->start_agents();
+  for (auto& host : mh_) host->start_agents();
+}
+
+std::uint64_t Network::run(std::uint64_t event_limit) {
+  if (!started_) start();
+  sched_.set_event_limit(event_limit);
+  return sched_.run();
+}
+
+MssId Network::current_mss_of(MhId id) const { return mh(id).current_mss(); }
+bool Network::is_disconnected(MhId id) const {
+  return mh(id).state() == MhState::kDisconnected;
+}
+bool Network::is_in_transit(MhId id) const {
+  return mh(id).state() == MhState::kInTransit;
+}
+
+// ---------------------------------------------------------------------------
+// Channels
+// ---------------------------------------------------------------------------
+
+sim::Duration Network::sample(sim::Duration lo, sim::Duration hi) {
+  if (hi <= lo) return lo;
+  return lo + rng_.below(hi - lo + 1);
+}
+
+sim::SimTime Network::fifo_arrival(ChannelType type, std::uint32_t a, std::uint32_t b,
+                                   sim::Duration latency) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(type) << 48) |
+                            (static_cast<std::uint64_t>(a) << 24) | b;
+  sim::SimTime arrival = sched_.now() + latency;
+  auto& clock = channel_clock_[key];
+  if (arrival < clock) arrival = clock;  // never overtake an earlier message
+  clock = arrival;
+  return arrival;
+}
+
+void Network::send_fixed(MssId from, MssId to, Envelope env) {
+  env.src = from;
+  env.dst = to;
+  if (from == to) {
+    // Local dispatch: free, but still through the event queue so agent
+    // reentrancy is impossible.
+    sched_.schedule(0, [this, to, env = std::move(env)]() mutable {
+      deliver_wired(to, std::move(env));
+    });
+    return;
+  }
+  if (!env.control) ledger_.charge_fixed();
+  const auto latency = sample(cfg_.latency.wired_min, cfg_.latency.wired_max);
+  const auto arrival = fifo_arrival(ChannelType::kWired, index(from), index(to), latency);
+  sched_.schedule_at(arrival, [this, to, env = std::move(env)]() mutable {
+    deliver_wired(to, std::move(env));
+  });
+}
+
+void Network::deliver_wired(MssId to, Envelope env) {
+  if (env.control) ++stats_.control_msgs;
+  mss(to).dispatch(env);
+}
+
+void Network::send_wireless_downlink(MssId from, Envelope env, MhId to,
+                                     std::function<void()> on_fail) {
+  auto& host = mh(to);
+  if (host.current_mss() != from) {
+    // Already gone: fail asynchronously so callers see uniform behaviour.
+    if (on_fail) sched_.schedule(0, std::move(on_fail));
+    return;
+  }
+  const auto latency = sample(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
+  const auto arrival =
+      fifo_arrival(ChannelType::kDownlink, index(from), index(to), latency);
+  sched_.schedule_at(arrival,
+                     [this, from, to, env = std::move(env), on_fail = std::move(on_fail)]() mutable {
+    auto& dest = mh(to);
+    if (dest.current_mss() != from) {
+      // The MH left between transmission and (would-be) reception: the
+      // frame is lost in the old cell — §2's prefix-delivery rule.
+      if (on_fail) on_fail();
+      return;
+    }
+    if (!env.control) ledger_.charge_wireless(index(to), /*mh_transmitted=*/false);
+    if (env.control) ++stats_.control_msgs;
+    if (dest.dozing()) ++stats_.doze_interruptions;
+    dest.deliver(env);
+  });
+}
+
+void Network::send_wireless_uplink(MhId from, Envelope env) {
+  auto& host = mh(from);
+  if (!host.connected()) {
+    throw std::logic_error("send_wireless_uplink: " + to_string(from) + " is not in a cell");
+  }
+  const MssId target = host.current_mss();
+  if (!env.control) {
+    ledger_.charge_wireless(index(from), /*mh_transmitted=*/true);
+  } else {
+    ++stats_.control_msgs;
+  }
+  const auto latency = sample(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
+  const auto arrival =
+      fifo_arrival(ChannelType::kUplink, index(from), index(target), latency);
+  sched_.schedule_at(arrival, [this, target, env = std::move(env)]() mutable {
+    mss(target).dispatch(env);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Locate + deliver
+// ---------------------------------------------------------------------------
+
+void Network::send_to_mh(MssId from, Envelope env, MhId to, SendPolicy policy) {
+  env.dst = to;
+  locate(from, to, [this, from, env = std::move(env), to, policy](MssId at,
+                                                                  bool disconnected) mutable {
+    if (disconnected) {
+      if (policy == SendPolicy::kNotifyIfDisconnected) {
+        // The MSS holding the "disconnected" flag notifies the sender,
+        // returning the undelivered body (L2's disconnect handling).
+        log(sim::TraceLevel::kInfo, "search",
+            to_string(to) + " unreachable (disconnected at " + to_string(at) + ")");
+        ++stats_.unreachable_notices;
+        msg::UnreachableNotice notice{to, env.proto, env.body};
+        send_fixed(at, from, make_control(NodeRef(at), NodeRef(from), std::move(notice)));
+      } else {
+        ++stats_.queued_for_reconnect;
+        parked_[to].push_back(Parked{std::move(env)});
+      }
+      return;
+    }
+    // Forward to the located MSS. In oracle mode the forward leg is part
+    // of the single c_search charge; in broadcast mode it is a real
+    // wired message.
+    if (cfg_.search == SearchMode::kBroadcast && at != from) ledger_.charge_fixed();
+    auto attempt = [this, at, env = std::move(env), to, policy]() mutable {
+      Envelope frame = env;  // keep a copy for the retry path
+      send_wireless_downlink(at, std::move(frame), to, [this, at, env, to, policy]() {
+        ++stats_.delivery_retries;
+        // Re-launch from the cell that noticed the miss: its MSS
+        // searches again, as the paper's footnote 1 describes. The
+        // backoff is essential: a just-departed MH can still sit in the
+        // local list until its leave() lands, and an instant retry would
+        // re-resolve to the same cell in the same virtual instant,
+        // spinning forever without advancing time.
+        const auto backoff = cfg_.latency.wireless_max + 1;
+        sched_.schedule(backoff, [this, at, env, to, policy]() {
+          send_to_mh(at, env, to, policy);
+        });
+      });
+    };
+    if (at == from) {
+      attempt();
+    } else {
+      const auto latency = sample(cfg_.latency.wired_min, cfg_.latency.wired_max);
+      const auto arrival = fifo_arrival(ChannelType::kWired, index(from), index(at), latency);
+      sched_.schedule_at(arrival, std::move(attempt));
+    }
+  });
+}
+
+void Network::relay_to_mh(MssId via, const msg::Relay& relay) {
+  ++stats_.relay_msgs;
+  Envelope env;
+  env.proto = protocol::kRelay;
+  env.src = relay.src_mh;
+  env.dst = relay.dst_mh;
+  env.body = relay;
+  // Not control: the final wireless hop must charge c_wireless, giving
+  // the §2 MH-to-MH total of 2*c_wireless + c_search.
+  env.control = false;
+  send_to_mh(via, std::move(env), relay.dst_mh, SendPolicy::kEventualDelivery);
+}
+
+void Network::locate(MssId from, MhId target, LocateCallback cb) {
+  log(sim::TraceLevel::kDebug, "search",
+      to_string(from) + " locating " + to_string(target));
+  ++stats_.searches_started;
+  switch (cfg_.search) {
+    case SearchMode::kOracle: oracle_locate(from, target, std::move(cb)); return;
+    case SearchMode::kBroadcast: broadcast_locate(from, target, std::move(cb)); return;
+  }
+}
+
+void Network::oracle_locate(MssId from, MhId target, LocateCallback cb) {
+  const bool local_hit = mh(target).current_mss() == from;
+  if (cfg_.charge_search_for_local || !local_hit) ledger_.charge_search();
+  const auto delay = sample(cfg_.latency.search_min, cfg_.latency.search_max);
+  sched_.schedule(delay, [this, from, target, cb = std::move(cb)]() mutable {
+    auto& host = mh(target);
+    switch (host.state()) {
+      case MhState::kConnected:
+        cb(host.current_mss(), false);
+        return;
+      case MhState::kDisconnected:
+        cb(host.last_mss(), true);
+        return;
+      case MhState::kInTransit:
+        // The model guarantees eventual delivery across moves: park the
+        // resolution until the MH joins its next cell.
+        ++stats_.searches_pended;
+        pending_locates_[target].push_back(PendingLocate{from, std::move(cb)});
+        return;
+    }
+  });
+}
+
+void Network::broadcast_locate(MssId from, MhId target, LocateCallback cb) {
+  // Degenerate single-MSS system: the only cell is ours.
+  if (cfg_.num_mss == 1) {
+    sched_.schedule(0, [this, from, target, cb = std::move(cb)]() {
+      auto& host = mh(target);
+      cb(from, host.state() == MhState::kDisconnected);
+    });
+    return;
+  }
+  const std::uint64_t token = next_search_token_++;
+  broadcast_[token] = BroadcastSearch{from, target, std::move(cb)};
+  broadcast_round(token);
+}
+
+void Network::broadcast_round(std::uint64_t token) {
+  auto it = broadcast_.find(token);
+  if (it == broadcast_.end()) return;
+  auto& search = it->second;
+  search.replies = 0;
+  ++search.round;
+  search.found = false;
+  search.saw_disconnected = false;
+  // Before spraying queries, check our own cell (free).
+  if (mss(search.origin).is_local(search.target)) {
+    auto cb = std::move(search.cb);
+    const MssId origin = search.origin;
+    broadcast_.erase(it);
+    cb(origin, false);
+    return;
+  }
+  for (std::uint32_t i = 0; i < cfg_.num_mss; ++i) {
+    const auto dest = static_cast<MssId>(i);
+    if (dest == search.origin) continue;
+    // Queries are the paper's worst-case "contact each of the other M-1
+    // MSSs": real, charged fixed-network messages.
+    Envelope env =
+        make_envelope(protocol::kSystem, NodeRef(search.origin), NodeRef(dest),
+                      msg::SearchQuery{search.target, search.origin, token, search.round});
+    send_fixed(search.origin, dest, std::move(env));
+  }
+}
+
+void Network::handle_search_query(MssId at, const msg::SearchQuery& query) {
+  auto& station = mss(at);
+  msg::SearchReply reply{query.target, at, query.token, query.round,
+                         station.is_local(query.target),
+                         station.has_disconnected_flag(query.target)};
+  // Only the useful (positive) reply is charged; negative replies are
+  // modeled as piggybacked control traffic, so one worst-case search
+  // costs (M-1) queries + 1 reply + 1 forward in fixed messages.
+  Envelope env;
+  env.proto = protocol::kSystem;
+  env.body = reply;
+  env.control = !(reply.here || reply.disconnected);
+  send_fixed(at, query.origin, std::move(env));
+}
+
+void Network::handle_search_reply(const msg::SearchReply& reply) {
+  auto it = broadcast_.find(reply.token);
+  if (it == broadcast_.end()) return;  // already resolved
+  auto& search = it->second;
+  // A positive sighting is acted on regardless of age; negative replies
+  // from superseded rounds must not count toward the current quorum
+  // (double-counting them would spawn overlapping retry rounds).
+  if (!reply.here && reply.round != search.round) return;
+  ++search.replies;
+  if (reply.here) {
+    auto cb = std::move(search.cb);
+    const MssId at = reply.from;
+    broadcast_.erase(it);
+    cb(at, false);
+    return;
+  }
+  if (reply.disconnected) {
+    search.saw_disconnected = true;
+    search.disconnected_at = reply.from;
+  }
+  if (search.replies >= cfg_.num_mss - 1) {
+    if (search.saw_disconnected) {
+      auto cb = std::move(search.cb);
+      const MssId at = search.disconnected_at;
+      broadcast_.erase(it);
+      cb(at, true);
+      return;
+    }
+    // Nobody has it: target is in transit. Retry after a jittered pause
+    // (a fixed period can phase-lock with a periodic mover and miss it
+    // on every round).
+    const std::uint64_t token = reply.token;
+    const auto jitter = rng_.below(cfg_.latency.broadcast_retry / 2 + 1);
+    sched_.schedule(cfg_.latency.broadcast_retry + jitter,
+                    [this, token]() { broadcast_round(token); });
+  }
+}
+
+void Network::submit_join(MhId from, MssId target, msg::Join join) {
+  ++stats_.control_msgs;
+  const auto latency = sample(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
+  const auto arrival = fifo_arrival(ChannelType::kUplink, index(from), index(target), latency);
+  sched_.schedule_at(arrival, [this, target, join]() {
+    mss(target).dispatch(make_control(NodeRef(join.mh), NodeRef(target), join));
+  });
+}
+
+void Network::on_mh_rejoined(MhId mh_id, MssId at) {
+  // Flush searches that were waiting for this MH to land.
+  if (auto it = pending_locates_.find(mh_id); it != pending_locates_.end()) {
+    auto waiting = std::move(it->second);
+    pending_locates_.erase(it);
+    for (auto& pending : waiting) pending.cb(at, false);
+  }
+  // Deliver messages parked while it was disconnected.
+  if (auto it = parked_.find(mh_id); it != parked_.end()) {
+    auto queue = std::move(it->second);
+    parked_.erase(it);
+    for (auto& parked : queue) {
+      Envelope env = std::move(parked.env);
+      send_wireless_downlink(at, env, mh_id, [this, at, env, mh_id]() {
+        ++stats_.delivery_retries;
+        const auto backoff = cfg_.latency.wireless_max + 1;
+        sched_.schedule(backoff, [this, at, env, mh_id]() {
+          send_to_mh(at, env, mh_id, SendPolicy::kEventualDelivery);
+        });
+      });
+    }
+  }
+}
+
+void Network::log(sim::TraceLevel level, std::string_view component, std::string text) {
+  trace_.log(sched_.now(), level, component, std::move(text));
+}
+
+}  // namespace mobidist::net

@@ -1,0 +1,198 @@
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "net/envelope.hpp"
+#include "net/ids.hpp"
+#include "net/messages.hpp"
+#include "net/mobile_host.hpp"
+#include "net/mss.hpp"
+#include "net/search.hpp"
+#include "net/stats.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+
+namespace mobidist::net {
+
+/// Where MHs sit before the simulation starts.
+enum class InitialPlacement : std::uint8_t {
+  kRoundRobin,  ///< mh i starts in cell i mod M
+  kRandom,      ///< uniform random cell
+  kAllInCell0,  ///< everyone piled into cell 0 (stress fixture)
+};
+
+/// Static configuration of one simulated system.
+struct NetConfig {
+  std::uint32_t num_mss = 4;   ///< M
+  std::uint32_t num_mh = 16;   ///< N (paper: N >> M)
+  SearchMode search = SearchMode::kOracle;
+  LatencyConfig latency;
+  InitialPlacement placement = InitialPlacement::kRoundRobin;
+  std::uint64_t seed = 1;
+  /// Oracle mode charges c_search even when the target happens to be
+  /// local to the sender, matching the paper's unconditional C_search
+  /// terms. Disable for "location caching" ablations.
+  bool charge_search_for_local = true;
+};
+
+/// The §2 system model in one object: M MSSs on a reliable FIFO wired
+/// mesh, N MHs reachable over per-cell FIFO wireless links, the
+/// join/leave/handoff/disconnect/reconnect protocol, the search
+/// substrate, and the cost ledger metering it all.
+///
+/// Single-threaded and deterministic: every run is a pure function of
+/// (NetConfig, registered agents, workload).
+class Network {
+ public:
+  explicit Network(NetConfig cfg);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- topology & components ----------------------------------------------
+
+  [[nodiscard]] std::uint32_t num_mss() const noexcept { return cfg_.num_mss; }
+  [[nodiscard]] std::uint32_t num_mh() const noexcept { return cfg_.num_mh; }
+  [[nodiscard]] const NetConfig& config() const noexcept { return cfg_; }
+
+  [[nodiscard]] Mss& mss(MssId id);
+  [[nodiscard]] const Mss& mss(MssId id) const;
+  [[nodiscard]] MobileHost& mh(MhId id);
+  [[nodiscard]] const MobileHost& mh(MhId id) const;
+
+  [[nodiscard]] sim::Scheduler& sched() noexcept { return sched_; }
+  [[nodiscard]] sim::Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] sim::Trace& trace() noexcept { return trace_; }
+  [[nodiscard]] cost::CostLedger& ledger() noexcept { return ledger_; }
+  [[nodiscard]] const cost::CostLedger& ledger() const noexcept { return ledger_; }
+  [[nodiscard]] NetStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const NetStats& stats() const noexcept { return stats_; }
+
+  /// Fire on_start on every registered agent (MSS agents first, then MH
+  /// agents, each in id order). Call after registering all agents and
+  /// before running the scheduler.
+  void start();
+
+  /// Convenience: run the scheduler until it drains (with a safety event
+  /// limit) and return events fired.
+  std::uint64_t run(std::uint64_t event_limit = 50'000'000);
+
+  // --- ground truth (setup & verification; does not charge costs) ---------
+
+  /// Current MSS of a connected MH; kInvalidMss otherwise.
+  [[nodiscard]] MssId current_mss_of(MhId id) const;
+  [[nodiscard]] bool is_disconnected(MhId id) const;
+  [[nodiscard]] bool is_in_transit(MhId id) const;
+
+  // --- messaging (used by agents via the helpers in agent.hpp) ------------
+
+  /// Wired MSS -> MSS send. FIFO per ordered pair; charges c_fixed unless
+  /// control or self-addressed.
+  void send_fixed(MssId from, MssId to, Envelope env);
+
+  /// Wireless downlink to a MH that is local to `from` right now. If the
+  /// MH leaves before the frame lands, the sending agent's
+  /// on_local_send_failed is NOT invoked (there is none); instead the
+  /// optional `on_fail` runs. Charges c_wireless + rx energy only on
+  /// successful delivery.
+  void send_wireless_downlink(MssId from, Envelope env, MhId to,
+                              std::function<void()> on_fail = {});
+
+  /// Wireless uplink from a connected MH to its current MSS. Always
+  /// delivered (the MSS does not move). Charges c_wireless + tx energy
+  /// unless control.
+  void send_wireless_uplink(MhId from, Envelope env);
+
+  /// Locate a MH (oracle or broadcast per config) and deliver `env` over
+  /// the final wireless hop, retrying across moves. See SendPolicy for
+  /// disconnect behaviour. `env.dst` must be the MH.
+  void send_to_mh(MssId from, Envelope env, MhId to, SendPolicy policy);
+
+  /// MH-to-MH relay entry point (wireless uplink leg is charged by the
+  /// caller path); invoked by Mss when a kRelay envelope arrives.
+  void relay_to_mh(MssId via, const msg::Relay& relay);
+
+  /// Resolve a MH's current MSS. The callback receives (mss,
+  /// disconnected): `mss` is the current cell, or the cell holding the
+  /// "disconnected" flag when `disconnected` is true. Searches for
+  /// in-transit MHs resolve when the MH joins its next cell.
+  using LocateCallback = std::function<void(MssId, bool disconnected)>;
+  void locate(MssId from, MhId target, LocateCallback cb);
+
+  /// MH -> MSS join/reconnect transmission in the *new* cell (the MH is
+  /// not yet local there, so this cannot ride the normal uplink).
+  void submit_join(MhId from, MssId target, msg::Join join);
+
+  /// Broadcast-search protocol handlers (invoked by Mss::dispatch).
+  void handle_search_query(MssId at, const msg::SearchQuery& query);
+  void handle_search_reply(const msg::SearchReply& reply);
+
+ private:
+  friend class Mss;
+  friend class MobileHost;
+
+  struct PendingLocate {
+    MssId from;
+    LocateCallback cb;
+  };
+  struct BroadcastSearch {
+    MssId origin;
+    MhId target;
+    LocateCallback cb;
+    std::uint32_t replies = 0;
+    std::uint64_t round = 0;
+    bool found = false;
+    bool saw_disconnected = false;
+    MssId disconnected_at = kInvalidMss;
+  };
+
+  // FIFO clamping: per ordered channel, arrivals never decrease.
+  enum class ChannelType : std::uint8_t { kWired, kDownlink, kUplink };
+  [[nodiscard]] sim::SimTime fifo_arrival(ChannelType type, std::uint32_t a, std::uint32_t b,
+                                          sim::Duration latency);
+
+  [[nodiscard]] sim::Duration sample(sim::Duration lo, sim::Duration hi);
+
+  void deliver_wired(MssId to, Envelope env);
+  void oracle_locate(MssId from, MhId target, LocateCallback cb);
+  void broadcast_locate(MssId from, MhId target, LocateCallback cb);
+  void broadcast_round(std::uint64_t token);
+
+  /// Join bookkeeping shared by Mss::handle_join: flush searches pending
+  /// on this MH and deliver messages parked while it was disconnected.
+  void on_mh_rejoined(MhId mh, MssId at);
+
+  void log(sim::TraceLevel level, std::string_view component, std::string text);
+
+  NetConfig cfg_;
+  sim::Scheduler sched_;
+  sim::Rng rng_;
+  sim::Trace trace_;
+  cost::CostLedger ledger_;
+  NetStats stats_;
+
+  std::vector<std::unique_ptr<Mss>> mss_;
+  std::vector<std::unique_ptr<MobileHost>> mh_;
+
+  std::map<std::uint64_t, sim::SimTime> channel_clock_;
+  std::map<MhId, std::vector<PendingLocate>> pending_locates_;
+  /// Messages awaiting a disconnected MH's reconnect (eventual-delivery
+  /// policy). Keyed by MH; delivered via its new MSS on rejoin.
+  struct Parked {
+    Envelope env;
+  };
+  std::map<MhId, std::vector<Parked>> parked_;
+  std::map<std::uint64_t, BroadcastSearch> broadcast_;
+  std::uint64_t next_search_token_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace mobidist::net

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mobidist::net {
+
+/// Substrate-level counters, complementary to the cost ledger: these
+/// track protocol events rather than charged messages.
+struct NetStats {
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t handoffs = 0;
+  std::uint64_t searches_started = 0;
+  std::uint64_t searches_pended = 0;     ///< target was in transit; resolved on join
+  std::uint64_t delivery_retries = 0;    ///< MH moved mid-flight; send_to_mh retried
+  std::uint64_t unreachable_notices = 0; ///< sends that hit a disconnected MH
+  std::uint64_t queued_for_reconnect = 0;
+  std::uint64_t doze_interruptions = 0;  ///< deliveries that woke a dozing MH
+  std::uint64_t control_msgs = 0;        ///< substrate messages (not cost-charged)
+  std::uint64_t relay_msgs = 0;          ///< MH-to-MH relayed payloads
+  std::uint64_t relay_reordered = 0;     ///< relay payloads buffered for FIFO
+};
+
+}  // namespace mobidist::net

@@ -1,0 +1,111 @@
+#include "proxy/static_algorithm.hpp"
+
+namespace mobidist::proxy {
+
+using net::MhId;
+using net::MssId;
+
+ProxiedLamport::ProxiedLamport(net::Network& net, ProxyService& proxies,
+                               mutex::CsMonitor& monitor, mutex::MutexOptions opts)
+    : net_(net), proxies_(proxies), monitor_(monitor), opts_(opts) {
+  const std::uint32_t m = net.num_mss();
+  pending_.resize(m);
+  next_req_.assign(m, 1);
+  engines_.reserve(m);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    auto engine = std::make_unique<mutex::LamportEngine>(i, m);
+    engine->set_send([this, i](std::uint32_t peer, const mutex::LamportMsg& msg) {
+      proxies_.peer_send(static_cast<MssId>(i), static_cast<MssId>(peer), Wire{msg});
+    });
+    engine->set_on_acquired([this, i](std::uint64_t req_id, std::uint64_t ts) {
+      const auto it = pending_[i].find(req_id);
+      if (it == pending_[i].end()) return;  // aborted meanwhile
+      // The grant travels through the proxy layer; if the MH turns out
+      // to be disconnected we are notified and release on its behalf.
+      proxies_.proxy_send(static_cast<MssId>(i), it->second,
+                          Granted{req_id, static_cast<MssId>(i), ts},
+                          net::SendPolicy::kNotifyIfDisconnected);
+    });
+    engines_.push_back(std::move(engine));
+  }
+  proxies_.set_proxy_handler([this](MssId proxy, MhId from, const std::any& body) {
+    on_client_message(proxy, from, body);
+  });
+  proxies_.set_client_handler(
+      [this](MhId self, const std::any& body) { on_down_message(self, body); });
+  proxies_.set_peer_handler([this](MssId self, MssId from, const std::any& body) {
+    on_peer_message(self, from, body);
+  });
+  proxies_.set_unreachable_handler([this](MssId proxy, MhId mh, const std::any& body) {
+    on_unreachable(proxy, mh, body);
+  });
+}
+
+void ProxiedLamport::request(MhId mh) {
+  monitor_.note_request(mh, net_.sched().now());
+  proxies_.client_send(mh, InitReq{});
+}
+
+void ProxiedLamport::on_client_message(MssId proxy, MhId from, const std::any& body) {
+  const auto index = net::index(proxy);
+  if (std::any_cast<InitReq>(&body) != nullptr) {
+    const std::uint64_t req_id = next_req_[index]++;
+    pending_[index].emplace(req_id, from);
+    engines_[index]->submit(req_id);
+    return;
+  }
+  if (const auto* release = std::any_cast<ReleaseReq>(&body)) {
+    // With a local-MSS scope the MH may have moved since the grant: the
+    // release lands at its *current* proxy, which relays it to the home
+    // engine over the wire (the L2 release-resource relay, one c_fixed).
+    if (release->home != proxy) {
+      proxies_.peer_send(proxy, release->home, *release);
+      return;
+    }
+    finish_release(*release);
+    return;
+  }
+}
+
+void ProxiedLamport::finish_release(const ReleaseReq& release) {
+  const auto index = net::index(release.home);
+  if (pending_[index].erase(release.req_id) > 0) {
+    ++completed_;
+    engines_[index]->release(release.req_id);
+  }
+}
+
+void ProxiedLamport::on_down_message(MhId self, const std::any& body) {
+  const auto* granted = std::any_cast<Granted>(&body);
+  if (granted == nullptr) return;
+  const std::uint64_t key = (granted->ts << 20) | net::index(granted->home);
+  const std::size_t grant = monitor_.enter(self, key, net_.sched().now());
+  net_.sched().schedule(opts_.cs_hold, [this, self, grant, msg = *granted] {
+    monitor_.exit(grant, net_.sched().now());
+    proxies_.client_send(self, ReleaseReq{msg.req_id, msg.home});
+  });
+}
+
+void ProxiedLamport::on_peer_message(MssId self, MssId from, const std::any& body) {
+  if (const auto* wire = std::any_cast<Wire>(&body)) {
+    engines_[net::index(self)]->on_message(net::index(from), wire->msg);
+    return;
+  }
+  if (const auto* release = std::any_cast<ReleaseReq>(&body)) {
+    finish_release(*release);
+    return;
+  }
+}
+
+void ProxiedLamport::on_unreachable(MssId proxy, MhId /*mh*/, const std::any& body) {
+  const auto* granted = std::any_cast<Granted>(&body);
+  if (granted == nullptr) return;
+  const auto index = net::index(granted->home);
+  (void)proxy;
+  if (pending_[index].erase(granted->req_id) > 0) {
+    ++aborted_;
+    engines_[index]->release(granted->req_id);
+  }
+}
+
+}  // namespace mobidist::proxy

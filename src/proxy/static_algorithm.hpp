@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mutex/lamport_engine.hpp"
+#include "mutex/monitor.hpp"
+#include "mutex/options.hpp"
+#include "proxy/proxy.hpp"
+
+namespace mobidist::proxy {
+
+/// §5's demonstration: Lamport's *static-host* mutual exclusion running
+/// unchanged at the proxies, with every mobility concern delegated to
+/// the ProxyService.
+///
+/// Contrast with mutex::L2Mutex, which hand-weaves mobility handling
+/// into the algorithm: here the algorithm layer only sees
+/// (client_send / proxy_send / peer_send) and is scope-agnostic — the
+/// same code runs with a local-MSS proxy (L2-like costs: a search per
+/// grant), a fixed home proxy (an inform per move, no searches), or a
+/// lazy home proxy (tunable in between). The E6 bench sweeps exactly
+/// that trade-off.
+class ProxiedLamport {
+ public:
+  ProxiedLamport(net::Network& net, ProxyService& proxies, mutex::CsMonitor& monitor,
+                 mutex::MutexOptions opts = {});
+
+  /// Ask for one CS execution on behalf of `mh`.
+  void request(net::MhId mh);
+
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  /// Requests dropped because the MH was disconnected at grant time.
+  [[nodiscard]] std::uint64_t aborted() const noexcept { return aborted_; }
+
+ private:
+  // Client -> proxy bodies.
+  struct InitReq {};
+  struct ReleaseReq {
+    std::uint64_t req_id = 0;
+    net::MssId home = net::kInvalidMss;
+  };
+  // Proxy -> client body.
+  struct Granted {
+    std::uint64_t req_id = 0;
+    net::MssId home = net::kInvalidMss;
+    std::uint64_t ts = 0;
+  };
+  // Peer body.
+  struct Wire {
+    mutex::LamportMsg msg;
+  };
+
+  void on_client_message(net::MssId proxy, net::MhId from, const std::any& body);
+  void on_down_message(net::MhId self, const std::any& body);
+  void on_peer_message(net::MssId self, net::MssId from, const std::any& body);
+  void on_unreachable(net::MssId proxy, net::MhId mh, const std::any& body);
+  void finish_release(const ReleaseReq& release);
+
+  net::Network& net_;
+  ProxyService& proxies_;
+  mutex::CsMonitor& monitor_;
+  mutex::MutexOptions opts_;
+  std::vector<std::unique_ptr<mutex::LamportEngine>> engines_;  // one per MSS
+  std::vector<std::map<std::uint64_t, net::MhId>> pending_;     // per MSS: req -> MH
+  std::vector<std::uint64_t> next_req_;                         // per MSS
+  std::uint64_t completed_ = 0;
+  std::uint64_t aborted_ = 0;
+};
+
+}  // namespace mobidist::proxy

@@ -1,0 +1,88 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace mobidist::sim {
+
+EventHandle Scheduler::schedule(Duration delay, Callback fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Scheduler::schedule_at(SimTime at, Callback fn) {
+  if (at < now_) throw std::invalid_argument("Scheduler: event scheduled in the past");
+  if (!fn) throw std::invalid_argument("Scheduler: null callback");
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+  live_ids_.insert(id);
+  return EventHandle{id};
+}
+
+bool Scheduler::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  // Erase from the live set; the queue drops the corpse lazily when the
+  // event reaches the front (a priority_queue cannot cheaply remove an
+  // arbitrary element).
+  return live_ids_.erase(h.id) > 0;
+}
+
+bool Scheduler::pop_one(Event& out) {
+  while (!queue_.empty()) {
+    // top() is const; the move is safe because we pop immediately after.
+    out = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (live_ids_.erase(out.id) > 0) return true;  // not cancelled
+  }
+  return false;
+}
+
+bool Scheduler::step() {
+  Event ev;
+  if (!pop_one(ev)) return false;
+  now_ = ev.at;
+  ++fired_;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t Scheduler::run() {
+  hit_limit_ = false;
+  std::uint64_t n = 0;
+  while (step()) {
+    ++n;
+    if (limit_ != 0 && fired_ >= limit_) {
+      hit_limit_ = true;
+      break;
+    }
+  }
+  return n;
+}
+
+std::uint64_t Scheduler::run_until(SimTime until) {
+  hit_limit_ = false;
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Event ev;
+    if (!pop_one(ev)) break;
+    if (ev.at > until) {
+      // pop_one skipped cancelled corpses and surfaced a live event past
+      // the horizon: requeue it untouched and stop.
+      live_ids_.insert(ev.id);
+      queue_.push(std::move(ev));
+      break;
+    }
+    now_ = ev.at;
+    ++fired_;
+    ev.fn();
+    ++n;
+    if (limit_ != 0 && fired_ >= limit_) {
+      hit_limit_ = true;
+      return n;
+    }
+  }
+  if (until > now_) now_ = until;
+  return n;
+}
+
+}  // namespace mobidist::sim

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mobidist::sim {
+
+/// Opaque handle identifying a scheduled event; used to cancel timers.
+///
+/// Handles are never reused within one Scheduler instance.
+struct EventHandle {
+  std::uint64_t id = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return id != 0; }
+  friend bool operator==(EventHandle, EventHandle) = default;
+};
+
+/// Deterministic single-threaded discrete-event scheduler.
+///
+/// Events scheduled for the same virtual instant fire in the order they
+/// were scheduled (FIFO tie-break by sequence number), which makes every
+/// simulation run a pure function of (initial state, seed).
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current virtual time. Starts at 0.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run `delay` ticks from now. Returns a handle that
+  /// can be passed to cancel().
+  EventHandle schedule(Duration delay, Callback fn);
+
+  /// Schedule `fn` at an absolute virtual time; `at` must be >= now().
+  EventHandle schedule_at(SimTime at, Callback fn);
+
+  /// Cancel a pending event. Returns true if the event existed and had
+  /// not yet fired (or been cancelled). Cancelling an invalid/expired
+  /// handle is a harmless no-op returning false.
+  bool cancel(EventHandle h);
+
+  /// Run events until the queue drains. Returns the number of events fired.
+  std::uint64_t run();
+
+  /// Run events with firing time <= `until`. Virtual time is left at
+  /// `until` if the queue drained earlier, so subsequent relative
+  /// scheduling behaves intuitively. Returns events fired.
+  std::uint64_t run_until(SimTime until);
+
+  /// Fire at most one event. Returns false if the queue is empty.
+  bool step();
+
+  /// Events currently pending (scheduled, not fired, not cancelled).
+  [[nodiscard]] std::size_t pending() const noexcept { return live_ids_.size(); }
+
+  /// Total events fired since construction.
+  [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
+
+  /// Safety valve for runaway simulations: run()/run_until() stop after
+  /// this many events. 0 disables the limit (default).
+  void set_event_limit(std::uint64_t limit) noexcept { limit_ = limit; }
+
+  /// True if the last run()/run_until() stopped due to the event limit.
+  [[nodiscard]] bool hit_event_limit() const noexcept { return hit_limit_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // tie-break: FIFO among same-instant events
+    std::uint64_t id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_one(Event& out);
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> live_ids_;  // scheduled, not fired/cancelled
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  std::uint64_t limit_ = 0;
+  bool hit_limit_ = false;
+};
+
+}  // namespace mobidist::sim

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mobidist::sim {
+
+/// Virtual simulation time, measured in abstract ticks.
+///
+/// The kernel never interprets ticks as a physical unit; workloads pick
+/// their own scale (tests mostly treat one tick as one microsecond).
+using SimTime = std::uint64_t;
+
+/// A span of virtual time, in the same tick unit as SimTime.
+using Duration = std::uint64_t;
+
+/// Sentinel for "never" / "not scheduled".
+inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::max();
+
+}  // namespace mobidist::sim

@@ -1,0 +1,50 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace mobidist::sim {
+
+std::string_view to_string(TraceLevel level) noexcept {
+  switch (level) {
+    case TraceLevel::kDebug: return "DEBUG";
+    case TraceLevel::kInfo: return "INFO";
+    case TraceLevel::kWarn: return "WARN";
+    case TraceLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+void Trace::log(SimTime at, TraceLevel level, std::string_view component, std::string text) {
+  if (static_cast<int>(level) < static_cast<int>(min_level_)) return;
+  TraceRecord rec{at, level, std::string(component), std::move(text)};
+  if (sink_) sink_(rec);
+  if (capacity_ == 0) return;
+  if (records_.size() == capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+  records_.push_back(std::move(rec));
+}
+
+void Trace::clear() {
+  records_.clear();
+  dropped_ = 0;
+}
+
+std::size_t Trace::count_containing(std::string_view needle) const {
+  std::size_t n = 0;
+  for (const auto& rec : records_) {
+    if (rec.text.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+std::string Trace::format(const TraceRecord& rec) {
+  std::ostringstream os;
+  os << "[t=" << rec.at << "] " << to_string(rec.level) << " " << rec.component << " | "
+     << rec.text;
+  return os.str();
+}
+
+}  // namespace mobidist::sim

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace mobidist::sim {
+
+/// Severity of a trace record.
+enum class TraceLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+[[nodiscard]] std::string_view to_string(TraceLevel level) noexcept;
+
+/// One trace record: virtual timestamp, component tag, free-form text.
+struct TraceRecord {
+  SimTime at = 0;
+  TraceLevel level = TraceLevel::kInfo;
+  std::string component;
+  std::string text;
+};
+
+/// Bounded in-memory event trace for debugging simulations.
+///
+/// Records below `min_level` are dropped at the door; the buffer keeps
+/// the most recent `capacity` records. An optional sink receives every
+/// accepted record as it arrives (used by examples to stream to stdout).
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void set_min_level(TraceLevel level) noexcept { min_level_ = level; }
+  [[nodiscard]] TraceLevel min_level() const noexcept { return min_level_; }
+
+  using Sink = std::function<void(const TraceRecord&)>;
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  void log(SimTime at, TraceLevel level, std::string_view component, std::string text);
+
+  [[nodiscard]] const std::deque<TraceRecord>& records() const noexcept { return records_; }
+  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
+  void clear();
+
+  /// Number of retained records whose text contains `needle` (test helper).
+  [[nodiscard]] std::size_t count_containing(std::string_view needle) const;
+
+  /// Render one record as "[t=123] INFO  net | text".
+  [[nodiscard]] static std::string format(const TraceRecord& rec);
+
+ private:
+  std::size_t capacity_;
+  TraceLevel min_level_ = TraceLevel::kInfo;
+  std::deque<TraceRecord> records_;
+  std::size_t dropped_ = 0;
+  Sink sink_;
+};
+
+}  // namespace mobidist::sim

@@ -1,0 +1,103 @@
+#include "workload/workload.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mobidist::workload {
+
+void poisson_calls(net::Network& net, std::uint64_t count, double mean_gap,
+                   sim::Duration start, std::function<void(std::uint64_t)> fn) {
+  sim::SimTime at = net.sched().now() + start;
+  for (std::uint64_t seq = 0; seq < count; ++seq) {
+    at += static_cast<sim::Duration>(net.rng().exponential(mean_gap)) + 1;
+    net.sched().schedule_at(at, [fn, seq] { fn(seq); });
+  }
+}
+
+void paced_calls(net::Network& net, std::uint64_t count, sim::Duration gap,
+                 sim::Duration start, std::function<void(std::uint64_t)> fn) {
+  sim::SimTime at = net.sched().now() + start;
+  for (std::uint64_t seq = 0; seq < count; ++seq) {
+    net.sched().schedule_at(at, [fn, seq] { fn(seq); });
+    at += gap;
+  }
+}
+
+MobMsgDriver::MobMsgDriver(net::Network& net, Config cfg,
+                           std::vector<net::MssId> anchored_cells,
+                           std::vector<net::MssId> fresh_cells, net::MhId rover,
+                           std::function<void(std::uint64_t)> send_fn)
+    : net_(net),
+      cfg_(cfg),
+      anchored_(std::move(anchored_cells)),
+      fresh_(std::move(fresh_cells)),
+      rover_(rover),
+      send_fn_(std::move(send_fn)) {
+  if (anchored_.size() < 2) {
+    throw std::invalid_argument("MobMsgDriver: need >= 2 anchored cells");
+  }
+  if (fresh_.empty()) throw std::invalid_argument("MobMsgDriver: need >= 1 fresh cell");
+  if (cfg_.step <= cfg_.transit) {
+    throw std::invalid_argument("MobMsgDriver: step must exceed transit");
+  }
+}
+
+void MobMsgDriver::start() {
+  const auto total_moves =
+      static_cast<std::uint64_t>(std::llround(cfg_.mob_per_msg * cfg_.messages));
+  // Interleave moves and messages evenly over a shared timeline. Lay the
+  // two event streams over slot indices, messages on even spacing.
+  const std::uint64_t total_events = total_moves + cfg_.messages;
+  std::uint64_t moves_laid = 0;
+  std::uint64_t msgs_laid = 0;
+  bool at_fresh = false;
+  std::size_t anchor_pos = 0;
+  std::size_t fresh_pos = 0;
+  net::MssId planned = net_.mh(rover_).last_mss();  // rover's projected cell
+  sim::SimTime at = net_.sched().now() + cfg_.step;
+  for (std::uint64_t slot = 0; slot < total_events; ++slot, at += cfg_.step) {
+    // Proportional interleave: emit a message when messages are behind.
+    const bool emit_msg =
+        msgs_laid * total_events <= slot * cfg_.messages && msgs_laid < cfg_.messages;
+    if (emit_msg || moves_laid == total_moves) {
+      const std::uint64_t seq = msgs_laid++;
+      net_.sched().schedule_at(at, [this, seq] { send_fn_(seq); });
+      ++messages_;
+      continue;
+    }
+    // A move slot. Bresenham on the significant fraction; being parked
+    // at a fresh cell forces the return leg (also significant).
+    ++moves_laid;
+    const bool want_significant =
+        static_cast<double>(significant_ + 1) <=
+        cfg_.significant_fraction * static_cast<double>(moves_laid);
+    auto next_anchor = [&]() {
+      net::MssId cell = anchored_[anchor_pos++ % anchored_.size()];
+      if (cell == planned) cell = anchored_[anchor_pos++ % anchored_.size()];
+      return cell;
+    };
+    net::MssId target;
+    if (want_significant || at_fresh) {
+      if (at_fresh) {
+        target = next_anchor();
+        at_fresh = false;
+      } else {
+        target = fresh_[fresh_pos++ % fresh_.size()];
+        at_fresh = true;
+      }
+      ++significant_;
+    } else {
+      target = next_anchor();
+    }
+    planned = target;
+    ++moves_;
+    net_.sched().schedule_at(at, [this, target] {
+      auto& host = net_.mh(rover_);
+      if (host.connected() && host.current_mss() != target) {
+        host.move_to(target, cfg_.transit);
+      }
+    });
+  }
+}
+
+}  // namespace mobidist::workload

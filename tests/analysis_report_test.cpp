@@ -1,0 +1,144 @@
+// Tests for the closed-form formulas (§3/§4) and the report helpers.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/formulas.hpp"
+#include "core/report.hpp"
+
+namespace mobidist {
+namespace {
+
+using cost::CostParams;
+
+CostParams unit_params() {
+  CostParams p;
+  p.c_fixed = 1.0;
+  p.c_wireless = 10.0;
+  p.c_search = 4.0;
+  return p;
+}
+
+TEST(Formulas, L1MatchesPaperExpression) {
+  const auto p = unit_params();
+  // 3*(N-1)*(2*cw + cs) with N=8: 21 * 24 = 504.
+  EXPECT_DOUBLE_EQ(analysis::l1_execution_cost(8, p), 504.0);
+  EXPECT_EQ(analysis::l1_wireless_hops(8), 42u);
+  EXPECT_EQ(analysis::l1_initiator_energy(8), 21u);
+}
+
+TEST(Formulas, L2MatchesPaperExpression) {
+  const auto p = unit_params();
+  // (3*10 + 1 + 4) + 3*3*1 = 35 + 9 = 44 with M=4.
+  EXPECT_DOUBLE_EQ(analysis::l2_execution_cost(4, p), 44.0);
+  EXPECT_EQ(analysis::l2_wireless_msgs(), 3u);
+}
+
+TEST(Formulas, L2BeatsL1ForPaperRegime) {
+  const auto p = unit_params();
+  // N >> M: the restructured algorithm must win by a wide margin.
+  EXPECT_LT(analysis::l2_execution_cost(8, p), analysis::l1_execution_cost(64, p) / 10);
+}
+
+TEST(Formulas, R1TraversalIndependentOfK) {
+  const auto p = unit_params();
+  EXPECT_DOUBLE_EQ(analysis::r1_traversal_cost(10, p), 10 * 24.0);
+}
+
+TEST(Formulas, R2ScalesWithK) {
+  const auto p = unit_params();
+  // K=0: just the ring. K=5: five request bundles on top.
+  EXPECT_DOUBLE_EQ(analysis::r2_cost(0, 4, p), 4.0);
+  EXPECT_DOUBLE_EQ(analysis::r2_cost(5, 4, p), 5 * (30 + 1 + 4) + 4.0);
+}
+
+TEST(Formulas, RingCrossover) {
+  const auto p = unit_params();
+  // Small K: R2 wins. Huge K in one traversal: R1's flat cost can win.
+  EXPECT_LT(analysis::r2_cost(1, 4, p), analysis::r1_traversal_cost(32, p));
+  EXPECT_GT(analysis::r2_cost(32, 4, p), analysis::r1_traversal_cost(32, p));
+}
+
+TEST(Formulas, GrantBounds) {
+  EXPECT_EQ(analysis::r2_max_grants_per_traversal(10, 4), 40u);
+  EXPECT_EQ(analysis::r2prime_max_grants_per_traversal(10), 10u);
+}
+
+TEST(Formulas, GroupStrategiesMatchPaperExpressions) {
+  const auto p = unit_params();
+  // |G| = 5.
+  EXPECT_DOUBLE_EQ(analysis::pure_search_msg_cost(5, p), 4 * 24.0);
+  EXPECT_DOUBLE_EQ(analysis::always_inform_unit_cost(5, p), 4 * 21.0);
+  EXPECT_DOUBLE_EQ(analysis::always_inform_total(10, 5, 5, p), 15 * 84.0);
+  EXPECT_DOUBLE_EQ(analysis::always_inform_effective(2.0, 5, p), 3 * 84.0);
+  // |LV| = 3: 2*cf + 5*cw = 52.
+  EXPECT_DOUBLE_EQ(analysis::location_view_msg_cost(3, 5, p), 52.0);
+  EXPECT_DOUBLE_EQ(analysis::location_view_update_bound(3, p), 6.0);
+}
+
+TEST(Formulas, LocationViewEffectiveBoundExpandsCorrectly) {
+  const auto p = unit_params();
+  // ((fr+1)*lv + 3fr - 1)*cf + g*cw with fr=2, lv=3, g=5:
+  // (3*3 + 6 - 1)*1 + 50 = 64.
+  EXPECT_DOUBLE_EQ(analysis::location_view_effective_bound(2.0, 3, 5, p), 64.0);
+}
+
+TEST(Formulas, ZeroMobilityLocationViewReducesToMessageCost) {
+  const auto p = unit_params();
+  EXPECT_DOUBLE_EQ(analysis::location_view_effective_bound(0.0, 3, 5, p),
+                   analysis::location_view_msg_cost(3, 5, p));
+}
+
+TEST(Formulas, EffectiveCostOrderingAtHighMobility) {
+  const auto p = unit_params();
+  // High MOB/MSG, clustered group: LV << always-inform; pure search flat.
+  const double fr = 0.2 * 8.0;  // f=0.2, MOB/MSG=8
+  const double lv = analysis::location_view_effective_bound(fr, 3, 12, p);
+  const double ai = analysis::always_inform_effective(8.0, 12, p);
+  const double ps = analysis::pure_search_msg_cost(12, p);
+  EXPECT_LT(lv, ai);
+  EXPECT_LT(lv, ps);
+}
+
+// --------------------------------------------------------------------------
+// Report helpers
+// --------------------------------------------------------------------------
+
+TEST(Report, NumFormatsIntegersPlainly) {
+  EXPECT_EQ(core::num(3.0), "3");
+  EXPECT_EQ(core::num(-42.0), "-42");
+}
+
+TEST(Report, NumFormatsFractions) {
+  EXPECT_EQ(core::num(0.5), "0.5");
+  EXPECT_EQ(core::ratio(2.0), "x2");
+}
+
+TEST(Report, TablePrintsAlignedColumns) {
+  core::Table table({"name", "value"});
+  table.row({"alpha", "1"}).row({"b", "22"});
+  std::ostringstream os;
+  table.print(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Report, SummarizeIncludesAllCategories) {
+  cost::CostLedger ledger;
+  ledger.charge_fixed();
+  ledger.charge_wireless(0, true);
+  ledger.charge_search();
+  const auto text = core::summarize(ledger, unit_params());
+  EXPECT_NE(text.find("fixed=1"), std::string::npos);
+  EXPECT_NE(text.find("wireless=1"), std::string::npos);
+  EXPECT_NE(text.find("searches=1"), std::string::npos);
+  EXPECT_NE(text.find("total=15"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mobidist

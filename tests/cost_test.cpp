@@ -1,0 +1,130 @@
+// Tests for the cost model: ledger arithmetic, per-MH energy accounting,
+// snapshot deltas, and the worst-case search helper.
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.hpp"
+
+namespace mobidist::cost {
+namespace {
+
+TEST(CostParams, DefaultsRespectPaperOrdering) {
+  const CostParams p;
+  // §2: wireless bandwidth is an order of magnitude below wired, and
+  // c_search >= c_fixed always.
+  EXPECT_GT(p.c_wireless, p.c_fixed);
+  EXPECT_GE(p.c_search, p.c_fixed);
+}
+
+TEST(CostParams, WorstCaseSearchIsMPlusOneFixedMessages) {
+  const auto p = CostParams::with_worst_case_search(2.0, 20.0, 8);
+  EXPECT_DOUBLE_EQ(p.c_search, 2.0 * 9);
+  EXPECT_DOUBLE_EQ(p.c_fixed, 2.0);
+  EXPECT_DOUBLE_EQ(p.c_wireless, 20.0);
+}
+
+TEST(CostLedger, StartsEmpty) {
+  const CostLedger ledger;
+  EXPECT_EQ(ledger.fixed_msgs(), 0u);
+  EXPECT_EQ(ledger.wireless_msgs(), 0u);
+  EXPECT_EQ(ledger.searches(), 0u);
+  EXPECT_DOUBLE_EQ(ledger.total(CostParams{}), 0.0);
+}
+
+TEST(CostLedger, TotalWeightsEachCategory) {
+  CostLedger ledger;
+  ledger.charge_fixed();
+  ledger.charge_fixed();
+  ledger.charge_wireless(0, true);
+  ledger.charge_search();
+  CostParams p;
+  p.c_fixed = 1.0;
+  p.c_wireless = 10.0;
+  p.c_search = 5.0;
+  EXPECT_DOUBLE_EQ(ledger.total(p), 2 * 1.0 + 1 * 10.0 + 1 * 5.0);
+}
+
+TEST(CostLedger, EnergySeparatesTxAndRx) {
+  CostLedger ledger;
+  ledger.charge_wireless(7, /*mh_transmitted=*/true);
+  ledger.charge_wireless(7, /*mh_transmitted=*/false);
+  ledger.charge_wireless(7, /*mh_transmitted=*/false);
+  CostParams p;
+  p.energy_tx = 3.0;
+  p.energy_rx = 1.0;
+  EXPECT_DOUBLE_EQ(ledger.energy_at(7, p), 3.0 + 2 * 1.0);
+  EXPECT_EQ(ledger.wireless_hops_at(7), 3u);
+}
+
+TEST(CostLedger, EnergyIsPerHost) {
+  CostLedger ledger;
+  ledger.charge_wireless(1, true);
+  ledger.charge_wireless(2, true);
+  ledger.charge_wireless(2, false);
+  const CostParams p;  // unit energy
+  EXPECT_DOUBLE_EQ(ledger.energy_at(1, p), 1.0);
+  EXPECT_DOUBLE_EQ(ledger.energy_at(2, p), 2.0);
+  EXPECT_DOUBLE_EQ(ledger.energy_at(3, p), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.total_energy(p), 3.0);
+}
+
+TEST(CostLedger, UnknownHostHasZeroHops) {
+  const CostLedger ledger;
+  EXPECT_EQ(ledger.wireless_hops_at(42), 0u);
+}
+
+TEST(CostLedger, DeltaSinceSubtractsBaseline) {
+  CostLedger ledger;
+  ledger.charge_fixed();
+  ledger.charge_wireless(1, true);
+  const CostLedger snapshot = ledger;
+  ledger.charge_fixed();
+  ledger.charge_search();
+  ledger.charge_wireless(1, false);
+  ledger.charge_wireless(2, true);
+
+  const CostLedger delta = ledger.delta_since(snapshot);
+  EXPECT_EQ(delta.fixed_msgs(), 1u);
+  EXPECT_EQ(delta.searches(), 1u);
+  EXPECT_EQ(delta.wireless_msgs(), 2u);
+  const CostParams p;
+  EXPECT_DOUBLE_EQ(delta.energy_at(1, p), 1.0);  // one rx after the snapshot
+  EXPECT_DOUBLE_EQ(delta.energy_at(2, p), 1.0);
+}
+
+TEST(CostLedger, DeltaOfSelfIsZero) {
+  CostLedger ledger;
+  ledger.charge_fixed();
+  ledger.charge_wireless(0, true);
+  ledger.charge_search();
+  const CostLedger delta = ledger.delta_since(ledger);
+  EXPECT_EQ(delta.fixed_msgs(), 0u);
+  EXPECT_EQ(delta.wireless_msgs(), 0u);
+  EXPECT_EQ(delta.searches(), 0u);
+  EXPECT_DOUBLE_EQ(delta.total(CostParams{}), 0.0);
+}
+
+TEST(CostLedger, ResetClearsEverything) {
+  CostLedger ledger;
+  ledger.charge_fixed();
+  ledger.charge_wireless(1, true);
+  ledger.charge_search();
+  ledger.reset();
+  EXPECT_EQ(ledger.fixed_msgs(), 0u);
+  EXPECT_EQ(ledger.wireless_msgs(), 0u);
+  EXPECT_EQ(ledger.searches(), 0u);
+  EXPECT_EQ(ledger.wireless_hops_at(1), 0u);
+}
+
+TEST(CostLedger, WirelessTxRxCountsSplit) {
+  CostLedger ledger;
+  ledger.charge_wireless(1, true);
+  ledger.charge_wireless(2, true);
+  ledger.charge_wireless(3, false);
+  EXPECT_EQ(ledger.wireless_tx(), 2u);
+  EXPECT_EQ(ledger.wireless_rx(), 1u);
+  EXPECT_EQ(ledger.wireless_msgs(), 3u);
+}
+
+}  // namespace
+}  // namespace mobidist::cost

@@ -1,0 +1,182 @@
+// Parameterized delivery-guarantee sweep across all §4 strategies plus
+// the [1] multicast, under shared churn with disconnect/reconnect
+// cycles, and a large-scale smoke test.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "group/always_inform.hpp"
+#include "group/location_view.hpp"
+#include "group/pure_search.hpp"
+#include "mobility/mobility_model.hpp"
+#include "multicast/multicast.hpp"
+#include "mutex/l2.hpp"
+#include "test_support.hpp"
+
+namespace mobidist::test {
+namespace {
+
+using group::Group;
+
+MssId mss_id(std::uint32_t i) { return static_cast<MssId>(i); }
+MhId mh_id(std::uint32_t i) { return static_cast<MhId>(i); }
+
+enum class Strategy { kPureSearch, kAlwaysInform, kLocationView, kMulticast };
+
+std::string strategy_name(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kPureSearch: return "PureSearch";
+    case Strategy::kAlwaysInform: return "AlwaysInform";
+    case Strategy::kLocationView: return "LocationView";
+    case Strategy::kMulticast: return "Multicast";
+  }
+  return "?";
+}
+
+using Param = std::tuple<Strategy, std::uint64_t>;
+
+class DeliveryProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(DeliveryProperty, EveryMessageReachesEveryMemberExactlyOnce) {
+  const auto [strategy, seed] = GetParam();
+  auto cfg = small_config(6, 12);
+  cfg.latency.wired_min = 1;
+  cfg.latency.wired_max = 9;
+  cfg.seed = seed;
+  Network net(cfg);
+  const auto group =
+      Group::of({mh_id(0), mh_id(1), mh_id(2), mh_id(3), mh_id(4), mh_id(5)});
+
+  std::unique_ptr<group::PureSearchGroup> pure;
+  std::unique_ptr<group::AlwaysInformGroup> inform;
+  std::unique_ptr<group::LocationViewGroup> view;
+  std::unique_ptr<multicast::McastService> mcast;
+  std::function<void(std::size_t)> send;
+  std::function<const group::DeliveryMonitor&()> monitor;
+  switch (strategy) {
+    case Strategy::kPureSearch:
+      pure = std::make_unique<group::PureSearchGroup>(net, group);
+      send = [&](std::size_t i) {
+        const auto sender = group.members[i % group.size()];
+        if (net.mh(sender).connected()) pure->send_group_message(sender);
+      };
+      monitor = [&]() -> const group::DeliveryMonitor& { return pure->monitor(); };
+      break;
+    case Strategy::kAlwaysInform:
+      inform = std::make_unique<group::AlwaysInformGroup>(net, group);
+      send = [&](std::size_t i) {
+        const auto sender = group.members[i % group.size()];
+        if (net.mh(sender).connected()) inform->send_group_message(sender);
+      };
+      monitor = [&]() -> const group::DeliveryMonitor& { return inform->monitor(); };
+      break;
+    case Strategy::kLocationView:
+      view = std::make_unique<group::LocationViewGroup>(net, group);
+      send = [&](std::size_t i) {
+        const auto sender = group.members[i % group.size()];
+        if (net.mh(sender).connected()) view->send_group_message(sender);
+      };
+      monitor = [&]() -> const group::DeliveryMonitor& { return view->monitor(); };
+      break;
+    case Strategy::kMulticast:
+      mcast = std::make_unique<multicast::McastService>(net, group);
+      send = [&](std::size_t i) {
+        mcast->publish(mss_id(static_cast<std::uint32_t>(i) % net.num_mss()));
+      };
+      monitor = [&]() -> const group::DeliveryMonitor& { return mcast->monitor(); };
+      break;
+  }
+
+  mobility::MobilityConfig mob;
+  mob.mean_pause = 60;
+  mob.mean_transit = 5;
+  mob.max_moves_per_host = 4;
+  // The membership-tracking strategies tolerate disconnection via
+  // parking/chasing; exercise it for the two that guarantee it.
+  if (strategy == Strategy::kMulticast || strategy == Strategy::kPureSearch) {
+    mob.disconnect_prob = 0.2;
+    mob.mean_disconnect = 60;
+  }
+  mobility::MobilityDriver driver(net, mob, group.members);
+  net.start();
+  driver.start();
+  for (int i = 0; i < 10; ++i) {
+    net.sched().schedule(20 + 40 * i, [&send, i] { send(static_cast<std::size_t>(i)); });
+  }
+  net.run();
+
+  SCOPED_TRACE(strategy_name(strategy));
+  EXPECT_EQ(monitor().missing(group), 0u);
+  EXPECT_EQ(monitor().over_delivered(group), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DeliveryProperty,
+    ::testing::Combine(::testing::Values(Strategy::kPureSearch, Strategy::kAlwaysInform,
+                                         Strategy::kLocationView, Strategy::kMulticast),
+                       ::testing::Values(5, 15, 25, 35, 45, 55)),
+    [](const auto& info) {
+      return strategy_name(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Scale smoke test: a few hundred hosts, everything still exact.
+// ---------------------------------------------------------------------------
+
+TEST(Scale, L2AtThreeHundredHosts) {
+  auto cfg = small_config(20, 300);
+  cfg.latency.wired_min = 1;
+  cfg.latency.wired_max = 10;
+  cfg.seed = 777;
+  Network net(cfg);
+  mutex::CsMonitor monitor;
+  mutex::L2Mutex l2(net, monitor);
+  mobility::MobilityConfig mob;
+  mob.mean_pause = 100;
+  mob.max_moves_per_host = 2;
+  mobility::MobilityDriver driver(net, mob);
+  net.start();
+  driver.start();
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    net.sched().schedule(2 + 4 * i, [&, i] { l2.request(mh_id(i * 3)); });
+  }
+  net.run();
+  EXPECT_EQ(l2.completed(), 100u);
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_EQ(monitor.order_inversions(), 0u);
+  // Search cost stays constant-per-execution even at this scale.
+  EXPECT_LE(net.ledger().searches(), 100u + net.stats().delivery_retries);
+}
+
+TEST(Scale, LocationViewWithFortyMembers) {
+  auto cfg = small_config(12, 60);
+  cfg.latency.wired_min = 1;
+  cfg.latency.wired_max = 8;
+  cfg.seed = 888;
+  Network net(cfg);
+  std::vector<MhId> members;
+  for (std::uint32_t i = 0; i < 40; ++i) members.push_back(mh_id(i));
+  const auto group = Group::of(members);
+  group::LocationViewGroup lv(net, group);
+  mobility::MobilityConfig mob;
+  mob.mean_pause = 120;
+  mob.max_moves_per_host = 2;
+  mobility::MobilityDriver driver(net, mob, group.members);
+  net.start();
+  driver.start();
+  for (int i = 0; i < 8; ++i) {
+    const auto sender = group.members[static_cast<std::size_t>(i * 5) % group.size()];
+    net.sched().schedule(30 + 50 * i, [&, sender] {
+      if (net.mh(sender).connected()) lv.send_group_message(sender);
+    });
+  }
+  net.run();
+  EXPECT_EQ(lv.monitor().missing(group), 0u);
+  EXPECT_EQ(lv.monitor().over_delivered(group), 0u);
+  EXPECT_LE(lv.max_view_size(), 12u);
+}
+
+}  // namespace
+}  // namespace mobidist::test

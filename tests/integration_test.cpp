@@ -1,0 +1,139 @@
+// Whole-system integration: every protocol in the library running
+// together on one network — L2 mutual exclusion, an R2' token ring, a
+// location-view group, multicast, and Lamport-over-proxies — under
+// shared mobility and disconnections. Verifies the protocols do not
+// interfere (distinct protocol ids, shared substrate, one cost ledger).
+
+#include <gtest/gtest.h>
+
+#include "group/location_view.hpp"
+#include "mobility/mobility_model.hpp"
+#include "multicast/multicast.hpp"
+#include "mutex/l2.hpp"
+#include "mutex/r2.hpp"
+#include "proxy/static_algorithm.hpp"
+#include "test_support.hpp"
+
+namespace mobidist::test {
+namespace {
+
+using group::Group;
+
+MssId mss_id(std::uint32_t i) { return static_cast<MssId>(i); }
+MhId mh_id(std::uint32_t i) { return static_cast<MhId>(i); }
+
+TEST(Integration, AllProtocolsCoexistOnOneNetwork) {
+  auto cfg = small_config(6, 24);
+  cfg.latency.wired_min = 1;
+  cfg.latency.wired_max = 10;
+  cfg.seed = 86420;
+  Network net(cfg);
+
+  // Two independent mutual-exclusion domains.
+  mutex::CsMonitor l2_monitor;
+  mutex::L2Mutex l2(net, l2_monitor);
+  mutex::CsMonitor ring_monitor;
+  mutex::R2Mutex ring(net, ring_monitor, mutex::RingVariant::kCounter);
+
+  // A location-view group over six of the hosts.
+  const auto group = Group::of(
+      {mh_id(0), mh_id(1), mh_id(2), mh_id(6), mh_id(7), mh_id(8)});
+  group::LocationViewGroup lv(net, group);
+
+  // Multicast to four hosts (overlapping the group).
+  const auto listeners = Group::of({mh_id(1), mh_id(2), mh_id(3), mh_id(4)});
+  multicast::McastService mcast(net, listeners);
+
+  // Lamport-over-proxies for everyone.
+  proxy::ProxyOptions popts;
+  popts.scope = proxy::ProxyScope::kFixedHome;
+  proxy::ProxyService proxies(net, popts);
+  mutex::CsMonitor proxy_monitor;
+  proxy::ProxiedLamport plamport(net, proxies, proxy_monitor);
+
+  // Background churn over all hosts.
+  mobility::MobilityConfig mob;
+  mob.mean_pause = 60;
+  mob.mean_transit = 6;
+  mob.max_moves_per_host = 3;
+  mobility::MobilityDriver driver(net, mob);
+
+  net.start();
+  driver.start();
+
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    net.sched().schedule(3 + 11 * i, [&, i] { l2.request(mh_id(i)); });
+    net.sched().schedule(7 + 13 * i, [&, i] { ring.request(mh_id(8 + i)); });
+    net.sched().schedule(11 + 17 * i, [&, i] { plamport.request(mh_id(16 + i)); });
+  }
+  for (int i = 0; i < 6; ++i) {
+    const auto sender = group.members[static_cast<std::size_t>(i) % group.size()];
+    net.sched().schedule(20 + 45 * i, [&, sender] {
+      if (net.mh(sender).connected()) lv.send_group_message(sender);
+    });
+    net.sched().schedule(30 + 45 * i, [&, i] {
+      mcast.publish(mss_id(static_cast<std::uint32_t>(i) % 6));
+    });
+  }
+  net.sched().schedule(5, [&] { ring.start_token(100000); });
+  net.sched().schedule(3000, [&] { ring.set_absorb_when_idle(true); });
+
+  const auto events = net.run();
+  ASSERT_FALSE(net.sched().hit_event_limit());
+  EXPECT_GT(events, 1000u);
+
+  // Each domain upheld its own guarantees.
+  EXPECT_EQ(l2.completed(), 8u);
+  EXPECT_EQ(l2_monitor.violations(), 0u);
+  EXPECT_EQ(l2_monitor.order_inversions(), 0u);
+  EXPECT_EQ(ring.completed(), 8u);
+  EXPECT_EQ(ring_monitor.violations(), 0u);
+  EXPECT_EQ(plamport.completed(), 8u);
+  EXPECT_EQ(proxy_monitor.violations(), 0u);
+  EXPECT_EQ(lv.monitor().missing(group), 0u);
+  EXPECT_EQ(lv.monitor().over_delivered(group), 0u);
+  EXPECT_EQ(mcast.monitor().missing(listeners), 0u);
+  EXPECT_EQ(mcast.monitor().over_delivered(listeners), 0u);
+
+  // The two mutex domains are independent: both had their own holders,
+  // potentially overlapping in time, without tripping either monitor.
+  EXPECT_EQ(l2_monitor.grants(), 8u);
+  EXPECT_EQ(ring_monitor.grants(), 8u);
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  auto run_once = [] {
+    auto cfg = small_config(5, 15);
+    cfg.latency.wired_min = 1;
+    cfg.latency.wired_max = 9;
+    cfg.seed = 13579;
+    Network net(cfg);
+    mutex::CsMonitor monitor;
+    mutex::L2Mutex l2(net, monitor);
+    const auto group = Group::of({mh_id(0), mh_id(1), mh_id(2), mh_id(3)});
+    group::LocationViewGroup lv(net, group);
+    mobility::MobilityConfig mob;
+    mob.mean_pause = 40;
+    mob.max_moves_per_host = 4;
+    mobility::MobilityDriver driver(net, mob);
+    net.start();
+    driver.start();
+    for (std::uint32_t i = 0; i < 15; ++i) {
+      net.sched().schedule(2 + 5 * i, [&, i] { l2.request(mh_id(i)); });
+    }
+    for (int i = 0; i < 5; ++i) {
+      net.sched().schedule(15 + 30 * i, [&, i] {
+        const auto sender = group.members[static_cast<std::size_t>(i) % 4];
+        if (net.mh(sender).connected()) lv.send_group_message(sender);
+      });
+    }
+    net.run();
+    return std::tuple{net.ledger().fixed_msgs(), net.ledger().wireless_msgs(),
+                      net.ledger().searches(), net.sched().fired(),
+                      monitor.grants(), lv.significant_moves()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace mobidist::test

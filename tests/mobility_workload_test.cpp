@@ -1,0 +1,232 @@
+// Tests for the mobility driver and workload generators.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mobility/mobility_model.hpp"
+#include "test_support.hpp"
+#include "workload/workload.hpp"
+
+namespace mobidist::test {
+namespace {
+
+using mobility::MobilityConfig;
+using mobility::MobilityDriver;
+using mobility::MovePattern;
+
+MssId mss_id(std::uint32_t i) { return static_cast<MssId>(i); }
+MhId mh_id(std::uint32_t i) { return static_cast<MhId>(i); }
+
+TEST(MobilityDriver, MovesHostsAndRespectsBudget) {
+  Network net(small_config(4, 8));
+  MobilityConfig cfg;
+  cfg.mean_pause = 20;
+  cfg.mean_transit = 3;
+  cfg.max_moves_per_host = 3;
+  MobilityDriver driver(net, cfg);
+  net.start();
+  driver.start();
+  net.run();
+  EXPECT_EQ(driver.moves(), 8u * 3u);
+  EXPECT_EQ(net.stats().joins, 8u * 3u);
+}
+
+TEST(MobilityDriver, StopAtHaltsDepartures) {
+  Network net(small_config(4, 8));
+  MobilityConfig cfg;
+  cfg.mean_pause = 20;
+  cfg.mean_transit = 3;
+  cfg.stop_at = 100;
+  MobilityDriver driver(net, cfg);
+  net.start();
+  driver.start();
+  net.run();
+  EXPECT_LT(net.sched().now(), 400u);  // quiesced soon after the horizon
+}
+
+TEST(MobilityDriver, SubsetOnlyMovesThoseHosts) {
+  Network net(small_config(4, 8));
+  MobilityConfig cfg;
+  cfg.mean_pause = 20;
+  cfg.max_moves_per_host = 2;
+  MobilityDriver driver(net, cfg, {mh_id(0), mh_id(1)});
+  net.start();
+  driver.start();
+  net.run();
+  EXPECT_EQ(driver.moves(), 4u);
+  for (std::uint32_t i = 2; i < 8; ++i) {
+    EXPECT_EQ(net.current_mss_of(mh_id(i)), mss_id(i % 4)) << "mh " << i;
+  }
+}
+
+TEST(MobilityDriver, NeighborPatternMovesToAdjacentCells) {
+  Network net(small_config(8, 4));
+  MobilityConfig cfg;
+  cfg.pattern = MovePattern::kNeighbor;
+  cfg.mean_pause = 10;
+  cfg.max_moves_per_host = 1;
+  MobilityDriver driver(net, cfg, {mh_id(0)});  // starts in cell 0
+  net.start();
+  driver.start();
+  net.run();
+  const auto cell = index(net.current_mss_of(mh_id(0)));
+  EXPECT_TRUE(cell == 1 || cell == 7) << "cell " << cell;
+}
+
+TEST(MobilityDriver, HotspotPatternFavoursCellZero) {
+  Network net(small_config(8, 64));
+  MobilityConfig cfg;
+  cfg.pattern = MovePattern::kHotspot;
+  cfg.zipf_s = 1.2;
+  cfg.mean_pause = 10;
+  cfg.max_moves_per_host = 2;
+  MobilityDriver driver(net, cfg);
+  net.start();
+  driver.start();
+  net.run();
+  // Cell 0 ends up far more loaded than the tail cell.
+  EXPECT_GT(net.mss(mss_id(0)).local_mhs().size(),
+            net.mss(mss_id(7)).local_mhs().size());
+}
+
+TEST(MobilityDriver, DisconnectProbabilityProducesDisconnectCycles) {
+  Network net(small_config(4, 8));
+  MobilityConfig cfg;
+  cfg.mean_pause = 15;
+  cfg.max_moves_per_host = 4;
+  cfg.disconnect_prob = 0.5;
+  cfg.mean_disconnect = 30;
+  MobilityDriver driver(net, cfg);
+  net.start();
+  driver.start();
+  net.run();
+  EXPECT_GT(driver.disconnects(), 0u);
+  EXPECT_EQ(net.stats().disconnects, driver.disconnects());
+  EXPECT_EQ(net.stats().reconnects, driver.disconnects());  // all came back
+}
+
+TEST(MobilityDriver, CustomTargetPickerWins) {
+  Network net(small_config(4, 8));
+  MobilityConfig cfg;
+  cfg.mean_pause = 10;
+  cfg.max_moves_per_host = 1;
+  MobilityDriver driver(net, cfg, {mh_id(0)});
+  driver.set_target_picker([](MhId, MssId) { return mss_id(3); });
+  net.start();
+  driver.start();
+  net.run();
+  EXPECT_EQ(net.current_mss_of(mh_id(0)), mss_id(3));
+}
+
+TEST(MobilityDriver, DeterministicForFixedSeed) {
+  auto run_once = [] {
+    auto cfg_net = small_config(4, 16);
+    cfg_net.seed = 999;
+    Network net(cfg_net);
+    MobilityConfig cfg;
+    cfg.mean_pause = 25;
+    cfg.max_moves_per_host = 4;
+    MobilityDriver driver(net, cfg);
+    net.start();
+    driver.start();
+    net.run();
+    std::vector<std::uint32_t> cells;
+    for (std::uint32_t i = 0; i < 16; ++i) cells.push_back(index(net.current_mss_of(mh_id(i))));
+    return cells;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// --------------------------------------------------------------------------
+// Workload generators
+// --------------------------------------------------------------------------
+
+TEST(Workload, PoissonCallsFireRequestedCount) {
+  Network net(small_config());
+  std::uint64_t fired = 0;
+  workload::poisson_calls(net, 50, 10.0, 5, [&](std::uint64_t) { ++fired; });
+  net.start();
+  net.run();
+  EXPECT_EQ(fired, 50u);
+}
+
+TEST(Workload, PoissonSequenceNumbersAreOrdered) {
+  Network net(small_config());
+  std::vector<std::uint64_t> seqs;
+  workload::poisson_calls(net, 20, 5.0, 0, [&](std::uint64_t seq) { seqs.push_back(seq); });
+  net.start();
+  net.run();
+  ASSERT_EQ(seqs.size(), 20u);
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(seqs[i], i);
+}
+
+TEST(Workload, PacedCallsAreEvenlySpaced) {
+  Network net(small_config());
+  std::vector<sim::SimTime> times;
+  workload::paced_calls(net, 5, 10, 100, [&](std::uint64_t) {
+    times.push_back(net.sched().now());
+  });
+  net.start();
+  net.run();
+  ASSERT_EQ(times.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(times[i], 100 + 10 * i);
+}
+
+TEST(Workload, MobMsgDriverHitsRequestedCounts) {
+  Network net(small_config(8, 8));
+  std::uint64_t sends = 0;
+  workload::MobMsgDriver::Config cfg;
+  cfg.messages = 20;
+  cfg.mob_per_msg = 2.0;
+  cfg.significant_fraction = 0.5;
+  workload::MobMsgDriver driver(
+      net, cfg, {mss_id(0), mss_id(1)}, {mss_id(5), mss_id(6), mss_id(7)}, mh_id(0),
+      [&](std::uint64_t) { ++sends; });
+  net.start();
+  driver.start();
+  net.run();
+  EXPECT_EQ(sends, 20u);
+  EXPECT_EQ(driver.messages_scheduled(), 20u);
+  EXPECT_EQ(driver.moves_scheduled(), 40u);
+  // Significant fraction lands near the request (forced return legs can
+  // push it up slightly).
+  const double f = static_cast<double>(driver.significant_scheduled()) /
+                   static_cast<double>(driver.moves_scheduled());
+  EXPECT_NEAR(f, 0.5, 0.15);
+}
+
+TEST(Workload, MobMsgDriverZeroMobilityIsPureMessages) {
+  Network net(small_config(8, 8));
+  std::uint64_t sends = 0;
+  workload::MobMsgDriver::Config cfg;
+  cfg.messages = 10;
+  cfg.mob_per_msg = 0.0;
+  workload::MobMsgDriver driver(net, cfg, {mss_id(0), mss_id(1)}, {mss_id(7)}, mh_id(0),
+                                [&](std::uint64_t) { ++sends; });
+  net.start();
+  driver.start();
+  net.run();
+  EXPECT_EQ(sends, 10u);
+  EXPECT_EQ(driver.moves_scheduled(), 0u);
+  EXPECT_EQ(net.stats().joins, 0u);
+}
+
+TEST(Workload, MobMsgDriverValidatesConfig) {
+  Network net(small_config(8, 8));
+  workload::MobMsgDriver::Config cfg;
+  EXPECT_THROW(workload::MobMsgDriver(net, cfg, {mss_id(0)}, {mss_id(7)}, mh_id(0),
+                                      [](std::uint64_t) {}),
+               std::invalid_argument);
+  EXPECT_THROW(workload::MobMsgDriver(net, cfg, {mss_id(0), mss_id(1)}, {}, mh_id(0),
+                                      [](std::uint64_t) {}),
+               std::invalid_argument);
+  cfg.step = 2;
+  cfg.transit = 5;
+  EXPECT_THROW(workload::MobMsgDriver(net, cfg, {mss_id(0), mss_id(1)}, {mss_id(7)},
+                                      mh_id(0), [](std::uint64_t) {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mobidist::test

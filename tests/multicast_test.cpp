@@ -1,0 +1,169 @@
+// Tests for the exactly-once multicast substrate (the paper's reference
+// [1] and the flagship client of the §2 handoff machinery).
+
+#include <gtest/gtest.h>
+
+#include "mobility/mobility_model.hpp"
+#include "multicast/multicast.hpp"
+#include "test_support.hpp"
+
+namespace mobidist::test {
+namespace {
+
+using group::Group;
+using multicast::McastService;
+
+MssId mss_id(std::uint32_t i) { return static_cast<MssId>(i); }
+MhId mh_id(std::uint32_t i) { return static_cast<MhId>(i); }
+
+Group recipients4() { return Group::of({mh_id(0), mh_id(1), mh_id(2), mh_id(3)}); }
+
+TEST(Multicast, DeliversToAllRecipientsExactlyOnce) {
+  Network net(small_config(4, 8));
+  McastService mcast(net, recipients4());
+  net.start();
+  net.sched().schedule(1, [&] { mcast.publish(mss_id(0)); });
+  net.run();
+  EXPECT_TRUE(mcast.monitor().exactly_once(mcast.recipients()));
+}
+
+TEST(Multicast, NonRecipientsGetNothing) {
+  Network net(small_config(4, 8));
+  McastService mcast(net, recipients4());
+  Harness h(net);  // records any stray traffic on the test protocol
+  net.start();
+  net.sched().schedule(1, [&] { mcast.publish(mss_id(1)); });
+  net.run();
+  const cost::CostParams unit;
+  for (std::uint32_t i = 4; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(net.ledger().energy_at(i, unit), 0.0) << "mh " << i;
+  }
+}
+
+TEST(Multicast, CostIsFloodPlusOneHopPerRecipient) {
+  constexpr std::uint32_t kM = 5;
+  Network net(small_config(kM, 10));
+  McastService mcast(net, recipients4());
+  net.start();
+  net.sched().schedule(1, [&] { mcast.publish(mss_id(0)); });
+  net.run();
+  EXPECT_EQ(net.ledger().fixed_msgs(), kM - 1);   // one flood
+  EXPECT_EQ(net.ledger().wireless_msgs(), 4u);    // one hop per recipient
+  EXPECT_EQ(net.ledger().searches(), 0u);         // never searches
+}
+
+TEST(Multicast, OrderedPerSourceAtEachRecipient) {
+  Network net(small_config(4, 8));
+  McastService mcast(net, recipients4());
+  net.start();
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 5; ++i) {
+    net.sched().schedule(1 + 10 * i, [&] { ids.push_back(mcast.publish(mss_id(0))); });
+  }
+  net.run();
+  EXPECT_TRUE(mcast.monitor().exactly_once(mcast.recipients()));
+  EXPECT_EQ(ids.size(), 5u);
+}
+
+TEST(Multicast, WatermarkRidesTheHandoff) {
+  // Deliver one message, move the recipient, deliver another: the new
+  // cell must replay only the second message.
+  Network net(small_config(4, 8));
+  McastService mcast(net, recipients4());
+  net.start();
+  net.sched().schedule(1, [&] { mcast.publish(mss_id(0)); });
+  net.sched().schedule(50, [&] { net.mh(mh_id(0)).move_to(mss_id(2), 5); });
+  net.sched().schedule(150, [&] { mcast.publish(mss_id(0)); });
+  net.run();
+  EXPECT_TRUE(mcast.monitor().exactly_once(mcast.recipients()));
+  EXPECT_EQ(mcast.duplicates_suppressed(), 0u);  // MSS-side logic was exact
+}
+
+TEST(Multicast, InFlightMoveRecoversWithoutDuplicates) {
+  // Publish while a recipient is between cells: the old MSS's burst
+  // fails, the watermark rolls back, and the new MSS replays.
+  Network net(small_config(4, 8));
+  McastService mcast(net, recipients4());
+  net.start();
+  net.sched().schedule(1, [&] { net.mh(mh_id(0)).move_to(mss_id(2), 60); });
+  net.sched().schedule(10, [&] { mcast.publish(mss_id(0)); });
+  net.sched().schedule(20, [&] { mcast.publish(mss_id(1)); });
+  net.run();
+  EXPECT_TRUE(mcast.monitor().exactly_once(mcast.recipients()));
+}
+
+TEST(Multicast, DisconnectedRecipientCatchesUpOnReconnect) {
+  Network net(small_config(4, 8));
+  McastService mcast(net, recipients4());
+  net.start();
+  net.sched().schedule(1, [&] { net.mh(mh_id(1)).disconnect(); });
+  for (int i = 0; i < 3; ++i) {
+    net.sched().schedule(20 + 15 * i, [&] { mcast.publish(mss_id(0)); });
+  }
+  net.sched().schedule(300, [&] { net.mh(mh_id(1)).reconnect_at(mss_id(3), 5); });
+  net.run();
+  EXPECT_TRUE(mcast.monitor().exactly_once(mcast.recipients()));
+  // All three arrived after the reconnect, via handoff + replay — no
+  // searches were ever issued.
+  EXPECT_EQ(net.ledger().searches(), 0u);
+}
+
+TEST(Multicast, MultipleSourcesInterleave) {
+  Network net(small_config(4, 8));
+  McastService mcast(net, recipients4());
+  net.start();
+  net.sched().schedule(1, [&] { mcast.publish(mss_id(0)); });
+  net.sched().schedule(2, [&] { mcast.publish(mss_id(3)); });
+  net.sched().schedule(3, [&] { mcast.publish(mss_id(1)); });
+  net.run();
+  EXPECT_TRUE(mcast.monitor().exactly_once(mcast.recipients()));
+}
+
+TEST(Multicast, LogGrowsAtEveryStation) {
+  Network net(small_config(4, 8));
+  McastService mcast(net, recipients4());
+  net.start();
+  for (int i = 0; i < 4; ++i) {
+    net.sched().schedule(1 + 5 * i, [&] { mcast.publish(mss_id(0)); });
+  }
+  net.run();
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(mcast.log_size(mss_id(i)), 4u) << "mss " << i;
+  }
+}
+
+class MulticastChurnProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MulticastChurnProperty, ExactlyOnceUnderHeavyChurnAndDisconnects) {
+  auto cfg = small_config(6, 12);
+  cfg.latency.wired_min = 1;
+  cfg.latency.wired_max = 10;
+  cfg.seed = GetParam();
+  Network net(cfg);
+  const auto recipients =
+      Group::of({mh_id(0), mh_id(1), mh_id(2), mh_id(3), mh_id(4), mh_id(5)});
+  McastService mcast(net, recipients);
+  mobility::MobilityConfig mob;
+  mob.mean_pause = 40;
+  mob.mean_transit = 6;
+  mob.max_moves_per_host = 5;
+  mob.disconnect_prob = 0.25;
+  mob.mean_disconnect = 80;
+  mobility::MobilityDriver driver(net, mob, recipients.members);
+  net.start();
+  driver.start();
+  for (int i = 0; i < 15; ++i) {
+    net.sched().schedule(10 + 30 * i, [&, i] {
+      mcast.publish(mss_id(static_cast<std::uint32_t>(i) % net.num_mss()));
+    });
+  }
+  net.run();
+  EXPECT_EQ(mcast.monitor().missing(recipients), 0u);
+  EXPECT_EQ(mcast.monitor().over_delivered(recipients), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MulticastChurnProperty,
+                         ::testing::Values(2, 12, 22, 32, 42, 52, 62, 72));
+
+}  // namespace
+}  // namespace mobidist::test

@@ -1,0 +1,329 @@
+// Unit tests for the reusable Lamport mutual-exclusion engine and the
+// critical-section monitor, independent of the network substrate.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "mutex/lamport_engine.hpp"
+#include "mutex/monitor.hpp"
+
+namespace mobidist::mutex {
+namespace {
+
+/// Synchronous message fabric wiring n engines together. The global FIFO
+/// queue preserves per-pair FIFO, which is all Lamport requires.
+class EngineNet {
+ public:
+  explicit EngineNet(std::uint32_t n) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      engines_.push_back(std::make_unique<LamportEngine>(i, n));
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      engines_[i]->set_send([this, i](std::uint32_t peer, const LamportMsg& msg) {
+        queue_.push_back({i, peer, msg});
+      });
+      engines_[i]->set_on_acquired([this, i](std::uint64_t req_id, std::uint64_t ts) {
+        grants.push_back({i, req_id, ts});
+      });
+    }
+  }
+
+  LamportEngine& at(std::uint32_t i) { return *engines_[i]; }
+
+  /// Deliver queued messages until quiescent.
+  void pump() {
+    while (!queue_.empty()) {
+      const auto [from, to, msg] = queue_.front();
+      queue_.pop_front();
+      engines_[to]->on_message(from, msg);
+    }
+  }
+
+  /// Deliver exactly one message (for interleaving tests).
+  bool step() {
+    if (queue_.empty()) return false;
+    const auto [from, to, msg] = queue_.front();
+    queue_.pop_front();
+    engines_[to]->on_message(from, msg);
+    return true;
+  }
+
+  struct GrantEvent {
+    std::uint32_t owner;
+    std::uint64_t req_id;
+    std::uint64_t ts;
+  };
+  std::vector<GrantEvent> grants;
+
+ private:
+  struct InFlight {
+    std::uint32_t from;
+    std::uint32_t to;
+    LamportMsg msg;
+  };
+  std::vector<std::unique_ptr<LamportEngine>> engines_;
+  std::deque<InFlight> queue_;
+};
+
+TEST(LamportEngine, SingleParticipantGrantsImmediately) {
+  EngineNet net(1);
+  net.at(0).submit(1);
+  ASSERT_EQ(net.grants.size(), 1u);
+  EXPECT_EQ(net.grants[0].owner, 0u);
+  EXPECT_EQ(net.grants[0].req_id, 1u);
+}
+
+TEST(LamportEngine, TwoParticipantsGrantAfterReplies) {
+  EngineNet net(2);
+  net.at(0).submit(1);
+  EXPECT_TRUE(net.grants.empty());  // no replies yet
+  net.pump();
+  ASSERT_EQ(net.grants.size(), 1u);
+  EXPECT_EQ(net.grants[0].owner, 0u);
+}
+
+TEST(LamportEngine, ReleaseHandsLockToNextRequest) {
+  EngineNet net(3);
+  net.at(0).submit(1);
+  net.pump();
+  net.at(1).submit(7);
+  net.pump();
+  ASSERT_EQ(net.grants.size(), 1u);  // participant 1 blocked behind 0
+  net.at(0).release(1);
+  net.pump();
+  ASSERT_EQ(net.grants.size(), 2u);
+  EXPECT_EQ(net.grants[1].owner, 1u);
+  EXPECT_EQ(net.grants[1].req_id, 7u);
+}
+
+TEST(LamportEngine, ConcurrentRequestsServedInTimestampOrder) {
+  EngineNet net(4);
+  // All submit before any messages move: identical clocks, so the tie
+  // breaks by participant id — grants must come 0, 1, 2, 3.
+  for (std::uint32_t i = 0; i < 4; ++i) net.at(i).submit(100 + i);
+  net.pump();
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(net.grants.size(), i + 1);
+    EXPECT_EQ(net.grants[i].owner, i);
+    net.at(i).release(100 + i);
+    net.pump();
+  }
+  // Order keys strictly increase.
+  for (std::size_t i = 1; i < net.grants.size(); ++i) {
+    const auto prev = std::pair{net.grants[i - 1].ts, net.grants[i - 1].owner};
+    const auto cur = std::pair{net.grants[i].ts, net.grants[i].owner};
+    EXPECT_LT(prev, cur);
+  }
+}
+
+TEST(LamportEngine, LaterRequestHasLaterTimestamp) {
+  EngineNet net(2);
+  const auto ts0 = net.at(0).submit(1);
+  net.pump();
+  net.at(0).release(1);
+  net.pump();
+  const auto ts1 = net.at(1).submit(2);
+  EXPECT_GT(ts1, ts0);  // clocks advanced through the message exchange
+}
+
+TEST(LamportEngine, NeverTwoConcurrentGrants) {
+  // Random-ish interleaving via partial pumping; at most one unreleased
+  // grant may exist at any prefix of the run.
+  EngineNet net(5);
+  for (std::uint32_t i = 0; i < 5; ++i) net.at(i).submit(i);
+  std::size_t released = 0;
+  while (true) {
+    // Release as soon as a grant appears; count concurrency.
+    ASSERT_LE(net.grants.size(), released + 1) << "two grants outstanding";
+    if (net.grants.size() == released + 1) {
+      const auto& grant = net.grants[released];
+      net.at(grant.owner).release(grant.req_id);
+      ++released;
+      continue;
+    }
+    if (!net.step()) break;
+  }
+  EXPECT_EQ(released, 5u);
+}
+
+TEST(LamportEngine, SupportsMultipleOutstandingRequestsPerParticipant) {
+  // The L2 case: one MSS requests on behalf of several MHs.
+  EngineNet net(2);
+  net.at(0).submit(1);
+  net.at(0).submit(2);
+  net.at(1).submit(3);
+  net.pump();
+  ASSERT_EQ(net.grants.size(), 1u);
+  EXPECT_EQ(net.grants[0].req_id, 1u);
+  net.at(0).release(1);
+  net.pump();
+  // Entry order is (ts, participant): (1,0,req1) < (1,1,req3) < (2,0,req2).
+  ASSERT_EQ(net.grants.size(), 2u);
+  EXPECT_EQ(net.grants[1].owner, 1u);
+  EXPECT_EQ(net.grants[1].req_id, 3u);
+  net.at(1).release(3);
+  net.pump();
+  ASSERT_EQ(net.grants.size(), 3u);
+  EXPECT_EQ(net.grants[2].owner, 0u);
+  EXPECT_EQ(net.grants[2].req_id, 2u);
+  net.at(0).release(2);
+  net.pump();
+}
+
+TEST(LamportEngine, MessageCountsMatchPaperFormula) {
+  // One full execution among n participants: (n-1) requests + (n-1)
+  // replies + (n-1) releases.
+  constexpr std::uint32_t kN = 6;
+  EngineNet net(kN);
+  net.at(2).submit(1);
+  net.pump();
+  net.at(2).release(1);
+  net.pump();
+  EXPECT_EQ(net.at(2).sent_requests(), kN - 1);
+  EXPECT_EQ(net.at(2).sent_releases(), kN - 1);
+  std::uint64_t replies = 0;
+  for (std::uint32_t i = 0; i < kN; ++i) replies += net.at(i).sent_replies();
+  EXPECT_EQ(replies, kN - 1);
+}
+
+TEST(LamportEngine, QueueDrainsAfterAllReleases) {
+  EngineNet net(3);
+  for (std::uint32_t i = 0; i < 3; ++i) net.at(i).submit(i);
+  net.pump();
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    // Grants arrive in id order here.
+    net.at(i).release(i);
+    net.pump();
+  }
+  for (std::uint32_t i = 0; i < 3; ++i) EXPECT_EQ(net.at(i).queue_size(), 0u);
+}
+
+TEST(LamportEngine, DuplicateLocalReqIdThrows) {
+  EngineNet net(2);
+  net.at(0).submit(1);
+  EXPECT_THROW(net.at(0).submit(1), std::logic_error);
+}
+
+TEST(LamportEngine, ReleaseOfUnknownReqIdThrows) {
+  EngineNet net(2);
+  EXPECT_THROW(net.at(0).release(42), std::logic_error);
+}
+
+TEST(LamportEngine, SelfOutOfRangeThrows) {
+  EXPECT_THROW(LamportEngine(3, 3), std::invalid_argument);
+}
+
+TEST(LamportEngine, ReleaseBeforeGrantAbortsPendingRequest) {
+  // L2's disconnect path: the home MSS releases a request that was never
+  // granted; the other participant must still make progress.
+  EngineNet net(2);
+  net.at(0).submit(1);
+  net.at(1).submit(2);
+  net.pump();
+  ASSERT_EQ(net.grants.size(), 1u);  // 0 holds
+  net.at(0).release(1);              // normal release
+  net.pump();
+  ASSERT_EQ(net.grants.size(), 2u);  // 1 holds
+  // Now abort a fresh not-yet-granted request from 0.
+  net.at(0).submit(5);
+  net.pump();
+  net.at(0).release(5);  // aborted before grant (1 still holds)
+  net.pump();
+  net.at(1).release(2);
+  net.pump();
+  EXPECT_EQ(net.grants.size(), 2u);  // the aborted request never granted
+  EXPECT_EQ(net.at(0).queue_size(), 0u);
+  EXPECT_EQ(net.at(1).queue_size(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// CsMonitor
+// --------------------------------------------------------------------------
+
+TEST(CsMonitor, RecordsGrantLifecycle) {
+  CsMonitor monitor;
+  const auto grant = monitor.enter(static_cast<net::MhId>(3), 7, 100);
+  EXPECT_TRUE(monitor.busy());
+  EXPECT_EQ(monitor.holder(), static_cast<net::MhId>(3));
+  monitor.exit(grant, 110);
+  EXPECT_FALSE(monitor.busy());
+  ASSERT_EQ(monitor.grants(), 1u);
+  EXPECT_EQ(monitor.history()[0].entered, 100u);
+  EXPECT_EQ(monitor.history()[0].exited, 110u);
+  EXPECT_EQ(monitor.violations(), 0u);
+}
+
+TEST(CsMonitor, DetectsOverlap) {
+  CsMonitor monitor;
+  monitor.enter(static_cast<net::MhId>(1), 1, 10);
+  monitor.enter(static_cast<net::MhId>(2), 2, 11);  // overlap!
+  EXPECT_EQ(monitor.violations(), 1u);
+}
+
+TEST(CsMonitor, DetectsDoubleExit) {
+  CsMonitor monitor;
+  const auto grant = monitor.enter(static_cast<net::MhId>(1), 1, 10);
+  monitor.exit(grant, 20);
+  monitor.exit(grant, 21);
+  EXPECT_EQ(monitor.violations(), 1u);
+}
+
+TEST(CsMonitor, DetectsBogusExit) {
+  CsMonitor monitor;
+  monitor.exit(99, 5);
+  EXPECT_EQ(monitor.violations(), 1u);
+}
+
+TEST(CsMonitor, CountsOrderInversions) {
+  CsMonitor monitor;
+  auto enter_exit = [&](std::uint64_t key) {
+    const auto grant = monitor.enter(static_cast<net::MhId>(0), key, 0);
+    monitor.exit(grant, 1);
+  };
+  enter_exit(1);
+  enter_exit(3);
+  enter_exit(2);  // inversion
+  enter_exit(5);
+  EXPECT_EQ(monitor.order_inversions(), 1u);
+}
+
+TEST(CsMonitor, InOrderGrantsHaveNoInversions) {
+  CsMonitor monitor;
+  for (std::uint64_t key = 1; key <= 10; ++key) {
+    const auto grant = monitor.enter(static_cast<net::MhId>(0), key, key);
+    monitor.exit(grant, key);
+  }
+  EXPECT_EQ(monitor.order_inversions(), 0u);
+}
+
+
+TEST(CsMonitor, MatchesRequestsToGrantsFifo) {
+  CsMonitor monitor;
+  const auto mh = static_cast<net::MhId>(4);
+  monitor.note_request(mh, 10);
+  monitor.note_request(mh, 20);
+  const auto g1 = monitor.enter(mh, 1, 50);
+  monitor.exit(g1, 55);
+  const auto g2 = monitor.enter(mh, 2, 100);
+  monitor.exit(g2, 105);
+  ASSERT_EQ(monitor.grants(), 2u);
+  EXPECT_TRUE(monitor.history()[0].has_request_time);
+  EXPECT_EQ(monitor.history()[0].requested, 10u);
+  EXPECT_EQ(monitor.history()[1].requested, 20u);
+  // Latencies: 40 and 80 -> mean 60.
+  EXPECT_DOUBLE_EQ(monitor.mean_grant_latency(), 60.0);
+}
+
+TEST(CsMonitor, GrantsWithoutRequestsHaveNoLatency) {
+  CsMonitor monitor;
+  const auto grant = monitor.enter(static_cast<net::MhId>(0), 1, 5);
+  monitor.exit(grant, 6);
+  EXPECT_FALSE(monitor.history()[0].has_request_time);
+  EXPECT_DOUBLE_EQ(monitor.mean_grant_latency(), 0.0);
+}
+
+}  // namespace
+}  // namespace mobidist::mutex

@@ -1,0 +1,324 @@
+// Integration tests for algorithms L1 and L2 on the simulated system
+// model: exact cost agreement with the §3.1.1 formulas, safety and
+// ordering under concurrency and mobility, and disconnect handling.
+
+#include <gtest/gtest.h>
+
+#include "mobility/mobility_model.hpp"
+#include "mutex/l1.hpp"
+#include "mutex/l2.hpp"
+#include "mutex/monitor.hpp"
+#include "test_support.hpp"
+
+namespace mobidist::test {
+namespace {
+
+using mutex::CsMonitor;
+using mutex::L1Mutex;
+using mutex::L2Mutex;
+using mutex::MutexOptions;
+
+MssId mss_id(std::uint32_t i) { return static_cast<MssId>(i); }
+MhId mh_id(std::uint32_t i) { return static_cast<MhId>(i); }
+
+// --------------------------------------------------------------------------
+// L1
+// --------------------------------------------------------------------------
+
+TEST(L1, SingleRequestCompletesWithExactPaperCost) {
+  constexpr std::uint32_t kN = 8;
+  Network net(small_config(3, kN));
+  CsMonitor monitor;
+  L1Mutex l1(net, monitor);
+  net.start();
+  net.sched().schedule(1, [&] { l1.request(mh_id(0)); });
+  net.run();
+
+  EXPECT_EQ(l1.completed(), 1u);
+  EXPECT_EQ(monitor.grants(), 1u);
+  EXPECT_EQ(monitor.violations(), 0u);
+  // 3*(N-1) MH-to-MH messages, each 2 wireless hops + 1 search.
+  EXPECT_EQ(net.ledger().wireless_msgs(), 6u * (kN - 1));
+  EXPECT_EQ(net.ledger().searches(), 3u * (kN - 1));
+  EXPECT_EQ(net.ledger().fixed_msgs(), 0u);
+  // Initiator energy proportional to 3*(N-1); every other MH pays 3.
+  const cost::CostParams unit;
+  EXPECT_DOUBLE_EQ(net.ledger().energy_at(0, unit), 3.0 * (kN - 1));
+  for (std::uint32_t i = 1; i < kN; ++i) {
+    EXPECT_DOUBLE_EQ(net.ledger().energy_at(i, unit), 3.0) << "mh " << i;
+  }
+}
+
+TEST(L1, TotalCostMatchesClosedFormUnderParams) {
+  constexpr std::uint32_t kN = 5;
+  Network net(small_config(2, kN));
+  CsMonitor monitor;
+  L1Mutex l1(net, monitor);
+  net.start();
+  net.sched().schedule(1, [&] { l1.request(mh_id(2)); });
+  net.run();
+  const cost::CostParams p;  // c_w = 10, c_s = 4
+  const double expected = 3.0 * (kN - 1) * (2 * p.c_wireless + p.c_search);
+  EXPECT_DOUBLE_EQ(net.ledger().total(p), expected);
+}
+
+TEST(L1, ConcurrentRequestersAllCompleteSafely) {
+  constexpr std::uint32_t kN = 6;
+  Network net(small_config(3, kN));
+  CsMonitor monitor;
+  L1Mutex l1(net, monitor);
+  net.start();
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    net.sched().schedule(1 + i, [&, i] { l1.request(mh_id(i)); });
+  }
+  net.run();
+  EXPECT_EQ(l1.completed(), kN);
+  EXPECT_EQ(monitor.grants(), kN);
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_EQ(monitor.order_inversions(), 0u);  // served in timestamp order
+}
+
+TEST(L1, SafeUnderMobility) {
+  auto cfg = small_config(4, 8);
+  cfg.latency.wired_min = 1;
+  cfg.latency.wired_max = 15;
+  Network net(cfg);
+  CsMonitor monitor;
+  L1Mutex l1(net, monitor);
+  mobility::MobilityConfig mob;
+  mob.mean_pause = 60;
+  mob.mean_transit = 8;
+  mob.max_moves_per_host = 4;
+  mobility::MobilityDriver driver(net, mob);
+  net.start();
+  driver.start();
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    net.sched().schedule(5 + 11 * i, [&, i] { l1.request(mh_id(i)); });
+  }
+  net.run();
+  EXPECT_EQ(l1.completed(), 8u);
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_GT(driver.moves(), 0u);
+}
+
+TEST(L1, RequiresEveryHostEvenNonRequesters) {
+  // The non-requesting MHs still pay energy (to reply) — the paper's
+  // core complaint about L1.
+  Network net(small_config(3, 6));
+  CsMonitor monitor;
+  L1Mutex l1(net, monitor);
+  net.start();
+  net.sched().schedule(1, [&] { l1.request(mh_id(0)); });
+  net.run();
+  const cost::CostParams unit;
+  for (std::uint32_t i = 1; i < 6; ++i) {
+    EXPECT_GT(net.ledger().energy_at(i, unit), 0.0) << "mh " << i;
+  }
+}
+
+TEST(L1, StallsWhileAnyParticipantIsDisconnected) {
+  Network net(small_config(3, 6));
+  CsMonitor monitor;
+  L1Mutex l1(net, monitor);
+  net.start();
+  net.sched().schedule(1, [&] { net.mh(mh_id(5)).disconnect(); });
+  net.sched().schedule(5, [&] { l1.request(mh_id(0)); });
+  net.sched().run_until(5000);
+  EXPECT_EQ(l1.completed(), 0u);  // mh5 cannot reply
+  // Reconnection unblocks the algorithm.
+  net.mh(mh_id(5)).reconnect_at(mss_id(1), 1);
+  net.run();
+  EXPECT_EQ(l1.completed(), 1u);
+  EXPECT_EQ(monitor.violations(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// L2
+// --------------------------------------------------------------------------
+
+TEST(L2, StationaryRequestCostsThreeWirelessOneSearch) {
+  constexpr std::uint32_t kM = 4;
+  Network net(small_config(kM, 8));
+  CsMonitor monitor;
+  L2Mutex l2(net, monitor);
+  net.start();
+  net.sched().schedule(1, [&] { l2.request(mh_id(0)); });
+  net.run();
+  EXPECT_EQ(l2.completed(), 1u);
+  EXPECT_EQ(monitor.grants(), 1u);
+  // init + grant + release-resource: 3 wireless hops total.
+  EXPECT_EQ(net.ledger().wireless_msgs(), 3u);
+  EXPECT_EQ(net.ledger().searches(), 1u);
+  // Stationary MH: the release is local (free self-send), so only the
+  // 3*(M-1) Lamport messages hit the wire.
+  EXPECT_EQ(net.ledger().fixed_msgs(), 3u * (kM - 1));
+}
+
+TEST(L2, MovedRequesterMatchesPaperFormulaExactly) {
+  // The paper's cost expression assumes the MH may have moved: grant
+  // needs a search, release-resource is relayed (one fixed message).
+  constexpr std::uint32_t kM = 4;
+  Network net(small_config(kM, 8));
+  CsMonitor monitor;
+  L2Mutex l2(net, monitor);
+  net.start();
+  net.sched().schedule(1, [&] { l2.request(mh_id(0)); });
+  // Move right after init lands (t=3), well before the grant (several
+  // wired round-trips away).
+  net.sched().schedule(4, [&] { net.mh(mh_id(0)).move_to(mss_id(1), 2); });
+  net.run();
+  EXPECT_EQ(l2.completed(), 1u);
+  EXPECT_EQ(net.ledger().wireless_msgs(), 3u);
+  EXPECT_EQ(net.ledger().searches(), 1u);
+  EXPECT_EQ(net.ledger().fixed_msgs(), 3u * (kM - 1) + 1);  // + release relay
+  const cost::CostParams p;
+  const double expected = 3 * p.c_wireless + p.c_fixed + p.c_search +
+                          3.0 * (kM - 1) * p.c_fixed;
+  EXPECT_DOUBLE_EQ(net.ledger().total(p), expected);
+}
+
+TEST(L2, SearchCostIndependentOfN) {
+  // Scale N with M fixed: searches per execution stay at 1 (the paper's
+  // "constant search cost per execution").
+  for (std::uint32_t n : {8u, 32u, 128u}) {
+    Network net(small_config(4, n));
+    CsMonitor monitor;
+    L2Mutex l2(net, monitor);
+    net.start();
+    net.sched().schedule(1, [&] { l2.request(mh_id(n - 1)); });
+    net.run();
+    EXPECT_EQ(net.ledger().searches(), 1u) << "N=" << n;
+    EXPECT_EQ(net.ledger().wireless_msgs(), 3u) << "N=" << n;
+  }
+}
+
+TEST(L2, ConcurrentRequestsGrantedInInitTimestampOrder) {
+  Network net(small_config(4, 12));
+  CsMonitor monitor;
+  L2Mutex l2(net, monitor);
+  net.start();
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    net.sched().schedule(1 + 3 * i, [&, i] { l2.request(mh_id(i)); });
+  }
+  net.run();
+  EXPECT_EQ(l2.completed(), 12u);
+  EXPECT_EQ(monitor.grants(), 12u);
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_EQ(monitor.order_inversions(), 0u);
+}
+
+TEST(L2, NonParticipantsExchangeNoWirelessTraffic) {
+  // The contrast with L1: uninvolved MHs stay silent (doze-friendly).
+  Network net(small_config(3, 10));
+  CsMonitor monitor;
+  L2Mutex l2(net, monitor);
+  net.start();
+  for (std::uint32_t i = 1; i < 10; ++i) net.mh(mh_id(i)).set_doze(true);
+  net.sched().schedule(1, [&] { l2.request(mh_id(0)); });
+  net.run();
+  EXPECT_EQ(l2.completed(), 1u);
+  EXPECT_EQ(net.stats().doze_interruptions, 0u);
+  const cost::CostParams unit;
+  for (std::uint32_t i = 1; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(net.ledger().energy_at(i, unit), 0.0) << "mh " << i;
+  }
+}
+
+TEST(L2, DisconnectBeforeGrantAbortsAndReleases) {
+  Network net(small_config(3, 6));
+  CsMonitor monitor;
+  L2Mutex l2(net, monitor);
+  net.start();
+  // mh0 and mh1 both request; mh0 wins the timestamp race then
+  // disconnects before its grant arrives. mh1 must still get the lock.
+  net.sched().schedule(1, [&] { l2.request(mh_id(0)); });
+  net.sched().schedule(2, [&] { l2.request(mh_id(1)); });
+  net.sched().schedule(4, [&] { net.mh(mh_id(0)).disconnect(); });
+  net.run();
+  EXPECT_EQ(l2.aborted(), 1u);
+  EXPECT_EQ(l2.completed(), 1u);
+  EXPECT_EQ(monitor.grants(), 1u);  // only mh1 ever entered
+  EXPECT_EQ(monitor.violations(), 0u);
+}
+
+TEST(L2, DisconnectWhileHoldingReleasesAfterReconnect) {
+  auto cfg = small_config(3, 6);
+  Network net(cfg);
+  CsMonitor monitor;
+  MutexOptions opts;
+  opts.cs_hold = 50;
+  L2Mutex l2(net, monitor, opts);
+  net.start();
+  net.sched().schedule(1, [&] { l2.request(mh_id(0)); });
+  net.sched().schedule(2, [&] { l2.request(mh_id(1)); });
+  // Disconnect mid-hold (grant lands around t≈25 with these latencies;
+  // hold runs 50 ticks).
+  net.sched().schedule(40, [&] {
+    if (net.mh(mh_id(0)).connected() && monitor.holder() == mh_id(0)) {
+      net.mh(mh_id(0)).disconnect();
+    }
+  });
+  net.sched().schedule(400, [&] {
+    if (net.is_disconnected(mh_id(0))) net.mh(mh_id(0)).reconnect_at(mss_id(2), 5);
+  });
+  net.run();
+  EXPECT_EQ(l2.completed(), 2u);
+  EXPECT_EQ(monitor.violations(), 0u);
+  // mh1's grant must come after mh0's reconnect-and-release.
+  ASSERT_EQ(monitor.grants(), 2u);
+  EXPECT_GE(monitor.history()[1].entered, 400u);
+}
+
+TEST(L2, SafeUnderHeavyMobility) {
+  auto cfg = small_config(5, 20);
+  cfg.latency.wired_min = 1;
+  cfg.latency.wired_max = 12;
+  Network net(cfg);
+  CsMonitor monitor;
+  L2Mutex l2(net, monitor);
+  mobility::MobilityConfig mob;
+  mob.mean_pause = 30;
+  mob.mean_transit = 6;
+  mob.max_moves_per_host = 6;
+  mobility::MobilityDriver driver(net, mob);
+  net.start();
+  driver.start();
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    net.sched().schedule(2 + 7 * i, [&, i] { l2.request(mh_id(i)); });
+  }
+  net.run();
+  EXPECT_EQ(l2.completed() + l2.aborted(), 20u);
+  EXPECT_EQ(l2.aborted(), 0u);  // no disconnects in this run
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_GT(driver.moves(), 0u);
+}
+
+TEST(L2, CheaperThanL1ForEqualWork) {
+  // The headline E1 comparison at one design point.
+  constexpr std::uint32_t kM = 4, kN = 24;
+  const cost::CostParams p;
+  double l1_cost = 0, l2_cost = 0;
+  {
+    Network net(small_config(kM, kN));
+    CsMonitor monitor;
+    mutex::L1Mutex l1(net, monitor);
+    net.start();
+    net.sched().schedule(1, [&] { l1.request(mh_id(0)); });
+    net.run();
+    l1_cost = net.ledger().total(p);
+  }
+  {
+    Network net(small_config(kM, kN));
+    CsMonitor monitor;
+    L2Mutex l2(net, monitor);
+    net.start();
+    net.sched().schedule(1, [&] { l2.request(mh_id(0)); });
+    net.run();
+    l2_cost = net.ledger().total(p);
+  }
+  EXPECT_LT(l2_cost, l1_cost);
+  EXPECT_GT(l1_cost / l2_cost, 5.0);  // order-of-magnitude gap at N >> M
+}
+
+}  // namespace
+}  // namespace mobidist::test

@@ -1,0 +1,639 @@
+// Substrate tests: channels + cost charging, the §2 mobility protocol
+// (join/leave/handoff/disconnect/reconnect), search in both modes, the
+// MH-to-MH relay with FIFO resequencing, and doze-mode accounting.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "test_support.hpp"
+
+namespace mobidist::test {
+namespace {
+
+MssId mss_id(std::uint32_t i) { return static_cast<MssId>(i); }
+MhId mh_id(std::uint32_t i) { return static_cast<MhId>(i); }
+
+// --------------------------------------------------------------------------
+// Topology & placement
+// --------------------------------------------------------------------------
+
+TEST(Placement, RoundRobinSpreadsHosts) {
+  auto cfg = small_config(3, 7);
+  Network net(cfg);
+  EXPECT_EQ(net.mss(mss_id(0)).local_mhs().size(), 3u);  // 0, 3, 6
+  EXPECT_EQ(net.mss(mss_id(1)).local_mhs().size(), 2u);  // 1, 4
+  EXPECT_EQ(net.mss(mss_id(2)).local_mhs().size(), 2u);  // 2, 5
+  EXPECT_EQ(net.current_mss_of(mh_id(4)), mss_id(1));
+}
+
+TEST(Placement, AllInCell0) {
+  auto cfg = small_config(3, 5);
+  cfg.placement = InitialPlacement::kAllInCell0;
+  Network net(cfg);
+  EXPECT_EQ(net.mss(mss_id(0)).local_mhs().size(), 5u);
+  EXPECT_TRUE(net.mss(mss_id(1)).local_mhs().empty());
+}
+
+TEST(Placement, ZeroMssThrows) {
+  NetConfig cfg;
+  cfg.num_mss = 0;
+  EXPECT_THROW(Network net(cfg), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// Wired channel
+// --------------------------------------------------------------------------
+
+TEST(WiredChannel, DeliversAndCharges) {
+  Network net(small_config());
+  Harness h(net);
+  net.start();
+  h.mss[0]->do_send_fixed(mss_id(1), std::string("ping"));
+  net.run();
+  ASSERT_EQ(h.mss[1]->received.size(), 1u);
+  EXPECT_EQ(*std::any_cast<std::string>(&h.mss[1]->received[0].env.body), "ping");
+  EXPECT_EQ(net.ledger().fixed_msgs(), 1u);
+  EXPECT_EQ(net.ledger().wireless_msgs(), 0u);
+  EXPECT_EQ(net.ledger().searches(), 0u);
+}
+
+TEST(WiredChannel, SelfSendIsFreeAndDelivered) {
+  Network net(small_config());
+  Harness h(net);
+  net.start();
+  h.mss[0]->do_send_fixed(mss_id(0), 42);
+  net.run();
+  ASSERT_EQ(h.mss[0]->received.size(), 1u);
+  EXPECT_EQ(net.ledger().fixed_msgs(), 0u);
+}
+
+TEST(WiredChannel, FifoUnderRandomLatency) {
+  auto cfg = small_config();
+  cfg.latency.wired_min = 1;
+  cfg.latency.wired_max = 40;  // heavy jitter
+  Network net(cfg);
+  Harness h(net);
+  net.start();
+  for (int i = 0; i < 50; ++i) h.mss[0]->do_send_fixed(mss_id(1), i);
+  net.run();
+  ASSERT_EQ(h.mss[1]->received.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(*std::any_cast<int>(&h.mss[1]->received[i].env.body), i);
+  }
+}
+
+TEST(WiredChannel, IndependentPairsDoNotBlockEachOther) {
+  Network net(small_config());
+  Harness h(net);
+  net.start();
+  h.mss[0]->do_send_fixed(mss_id(1), 1);
+  h.mss[2]->do_send_fixed(mss_id(1), 2);
+  net.run();
+  EXPECT_EQ(h.mss[1]->received.size(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// Wireless channels
+// --------------------------------------------------------------------------
+
+TEST(Wireless, UplinkDeliversToCurrentMssAndChargesTx) {
+  Network net(small_config(3, 6));  // mh1 in cell 1
+  Harness h(net);
+  net.start();
+  h.mh[1]->do_send_uplink(std::string("up"));
+  net.run();
+  ASSERT_EQ(h.mss[1]->received.size(), 1u);
+  EXPECT_EQ(net.ledger().wireless_msgs(), 1u);
+  EXPECT_EQ(net.ledger().wireless_tx(), 1u);
+  EXPECT_EQ(net.ledger().energy_at(1, cost::CostParams{}), 1.0);
+}
+
+TEST(Wireless, DownlinkToLocalMhChargesRx) {
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  h.mss[1]->do_send_local(mh_id(1), std::string("down"));
+  net.run();
+  ASSERT_EQ(h.mh[1]->received.size(), 1u);
+  EXPECT_EQ(net.ledger().wireless_rx(), 1u);
+  EXPECT_EQ(net.ledger().energy_at(1, cost::CostParams{}), 1.0);
+}
+
+TEST(Wireless, DownlinkLostWhenMhLeavesFirst) {
+  // §2 prefix rule: a frame transmitted before the leave but landing
+  // after it is never received.
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  net.sched().schedule(10, [&] {
+    h.mss[1]->do_send_local(mh_id(1), std::string("miss"));
+    net.mh(mh_id(1)).move_to(mss_id(2), /*transit=*/30);
+  });
+  net.run();
+  EXPECT_TRUE(h.mh[1]->received.empty());
+  ASSERT_EQ(h.mss[1]->local_failures.size(), 1u);
+  EXPECT_EQ(h.mss[1]->local_failures[0].first, mh_id(1));
+  EXPECT_EQ(net.ledger().wireless_rx(), 0u);  // no reception, no rx energy
+}
+
+TEST(Wireless, DownlinkToNonLocalMhFailsImmediately) {
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  h.mss[0]->do_send_local(mh_id(1), std::string("wrong cell"));
+  net.run();
+  EXPECT_TRUE(h.mh[1]->received.empty());
+  EXPECT_EQ(h.mss[0]->local_failures.size(), 1u);
+}
+
+TEST(Wireless, UplinkFromDisconnectedThrows) {
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  net.mh(mh_id(0)).disconnect();
+  net.run();
+  EXPECT_THROW(h.mh[0]->do_send_uplink(1), std::logic_error);
+}
+
+TEST(Wireless, ControlTrafficIsNotCharged) {
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  net.mh(mh_id(0)).move_to(mss_id(1), 5);  // leave + join, control only
+  net.run();
+  EXPECT_EQ(net.ledger().wireless_msgs(), 0u);
+  EXPECT_EQ(net.ledger().fixed_msgs(), 0u);
+  EXPECT_GT(net.stats().control_msgs, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Mobility protocol
+// --------------------------------------------------------------------------
+
+TEST(Mobility, MoveUpdatesLocalListsAndNotifiesAgents) {
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  net.mh(mh_id(0)).move_to(mss_id(1), 10);
+  net.run();
+  EXPECT_FALSE(net.mss(mss_id(0)).is_local(mh_id(0)));
+  EXPECT_TRUE(net.mss(mss_id(1)).is_local(mh_id(0)));
+  EXPECT_EQ(net.current_mss_of(mh_id(0)), mss_id(1));
+  // Old cell saw the departure, new cell saw the arrival with prev id.
+  EXPECT_NE(std::find(h.mss[0]->events.begin(), h.mss[0]->events.end(), "left:mh:0"),
+            h.mss[0]->events.end());
+  bool joined_seen = false;
+  for (const auto& ev : h.mss[1]->events) {
+    joined_seen |= (ev == "joined:mh:0<-mss:0");
+  }
+  EXPECT_TRUE(joined_seen);
+  EXPECT_EQ(h.mh[0]->events.front(), "left");
+  EXPECT_EQ(h.mh[0]->events.back(), "joined:mss:1");
+  EXPECT_EQ(net.stats().leaves, 1u);
+  EXPECT_EQ(net.stats().joins, 1u);
+  EXPECT_EQ(net.stats().handoffs, 1u);
+}
+
+TEST(Mobility, InTransitHostIsInNoCell) {
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  net.mh(mh_id(0)).move_to(mss_id(1), 100);
+  net.sched().run_until(50);  // mid-transit
+  EXPECT_TRUE(net.is_in_transit(mh_id(0)));
+  EXPECT_EQ(net.current_mss_of(mh_id(0)), kInvalidMss);
+  EXPECT_FALSE(net.mss(mss_id(0)).is_local(mh_id(0)));
+  EXPECT_FALSE(net.mss(mss_id(1)).is_local(mh_id(0)));
+  net.run();
+  EXPECT_EQ(net.current_mss_of(mh_id(0)), mss_id(1));
+}
+
+TEST(Mobility, MoveToCurrentCellThrows) {
+  Network net(small_config(3, 6));
+  net.start();
+  EXPECT_THROW(net.mh(mh_id(0)).move_to(mss_id(0), 5), std::logic_error);
+}
+
+TEST(Mobility, MoveWhileInTransitThrows) {
+  Network net(small_config(3, 6));
+  net.start();
+  net.mh(mh_id(0)).move_to(mss_id(1), 100);
+  EXPECT_THROW(net.mh(mh_id(0)).move_to(mss_id(2), 5), std::logic_error);
+  net.run();
+}
+
+TEST(Mobility, HandoffTransfersAgentState) {
+  Network net(small_config(3, 6));
+  Harness h(net);
+  h.mss[0]->handoff_blob = std::string("mh0-notes");
+  net.start();
+  net.mh(mh_id(0)).move_to(mss_id(1), 10);
+  net.run();
+  ASSERT_TRUE(h.mss[1]->last_handoff_in.has_value());
+  EXPECT_EQ(*std::any_cast<std::string>(&h.mss[1]->last_handoff_in), "mh0-notes");
+}
+
+TEST(Mobility, RapidDoubleMoveChainsHandoffState) {
+  // mh0: cell0 -> cell1 -> cell2 with the second move starting as soon
+  // as the first join lands; cell2 must still receive cell0's state via
+  // the deferred-handoff path.
+  Network net(small_config(3, 6));
+  Harness h(net);
+  h.mss[0]->handoff_blob = std::string("origin-state");
+  // Cell1 re-exports whatever state it receives so the deferred handoff
+  // to cell2 carries cell0's blob onward.
+  h.mss[1]->forward_handoff = true;
+  net.start();
+  net.mh(mh_id(0)).move_to(mss_id(1), 10);
+  h.mss[1]->on_joined = [&](MhId mh, MssId) {
+    // Leave again immediately, before cell0's HandoffState can arrive.
+    net.mh(mh).move_to(mss_id(2), 1);
+  };
+  // Forward state on the middle hop.
+  net.run();
+  // cell1 received cell0's state...
+  ASSERT_TRUE(h.mss[1]->last_handoff_in.has_value());
+  EXPECT_EQ(*std::any_cast<std::string>(&h.mss[1]->last_handoff_in), "origin-state");
+  // ...and cell2 got a handoff reply from cell1 (deferred until then).
+  bool got_in = false;
+  for (const auto& ev : h.mss[2]->events) {
+    got_in |= ev.rfind("handoff_in:mh:0", 0) == 0;
+  }
+  EXPECT_TRUE(got_in);
+  EXPECT_EQ(net.current_mss_of(mh_id(0)), mss_id(2));
+}
+
+// --------------------------------------------------------------------------
+// send_to_mh / search
+// --------------------------------------------------------------------------
+
+TEST(Search, OracleSendChargesSearchPlusWireless) {
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  h.mss[0]->do_send_to_mh(mh_id(1), std::string("hello"));  // mh1 is in cell1
+  net.run();
+  ASSERT_EQ(h.mh[1]->received.size(), 1u);
+  EXPECT_EQ(net.ledger().searches(), 1u);
+  EXPECT_EQ(net.ledger().wireless_msgs(), 1u);
+  EXPECT_EQ(net.ledger().fixed_msgs(), 0u);  // forward leg is inside c_search
+}
+
+TEST(Search, LocalTargetStillChargesSearchByDefault) {
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  h.mss[0]->do_send_to_mh(mh_id(0), 7);  // mh0 is local to mss0
+  net.run();
+  EXPECT_EQ(net.ledger().searches(), 1u);
+}
+
+TEST(Search, LocalHitFreeWhenConfigured) {
+  auto cfg = small_config(3, 6);
+  cfg.charge_search_for_local = false;
+  Network net(cfg);
+  Harness h(net);
+  net.start();
+  h.mss[0]->do_send_to_mh(mh_id(0), 7);
+  net.run();
+  EXPECT_EQ(net.ledger().searches(), 0u);
+  ASSERT_EQ(h.mh[0]->received.size(), 1u);
+}
+
+TEST(Search, PendsForInTransitTargetAndDeliversAfterJoin) {
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  net.mh(mh_id(1)).move_to(mss_id(2), 200);
+  net.sched().schedule(20, [&] { h.mss[0]->do_send_to_mh(mh_id(1), std::string("chase")); });
+  net.run();
+  ASSERT_EQ(h.mh[1]->received.size(), 1u);
+  EXPECT_GE(h.mh[1]->received[0].at, 200u);
+  EXPECT_EQ(net.stats().searches_pended, 1u);
+  EXPECT_EQ(net.current_mss_of(mh_id(1)), mss_id(2));
+}
+
+TEST(Search, RetriesWhenTargetMovesMidFlight) {
+  // Locate resolves, then the MH moves before the downlink lands; the
+  // substrate must re-search and still deliver (footnote 1).
+  auto cfg = small_config(3, 6);
+  cfg.latency.wireless_min = cfg.latency.wireless_max = 20;  // slow air link
+  Network net(cfg);
+  Harness h(net);
+  net.start();
+  h.mss[0]->do_send_to_mh(mh_id(1), std::string("moving target"));
+  // Oracle resolves at t=4; downlink would land at wired(5)+20. Move at
+  // t=12 so the frame misses.
+  net.sched().schedule(12, [&] { net.mh(mh_id(1)).move_to(mss_id(2), 5); });
+  net.run();
+  ASSERT_EQ(h.mh[1]->received.size(), 1u);
+  EXPECT_GE(net.stats().delivery_retries, 1u);
+  EXPECT_GE(net.ledger().searches(), 2u);  // original + retry
+}
+
+TEST(Search, BroadcastModeFindsTargetAndChargesRealMessages) {
+  auto cfg = small_config(4, 8);
+  cfg.search = SearchMode::kBroadcast;
+  Network net(cfg);
+  Harness h(net);
+  net.start();
+  h.mss[0]->do_send_to_mh(mh_id(1), std::string("bc"));  // mh1 in cell1
+  net.run();
+  ASSERT_EQ(h.mh[1]->received.size(), 1u);
+  EXPECT_EQ(net.ledger().searches(), 0u);  // no abstract charge in broadcast mode
+  // (M-1)=3 queries + 1 positive reply + 1 forward = 5 fixed messages.
+  EXPECT_EQ(net.ledger().fixed_msgs(), 5u);
+}
+
+TEST(Search, BroadcastShortCircuitsWhenTargetIsLocal) {
+  auto cfg = small_config(4, 8);
+  cfg.search = SearchMode::kBroadcast;
+  Network net(cfg);
+  Harness h(net);
+  net.start();
+  h.mss[1]->do_send_to_mh(mh_id(1), 5);  // local to sender
+  net.run();
+  ASSERT_EQ(h.mh[1]->received.size(), 1u);
+  EXPECT_EQ(net.ledger().fixed_msgs(), 0u);
+}
+
+TEST(Search, BroadcastRetriesUntilInTransitTargetLands) {
+  auto cfg = small_config(4, 8);
+  cfg.search = SearchMode::kBroadcast;
+  Network net(cfg);
+  Harness h(net);
+  net.start();
+  net.mh(mh_id(1)).move_to(mss_id(3), 300);
+  net.sched().schedule(10, [&] { h.mss[0]->do_send_to_mh(mh_id(1), std::string("late")); });
+  net.run();
+  ASSERT_EQ(h.mh[1]->received.size(), 1u);
+  EXPECT_GE(h.mh[1]->received[0].at, 300u);
+}
+
+// --------------------------------------------------------------------------
+// Disconnection
+// --------------------------------------------------------------------------
+
+TEST(Disconnect, SetsFlagAtLocalMss) {
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  net.mh(mh_id(0)).disconnect();
+  net.run();
+  EXPECT_FALSE(net.mss(mss_id(0)).is_local(mh_id(0)));
+  EXPECT_TRUE(net.mss(mss_id(0)).has_disconnected_flag(mh_id(0)));
+  EXPECT_EQ(h.mss[0]->events.back(), "disconnected:mh:0");
+  EXPECT_TRUE(net.is_disconnected(mh_id(0)));
+}
+
+TEST(Disconnect, NotifyPolicyReturnsBodyToSender) {
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  net.mh(mh_id(1)).disconnect();
+  net.sched().schedule(20, [&] {
+    h.mss[0]->do_send_to_mh(mh_id(1), std::string("urgent"), SendPolicy::kNotifyIfDisconnected);
+  });
+  net.run();
+  ASSERT_EQ(h.mss[0]->unreachable.size(), 1u);
+  EXPECT_EQ(h.mss[0]->unreachable[0].first, mh_id(1));
+  EXPECT_EQ(*std::any_cast<std::string>(&h.mss[0]->unreachable[0].second), "urgent");
+  EXPECT_TRUE(h.mh[1]->received.empty());
+  EXPECT_EQ(net.stats().unreachable_notices, 1u);
+}
+
+TEST(Disconnect, EventualPolicyParksAndDeliversOnReconnect) {
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  net.mh(mh_id(1)).disconnect();
+  net.sched().schedule(20, [&] {
+    h.mss[0]->do_send_to_mh(mh_id(1), std::string("stored"), SendPolicy::kEventualDelivery);
+  });
+  net.sched().schedule(100, [&] { net.mh(mh_id(1)).reconnect_at(mss_id(2), 10); });
+  net.run();
+  ASSERT_EQ(h.mh[1]->received.size(), 1u);
+  EXPECT_EQ(*std::any_cast<std::string>(&h.mh[1]->received[0].env.body), "stored");
+  EXPECT_GE(h.mh[1]->received[0].at, 110u);
+  EXPECT_EQ(net.stats().queued_for_reconnect, 1u);
+  EXPECT_EQ(net.current_mss_of(mh_id(1)), mss_id(2));
+}
+
+TEST(Disconnect, ReconnectWithPrevClearsFlagViaHandoff) {
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  net.mh(mh_id(0)).disconnect();
+  net.sched().schedule(50, [&] { net.mh(mh_id(0)).reconnect_at(mss_id(1), 5, true); });
+  net.run();
+  EXPECT_FALSE(net.mss(mss_id(0)).has_disconnected_flag(mh_id(0)));
+  EXPECT_TRUE(net.mss(mss_id(1)).is_local(mh_id(0)));
+  EXPECT_EQ(net.stats().reconnects, 1u);
+}
+
+TEST(Disconnect, ReconnectWithoutPrevQueriesEveryFixedHost) {
+  Network net(small_config(4, 8));
+  Harness h(net);
+  net.start();
+  net.mh(mh_id(0)).disconnect();
+  net.sched().schedule(50, [&] { net.mh(mh_id(0)).reconnect_at(mss_id(2), 5, false); });
+  net.run();
+  EXPECT_FALSE(net.mss(mss_id(0)).has_disconnected_flag(mh_id(0)));
+  EXPECT_TRUE(net.mss(mss_id(2)).is_local(mh_id(0)));
+}
+
+TEST(Disconnect, ReconnectWhileConnectedThrows) {
+  Network net(small_config(3, 6));
+  net.start();
+  EXPECT_THROW(net.mh(mh_id(0)).reconnect_at(mss_id(1), 5), std::logic_error);
+}
+
+// --------------------------------------------------------------------------
+// MH-to-MH relay
+// --------------------------------------------------------------------------
+
+TEST(Relay, DeliversWithTwoWirelessHopsAndOneSearch) {
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  h.mh[0]->do_send_to_mh(mh_id(1), std::string("peer"));
+  net.run();
+  ASSERT_EQ(h.mh[1]->received.size(), 1u);
+  EXPECT_EQ(*std::any_cast<std::string>(&h.mh[1]->received[0].env.body), "peer");
+  EXPECT_EQ(h.mh[1]->received[0].env.src.mh(), mh_id(0));
+  // §2: MH-to-MH costs 2*c_wireless + c_search.
+  EXPECT_EQ(net.ledger().wireless_msgs(), 2u);
+  EXPECT_EQ(net.ledger().searches(), 1u);
+  EXPECT_EQ(net.ledger().fixed_msgs(), 0u);
+  // Energy: tx at the source, rx at the destination.
+  EXPECT_EQ(net.ledger().energy_at(0, cost::CostParams{}), 1.0);
+  EXPECT_EQ(net.ledger().energy_at(1, cost::CostParams{}), 1.0);
+}
+
+TEST(Relay, SameCellPeersStillPayFullPath) {
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  h.mh[0]->do_send_to_mh(mh_id(3), 1);  // both in cell 0
+  net.run();
+  ASSERT_EQ(h.mh[3]->received.size(), 1u);
+  EXPECT_EQ(net.ledger().wireless_msgs(), 2u);
+  EXPECT_EQ(net.ledger().searches(), 1u);
+}
+
+TEST(Relay, FollowsMovingDestination) {
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  net.mh(mh_id(1)).move_to(mss_id(2), 150);
+  net.sched().schedule(10, [&] { h.mh[0]->do_send_to_mh(mh_id(1), std::string("find me")); });
+  net.run();
+  ASSERT_EQ(h.mh[1]->received.size(), 1u);
+  EXPECT_GE(h.mh[1]->received[0].at, 150u);
+}
+
+TEST(Relay, WaitsForDisconnectedDestination) {
+  // R1's vulnerability: relayed traffic to a disconnected MH parks until
+  // (if ever) it reconnects.
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  net.mh(mh_id(1)).disconnect();
+  net.sched().schedule(20, [&] { h.mh[0]->do_send_to_mh(mh_id(1), std::string("wait")); });
+  net.sched().schedule(500, [&] { net.mh(mh_id(1)).reconnect_at(mss_id(0), 5); });
+  net.run();
+  ASSERT_EQ(h.mh[1]->received.size(), 1u);
+  EXPECT_GE(h.mh[1]->received[0].at, 500u);
+}
+
+TEST(Relay, FifoResequencesAcrossMoves) {
+  // Send a burst mid-move so later messages overtake earlier ones in
+  // real arrival order; the resequencer must still deliver 0..19 in
+  // order.
+  auto cfg = small_config(3, 6);
+  cfg.latency.wired_min = 1;
+  cfg.latency.wired_max = 30;
+  cfg.latency.search_min = 1;
+  cfg.latency.search_max = 25;
+  Network net(cfg);
+  Harness h(net);
+  net.start();
+  for (int i = 0; i < 10; ++i) h.mh[0]->do_send_to_mh(mh_id(1), i);
+  net.sched().schedule(3, [&] { net.mh(mh_id(1)).move_to(mss_id(2), 40); });
+  net.sched().schedule(60, [&] {
+    for (int i = 10; i < 20; ++i) h.mh[0]->do_send_to_mh(mh_id(1), i);
+  });
+  net.run();
+  ASSERT_EQ(h.mh[1]->received.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(*std::any_cast<int>(&h.mh[1]->received[i].env.body), i) << "position " << i;
+  }
+}
+
+TEST(Relay, NonFifoModeDeliversWithoutBuffering) {
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  h.mh[0]->do_send_to_mh(mh_id(1), 1, /*fifo=*/false);
+  h.mh[0]->do_send_to_mh(mh_id(1), 2, /*fifo=*/false);
+  net.run();
+  EXPECT_EQ(h.mh[1]->received.size(), 2u);
+  EXPECT_EQ(net.stats().relay_reordered, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Doze mode
+// --------------------------------------------------------------------------
+
+TEST(Doze, DeliveriesToDozingHostAreCountedAsInterruptions) {
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  net.mh(mh_id(1)).set_doze(true);
+  h.mss[1]->do_send_local(mh_id(1), 1);
+  h.mss[1]->do_send_local(mh_id(1), 2);
+  net.run();
+  EXPECT_EQ(h.mh[1]->received.size(), 2u);
+  EXPECT_EQ(net.stats().doze_interruptions, 2u);
+}
+
+TEST(Doze, AwakeHostDoesNotCount) {
+  Network net(small_config(3, 6));
+  Harness h(net);
+  net.start();
+  h.mss[1]->do_send_local(mh_id(1), 1);
+  net.run();
+  EXPECT_EQ(net.stats().doze_interruptions, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Determinism
+// --------------------------------------------------------------------------
+
+TEST(Determinism, IdenticalSeedsGiveIdenticalRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    auto cfg = small_config(4, 12);
+    cfg.latency.wired_min = 1;
+    cfg.latency.wired_max = 20;
+    cfg.seed = seed;
+    Network net(cfg);
+    Harness h(net);
+    net.start();
+    for (std::uint32_t i = 0; i < 12; ++i) {
+      net.sched().schedule(i * 7, [&, i] {
+        const auto from = mh_id(i);
+        if (net.mh(from).connected()) {
+          h.mh[i]->do_send_to_mh(mh_id((i + 5) % 12), static_cast<int>(i));
+        }
+      });
+      if (i % 3 == 0) {
+        net.sched().schedule(i * 11 + 3, [&, i] {
+          auto& host = net.mh(mh_id(i));
+          if (host.connected()) {
+            const auto next =
+                static_cast<MssId>((index(host.current_mss()) + 1) % net.num_mss());
+            host.move_to(next, 13);
+          }
+        });
+      }
+    }
+    net.run();
+    return std::tuple{net.ledger().fixed_msgs(), net.ledger().wireless_msgs(),
+                      net.ledger().searches(), net.stats().joins, net.sched().fired()};
+  };
+  EXPECT_EQ(run_once(77), run_once(77));
+  EXPECT_NE(std::get<4>(run_once(77)), 0u);
+}
+
+
+// --------------------------------------------------------------------------
+// Trace instrumentation
+// --------------------------------------------------------------------------
+
+TEST(TraceInstrumentation, SubstrateEventsAreRecorded) {
+  Network net(small_config(3, 6));
+  net.trace().set_min_level(sim::TraceLevel::kDebug);
+  Harness h(net);
+  net.start();
+  net.mh(mh_id(0)).move_to(mss_id(1), 5);
+  net.sched().schedule(50, [&] { net.mh(mh_id(2)).disconnect(); });
+  net.sched().schedule(60, [&] { h.mss[0]->do_send_to_mh(mh_id(1), 1); });
+  net.run();
+  EXPECT_GE(net.trace().count_containing("join mh:0"), 1u);
+  EXPECT_GE(net.trace().count_containing("leave mh:0"), 0u);  // may be implicit
+  EXPECT_GE(net.trace().count_containing("handoff mh:0"), 1u);
+  EXPECT_GE(net.trace().count_containing("disconnect mh:2"), 1u);
+  EXPECT_GE(net.trace().count_containing("locating mh:1"), 1u);
+}
+
+TEST(TraceInstrumentation, SilentAtDefaultLevel) {
+  Network net(small_config(3, 6));  // default min level kInfo
+  net.start();
+  net.mh(mh_id(0)).move_to(mss_id(1), 5);
+  net.run();
+  EXPECT_EQ(net.trace().count_containing("join"), 0u);  // debug-level records dropped
+}
+
+}  // namespace
+}  // namespace mobidist::test

@@ -1,0 +1,263 @@
+// Tests for the §5 proxy framework: scope policies (local / fixed home /
+// lazy home), inform vs search cost split, obligations on disconnect,
+// and the Lamport-over-proxies demonstration algorithm.
+
+#include <gtest/gtest.h>
+
+#include "mobility/mobility_model.hpp"
+#include "proxy/proxy.hpp"
+#include "proxy/static_algorithm.hpp"
+#include "test_support.hpp"
+
+namespace mobidist::test {
+namespace {
+
+using mutex::CsMonitor;
+using proxy::ProxiedLamport;
+using proxy::ProxyOptions;
+using proxy::ProxyScope;
+using proxy::ProxyService;
+
+MssId mss_id(std::uint32_t i) { return static_cast<MssId>(i); }
+MhId mh_id(std::uint32_t i) { return static_cast<MhId>(i); }
+
+ProxyOptions scoped(ProxyScope scope, std::uint32_t every = 2) {
+  ProxyOptions opts;
+  opts.scope = scope;
+  opts.inform_every = every;
+  return opts;
+}
+
+// --------------------------------------------------------------------------
+// ProxyService mechanics
+// --------------------------------------------------------------------------
+
+TEST(ProxyService, LocalScopeTracksTheHost) {
+  Network net(small_config(3, 6));
+  ProxyService proxies(net, scoped(ProxyScope::kLocalMss));
+  net.start();
+  EXPECT_EQ(proxies.proxy_of(mh_id(1)), mss_id(1));
+  net.mh(mh_id(1)).move_to(mss_id(2), 5);
+  net.run();
+  EXPECT_EQ(proxies.proxy_of(mh_id(1)), mss_id(2));
+  EXPECT_EQ(proxies.informs(), 0u);  // never informs anybody
+}
+
+TEST(ProxyService, FixedHomeStaysPutAndInformsEveryMove) {
+  Network net(small_config(4, 8));
+  ProxyService proxies(net, scoped(ProxyScope::kFixedHome));
+  net.start();
+  EXPECT_EQ(proxies.proxy_of(mh_id(1)), mss_id(1));
+  net.mh(mh_id(1)).move_to(mss_id(2), 5);
+  net.sched().schedule(50, [&] { net.mh(mh_id(1)).move_to(mss_id(3), 5); });
+  net.run();
+  EXPECT_EQ(proxies.proxy_of(mh_id(1)), mss_id(1));  // still home
+  EXPECT_EQ(proxies.informs(), 2u);                  // one per move
+}
+
+TEST(ProxyService, LazyHomeInformsEveryKthMove) {
+  Network net(small_config(4, 8));
+  ProxyService proxies(net, scoped(ProxyScope::kLazyHome, 2));
+  net.start();
+  // Four moves, inform_every = 2: informs on moves 2 and 4.
+  for (int move = 0; move < 4; ++move) {
+    net.sched().schedule(1 + 60 * move, [&, move] {
+      auto& host = net.mh(mh_id(1));
+      const auto next = static_cast<MssId>((index(host.current_mss()) + 1) % 4);
+      host.move_to(next, 5);
+    });
+  }
+  net.run();
+  EXPECT_EQ(proxies.informs(), 2u);
+}
+
+TEST(ProxyService, ClientSendReachesTheHomeProxy) {
+  Network net(small_config(4, 8));
+  ProxyService proxies(net, scoped(ProxyScope::kFixedHome));
+  std::vector<std::pair<MssId, MhId>> upcalls;
+  proxies.set_proxy_handler([&](MssId proxy, MhId from, const std::any&) {
+    upcalls.emplace_back(proxy, from);
+  });
+  net.start();
+  // Move mh1 away from home, then send: uplink + one forward.
+  net.mh(mh_id(1)).move_to(mss_id(3), 5);
+  net.sched().schedule(50, [&] { proxies.client_send(mh_id(1), std::string("hi")); });
+  net.run();
+  ASSERT_EQ(upcalls.size(), 1u);
+  EXPECT_EQ(upcalls[0].first, mss_id(1));  // home proxy, not current cell
+  EXPECT_EQ(upcalls[0].second, mh_id(1));
+}
+
+TEST(ProxyService, FixedHomeDeliveryNeedsNoSearch) {
+  Network net(small_config(4, 8));
+  ProxyService proxies(net, scoped(ProxyScope::kFixedHome));
+  int received = 0;
+  proxies.set_client_handler([&](MhId, const std::any&) { ++received; });
+  net.start();
+  net.mh(mh_id(1)).move_to(mss_id(3), 5);
+  // Wait for the inform to land, then deliver from the home proxy.
+  net.sched().schedule(80, [&] { proxies.proxy_send(mss_id(1), mh_id(1), 42); });
+  net.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(net.ledger().searches(), 0u);  // cached location was fresh
+  EXPECT_EQ(proxies.location_misses(), 0u);
+}
+
+TEST(ProxyService, StaleLazyCacheFallsBackToSearch) {
+  Network net(small_config(4, 8));
+  ProxyService proxies(net, scoped(ProxyScope::kLazyHome, 100));  // ~never informs
+  int received = 0;
+  proxies.set_client_handler([&](MhId, const std::any&) { ++received; });
+  net.start();
+  net.mh(mh_id(1)).move_to(mss_id(3), 5);
+  net.sched().schedule(80, [&] { proxies.proxy_send(mss_id(1), mh_id(1), 42); });
+  net.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_GE(proxies.location_misses(), 1u);
+  EXPECT_GE(net.ledger().searches(), 1u);  // the chase
+}
+
+TEST(ProxyService, LocalScopeDeliveryIsOneWirelessHop) {
+  Network net(small_config(4, 8));
+  ProxyService proxies(net, scoped(ProxyScope::kLocalMss));
+  int received = 0;
+  proxies.set_client_handler([&](MhId, const std::any&) { ++received; });
+  net.start();
+  net.sched().schedule(1, [&] { proxies.proxy_send(mss_id(1), mh_id(1), 1); });
+  net.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(net.ledger().wireless_msgs(), 1u);
+  EXPECT_EQ(net.ledger().fixed_msgs(), 0u);
+  EXPECT_EQ(net.ledger().searches(), 0u);
+}
+
+TEST(ProxyService, UnreachableHandlerFiresForDisconnectedClient) {
+  Network net(small_config(4, 8));
+  ProxyService proxies(net, scoped(ProxyScope::kFixedHome));
+  std::vector<MhId> unreachable;
+  proxies.set_unreachable_handler(
+      [&](MssId, MhId mh, const std::any&) { unreachable.push_back(mh); });
+  net.start();
+  net.mh(mh_id(1)).disconnect();
+  net.sched().schedule(20, [&] {
+    proxies.proxy_send(mss_id(1), mh_id(1), 5, net::SendPolicy::kNotifyIfDisconnected);
+  });
+  net.run();
+  ASSERT_EQ(unreachable.size(), 1u);
+  EXPECT_EQ(unreachable[0], mh_id(1));
+}
+
+// --------------------------------------------------------------------------
+// ProxiedLamport: the static algorithm over the proxy layer
+// --------------------------------------------------------------------------
+
+TEST(ProxiedLamport, SingleRequestCompletes) {
+  Network net(small_config(4, 8));
+  ProxyService proxies(net, scoped(ProxyScope::kFixedHome));
+  CsMonitor monitor;
+  ProxiedLamport mutex(net, proxies, monitor);
+  net.start();
+  net.sched().schedule(1, [&] { mutex.request(mh_id(0)); });
+  net.run();
+  EXPECT_EQ(mutex.completed(), 1u);
+  EXPECT_EQ(monitor.grants(), 1u);
+  EXPECT_EQ(monitor.violations(), 0u);
+}
+
+TEST(ProxiedLamport, ManyRequestersSafeAndOrderedUnderEveryScope) {
+  for (const auto scope :
+       {ProxyScope::kLocalMss, ProxyScope::kFixedHome, ProxyScope::kLazyHome}) {
+    Network net(small_config(4, 12));
+    ProxyService proxies(net, scoped(scope));
+    CsMonitor monitor;
+    ProxiedLamport mutex(net, proxies, monitor);
+    net.start();
+    for (std::uint32_t i = 0; i < 12; ++i) {
+      net.sched().schedule(1 + 5 * i, [&, i] { mutex.request(mh_id(i)); });
+    }
+    net.run();
+    EXPECT_EQ(mutex.completed(), 12u) << "scope " << static_cast<int>(scope);
+    EXPECT_EQ(monitor.violations(), 0u);
+    EXPECT_EQ(monitor.order_inversions(), 0u);
+  }
+}
+
+TEST(ProxiedLamport, SafeUnderMobilityWithFixedHome) {
+  auto cfg = small_config(5, 15);
+  cfg.latency.wired_min = 1;
+  cfg.latency.wired_max = 10;
+  Network net(cfg);
+  ProxyService proxies(net, scoped(ProxyScope::kFixedHome));
+  CsMonitor monitor;
+  ProxiedLamport mutex(net, proxies, monitor);
+  mobility::MobilityConfig mob;
+  mob.mean_pause = 40;
+  mob.mean_transit = 5;
+  mob.max_moves_per_host = 5;
+  mobility::MobilityDriver driver(net, mob);
+  net.start();
+  driver.start();
+  for (std::uint32_t i = 0; i < 15; ++i) {
+    net.sched().schedule(2 + 9 * i, [&, i] { mutex.request(mh_id(i)); });
+  }
+  net.run();
+  EXPECT_EQ(mutex.completed(), 15u);
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_GT(proxies.informs(), 0u);
+  // Total decoupling: no searches with a fully informed fixed proxy...
+  // except chases for messages racing a move. Allow only those.
+  EXPECT_LE(net.ledger().searches(), proxies.location_misses());
+}
+
+TEST(ProxiedLamport, DisconnectAtGrantAborts) {
+  Network net(small_config(4, 8));
+  ProxyService proxies(net, scoped(ProxyScope::kFixedHome));
+  CsMonitor monitor;
+  ProxiedLamport mutex(net, proxies, monitor);
+  net.start();
+  net.sched().schedule(1, [&] { mutex.request(mh_id(0)); });
+  net.sched().schedule(2, [&] { mutex.request(mh_id(1)); });
+  net.sched().schedule(3, [&] { net.mh(mh_id(0)).disconnect(); });
+  net.run();
+  EXPECT_EQ(mutex.aborted(), 1u);
+  EXPECT_EQ(mutex.completed(), 1u);
+  EXPECT_EQ(monitor.violations(), 0u);
+}
+
+TEST(ProxiedLamport, InformSearchTradeoffAcrossScopes) {
+  // High mobility, few requests: fixed home pays informs, local pays
+  // searches; lazy sits between on informs.
+  auto run_scope = [](ProxyScope scope) {
+    auto cfg = small_config(4, 8);
+    Network net(cfg);
+    ProxyService proxies(net, scoped(scope, 4));
+    CsMonitor monitor;
+    ProxiedLamport mutex(net, proxies, monitor);
+    net.start();
+    // mh0 moves 8 times...
+    for (int move = 0; move < 8; ++move) {
+      net.sched().schedule(1 + 50 * move, [&] {
+        auto& host = net.mh(mh_id(0));
+        if (!host.connected()) return;
+        const auto next = static_cast<MssId>((index(host.current_mss()) + 1) % 4);
+        host.move_to(next, 5);
+      });
+    }
+    // ...and requests once at the end.
+    net.sched().schedule(500, [&] { mutex.request(mh_id(0)); });
+    net.run();
+    EXPECT_EQ(mutex.completed(), 1u);
+    return std::pair{proxies.informs(), net.ledger().searches()};
+  };
+  const auto [informs_home, searches_home] = run_scope(ProxyScope::kFixedHome);
+  const auto [informs_lazy, searches_lazy] = run_scope(ProxyScope::kLazyHome);
+  const auto [informs_local, searches_local] = run_scope(ProxyScope::kLocalMss);
+  EXPECT_EQ(informs_home, 8u);
+  EXPECT_EQ(searches_home, 0u);
+  EXPECT_EQ(informs_local, 0u);
+  EXPECT_LT(informs_lazy, informs_home);
+  EXPECT_GT(informs_lazy, 0u);
+}
+
+}  // namespace
+}  // namespace mobidist::test

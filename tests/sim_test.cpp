@@ -1,0 +1,362 @@
+// Tests for the discrete-event kernel: scheduler ordering/cancellation,
+// RNG determinism and distribution sanity, trace buffering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+
+namespace mobidist::sim {
+namespace {
+
+// --------------------------------------------------------------------------
+// Scheduler
+// --------------------------------------------------------------------------
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler sched;
+  EXPECT_EQ(sched.now(), 0u);
+  EXPECT_EQ(sched.pending(), 0u);
+  EXPECT_EQ(sched.fired(), 0u);
+}
+
+TEST(Scheduler, FiresEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule(30, [&] { order.push_back(3); });
+  sched.schedule(10, [&] { order.push_back(1); });
+  sched.schedule(20, [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 30u);
+}
+
+TEST(Scheduler, SameInstantEventsFireFifo) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    sched.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  std::vector<int> expected(16);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Scheduler, AdvancesVirtualTimeToEventTimestamp) {
+  Scheduler sched;
+  SimTime seen = 0;
+  sched.schedule(42, [&] { seen = sched.now(); });
+  sched.run();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(Scheduler, NestedSchedulingFromCallback) {
+  Scheduler sched;
+  std::vector<SimTime> at;
+  sched.schedule(10, [&] {
+    at.push_back(sched.now());
+    sched.schedule(5, [&] { at.push_back(sched.now()); });
+  });
+  sched.run();
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_EQ(at[0], 10u);
+  EXPECT_EQ(at[1], 15u);
+}
+
+TEST(Scheduler, ZeroDelayFiresAtCurrentInstantAfterQueuedPeers) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule(10, [&] {
+    order.push_back(1);
+    sched.schedule(0, [&] { order.push_back(3); });
+    order.push_back(2);
+  });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 10u);
+}
+
+TEST(Scheduler, CancelPreventsFiring) {
+  Scheduler sched;
+  bool fired = false;
+  auto handle = sched.schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(sched.cancel(handle));
+  sched.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sched.fired(), 0u);
+}
+
+TEST(Scheduler, CancelTwiceReturnsFalse) {
+  Scheduler sched;
+  auto handle = sched.schedule(10, [] {});
+  EXPECT_TRUE(sched.cancel(handle));
+  EXPECT_FALSE(sched.cancel(handle));
+}
+
+TEST(Scheduler, CancelAfterFireReturnsFalse) {
+  Scheduler sched;
+  auto handle = sched.schedule(10, [] {});
+  sched.run();
+  EXPECT_FALSE(sched.cancel(handle));
+}
+
+TEST(Scheduler, CancelInvalidHandleReturnsFalse) {
+  Scheduler sched;
+  EXPECT_FALSE(sched.cancel(EventHandle{}));
+  EXPECT_FALSE(sched.cancel(EventHandle{9999}));
+}
+
+TEST(Scheduler, PendingTracksLiveEvents) {
+  Scheduler sched;
+  auto a = sched.schedule(10, [] {});
+  sched.schedule(20, [] {});
+  EXPECT_EQ(sched.pending(), 2u);
+  sched.cancel(a);
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run();
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(Scheduler, RunUntilStopsAtHorizon) {
+  Scheduler sched;
+  std::vector<int> fired;
+  sched.schedule(10, [&] { fired.push_back(1); });
+  sched.schedule(20, [&] { fired.push_back(2); });
+  sched.schedule(30, [&] { fired.push_back(3); });
+  const auto n = sched.run_until(20);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sched.now(), 20u);
+  EXPECT_EQ(sched.pending(), 1u);
+}
+
+TEST(Scheduler, RunUntilAdvancesTimeEvenWithoutEvents) {
+  Scheduler sched;
+  sched.run_until(100);
+  EXPECT_EQ(sched.now(), 100u);
+}
+
+TEST(Scheduler, RunUntilHonoursEventsScheduledMidFlight) {
+  Scheduler sched;
+  std::vector<SimTime> at;
+  sched.schedule(10, [&] {
+    at.push_back(sched.now());
+    sched.schedule(5, [&] { at.push_back(sched.now()); });   // 15: inside horizon
+    sched.schedule(50, [&] { at.push_back(sched.now()); });  // 60: outside
+  });
+  sched.run_until(20);
+  EXPECT_EQ(at, (std::vector<SimTime>{10, 15}));
+  EXPECT_EQ(sched.pending(), 1u);
+}
+
+TEST(Scheduler, SchedulingInPastThrows) {
+  Scheduler sched;
+  sched.schedule(10, [] {});
+  sched.run();
+  EXPECT_THROW(sched.schedule_at(5, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, NullCallbackThrows) {
+  Scheduler sched;
+  EXPECT_THROW(sched.schedule(1, Scheduler::Callback{}), std::invalid_argument);
+}
+
+TEST(Scheduler, EventLimitStopsRunawayRun) {
+  Scheduler sched;
+  std::function<void()> self_feeding = [&] { sched.schedule(1, self_feeding); };
+  sched.schedule(1, self_feeding);
+  sched.set_event_limit(1000);
+  sched.run();
+  EXPECT_TRUE(sched.hit_event_limit());
+  EXPECT_EQ(sched.fired(), 1000u);
+}
+
+TEST(Scheduler, CancelledEventBetweenLiveOnesDoesNotDisturbOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule(10, [&] { order.push_back(1); });
+  auto mid = sched.schedule(20, [&] { order.push_back(99); });
+  sched.schedule(30, [&] { order.push_back(3); });
+  sched.cancel(mid);
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+// --------------------------------------------------------------------------
+// Rng
+// --------------------------------------------------------------------------
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next() != b.next()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(42);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::array<int, kBuckets> hist{};
+  for (int i = 0; i < kDraws; ++i) ++hist[rng.below(kBuckets)];
+  for (int count : hist) {
+    EXPECT_NEAR(count, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(5);
+  double sum = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / kDraws, 10.0, 0.3);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.25, 0.02);
+}
+
+TEST(Rng, ZipfFavoursLowRanks) {
+  Rng rng(17);
+  std::array<int, 8> hist{};
+  for (int i = 0; i < 40000; ++i) ++hist[rng.zipf(8, 1.0)];
+  EXPECT_GT(hist[0], hist[3]);
+  EXPECT_GT(hist[3], hist[7]);
+}
+
+TEST(Rng, ZipfSingletonIsZero) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.zipf(1, 1.2), 0u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(99);
+  Rng child_a = parent.split();
+  Rng child_b = parent.split();
+  // Children of the same parent differ from each other and the parent.
+  EXPECT_NE(child_a.next(), child_b.next());
+}
+
+// --------------------------------------------------------------------------
+// Trace
+// --------------------------------------------------------------------------
+
+TEST(Trace, RecordsInOrder) {
+  Trace trace;
+  trace.log(1, TraceLevel::kInfo, "net", "a");
+  trace.log(2, TraceLevel::kInfo, "net", "b");
+  ASSERT_EQ(trace.records().size(), 2u);
+  EXPECT_EQ(trace.records()[0].text, "a");
+  EXPECT_EQ(trace.records()[1].text, "b");
+}
+
+TEST(Trace, DropsBelowMinLevel) {
+  Trace trace;
+  trace.set_min_level(TraceLevel::kWarn);
+  trace.log(1, TraceLevel::kInfo, "x", "quiet");
+  trace.log(2, TraceLevel::kError, "x", "loud");
+  ASSERT_EQ(trace.records().size(), 1u);
+  EXPECT_EQ(trace.records()[0].text, "loud");
+}
+
+TEST(Trace, BoundedCapacityKeepsMostRecent) {
+  Trace trace(3);
+  for (int i = 0; i < 10; ++i) {
+    trace.log(static_cast<SimTime>(i), TraceLevel::kInfo, "x", std::to_string(i));
+  }
+  ASSERT_EQ(trace.records().size(), 3u);
+  EXPECT_EQ(trace.records()[0].text, "7");
+  EXPECT_EQ(trace.records()[2].text, "9");
+  EXPECT_EQ(trace.dropped(), 7u);
+}
+
+TEST(Trace, SinkReceivesAcceptedRecords) {
+  Trace trace;
+  int seen = 0;
+  trace.set_sink([&](const TraceRecord&) { ++seen; });
+  trace.set_min_level(TraceLevel::kWarn);
+  trace.log(1, TraceLevel::kInfo, "x", "below");
+  trace.log(2, TraceLevel::kWarn, "x", "at");
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(Trace, CountContaining) {
+  Trace trace;
+  trace.log(1, TraceLevel::kInfo, "x", "token sent");
+  trace.log(2, TraceLevel::kInfo, "x", "token received");
+  trace.log(3, TraceLevel::kInfo, "x", "request");
+  EXPECT_EQ(trace.count_containing("token"), 2u);
+}
+
+TEST(Trace, FormatIncludesAllFields) {
+  TraceRecord rec{12, TraceLevel::kWarn, "mutex", "hello"};
+  const auto text = Trace::format(rec);
+  EXPECT_NE(text.find("t=12"), std::string::npos);
+  EXPECT_NE(text.find("WARN"), std::string::npos);
+  EXPECT_NE(text.find("mutex"), std::string::npos);
+  EXPECT_NE(text.find("hello"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mobidist::sim
