@@ -39,7 +39,8 @@ struct Run {
   int received = 0;
 };
 
-Run deliver_once(std::uint32_t m, net::SearchMode mode, bool target_in_transit) {
+Run deliver_once(std::uint32_t m, net::SearchMode mode, bool target_in_transit,
+                 core::BenchReport& report) {
   NetConfig cfg;
   cfg.num_mss = m;
   cfg.num_mh = m;  // mh i in cell i
@@ -62,6 +63,9 @@ Run deliver_once(std::uint32_t m, net::SearchMode mode, bool target_in_transit) 
   }
   net.sched().schedule(5, [station, target] { station->ping(target); });
   net.run();
+  report.add_run(std::string(mode == net::SearchMode::kOracle ? "oracle" : "broadcast") +
+                     "_m" + std::to_string(m) + (target_in_transit ? "_transit" : ""),
+                 net, cost::CostParams{});
   return Run{net.ledger().fixed_msgs(), net.ledger().searches(), host->received};
 }
 
@@ -69,12 +73,14 @@ Run deliver_once(std::uint32_t m, net::SearchMode mode, bool target_in_transit) 
 
 int main() {
   std::cout << "A1: oracle vs broadcast search for one remote delivery\n\n";
+  core::BenchReport report("a1_search_modes");
+  report.note("sweep", "oracle vs broadcast over M, plus in-transit target at M=16");
 
   core::Table table({"M", "oracle searches", "oracle fixed", "broadcast fixed",
                      "paper worst case M+1"});
   for (const std::uint32_t m : {4u, 8u, 16u, 32u, 64u}) {
-    const auto oracle = deliver_once(m, net::SearchMode::kOracle, false);
-    const auto broadcast = deliver_once(m, net::SearchMode::kBroadcast, false);
+    const auto oracle = deliver_once(m, net::SearchMode::kOracle, false, report);
+    const auto broadcast = deliver_once(m, net::SearchMode::kBroadcast, false, report);
     table.row({core::num(m), core::num(static_cast<double>(oracle.searches)),
                core::num(static_cast<double>(oracle.fixed)),
                core::num(static_cast<double>(broadcast.fixed)), core::num(m + 1.0)});
@@ -83,8 +89,8 @@ int main() {
 
   std::cout << "\nIn-transit target (joins its new cell only after 120 ticks):\n";
   core::Table transit({"mode", "delivered", "fixed msgs", "note"});
-  const auto oracle = deliver_once(16, net::SearchMode::kOracle, true);
-  const auto broadcast = deliver_once(16, net::SearchMode::kBroadcast, true);
+  const auto oracle = deliver_once(16, net::SearchMode::kOracle, true, report);
+  const auto broadcast = deliver_once(16, net::SearchMode::kBroadcast, true, report);
   transit.row({"oracle", core::num(static_cast<double>(oracle.received)),
                core::num(static_cast<double>(oracle.fixed)),
                "resolution pends until the join"});
@@ -95,6 +101,8 @@ int main() {
 
   std::cout << "\nReading: the abstract c_search models exactly one unit of work;\n"
                "the broadcast substrate shows why the paper prices the worst case\n"
-               "at ~M fixed messages and why repeated rounds punish slow joins.\n";
+               "at ~M fixed messages and why repeated rounds punish slow joins.\n"
+               "\nwrote "
+            << report.write() << "\n";
   return 0;
 }

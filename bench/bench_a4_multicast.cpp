@@ -41,8 +41,8 @@ Group recipients(std::uint32_t count) {
 }
 
 /// Flood-and-buffer multicast under background mobility.
-double run_mcast(std::uint32_t m, std::uint32_t r, const cost::CostParams& p,
-                 bool& exact) {
+double run_mcast(std::uint32_t m, std::uint32_t r, const cost::CostParams& p, bool& exact,
+                 core::BenchReport& report) {
   Network net(base_config(m, r + 4));
   multicast::McastService mcast(net, recipients(r));
   mobility::MobilityConfig mob;
@@ -57,6 +57,7 @@ double run_mcast(std::uint32_t m, std::uint32_t r, const cost::CostParams& p,
   }
   net.run();
   exact = mcast.monitor().exactly_once(mcast.recipients());
+  report.add_run("flood_m" + std::to_string(m) + "_r" + std::to_string(r), net, p);
   return net.ledger().total(p) / static_cast<double>(kMessages);
 }
 
@@ -85,7 +86,8 @@ class NaiveReceiver : public net::MhAgent {
   group::DeliveryMonitor& monitor_;
 };
 
-double run_naive(std::uint32_t m, std::uint32_t r, const cost::CostParams& p, bool& exact) {
+double run_naive(std::uint32_t m, std::uint32_t r, const cost::CostParams& p, bool& exact,
+                 core::BenchReport& report) {
   Network net(base_config(m, r + 4));
   const auto group = recipients(r);
   group::DeliveryMonitor monitor;
@@ -114,6 +116,7 @@ double run_naive(std::uint32_t m, std::uint32_t r, const cost::CostParams& p, bo
   }
   net.run();
   exact = monitor.exactly_once(group);
+  report.add_run("search_m" + std::to_string(m) + "_r" + std::to_string(r), net, p);
   return net.ledger().total(p) / static_cast<double>(kMessages);
 }
 
@@ -124,13 +127,15 @@ int main() {
   std::cout << "A4: multicast to mobile recipients — flood+handoff (ref [1]) vs\n"
                "per-recipient search, " << kMessages << " publications under mobility\n\n";
 
+  core::BenchReport report("a4_multicast");
+  report.note("sweep", "flood+handoff vs per-recipient search over (M, |R|)");
   core::Table table({"M", "|R|", "flood+handoff /msg", "per-search /msg", "winner",
                      "both exactly-once"});
   for (const auto& [m, r] : {std::pair{4u, 4u}, {4u, 12u}, {16u, 4u}, {16u, 12u},
                              {32u, 8u}, {64u, 2u}}) {
     bool exact_mcast = false, exact_naive = false;
-    const double mcast_cost = run_mcast(m, r, p, exact_mcast);
-    const double naive_cost = run_naive(m, r, p, exact_naive);
+    const double mcast_cost = run_mcast(m, r, p, exact_mcast, report);
+    const double naive_cost = run_naive(m, r, p, exact_naive, report);
     table.row({core::num(m), core::num(r), core::num(mcast_cost), core::num(naive_cost),
                mcast_cost < naive_cost ? "flood" : "search",
                exact_mcast && exact_naive ? "yes" : "NO"});
@@ -139,6 +144,8 @@ int main() {
 
   std::cout << "\nReading: flooding wins when recipients outnumber stations or when\n"
                "searches are expensive; per-recipient search wins for tiny recipient\n"
-               "sets in large networks. Only the flood+handoff scheme never searches.\n";
+               "sets in large networks. Only the flood+handoff scheme never searches.\n"
+               "\nwrote "
+            << report.write() << "\n";
   return 0;
 }

@@ -32,17 +32,20 @@ NetConfig base_config(std::uint32_t m, std::uint32_t n) {
   return cfg;
 }
 
-double run_l1(std::uint32_t m, std::uint32_t n, const cost::CostParams& p) {
+double run_l1(std::uint32_t m, std::uint32_t n, const cost::CostParams& p,
+              core::BenchReport& report) {
   Network net(base_config(m, n));
   mutex::CsMonitor monitor;
   mutex::L1Mutex l1(net, monitor);
   net.start();
   net.sched().schedule(1, [&] { l1.request(MhId(0)); });
   net.run();
+  report.add_run("l1_m" + std::to_string(m) + "_n" + std::to_string(n), net, p);
   return net.ledger().total(p);
 }
 
-double run_l2(std::uint32_t m, std::uint32_t n, const cost::CostParams& p) {
+double run_l2(std::uint32_t m, std::uint32_t n, const cost::CostParams& p,
+              core::BenchReport& report) {
   Network net(base_config(m, n));
   mutex::CsMonitor monitor;
   mutex::L2Mutex l2(net, monitor);
@@ -52,6 +55,7 @@ double run_l2(std::uint32_t m, std::uint32_t n, const cost::CostParams& p) {
   // between init and grant, exactly the scenario the formula models.
   net.sched().schedule(4, [&] { net.mh(MhId(0)).move_to(MssId(1), 2); });
   net.run();
+  report.add_run("l2_m" + std::to_string(m) + "_n" + std::to_string(n), net, p);
   return net.ledger().total(p);
 }
 
@@ -59,14 +63,16 @@ double run_l2(std::uint32_t m, std::uint32_t n, const cost::CostParams& p) {
 
 int main() {
   const cost::CostParams p;  // c_f = 1, c_w = 10, c_s = 4
+  core::BenchReport report("e1_lamport_cost");
+  report.note("sweep", "L1 over N (M=8) and over M (N=64), vs closed forms");
   std::cout << "E1: cost of one mutual-exclusion execution (c_fixed=" << p.c_fixed
             << ", c_wireless=" << p.c_wireless << ", c_search=" << p.c_search << ")\n\n";
 
   std::cout << "Sweep N (M = 8):\n";
   core::Table by_n({"N", "L1 sim", "L1 formula", "L2 sim", "L2 formula", "L1/L2"});
   for (const std::uint32_t n : {8u, 16u, 32u, 64u, 128u, 256u}) {
-    const double l1_sim = run_l1(8, n, p);
-    const double l2_sim = run_l2(8, n, p);
+    const double l1_sim = run_l1(8, n, p, report);
+    const double l2_sim = run_l2(8, n, p, report);
     by_n.row({core::num(n), core::num(l1_sim), core::num(analysis::l1_execution_cost(n, p)),
               core::num(l2_sim), core::num(analysis::l2_execution_cost(8, p)),
               core::ratio(l1_sim / l2_sim)});
@@ -76,8 +82,8 @@ int main() {
   std::cout << "\nSweep M (N = 64):\n";
   core::Table by_m({"M", "L1 sim", "L1 formula", "L2 sim", "L2 formula", "L1/L2"});
   for (const std::uint32_t m : {4u, 8u, 16u, 32u}) {
-    const double l1_sim = run_l1(m, 64, p);
-    const double l2_sim = run_l2(m, 64, p);
+    const double l1_sim = run_l1(m, 64, p, report);
+    const double l2_sim = run_l2(m, 64, p, report);
     by_m.row({core::num(m), core::num(l1_sim), core::num(analysis::l1_execution_cost(64, p)),
               core::num(l2_sim), core::num(analysis::l2_execution_cost(m, p)),
               core::ratio(l1_sim / l2_sim)});
@@ -85,6 +91,7 @@ int main() {
   by_m.print(std::cout);
 
   std::cout << "\nShape check: L1 grows ~3*(2c_w+c_s) per extra MH; L2 is constant in N\n"
-            << "and grows only 3*c_f per extra MSS (the paper's structuring principle).\n";
+            << "and grows only 3*c_f per extra MSS (the paper's structuring principle).\n"
+            << "\nwrote " << report.write() << "\n";
   return 0;
 }

@@ -34,6 +34,8 @@ NetConfig base_config(std::uint32_t n) {
 
 int main() {
   const cost::CostParams p;  // unit energy per wireless hop
+  core::BenchReport report("e2_wireless_energy");
+  report.note("sweep", "L1 vs L2 wireless hops and energy over N, plus disconnection runs");
   std::cout << "E2: wireless traffic and MH battery drain per execution\n\n";
 
   core::Table table({"N", "L1 wireless", "6(N-1)", "L1 init energy", "3(N-1)",
@@ -50,6 +52,7 @@ int main() {
       net.run();
       l1_wireless = net.ledger().wireless_msgs();
       l1_init_energy = net.ledger().energy_at(0, p);
+      report.add_run("l1_n" + std::to_string(n), net, p);
     }
     std::uint64_t l2_wireless = 0;
     double l2_init_energy = 0;
@@ -67,6 +70,7 @@ int main() {
       l2_wireless = net.ledger().wireless_msgs();
       l2_init_energy = net.ledger().energy_at(0, p);
       l2_doze = net.stats().doze_interruptions;
+      report.add_run("l2_n" + std::to_string(n), net, p);
     }
     table.row({core::num(n), core::num(static_cast<double>(l1_wireless)),
                core::num(static_cast<double>(analysis::l1_wireless_hops(n))),
@@ -89,6 +93,7 @@ int main() {
     net.sched().run_until(20000);
     std::cout << "  L1 with one unrelated MH disconnected: completed "
               << l1.completed() << "/1 (stalled — every MH must answer)\n";
+    report.add_run("l1_n16_unrelated_disconnect", net, p);
   }
   {
     Network net(base_config(16));
@@ -100,6 +105,7 @@ int main() {
     net.run();
     std::cout << "  L2 with one unrelated MH disconnected: completed "
               << l2.completed() << "/1 (unaffected)\n";
+    report.add_run("l2_n16_unrelated_disconnect", net, p);
   }
   {
     Network net(base_config(16));
@@ -113,6 +119,8 @@ int main() {
     std::cout << "  L2 when the requester itself disconnects pre-grant: completed "
               << l2.completed() << ", aborted " << l2.aborted()
               << " (home MSS released on its behalf)\n";
+    report.add_run("l2_n16_requester_disconnect", net, p);
   }
+  std::cout << "\nwrote " << report.write() << "\n";
   return 0;
 }

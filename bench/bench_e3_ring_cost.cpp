@@ -30,7 +30,8 @@ NetConfig base_config(std::uint32_t m, std::uint32_t n) {
   return cfg;
 }
 
-double run_r1(std::uint32_t n, std::uint32_t k, const cost::CostParams& p) {
+double run_r1(std::uint32_t n, std::uint32_t k, const cost::CostParams& p,
+              core::BenchReport& report) {
   Network net(base_config(4, n));
   mutex::CsMonitor monitor;
   mutex::R1Mutex r1(net, monitor);
@@ -38,10 +39,12 @@ double run_r1(std::uint32_t n, std::uint32_t k, const cost::CostParams& p) {
   for (std::uint32_t i = 0; i < k; ++i) r1.request(MhId(i));
   net.sched().schedule(1, [&] { r1.start_token(1); });
   net.run();
+  report.add_run("r1_n" + std::to_string(n) + "_k" + std::to_string(k), net, p);
   return net.ledger().total(p);
 }
 
-double run_r2(std::uint32_t m, std::uint32_t n, std::uint32_t k, const cost::CostParams& p) {
+double run_r2(std::uint32_t m, std::uint32_t n, std::uint32_t k, const cost::CostParams& p,
+              core::BenchReport& report) {
   Network net(base_config(m, n));
   mutex::CsMonitor monitor;
   mutex::R2Mutex r2(net, monitor, mutex::RingVariant::kBasic);
@@ -49,6 +52,9 @@ double run_r2(std::uint32_t m, std::uint32_t n, std::uint32_t k, const cost::Cos
   for (std::uint32_t i = 0; i < k; ++i) r2.request(MhId(i));
   net.sched().schedule(5, [&] { r2.start_token(1); });
   net.run();
+  report.add_run("r2_m" + std::to_string(m) + "_n" + std::to_string(n) + "_k" +
+                     std::to_string(k),
+                 net, p);
   return net.ledger().total(p);
 }
 
@@ -56,13 +62,15 @@ double run_r2(std::uint32_t m, std::uint32_t n, std::uint32_t k, const cost::Cos
 
 int main() {
   const cost::CostParams p;
+  core::BenchReport report("e3_ring_cost");
+  report.note("sweep", "R1 traversal cost over N, R2 cost over K, crossover at N=32");
   std::cout << "E3: token-ring traversal costs (c_fixed=" << p.c_fixed
             << ", c_wireless=" << p.c_wireless << ", c_search=" << p.c_search << ")\n\n";
 
   std::cout << "R1: one traversal, idle vs fully loaded (cost independent of K):\n";
   core::Table r1_table({"N", "sim K=0", "sim K=N", "formula N(2cw+cs)"});
   for (const std::uint32_t n : {4u, 8u, 16u, 32u, 64u}) {
-    r1_table.row({core::num(n), core::num(run_r1(n, 0, p)), core::num(run_r1(n, n, p)),
+    r1_table.row({core::num(n), core::num(run_r1(n, 0, p, report)), core::num(run_r1(n, n, p, report)),
                   core::num(analysis::r1_traversal_cost(n, p))});
   }
   r1_table.print(std::cout);
@@ -70,7 +78,7 @@ int main() {
   std::cout << "\nR2 (M = 4, N = 64): cost grows with requests served K:\n";
   core::Table r2_table({"K", "sim", "formula K(3cw+cf+cs)+Mcf"});
   for (const std::uint32_t k : {0u, 1u, 2u, 4u, 8u, 16u, 32u}) {
-    r2_table.row({core::num(k), core::num(run_r2(4, 64, k, p)),
+    r2_table.row({core::num(k), core::num(run_r2(4, 64, k, p, report)),
                   core::num(analysis::r2_cost(k, 4, p))});
   }
   r2_table.print(std::cout);
@@ -78,15 +86,16 @@ int main() {
   std::cout << "\nCrossover (N = 32, M = 4): R2 wins until K makes its per-request\n"
                "search bill exceed R1's flat traversal cost:\n";
   core::Table crossover({"K", "R1 sim", "R2 sim", "winner"});
-  const double r1_flat = run_r1(32, 0, p);
+  const double r1_flat = run_r1(32, 0, p, report);
   for (const std::uint32_t k : {1u, 4u, 8u, 16u, 24u, 32u}) {
-    const double r2_cost = run_r2(4, 32, k, p);
+    const double r2_cost = run_r2(4, 32, k, p, report);
     crossover.row({core::num(k), core::num(r1_flat), core::num(r2_cost),
                    r2_cost < r1_flat ? "R2" : "R1"});
   }
   crossover.print(std::cout);
 
   std::cout << "\nNote: R1's number is per traversal whether or not anyone asked;\n"
-               "R2 additionally never interrupts non-requesting (dozing) MHs.\n";
+               "R2 additionally never interrupts non-requesting (dozing) MHs.\n"
+            << "\nwrote " << report.write() << "\n";
   return 0;
 }

@@ -26,7 +26,7 @@ struct Outcome {
   std::uint64_t total = 0;
 };
 
-Outcome run(mutex::RingVariant variant, bool malicious) {
+Outcome run(mutex::RingVariant variant, bool malicious, core::BenchReport& report) {
   NetConfig cfg;
   cfg.num_mss = kM;
   cfg.num_mh = 8;
@@ -57,6 +57,9 @@ Outcome run(mutex::RingVariant variant, bool malicious) {
   Outcome outcome;
   outcome.grants_traversal1 = r2.grants_for(MhId(0), 1);
   outcome.total = r2.completed();
+  report.add_run("variant" + std::to_string(static_cast<int>(variant)) +
+                     (malicious ? "_malicious" : "_honest"),
+                 net, cost::CostParams{});
   return outcome;
 }
 
@@ -72,6 +75,8 @@ const char* name(mutex::RingVariant variant) {
 }  // namespace
 
 int main() {
+  core::BenchReport report("e4_ring_fairness");
+  report.note("sweep", "R2/R2'/R2'' grants to a token-chasing MH, honest and lying");
   std::cout << "E4: grants collected by one MH chasing the token through all " << kM
             << " cells within traversal 1\n"
             << "(paper bounds: R2 <= N*M per traversal, R2' <= N; R2'' holds even "
@@ -80,8 +85,8 @@ int main() {
   core::Table table({"variant", "honest MH", "malicious MH", "paper cap/traversal"});
   for (const auto variant : {mutex::RingVariant::kBasic, mutex::RingVariant::kCounter,
                              mutex::RingVariant::kTokenList}) {
-    const auto honest = run(variant, false);
-    const auto lying = run(variant, true);
+    const auto honest = run(variant, false, report);
+    const auto lying = run(variant, true, report);
     const char* cap = variant == mutex::RingVariant::kBasic ? "N*M" : "1 per MH";
     table.row({name(variant), core::num(static_cast<double>(honest.grants_traversal1)),
                core::num(static_cast<double>(lying.grants_traversal1)), cap});
@@ -90,6 +95,7 @@ int main() {
 
   std::cout << "\nReading: basic R2 serves the chaser at every cell (" << kM
             << " grants); R2' stops the honest chaser after one grant but a\n"
-               "malicious access_count defeats it; the token_list variant caps both.\n";
+               "malicious access_count defeats it; the token_list variant caps both.\n"
+            << "\nwrote " << report.write() << "\n";
   return 0;
 }

@@ -64,7 +64,8 @@ struct Run {
 
 template <typename Comm>
 Run run_strategy(double ratio, double f, const cost::CostParams& p,
-                 const std::function<std::unique_ptr<Comm>(Network&, const Group&)>& make) {
+                 const std::function<std::unique_ptr<Comm>(Network&, const Group&)>& make,
+                 core::BenchReport& report, const std::string& label) {
   Network net(base_config());
   const auto group = five_members();
   auto comm = make(net, group);
@@ -92,6 +93,7 @@ Run run_strategy(double ratio, double f, const cost::CostParams& p,
                                static_cast<double>(driver.moves_scheduled())
                          : 0.0;
   }
+  report.add_run(label, net, p);
   return run;
 }
 
@@ -99,6 +101,8 @@ Run run_strategy(double ratio, double f, const cost::CostParams& p,
 
 int main() {
   const cost::CostParams p;
+  core::BenchReport report("e5_group_location");
+  report.note("sweep", "three group strategies over MOB/MSG and significant fraction f");
   const std::size_t g = 5;
   std::cout << "E5: effective cost per group message, |G| = " << g
             << ", members clustered in 2 cells, " << kMessages << " messages\n\n";
@@ -107,18 +111,25 @@ int main() {
   core::Table table({"MOB/MSG", "pure-search", "PS formula", "always-inform", "AI formula",
                      "location-view", "LV bound", "f meas", "|LV|max"});
   for (const double ratio : {0.0, 1.0, 2.0, 4.0, 8.0}) {
+    const std::string suffix = "_ratio" + core::num(ratio);
     const auto ps = run_strategy<group::PureSearchGroup>(
-        ratio, 0.5, p, [](Network& net, const Group& grp) {
+        ratio, 0.5, p,
+        [](Network& net, const Group& grp) {
           return std::make_unique<group::PureSearchGroup>(net, grp);
-        });
+        },
+        report, "pure_search" + suffix);
     const auto ai = run_strategy<group::AlwaysInformGroup>(
-        ratio, 0.5, p, [](Network& net, const Group& grp) {
+        ratio, 0.5, p,
+        [](Network& net, const Group& grp) {
           return std::make_unique<group::AlwaysInformGroup>(net, grp);
-        });
+        },
+        report, "always_inform" + suffix);
     const auto lv = run_strategy<group::LocationViewGroup>(
-        ratio, 0.5, p, [](Network& net, const Group& grp) {
+        ratio, 0.5, p,
+        [](Network& net, const Group& grp) {
           return std::make_unique<group::LocationViewGroup>(net, grp);
-        });
+        },
+        report, "location_view" + suffix);
     table.row({core::num(ratio), core::num(ps.effective_cost),
                core::num(analysis::pure_search_msg_cost(g, p)),
                core::num(ai.effective_cost),
@@ -133,14 +144,19 @@ int main() {
   std::cout << "\nSweep significant fraction f (MOB/MSG = 4):\n";
   core::Table ftable({"f target", "f meas", "location-view", "LV bound", "always-inform"});
   for (const double f : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const std::string suffix = "_f" + core::num(f);
     const auto lv = run_strategy<group::LocationViewGroup>(
-        4.0, f, p, [](Network& net, const Group& grp) {
+        4.0, f, p,
+        [](Network& net, const Group& grp) {
           return std::make_unique<group::LocationViewGroup>(net, grp);
-        });
+        },
+        report, "location_view" + suffix);
     const auto ai = run_strategy<group::AlwaysInformGroup>(
-        4.0, f, p, [](Network& net, const Group& grp) {
+        4.0, f, p,
+        [](Network& net, const Group& grp) {
           return std::make_unique<group::AlwaysInformGroup>(net, grp);
-        });
+        },
+        report, "always_inform" + suffix);
     ftable.row({core::num(f), core::num(lv.measured_f), core::num(lv.effective_cost),
                 core::num(analysis::location_view_effective_bound(lv.measured_f * 4.0,
                                                                   lv.lv_max, g, p)),
@@ -150,6 +166,7 @@ int main() {
 
   std::cout << "\nReading: pure search is flat but always pays (|G|-1) searches;\n"
                "always-inform climbs linearly with MOB/MSG; location view tracks only\n"
-               "the significant fraction and stays under its paper bound.\n";
+               "the significant fraction and stays under its paper bound.\n"
+            << "\nwrote " << report.write() << "\n";
   return 0;
 }

@@ -32,8 +32,8 @@ struct Run {
   std::uint64_t completed = 0;
 };
 
-Run run_scope(ProxyScope scope, std::uint32_t moves_per_request,
-              const cost::CostParams& p) {
+Run run_scope(ProxyScope scope, std::uint32_t moves_per_request, const cost::CostParams& p,
+              core::BenchReport& report) {
   NetConfig cfg;
   cfg.num_mss = 6;
   cfg.num_mh = kHosts;
@@ -70,6 +70,9 @@ Run run_scope(ProxyScope scope, std::uint32_t moves_per_request,
   run.informs = proxies.informs();
   run.searches = net.ledger().searches();
   run.completed = mutex.completed();
+  report.add_run("scope" + std::to_string(static_cast<int>(scope)) + "_moves" +
+                     std::to_string(moves_per_request),
+                 net, p);
   return run;
 }
 
@@ -86,6 +89,8 @@ const char* name(ProxyScope scope) {
 
 int main() {
   const cost::CostParams p;
+  core::BenchReport report("e6_proxy");
+  report.note("sweep", "three proxy scopes over moves-per-request");
   std::cout << "E6: Lamport-over-proxies under three proxy scopes, " << kRequests
             << " CS requests, varying mobility\n\n";
 
@@ -94,7 +99,7 @@ int main() {
     core::Table table({"scope", "total cost", "informs", "searches", "completed"});
     for (const auto scope :
          {ProxyScope::kLocalMss, ProxyScope::kFixedHome, ProxyScope::kLazyHome}) {
-      const auto run = run_scope(scope, moves, p);
+      const auto run = run_scope(scope, moves, p, report);
       table.row({name(scope), core::num(run.total),
                  core::num(static_cast<double>(run.informs)),
                  core::num(static_cast<double>(run.searches)),
@@ -108,6 +113,7 @@ int main() {
                "decouples the algorithm completely; as moves/request grow its inform\n"
                "bill climbs linearly while the local-MSS proxy pays only per-use\n"
                "searches — the lazy proxy interpolates (the paper's 'less static\n"
-               "solutions').\n";
+               "solutions').\n"
+            << "\nwrote " << report.write() << "\n";
   return 0;
 }

@@ -10,6 +10,7 @@
 ///   net/      the §2 system model: MSSs, MHs, cells, handoff, search
 ///   mobility/ background mobility processes
 ///   workload/ request and message schedules
+///   obs/      metric registry (counters, gauges, histograms)
 ///   mutex/    §3: L1, L2, R1, R2, R2', R2''
 ///   group/    §4: pure search, always inform, location view
 ///   proxy/    §5: proxy scopes/obligations + Lamport-over-proxies
@@ -29,6 +30,7 @@
 #include "mutex/r1.hpp"
 #include "mutex/r2.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 #include "proxy/proxy.hpp"
 #include "proxy/static_algorithm.hpp"
 #include "sim/rng.hpp"

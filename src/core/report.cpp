@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 namespace mobidist::core {
 
@@ -75,6 +79,199 @@ std::string summarize(const cost::CostLedger& ledger, const cost::CostParams& pa
   os << "fixed=" << ledger.fixed_msgs() << " wireless=" << ledger.wireless_msgs()
      << " searches=" << ledger.searches() << " total=" << num(ledger.total(params));
   return os.str();
+}
+
+// --- JSON bench artifacts ---------------------------------------------------
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Fixed-precision double rendering so identical values are always
+/// byte-identical text (no locale / shortest-round-trip variation).
+std::string json_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", value);
+  return buf;
+}
+
+std::string quoted(std::string_view text) { return '"' + json_escape(text) + '"'; }
+
+const char* search_mode_name(net::SearchMode mode) {
+  return mode == net::SearchMode::kOracle ? "oracle" : "broadcast";
+}
+
+const char* placement_name(net::InitialPlacement placement) {
+  switch (placement) {
+    case net::InitialPlacement::kRoundRobin: return "round_robin";
+    case net::InitialPlacement::kRandom: return "random";
+    case net::InitialPlacement::kAllInCell0: return "all_in_cell0";
+  }
+  return "unknown";
+}
+
+std::string config_json(const net::NetConfig& cfg) {
+  std::ostringstream os;
+  const auto& lat = cfg.latency;
+  os << "{\"num_mss\":" << cfg.num_mss << ",\"num_mh\":" << cfg.num_mh
+     << ",\"seed\":" << cfg.seed << ",\"search\":" << quoted(search_mode_name(cfg.search))
+     << ",\"placement\":" << quoted(placement_name(cfg.placement))
+     << ",\"charge_search_for_local\":" << (cfg.charge_search_for_local ? "true" : "false")
+     << ",\"latency\":{\"wired_min\":" << lat.wired_min << ",\"wired_max\":" << lat.wired_max
+     << ",\"wireless_min\":" << lat.wireless_min << ",\"wireless_max\":" << lat.wireless_max
+     << ",\"search_min\":" << lat.search_min << ",\"search_max\":" << lat.search_max
+     << ",\"broadcast_retry\":" << lat.broadcast_retry << "}}";
+  return os.str();
+}
+
+std::string ledger_json(const cost::CostLedger& ledger, const cost::CostParams& params) {
+  std::ostringstream os;
+  os << "{\"fixed_msgs\":" << ledger.fixed_msgs()
+     << ",\"wireless_msgs\":" << ledger.wireless_msgs()
+     << ",\"searches\":" << ledger.searches() << ",\"wireless_tx\":" << ledger.wireless_tx()
+     << ",\"wireless_rx\":" << ledger.wireless_rx()
+     << ",\"total_cost\":" << json_double(ledger.total(params))
+     << ",\"total_energy\":" << json_double(ledger.total_energy(params)) << "}";
+  return os.str();
+}
+
+std::string cost_params_json(const cost::CostParams& params) {
+  std::ostringstream os;
+  os << "{\"c_fixed\":" << json_double(params.c_fixed)
+     << ",\"c_wireless\":" << json_double(params.c_wireless)
+     << ",\"c_search\":" << json_double(params.c_search)
+     << ",\"energy_tx\":" << json_double(params.energy_tx)
+     << ",\"energy_rx\":" << json_double(params.energy_rx) << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string metrics_json(const obs::Registry& registry) {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : registry.counters()) {
+    if (!first) os << ',';
+    first = false;
+    os << quoted(name) << ':' << counter.value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : registry.gauges()) {
+    if (!first) os << ',';
+    first = false;
+    os << quoted(name) << ':' << gauge.value();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : registry.histograms()) {
+    if (!first) os << ',';
+    first = false;
+    os << quoted(name) << ":{\"bounds\":[";
+    const auto& bounds = hist.bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      if (i != 0) os << ',';
+      os << bounds[i];
+    }
+    os << "],\"counts\":[";
+    const auto counts = hist.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i != 0) os << ',';
+      os << counts[i];
+    }
+    os << "],\"count\":" << hist.count() << ",\"sum\":" << hist.sum();
+    if (hist.count() != 0) {
+      os << ",\"min\":" << hist.min() << ",\"max\":" << hist.max();
+    }
+    os << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+void BenchReport::add_run(std::string label, const net::Network& net,
+                          const cost::CostParams& params) {
+  std::ostringstream os;
+  os << "{\"label\":" << quoted(label) << ",\"config\":" << config_json(net.config())
+     << ",\"cost_params\":" << cost_params_json(params)
+     << ",\"events\":" << net.sched().fired()
+     << ",\"ledger\":" << ledger_json(net.ledger(), params)
+     << ",\"metrics\":" << metrics_json(net.metrics()) << "}";
+  total_events_ += net.sched().fired();
+  runs_.push_back(os.str());
+}
+
+void BenchReport::note(std::string key, std::string value) {
+  notes_.emplace_back(std::move(key), std::move(value));
+}
+
+std::string BenchReport::body_json() const {
+  std::ostringstream os;
+  os << "{\"name\":" << quoted(name_) << ",\"notes\":{";
+  for (std::size_t i = 0; i < notes_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << quoted(notes_[i].first) << ':' << quoted(notes_[i].second);
+  }
+  os << "},\"runs\":[";
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << runs_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+std::string BenchReport::deterministic_json() const { return body_json() + "}"; }
+
+std::string BenchReport::json() const {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const double ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(elapsed).count();
+  const double events_per_sec =
+      ms > 0.0 ? static_cast<double>(total_events_) / (ms / 1000.0) : 0.0;
+  std::ostringstream os;
+  os << body_json() << ",\"timing\":{\"wall_clock_ms\":" << json_double(ms)
+     << ",\"events_per_sec\":" << json_double(events_per_sec) << "}}";
+  return os.str();
+}
+
+std::string BenchReport::write() const {
+  const char* dir = std::getenv("MOBIDIST_BENCH_DIR");
+  std::string path = (dir != nullptr && *dir != '\0') ? std::string(dir) : std::string(".");
+  if (path.back() != '/') path += '/';
+  path += "BENCH_" + name_ + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  out << json() << '\n';
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("BenchReport: cannot write " + path);
+  }
+  return path;
 }
 
 }  // namespace mobidist::core

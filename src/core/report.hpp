@@ -1,11 +1,16 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "cost/cost_model.hpp"
+#include "net/network.hpp"
+#include "obs/metrics.hpp"
 
 namespace mobidist::core {
 
@@ -36,5 +41,65 @@ class Table {
 /// "fixed=12 wireless=6 searches=3 total=96".
 [[nodiscard]] std::string summarize(const cost::CostLedger& ledger,
                                     const cost::CostParams& params);
+
+// --- JSON bench artifacts ---------------------------------------------------
+
+/// Escape `text` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Serialize every metric in `registry` as a JSON object with
+/// "counters" / "gauges" / "histograms" sections, iterated in name order
+/// so identical registries produce byte-identical text.
+[[nodiscard]] std::string metrics_json(const obs::Registry& registry);
+
+/// Collects per-run snapshots from a bench binary and writes the
+/// `BENCH_<name>.json` artifact.
+///
+/// Usage: construct one per bench, call add_run() for each simulated
+/// system *while its Network is still alive* (the snapshot is serialized
+/// immediately), optionally note() free-form key/values, then write().
+///
+/// Everything except the "timing" object is a pure function of the
+/// simulation: two runs of the same bench with the same seeds produce
+/// byte-identical deterministic_json(). Wall-clock derived numbers live
+/// only under "timing", which json()/write() append.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  /// Snapshot one simulated system: config, seed, cost-ledger totals
+  /// under `params`, scheduler events fired, and the full metric
+  /// registry.
+  void add_run(std::string label, const net::Network& net, const cost::CostParams& params);
+
+  /// Attach a free-form note (emitted under "notes" in insertion order).
+  void note(std::string key, std::string value);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t runs() const noexcept { return runs_.size(); }
+
+  /// The seed-determined portion of the artifact (no "timing" object).
+  [[nodiscard]] std::string deterministic_json() const;
+
+  /// Full artifact: deterministic body plus "timing" {wall_clock_ms,
+  /// events_per_sec} measured since construction.
+  [[nodiscard]] std::string json() const;
+
+  /// Write the artifact to `$MOBIDIST_BENCH_DIR/BENCH_<name>.json`
+  /// (current directory if the variable is unset) and return the path.
+  /// Throws std::runtime_error if the file cannot be written (e.g. the
+  /// directory does not exist).
+  std::string write() const;
+
+ private:
+  [[nodiscard]] std::string body_json() const;
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+  std::vector<std::string> runs_;        // pre-serialized run objects
+  std::uint64_t total_events_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace mobidist::core

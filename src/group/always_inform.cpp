@@ -123,7 +123,10 @@ class AlwaysInformGroup::StationAgent : public net::MssAgent {
 };
 
 AlwaysInformGroup::AlwaysInformGroup(net::Network& net, Group group, net::ProtocolId proto)
-    : net_(net), group_(std::move(group)) {
+    : net_(net),
+      group_(std::move(group)),
+      loc_updates_(net.metrics().counter("group.always_inform.loc_updates")),
+      stale_chases_(net.metrics().counter("group.always_inform.stale_chases")) {
   for (std::uint32_t i = 0; i < net.num_mss(); ++i) {
     net.mss(static_cast<MssId>(i))
         .register_agent(proto, std::make_shared<StationAgent>(*this));

@@ -6,6 +6,7 @@
 
 #include "group/group.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 
 namespace mobidist::group {
 
@@ -49,8 +50,10 @@ class AlwaysInformGroup {
   DeliveryMonitor monitor_;
   std::vector<std::shared_ptr<HostAgent>> host_agents_;  // indexed by MH
   std::uint64_t next_msg_ = 1;
-  std::uint64_t loc_updates_ = 0;
-  std::uint64_t stale_chases_ = 0;
+  // Registry-backed counters ("group.always_inform.*"), bound to the
+  // network's registry at construction.
+  obs::Counter& loc_updates_;
+  obs::Counter& stale_chases_;
 };
 
 }  // namespace mobidist::group

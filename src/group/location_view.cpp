@@ -272,7 +272,7 @@ class LocationViewGroup::StationAgent : public net::MssAgent {
     if (!changed) return;  // idempotent duplicate
     ++version_;
     ++owner_.significant_moves_;
-    owner_.max_view_ = std::max(owner_.max_view_, master_.size());
+    owner_.max_view_.set_max(static_cast<std::int64_t>(master_.size()));
     // Full copy to a newly added MSS, increments to everyone else.
     if (change.add != net::kInvalidMss) {
       send_fixed(change.add, LvFullView{version_, as_vector(master_)});
@@ -409,7 +409,12 @@ class LocationViewGroup::HostAgent : public net::MhAgent {
 
 LocationViewGroup::LocationViewGroup(net::Network& net, Group group, MssId coordinator,
                                      net::ProtocolId proto)
-    : net_(net), group_(std::move(group)), coordinator_(coordinator) {
+    : net_(net),
+      group_(std::move(group)),
+      coordinator_(coordinator),
+      significant_moves_(net.metrics().counter("group.location_view.significant_moves")),
+      max_view_(net.metrics().gauge("group.location_view.max_view")),
+      chases_(net.metrics().counter("group.location_view.chases")) {
   stations_.resize(net.num_mss());
   for (std::uint32_t i = 0; i < net.num_mss(); ++i) {
     const auto id = static_cast<MssId>(i);
@@ -432,7 +437,7 @@ LocationViewGroup::LocationViewGroup(net::Network& net, Group group, MssId coord
   }
   for (const auto mss : initial) stations_[net::index(mss)]->seed_view(initial);
   stations_[net::index(coordinator_)]->seed_master(initial);
-  max_view_ = initial.size();
+  max_view_.set_max(static_cast<std::int64_t>(initial.size()));
 }
 
 std::uint64_t LocationViewGroup::send_group_message(MhId sender) {

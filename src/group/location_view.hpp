@@ -7,6 +7,7 @@
 
 #include "group/group.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 
 namespace mobidist::group {
 
@@ -47,7 +48,9 @@ class LocationViewGroup {
     return significant_moves_;
   }
   /// Largest |LV(G)| seen at the coordinator (the paper's |LV(G)^max|).
-  [[nodiscard]] std::size_t max_view_size() const noexcept { return max_view_; }
+  [[nodiscard]] std::size_t max_view_size() const noexcept {
+    return static_cast<std::size_t>(max_view_.value());
+  }
   /// Coordinator's current master view.
   [[nodiscard]] const std::set<net::MssId>& current_view() const noexcept;
   /// Footnote-1 style chases of members that moved mid-delivery.
@@ -68,9 +71,11 @@ class LocationViewGroup {
   std::vector<std::shared_ptr<StationAgent>> stations_;  // indexed by MSS
   std::vector<std::shared_ptr<HostAgent>> hosts_;        // indexed by MH
   std::uint64_t next_msg_ = 1;
-  std::uint64_t significant_moves_ = 0;
-  std::size_t max_view_ = 0;
-  std::uint64_t chases_ = 0;
+  // Registry-backed metrics ("group.location_view.*"), bound to the
+  // network's registry at construction.
+  obs::Counter& significant_moves_;
+  obs::Gauge& max_view_;
+  obs::Counter& chases_;
 };
 
 }  // namespace mobidist::group

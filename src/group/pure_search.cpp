@@ -56,7 +56,9 @@ class PureSearchGroup::Agent : public net::MhAgent {
 };
 
 PureSearchGroup::PureSearchGroup(net::Network& net, Group group, net::ProtocolId proto)
-    : net_(net), group_(std::move(group)) {
+    : net_(net),
+      group_(std::move(group)),
+      group_msgs_(net.metrics().counter("group.pure_search.group_msgs")) {
   agents_.resize(net.num_mh());
   for (const auto member : group_.members) {
     auto agent = std::make_shared<Agent>(*this);
@@ -70,6 +72,7 @@ std::uint64_t PureSearchGroup::send_group_message(MhId sender) {
     throw std::invalid_argument("PureSearchGroup: sender is not a member");
   }
   const std::uint64_t msg_id = next_msg_++;
+  ++group_msgs_;
   monitor_.sent(msg_id, sender);
   agents_[net::index(sender)]->send(msg_id);
   return msg_id;

@@ -6,6 +6,7 @@
 
 #include "group/group.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 
 namespace mobidist::group {
 
@@ -36,6 +37,7 @@ class PureSearchGroup {
   DeliveryMonitor monitor_;
   std::vector<std::shared_ptr<Agent>> agents_;
   std::uint64_t next_msg_ = 1;
+  obs::Counter& group_msgs_;  // "group.pure_search.group_msgs"
 };
 
 }  // namespace mobidist::group

@@ -2,12 +2,23 @@
 
 namespace mobidist::mutex {
 
+void CsMonitor::bind_metrics(obs::Registry& registry) {
+  wait_hist_ = &registry.histogram("mutex.cs_wait", obs::latency_buckets());
+  grants_counter_ = &registry.counter("mutex.cs_grants");
+  violations_counter_ = &registry.counter("mutex.cs_violations");
+}
+
+void CsMonitor::count_violation() noexcept {
+  ++violations_;
+  if (violations_counter_ != nullptr) ++*violations_counter_;
+}
+
 void CsMonitor::note_request(net::MhId mh, sim::SimTime now) {
   pending_requests_[mh].push_back(now);
 }
 
 std::size_t CsMonitor::enter(net::MhId mh, std::uint64_t order_key, sim::SimTime now) {
-  if (holder_.has_value()) ++violations_;  // overlapping critical sections
+  if (holder_.has_value()) count_violation();  // overlapping critical sections
   holder_ = mh;
   Grant grant{mh, order_key, 0, now, 0, false, false};
   if (auto it = pending_requests_.find(mh);
@@ -15,6 +26,10 @@ std::size_t CsMonitor::enter(net::MhId mh, std::uint64_t order_key, sim::SimTime
     grant.requested = it->second.front();
     grant.has_request_time = true;
     it->second.pop_front();
+  }
+  if (grants_counter_ != nullptr) ++*grants_counter_;
+  if (wait_hist_ != nullptr && grant.has_request_time) {
+    wait_hist_->record(grant.entered - grant.requested);
   }
   history_.push_back(grant);
   holder_grant_ = history_.size() - 1;
@@ -34,7 +49,7 @@ double CsMonitor::mean_grant_latency() const noexcept {
 
 void CsMonitor::exit(std::size_t grant_index, sim::SimTime now) {
   if (grant_index >= history_.size() || history_[grant_index].done) {
-    ++violations_;  // exit without matching entry
+    count_violation();  // exit without matching entry
     return;
   }
   history_[grant_index].exited = now;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/ids.hpp"
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace mobidist::mutex {
@@ -30,6 +31,13 @@ class CsMonitor {
     bool has_request_time = false;
     bool done = false;
   };
+
+  /// Publish this monitor's activity into `registry`: the
+  /// "mutex.cs_wait" histogram (request-to-grant latency in virtual
+  /// ticks) plus "mutex.cs_grants" / "mutex.cs_violations" counters.
+  /// The mutex algorithms bind their monitor to their network's registry
+  /// at construction; an unbound monitor records nothing extra.
+  void bind_metrics(obs::Registry& registry);
 
   /// Optional latency instrumentation: record that `mh` submitted a
   /// request now. The next enter() by the same MH is matched FIFO to the
@@ -63,11 +71,16 @@ class CsMonitor {
   [[nodiscard]] std::uint64_t order_inversions() const noexcept;
 
  private:
+  void count_violation() noexcept;
+
   std::vector<Grant> history_;
   std::optional<net::MhId> holder_;
   std::optional<std::size_t> holder_grant_;
   std::map<net::MhId, std::deque<sim::SimTime>> pending_requests_;
   std::uint64_t violations_ = 0;
+  obs::Histogram* wait_hist_ = nullptr;     // bound via bind_metrics
+  obs::Counter* grants_counter_ = nullptr;
+  obs::Counter* violations_counter_ = nullptr;
 };
 
 }  // namespace mobidist::mutex

@@ -44,6 +44,7 @@ class R2Mutex::StationAgent : public net::MssAgent {
   void on_mh_unreachable(MhId /*mh*/, const std::any& body) override {
     if (std::any_cast<R2TokenToMh>(&body) == nullptr) return;
     ++owner_.skipped_disconnected_;
+    ++owner_.skipped_disconnected_counter_;
     net().ledger().charge_fixed();  // the modeled token-return message
     token_out_ = false;
     serve_next();
@@ -132,6 +133,7 @@ class R2Mutex::StationAgent : public net::MssAgent {
       return;
     }
     const auto successor = static_cast<MssId>((index_ + 1) % m_);
+    ++owner_.token_passes_counter_;
     send_fixed(successor, R2TokenPass{token_});
   }
 
@@ -200,7 +202,13 @@ class R2Mutex::HostAgent : public net::MhAgent {
 
 R2Mutex::R2Mutex(net::Network& net, CsMonitor& monitor, RingVariant variant,
                  MutexOptions opts)
-    : net_(net), monitor_(monitor), variant_(variant) {
+    : net_(net),
+      monitor_(monitor),
+      variant_(variant),
+      token_passes_counter_(net.metrics().counter("mutex.r2.token_passes")),
+      token_grants_counter_(net.metrics().counter("mutex.r2.token_grants")),
+      skipped_disconnected_counter_(net.metrics().counter("mutex.r2.skipped_disconnected")) {
+  monitor.bind_metrics(net.metrics());
   const std::uint32_t m = net.num_mss();
   stations_.reserve(m);
   for (std::uint32_t i = 0; i < m; ++i) {
@@ -231,6 +239,7 @@ void R2Mutex::set_malicious(MhId mh, bool value) {
 }
 
 void R2Mutex::record_grant(std::uint64_t token_val, MhId mh) {
+  ++token_grants_counter_;
   ++grant_counts_[{token_val, net::index(mh)}];
 }
 

@@ -111,6 +111,12 @@ class R2Mutex {
   std::uint64_t traversals_done_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t skipped_disconnected_ = 0;
+  // Registry-backed mirrors of the token-path counters (bound to the
+  // network's registry at construction; the uint64 fields above remain
+  // the accessor-facing source of truth).
+  obs::Counter& token_passes_counter_;
+  obs::Counter& token_grants_counter_;
+  obs::Counter& skipped_disconnected_counter_;
   bool absorbed_ = false;
   bool absorb_when_idle_ = false;
   std::map<std::pair<std::uint64_t, std::uint32_t>, std::uint64_t> grant_counts_;

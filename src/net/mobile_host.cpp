@@ -31,9 +31,6 @@ void MobileHost::move_to(MssId target, sim::Duration transit) {
   if (state_ != MhState::kConnected) {
     throw std::logic_error("MobileHost::move_to: " + to_string(id_) + " is not in a cell");
   }
-  if (target == mss_) {
-    throw std::logic_error("MobileHost::move_to: target is the current cell");
-  }
   // leave(r): r is the last downlink sequence number received here. After
   // sending it the MH neither sends nor receives in this cell (§2).
   net_.send_wireless_uplink(

@@ -60,7 +60,9 @@ class MobileHost {
 
   /// Leave the current cell and join `target` after `transit` ticks:
   /// sends leave(r), goes unreachable, then sends join(mh, prev) at the
-  /// new MSS. Requires connected() and target != current cell.
+  /// new MSS. Requires connected(). `target` may equal the current cell
+  /// (coverage lost and regained without crossing a boundary — the only
+  /// way a single-MSS system sees an in-transit MH).
   void move_to(MssId target, sim::Duration transit);
 
   /// Voluntarily disconnect: sends disconnect(r); the local MSS keeps a

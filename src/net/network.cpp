@@ -6,8 +6,31 @@
 
 namespace mobidist::net {
 
+namespace {
+
+/// A misconfigured range must fail loudly at construction: sample()
+/// clamping it silently would turn every latency draw into `min` and
+/// mask the config error.
+void check_latency_range(const char* name, sim::Duration lo, sim::Duration hi) {
+  if (lo > hi) {
+    throw std::invalid_argument(std::string("Network: latency range ") + name +
+                                " has min > max (" + std::to_string(lo) + " > " +
+                                std::to_string(hi) + ")");
+  }
+}
+
+}  // namespace
+
 Network::Network(NetConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
   if (cfg_.num_mss == 0) throw std::invalid_argument("Network: need at least one MSS");
+  // Channel keys pack endpoint indices into 30-bit fields; reject id
+  // spaces that could alias before allocating anything.
+  if (cfg_.num_mss > kMaxEndpointIndex + 1 || cfg_.num_mh > kMaxEndpointIndex + 1) {
+    throw std::invalid_argument("Network: host ids must fit in 30 bits");
+  }
+  check_latency_range("wired", cfg_.latency.wired_min, cfg_.latency.wired_max);
+  check_latency_range("wireless", cfg_.latency.wireless_min, cfg_.latency.wireless_max);
+  check_latency_range("search", cfg_.latency.search_min, cfg_.latency.search_max);
   mss_.reserve(cfg_.num_mss);
   for (std::uint32_t i = 0; i < cfg_.num_mss; ++i) {
     mss_.push_back(std::make_unique<Mss>(*this, static_cast<MssId>(i)));
@@ -78,18 +101,23 @@ bool Network::is_in_transit(MhId id) const {
 // ---------------------------------------------------------------------------
 
 sim::Duration Network::sample(sim::Duration lo, sim::Duration hi) {
-  if (hi <= lo) return lo;
+  assert(lo <= hi);  // inverted ranges are rejected at construction
+  if (hi == lo) return lo;
   return lo + rng_.below(hi - lo + 1);
 }
 
 sim::SimTime Network::fifo_arrival(ChannelType type, std::uint32_t a, std::uint32_t b,
                                    sim::Duration latency) {
-  const std::uint64_t key = (static_cast<std::uint64_t>(type) << 48) |
-                            (static_cast<std::uint64_t>(a) << 24) | b;
-  sim::SimTime arrival = sched_.now() + latency;
-  auto& clock = channel_clock_[key];
+  const sim::SimTime natural = sched_.now() + latency;
+  sim::SimTime arrival = natural;
+  auto& clock = channel_clock_[channel_key(type, a, b)];
   if (arrival < clock) arrival = clock;  // never overtake an earlier message
   clock = arrival;
+  switch (type) {
+    case ChannelType::kWired: queue_delay_wired_.record(arrival - natural); break;
+    case ChannelType::kDownlink: queue_delay_downlink_.record(arrival - natural); break;
+    case ChannelType::kUplink: queue_delay_uplink_.record(arrival - natural); break;
+  }
   return arrival;
 }
 
@@ -168,9 +196,14 @@ void Network::send_wireless_uplink(MhId from, Envelope env) {
 // ---------------------------------------------------------------------------
 
 void Network::send_to_mh(MssId from, Envelope env, MhId to, SendPolicy policy) {
+  send_to_mh_attempt(from, std::move(env), to, policy, 0);
+}
+
+void Network::send_to_mh_attempt(MssId from, Envelope env, MhId to, SendPolicy policy,
+                                 std::uint32_t attempt) {
   env.dst = to;
-  locate(from, to, [this, from, env = std::move(env), to, policy](MssId at,
-                                                                  bool disconnected) mutable {
+  locate(from, to, [this, from, env = std::move(env), to, policy,
+                    attempt](MssId at, bool disconnected) mutable {
     if (disconnected) {
       if (policy == SendPolicy::kNotifyIfDisconnected) {
         // The MSS holding the "disconnected" flag notifies the sender,
@@ -190,10 +223,12 @@ void Network::send_to_mh(MssId from, Envelope env, MhId to, SendPolicy policy) {
     // of the single c_search charge; in broadcast mode it is a real
     // wired message.
     if (cfg_.search == SearchMode::kBroadcast && at != from) ledger_.charge_fixed();
-    auto attempt = [this, at, env = std::move(env), to, policy]() mutable {
+    auto deliver = [this, at, env = std::move(env), to, policy, attempt]() mutable {
       Envelope frame = env;  // keep a copy for the retry path
-      send_wireless_downlink(at, std::move(frame), to, [this, at, env, to, policy]() {
+      send_wireless_downlink(at, std::move(frame), to, [this, at, env, to, policy,
+                                                        attempt]() {
         ++stats_.delivery_retries;
+        delivery_retry_depth_.record(attempt + 1);
         // Re-launch from the cell that noticed the miss: its MSS
         // searches again, as the paper's footnote 1 describes. The
         // backoff is essential: a just-departed MH can still sit in the
@@ -201,17 +236,17 @@ void Network::send_to_mh(MssId from, Envelope env, MhId to, SendPolicy policy) {
         // re-resolve to the same cell in the same virtual instant,
         // spinning forever without advancing time.
         const auto backoff = cfg_.latency.wireless_max + 1;
-        sched_.schedule(backoff, [this, at, env, to, policy]() {
-          send_to_mh(at, env, to, policy);
+        sched_.schedule(backoff, [this, at, env, to, policy, attempt]() {
+          send_to_mh_attempt(at, env, to, policy, attempt + 1);
         });
       });
     };
     if (at == from) {
-      attempt();
+      deliver();
     } else {
       const auto latency = sample(cfg_.latency.wired_min, cfg_.latency.wired_max);
       const auto arrival = fifo_arrival(ChannelType::kWired, index(from), index(at), latency);
-      sched_.schedule_at(arrival, std::move(attempt));
+      sched_.schedule_at(arrival, std::move(deliver));
     }
   });
 }
@@ -247,9 +282,11 @@ void Network::oracle_locate(MssId from, MhId target, LocateCallback cb) {
     auto& host = mh(target);
     switch (host.state()) {
       case MhState::kConnected:
+        search_rounds_.record(1);
         cb(host.current_mss(), false);
         return;
       case MhState::kDisconnected:
+        search_rounds_.record(1);
         cb(host.last_mss(), true);
         return;
       case MhState::kInTransit:
@@ -263,11 +300,27 @@ void Network::oracle_locate(MssId from, MhId target, LocateCallback cb) {
 }
 
 void Network::broadcast_locate(MssId from, MhId target, LocateCallback cb) {
-  // Degenerate single-MSS system: the only cell is ours.
+  // Degenerate single-MSS system: the only cell is ours. The fast path
+  // must still distinguish all three MH states — reporting an in-transit
+  // target as connected would spin the downlink fail/retry loop until
+  // its join lands; park the resolution like oracle_locate does instead.
   if (cfg_.num_mss == 1) {
-    sched_.schedule(0, [this, from, target, cb = std::move(cb)]() {
+    sched_.schedule(0, [this, from, target, cb = std::move(cb)]() mutable {
       auto& host = mh(target);
-      cb(from, host.state() == MhState::kDisconnected);
+      switch (host.state()) {
+        case MhState::kConnected:
+          search_rounds_.record(1);
+          cb(from, false);
+          return;
+        case MhState::kDisconnected:
+          search_rounds_.record(1);
+          cb(host.last_mss(), true);
+          return;
+        case MhState::kInTransit:
+          ++stats_.searches_pended;
+          pending_locates_[target].push_back(PendingLocate{from, std::move(cb)});
+          return;
+      }
     });
     return;
   }
@@ -288,6 +341,7 @@ void Network::broadcast_round(std::uint64_t token) {
   if (mss(search.origin).is_local(search.target)) {
     auto cb = std::move(search.cb);
     const MssId origin = search.origin;
+    search_rounds_.record(search.round);
     broadcast_.erase(it);
     cb(origin, false);
     return;
@@ -331,6 +385,7 @@ void Network::handle_search_reply(const msg::SearchReply& reply) {
   if (reply.here) {
     auto cb = std::move(search.cb);
     const MssId at = reply.from;
+    search_rounds_.record(search.round);
     broadcast_.erase(it);
     cb(at, false);
     return;
@@ -343,6 +398,7 @@ void Network::handle_search_reply(const msg::SearchReply& reply) {
     if (search.saw_disconnected) {
       auto cb = std::move(search.cb);
       const MssId at = search.disconnected_at;
+      search_rounds_.record(search.round);
       broadcast_.erase(it);
       cb(at, true);
       return;
@@ -381,6 +437,7 @@ void Network::on_mh_rejoined(MhId mh_id, MssId at) {
       Envelope env = std::move(parked.env);
       send_wireless_downlink(at, env, mh_id, [this, at, env, mh_id]() {
         ++stats_.delivery_retries;
+        delivery_retry_depth_.record(1);
         const auto backoff = cfg_.latency.wireless_max + 1;
         sched_.schedule(backoff, [this, at, env, mh_id]() {
           send_to_mh(at, env, mh_id, SendPolicy::kEventualDelivery);

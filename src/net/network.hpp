@@ -15,6 +15,7 @@
 #include "net/mss.hpp"
 #include "net/search.hpp"
 #include "net/stats.hpp"
+#include "obs/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/trace.hpp"
@@ -69,12 +70,17 @@ class Network {
   [[nodiscard]] const MobileHost& mh(MhId id) const;
 
   [[nodiscard]] sim::Scheduler& sched() noexcept { return sched_; }
+  [[nodiscard]] const sim::Scheduler& sched() const noexcept { return sched_; }
   [[nodiscard]] sim::Rng& rng() noexcept { return rng_; }
   [[nodiscard]] sim::Trace& trace() noexcept { return trace_; }
   [[nodiscard]] cost::CostLedger& ledger() noexcept { return ledger_; }
   [[nodiscard]] const cost::CostLedger& ledger() const noexcept { return ledger_; }
   [[nodiscard]] NetStats& stats() noexcept { return stats_; }
   [[nodiscard]] const NetStats& stats() const noexcept { return stats_; }
+  /// Per-system metric registry: every NetStats counter plus the latency
+  /// histograms recorded by the substrate and the algorithm layers.
+  [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::Registry& metrics() const noexcept { return metrics_; }
 
   /// Fire on_start on every registered agent (MSS agents first, then MH
   /// agents, each in id order). Call after registering all agents and
@@ -135,6 +141,27 @@ class Network {
   void handle_search_query(MssId at, const msg::SearchQuery& query);
   void handle_search_reply(const msg::SearchReply& reply);
 
+  // --- FIFO channel identity ----------------------------------------------
+
+  /// Ordered channels get their own virtual FIFO clock, keyed by
+  /// (channel type, endpoint a, endpoint b).
+  enum class ChannelType : std::uint8_t { kWired, kDownlink, kUplink };
+
+  /// Endpoint indices must fit in 30 bits so the packed channel key's
+  /// fields cannot alias; the constructor rejects larger id spaces.
+  static constexpr std::uint32_t kMaxEndpointIndex = (1u << 30) - 1;
+
+  /// Collision-free packed key: 4-bit type | 30-bit a | 30-bit b, each
+  /// field explicitly masked to its own bit range.
+  [[nodiscard]] static constexpr std::uint64_t channel_key(ChannelType type, std::uint32_t a,
+                                                           std::uint32_t b) noexcept {
+    static_assert(static_cast<std::uint8_t>(ChannelType::kUplink) < 16,
+                  "ChannelType must fit the 4-bit type field");
+    return (static_cast<std::uint64_t>(type) << 60) |
+           (static_cast<std::uint64_t>(a & kMaxEndpointIndex) << 30) |
+           static_cast<std::uint64_t>(b & kMaxEndpointIndex);
+  }
+
  private:
   friend class Mss;
   friend class MobileHost;
@@ -155,11 +182,15 @@ class Network {
   };
 
   // FIFO clamping: per ordered channel, arrivals never decrease.
-  enum class ChannelType : std::uint8_t { kWired, kDownlink, kUplink };
   [[nodiscard]] sim::SimTime fifo_arrival(ChannelType type, std::uint32_t a, std::uint32_t b,
                                           sim::Duration latency);
 
   [[nodiscard]] sim::Duration sample(sim::Duration lo, sim::Duration hi);
+
+  /// send_to_mh with the retry depth threaded through, so the retry
+  /// histogram sees how deep each delivery's chase went.
+  void send_to_mh_attempt(MssId from, Envelope env, MhId to, SendPolicy policy,
+                          std::uint32_t attempt);
 
   void deliver_wired(MssId to, Envelope env);
   void oracle_locate(MssId from, MhId target, LocateCallback cb);
@@ -177,7 +208,21 @@ class Network {
   sim::Rng rng_;
   sim::Trace trace_;
   cost::CostLedger ledger_;
-  NetStats stats_;
+  obs::Registry metrics_;  ///< must precede every member referencing it
+  NetStats stats_{metrics_};
+  // Always-on substrate histograms (virtual-time units; zero-cost when
+  // nothing records). Queue delay is the FIFO clamp each channel kind
+  // added on top of the sampled latency.
+  obs::Histogram& queue_delay_wired_ =
+      metrics_.histogram("net.queue_delay.wired", obs::latency_buckets());
+  obs::Histogram& queue_delay_downlink_ =
+      metrics_.histogram("net.queue_delay.downlink", obs::latency_buckets());
+  obs::Histogram& queue_delay_uplink_ =
+      metrics_.histogram("net.queue_delay.uplink", obs::latency_buckets());
+  obs::Histogram& search_rounds_ =
+      metrics_.histogram("net.search_rounds", obs::count_buckets());
+  obs::Histogram& delivery_retry_depth_ =
+      metrics_.histogram("net.delivery_retry_depth", obs::count_buckets());
 
   std::vector<std::unique_ptr<Mss>> mss_;
   std::vector<std::unique_ptr<MobileHost>> mh_;

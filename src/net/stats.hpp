@@ -1,26 +1,49 @@
 #pragma once
 
-#include <cstdint>
+#include "obs/metrics.hpp"
 
 namespace mobidist::net {
 
 /// Substrate-level counters, complementary to the cost ledger: these
 /// track protocol events rather than charged messages.
+///
+/// Every field is a registry-backed obs::Counter living in the owning
+/// Network's metrics registry (names below), so bench artifacts can
+/// serialize them without any extra plumbing. Field access is unchanged
+/// from the old plain-struct days: `++stats.joins` and comparisons
+/// against integers both still work (Counter increments in place and
+/// converts implicitly to its value).
 struct NetStats {
-  std::uint64_t joins = 0;
-  std::uint64_t leaves = 0;
-  std::uint64_t disconnects = 0;
-  std::uint64_t reconnects = 0;
-  std::uint64_t handoffs = 0;
-  std::uint64_t searches_started = 0;
-  std::uint64_t searches_pended = 0;     ///< target was in transit; resolved on join
-  std::uint64_t delivery_retries = 0;    ///< MH moved mid-flight; send_to_mh retried
-  std::uint64_t unreachable_notices = 0; ///< sends that hit a disconnected MH
-  std::uint64_t queued_for_reconnect = 0;
-  std::uint64_t doze_interruptions = 0;  ///< deliveries that woke a dozing MH
-  std::uint64_t control_msgs = 0;        ///< substrate messages (not cost-charged)
-  std::uint64_t relay_msgs = 0;          ///< MH-to-MH relayed payloads
-  std::uint64_t relay_reordered = 0;     ///< relay payloads buffered for FIFO
+  explicit NetStats(obs::Registry& registry)
+      : joins(registry.counter("net.joins")),
+        leaves(registry.counter("net.leaves")),
+        disconnects(registry.counter("net.disconnects")),
+        reconnects(registry.counter("net.reconnects")),
+        handoffs(registry.counter("net.handoffs")),
+        searches_started(registry.counter("net.searches_started")),
+        searches_pended(registry.counter("net.searches_pended")),
+        delivery_retries(registry.counter("net.delivery_retries")),
+        unreachable_notices(registry.counter("net.unreachable_notices")),
+        queued_for_reconnect(registry.counter("net.queued_for_reconnect")),
+        doze_interruptions(registry.counter("net.doze_interruptions")),
+        control_msgs(registry.counter("net.control_msgs")),
+        relay_msgs(registry.counter("net.relay_msgs")),
+        relay_reordered(registry.counter("net.relay_reordered")) {}
+
+  obs::Counter& joins;
+  obs::Counter& leaves;
+  obs::Counter& disconnects;
+  obs::Counter& reconnects;
+  obs::Counter& handoffs;
+  obs::Counter& searches_started;
+  obs::Counter& searches_pended;      ///< target was in transit; resolved on join
+  obs::Counter& delivery_retries;     ///< MH moved mid-flight; send_to_mh retried
+  obs::Counter& unreachable_notices;  ///< sends that hit a disconnected MH
+  obs::Counter& queued_for_reconnect;
+  obs::Counter& doze_interruptions;   ///< deliveries that woke a dozing MH
+  obs::Counter& control_msgs;         ///< substrate messages (not cost-charged)
+  obs::Counter& relay_msgs;           ///< MH-to-MH relayed payloads
+  obs::Counter& relay_reordered;      ///< relay payloads buffered for FIFO
 };
 
 }  // namespace mobidist::net

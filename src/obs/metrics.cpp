@@ -1,0 +1,63 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mobidist::obs {
+
+Histogram::Histogram(std::vector<std::uint64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: need at least one bucket bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+}
+
+std::vector<std::uint64_t> latency_buckets() {
+  return {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384};
+}
+
+std::vector<std::uint64_t> count_buckets() { return {0, 1, 2, 3, 5, 8, 13, 21, 34, 55}; }
+
+Counter& Registry::counter(std::string_view name) {
+  if (const auto it = counters_.find(name); it != counters_.end()) return it->second;
+  check_unique_kind(name, "counter");
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  if (const auto it = gauges_.find(name); it != gauges_.end()) return it->second;
+  check_unique_kind(name, "gauge");
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::vector<std::uint64_t> bounds) {
+  if (const auto it = histograms_.find(name); it != histograms_.end()) return it->second;
+  check_unique_kind(name, "histogram");
+  return histograms_.emplace(std::string(name), Histogram(std::move(bounds))).first->second;
+}
+
+void Registry::check_unique_kind(std::string_view name, std::string_view kind) const {
+  const bool taken = (kind != "counter" && counters_.contains(name)) ||
+                     (kind != "gauge" && gauges_.contains(name)) ||
+                     (kind != "histogram" && histograms_.contains(name));
+  if (taken) {
+    throw std::invalid_argument("Registry: metric name '" + std::string(name) +
+                                "' already registered with a different kind");
+  }
+}
+
+}  // namespace mobidist::obs

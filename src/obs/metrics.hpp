@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mobidist::obs {
+
+/// Monotone event counter. Deliberately tiny: recording is one integer
+/// increment so hooks can stay always-on in hot paths. Implicitly
+/// converts to its value so registry-backed counters are drop-in
+/// replacements for the plain uint64_t fields they superseded.
+class Counter {
+ public:
+  constexpr Counter() = default;
+
+  Counter& operator++() noexcept {
+    ++value_;
+    return *this;
+  }
+  Counter& operator+=(std::uint64_t n) noexcept {
+    value_ += n;
+    return *this;
+  }
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  operator std::uint64_t() const noexcept { return value_; }  // NOLINT(google-explicit-constructor)
+
+  friend std::ostream& operator<<(std::ostream& os, const Counter& c) {
+    return os << c.value_;
+  }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A value that can go up and down (queue depths, view sizes). Signed so
+/// decrements below a baseline are representable.
+class Gauge {
+ public:
+  constexpr Gauge() = default;
+
+  void set(std::int64_t v) noexcept { value_ = v; }
+  void add(std::int64_t d) noexcept { value_ += d; }
+  /// set(max(current, v)) — for high-water marks.
+  void set_max(std::int64_t v) noexcept {
+    if (v > value_) value_ = v;
+  }
+
+  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram over non-negative integer samples (virtual-time
+/// latencies, retry depths, search rounds). Buckets are cumulative-style
+/// upper bounds: sample v lands in the first bucket whose bound >= v;
+/// larger samples land in the implicit overflow bucket. Bounds are fixed
+/// at registration so identical runs produce identical bucket vectors.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> upper_bounds);
+
+  void record(std::uint64_t value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  /// Min/max over recorded samples; 0 when empty.
+  [[nodiscard]] std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& bounds() const noexcept { return bounds_; }
+  /// bounds().size() + 1 entries; the last one is the overflow bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::vector<std::uint64_t> bounds_;  ///< sorted, strictly increasing
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Power-of-two-ish bounds for virtual-time delays (queue delay, CS wait).
+[[nodiscard]] std::vector<std::uint64_t> latency_buckets();
+/// Small-count bounds for retries / rounds / fan-outs.
+[[nodiscard]] std::vector<std::uint64_t> count_buckets();
+
+/// Named home of every metric in one simulated system. Registration is
+/// idempotent (same name + kind returns the existing instance) and
+/// references stay valid for the registry's lifetime (node-based maps),
+/// so subsystems grab `Counter&` once at construction and record with a
+/// bare increment afterwards. Iteration order is the name order, which
+/// is what makes serialized metric dumps byte-stable across runs.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` are only consulted on first registration.
+  Histogram& histogram(std::string_view name, std::vector<std::uint64_t> bounds);
+
+  [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge, std::less<>>& gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram, std::less<>>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+
+ private:
+  void check_unique_kind(std::string_view name, std::string_view kind) const;
+
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace mobidist::obs

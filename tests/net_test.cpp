@@ -209,10 +209,19 @@ TEST(Mobility, InTransitHostIsInNoCell) {
   EXPECT_EQ(net.current_mss_of(mh_id(0)), mss_id(1));
 }
 
-TEST(Mobility, MoveToCurrentCellThrows) {
+TEST(Mobility, MoveToCurrentCellIsLeaveAndRejoin) {
+  // Coverage lost and regained inside one cell: a real in-transit window
+  // followed by a plain (no-handoff) rejoin of the same MSS.
   Network net(small_config(3, 6));
   net.start();
-  EXPECT_THROW(net.mh(mh_id(0)).move_to(mss_id(0), 5), std::logic_error);
+  net.mh(mh_id(0)).move_to(mss_id(0), 50);
+  net.sched().run_until(25);
+  EXPECT_TRUE(net.is_in_transit(mh_id(0)));
+  net.run();
+  EXPECT_EQ(net.current_mss_of(mh_id(0)), mss_id(0));
+  EXPECT_EQ(net.stats().handoffs, 0u);
+  EXPECT_EQ(net.stats().leaves, 1u);
+  EXPECT_EQ(net.stats().joins, 1u);
 }
 
 TEST(Mobility, MoveWhileInTransitThrows) {
@@ -633,6 +642,138 @@ TEST(TraceInstrumentation, SilentAtDefaultLevel) {
   net.mh(mh_id(0)).move_to(mss_id(1), 5);
   net.run();
   EXPECT_EQ(net.trace().count_containing("join"), 0u);  // debug-level records dropped
+}
+
+// --------------------------------------------------------------------------
+// Config validation
+// --------------------------------------------------------------------------
+
+TEST(ConfigValidation, InvertedLatencyRangesThrow) {
+  auto wired = small_config();
+  wired.latency.wired_min = 10;
+  wired.latency.wired_max = 2;
+  EXPECT_THROW(Network{wired}, std::invalid_argument);
+
+  auto wireless = small_config();
+  wireless.latency.wireless_min = 5;
+  wireless.latency.wireless_max = 1;
+  EXPECT_THROW(Network{wireless}, std::invalid_argument);
+
+  auto search = small_config();
+  search.latency.search_min = 9;
+  search.latency.search_max = 3;
+  EXPECT_THROW(Network{search}, std::invalid_argument);
+}
+
+TEST(ConfigValidation, OversizedIdSpaceThrows) {
+  // Ids must fit the 30-bit channel-key fields; the constructor rejects
+  // oversized populations before allocating anything.
+  auto cfg = small_config();
+  cfg.num_mh = Network::kMaxEndpointIndex + 2;
+  EXPECT_THROW(Network{cfg}, std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// Channel-key packing
+// --------------------------------------------------------------------------
+
+TEST(ChannelKey, WideIdsDoNotAlias) {
+  using CT = Network::ChannelType;
+  // The old packing ((type << 48) | (a << 24) | b) collapsed these pairs
+  // onto one key; the 4/30/30 split must keep them distinct.
+  EXPECT_NE(Network::channel_key(CT::kWired, 1, 0),
+            Network::channel_key(CT::kWired, 0, 1u << 24));
+  EXPECT_NE(Network::channel_key(CT::kWired, (1u << 24) | 7, 3),
+            Network::channel_key(CT::kWired, 7, (3u << 24) | 3));
+  // Full 30-bit endpoints stay distinct in both positions.
+  const std::uint32_t wide = Network::kMaxEndpointIndex;
+  EXPECT_NE(Network::channel_key(CT::kUplink, wide, 0),
+            Network::channel_key(CT::kUplink, 0, wide));
+  // Direction matters (ordered channels)...
+  EXPECT_NE(Network::channel_key(CT::kWired, 2, 5), Network::channel_key(CT::kWired, 5, 2));
+  // ...and so does the channel type for the same endpoints.
+  EXPECT_NE(Network::channel_key(CT::kUplink, 4, 1),
+            Network::channel_key(CT::kDownlink, 4, 1));
+  EXPECT_NE(Network::channel_key(CT::kWired, 4, 1), Network::channel_key(CT::kUplink, 4, 1));
+}
+
+TEST(ChannelKey, FifoNonOvertakingPerChannelUnderJitter) {
+  // Property: with heavy latency jitter, every ordered MSS pair's wired
+  // channel delivers in send order, and streams from different senders
+  // stay independently ordered at one receiver.
+  auto cfg = small_config(5, 5);
+  cfg.latency.wired_min = 1;
+  cfg.latency.wired_max = 80;
+  cfg.seed = 909;
+  Network net(cfg);
+  Harness h(net);
+  net.start();
+  constexpr int kPerPair = 25;
+  for (int i = 0; i < kPerPair; ++i) {
+    net.sched().schedule(1 + 2 * i, [&, i] {
+      h.mss[1]->do_send_fixed(mss_id(0), 1000 + i);  // stream 1 -> 0
+      h.mss[2]->do_send_fixed(mss_id(0), 2000 + i);  // stream 2 -> 0
+      h.mss[3]->do_send_fixed(mss_id(4), 3000 + i);  // stream 3 -> 4
+    });
+  }
+  net.run();
+  ASSERT_EQ(h.mss[0]->received.size(), 2u * kPerPair);
+  ASSERT_EQ(h.mss[4]->received.size(), static_cast<std::size_t>(kPerPair));
+  int last1 = 0, last2 = 0;
+  for (const auto& rec : h.mss[0]->received) {
+    const int value = *std::any_cast<int>(&rec.env.body);
+    if (value < 2000) {
+      EXPECT_GT(value, last1) << "stream 1->0 overtook itself";
+      last1 = value;
+    } else {
+      EXPECT_GT(value, last2) << "stream 2->0 overtook itself";
+      last2 = value;
+    }
+  }
+  for (int i = 0; i < kPerPair; ++i) {
+    EXPECT_EQ(*std::any_cast<int>(&h.mss[4]->received[i].env.body), 3000 + i);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Single-MSS broadcast search
+// --------------------------------------------------------------------------
+
+TEST(Search, SingleMssBroadcastParksForInTransitTarget) {
+  // Regression: the single-MSS fast path used to report an in-transit MH
+  // as connected, making the downlink fail and retry until the join
+  // landed. It must park the resolution like the multi-MSS path does.
+  auto cfg = small_config(1, 2);
+  cfg.search = SearchMode::kBroadcast;
+  Network net(cfg);
+  Harness h(net);
+  net.start();
+  net.sched().schedule(1, [&] { net.mh(mh_id(1)).move_to(mss_id(0), 120); });
+  net.sched().schedule(5, [&] { h.mss[0]->do_send_to_mh(mh_id(1), 42); });
+  net.run();
+  ASSERT_EQ(h.mh[1]->received.size(), 1u);
+  EXPECT_EQ(*std::any_cast<int>(&h.mh[1]->received[0].env.body), 42);
+  EXPECT_GE(h.mh[1]->received[0].at, 121u);  // delivered only after the join
+  EXPECT_EQ(net.stats().searches_pended, 1u);
+  EXPECT_EQ(net.stats().delivery_retries, 0u);  // no fail/retry spin
+}
+
+TEST(Search, SingleMssBroadcastStillResolvesConnectedAndDisconnected) {
+  auto cfg = small_config(1, 3);
+  cfg.search = SearchMode::kBroadcast;
+  Network net(cfg);
+  Harness h(net);
+  net.start();
+  net.sched().schedule(1, [&] { net.mh(mh_id(2)).disconnect(); });
+  net.sched().schedule(5, [&] {
+    h.mss[0]->do_send_to_mh(mh_id(1), 7);  // connected: immediate local delivery
+    h.mss[0]->do_send_to_mh(mh_id(2), 8, SendPolicy::kNotifyIfDisconnected);
+  });
+  net.run();
+  ASSERT_EQ(h.mh[1]->received.size(), 1u);
+  EXPECT_EQ(h.mh[2]->received.size(), 0u);
+  ASSERT_EQ(h.mss[0]->unreachable.size(), 1u);  // disconnected flag honoured
+  EXPECT_EQ(net.stats().searches_pended, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Configure, build, and run the full test suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer using the `asan` CMake preset. Run from
+# anywhere; builds into <repo>/build-asan.
+#
+#   tests/run_sanitized.sh            # full suite
+#   tests/run_sanitized.sh -R Fifo    # forward extra args to ctest
+
+set -euo pipefail
+
+repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+ctest --preset asan -j "$(nproc)" "$@"
