@@ -10,6 +10,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/checkers.hpp"
+#include "obs/events.hpp"
+
 namespace mobidist::core {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
@@ -82,6 +85,23 @@ std::string summarize(const cost::CostLedger& ledger, const cost::CostParams& pa
 }
 
 // --- JSON bench artifacts ---------------------------------------------------
+
+std::string resolve_env_dir(const char* var, std::string_view fallback) {
+  const char* value = std::getenv(var);
+  std::string dir = (value != nullptr && *value != '\0') ? std::string(value)
+                                                         : std::string(fallback);
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  return dir;
+}
+
+void write_text_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("cannot write " + path);
+  }
+}
 
 std::string json_escape(std::string_view text) {
   std::string out;
@@ -216,13 +236,48 @@ BenchReport::BenchReport(std::string name)
 
 void BenchReport::add_run(std::string label, const net::Network& net,
                           const cost::CostParams& params) {
+  // Every bench run is a correctness oracle: the paper's safety
+  // properties must hold on the event stream it just produced.
+  const auto failures = obs::check_all(net.events());
+  if (!failures.empty()) {
+    std::string what = "BenchReport: trace checkers failed for run \"" + label + "\"";
+    const std::size_t shown = std::min<std::size_t>(failures.size(), 5);
+    for (std::size_t i = 0; i < shown; ++i) {
+      what += "\n  " + obs::to_string(failures[i]);
+    }
+    if (failures.size() > shown) {
+      what += "\n  ... and " + std::to_string(failures.size() - shown) + " more";
+    }
+    throw std::runtime_error(what);
+  }
+
+  const auto& stream = net.events();
   std::ostringstream os;
   os << "{\"label\":" << quoted(label) << ",\"config\":" << config_json(net.config())
      << ",\"cost_params\":" << cost_params_json(params)
      << ",\"events\":" << net.sched().fired()
+     << ",\"event_stream\":{\"emitted\":" << stream.emitted()
+     << ",\"retained\":" << stream.records().size() << ",\"dropped\":" << stream.dropped()
+     << "},\"text_trace\":{\"retained\":" << net.trace().records().size()
+     << ",\"dropped\":" << net.trace().dropped() << "}"
      << ",\"ledger\":" << ledger_json(net.ledger(), params)
      << ",\"metrics\":" << metrics_json(net.metrics()) << "}";
   total_events_ += net.sched().fired();
+
+  // Optional per-run trace artifacts, gated on MOBIDIST_TRACE_DIR (unset
+  // = disabled; set-but-unwritable = loud failure, like the bench dir).
+  const std::string trace_dir = resolve_env_dir("MOBIDIST_TRACE_DIR", "");
+  if (!trace_dir.empty()) {
+    std::string slug = label;
+    for (char& c : slug) {
+      if (std::isalnum(static_cast<unsigned char>(c)) == 0) c = '_';
+    }
+    const std::string base =
+        trace_dir + "TRACE_" + name_ + "_" + std::to_string(runs_.size()) + "_" + slug;
+    write_text_file(base + ".jsonl", obs::to_jsonl(stream));
+    write_text_file(base + ".trace.json", obs::to_chrome_trace(stream));
+  }
+
   runs_.push_back(os.str());
 }
 
@@ -261,15 +316,12 @@ std::string BenchReport::json() const {
 }
 
 std::string BenchReport::write() const {
-  const char* dir = std::getenv("MOBIDIST_BENCH_DIR");
-  std::string path = (dir != nullptr && *dir != '\0') ? std::string(dir) : std::string(".");
-  if (path.back() != '/') path += '/';
-  path += "BENCH_" + name_ + ".json";
-  std::ofstream out(path, std::ios::trunc);
-  out << json() << '\n';
-  out.flush();
-  if (!out) {
-    throw std::runtime_error("BenchReport: cannot write " + path);
+  const std::string path =
+      resolve_env_dir("MOBIDIST_BENCH_DIR", ".") + "BENCH_" + name_ + ".json";
+  try {
+    write_text_file(path, json() + '\n');
+  } catch (const std::runtime_error& err) {
+    throw std::runtime_error("BenchReport: " + std::string(err.what()));
   }
   return path;
 }

@@ -48,6 +48,18 @@ class Table {
 /// backslashes, control characters).
 [[nodiscard]] std::string json_escape(std::string_view text);
 
+/// Resolve an artifact directory from environment variable `var`,
+/// normalized to end in '/'. Unset or empty falls back to `fallback`
+/// (returned unnormalized when itself empty, so callers can treat "" as
+/// "feature disabled"). Shared by MOBIDIST_BENCH_DIR and
+/// MOBIDIST_TRACE_DIR so the two cannot drift semantically.
+[[nodiscard]] std::string resolve_env_dir(const char* var, std::string_view fallback);
+
+/// Write `content` to `path`, throwing std::runtime_error on any
+/// failure (missing directory, unwritable file) so misconfigured
+/// artifact dirs fail loudly instead of silently dropping output.
+void write_text_file(const std::string& path, std::string_view content);
+
 /// Serialize every metric in `registry` as a JSON object with
 /// "counters" / "gauges" / "histograms" sections, iterated in name order
 /// so identical registries produce byte-identical text.
@@ -69,8 +81,15 @@ class BenchReport {
   explicit BenchReport(std::string name);
 
   /// Snapshot one simulated system: config, seed, cost-ledger totals
-  /// under `params`, scheduler events fired, and the full metric
-  /// registry.
+  /// under `params`, scheduler events fired, the full metric registry,
+  /// and event-stream / text-trace retention counts.
+  ///
+  /// Also (a) runs every obs checker over the system's event stream and
+  /// throws std::runtime_error on a violation — each bench doubles as a
+  /// correctness oracle — and (b) when MOBIDIST_TRACE_DIR is set, writes
+  /// the stream as TRACE_<bench>_<n>_<label>.jsonl plus a
+  /// Perfetto-loadable .trace.json next to it (same fail-loudly
+  /// semantics as MOBIDIST_BENCH_DIR).
   void add_run(std::string label, const net::Network& net, const cost::CostParams& params);
 
   /// Attach a free-form note (emitted under "notes" in insertion order).

@@ -67,6 +67,10 @@ class AlwaysInformGroup::HostAgent : public net::MhAgent {
     // "After a move, a MH sends a location update message to the current
     // location of each group member."
     ++owner_.loc_updates_;
+    net().emit({.kind = obs::EventKind::kLocationUpdate,
+                .entity = net::entity_of(self()),
+                .peer = net::entity_of(mss),
+                .detail = "always_inform"});
     fan_out(std::any(LocUpdate{self(), mss}));
     std::deque<std::function<void()>> ready;
     ready.swap(deferred_);

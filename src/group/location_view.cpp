@@ -122,6 +122,10 @@ class LocationViewGroup::StationAgent : public net::MssAgent {
 
   void on_mh_joined(MhId mh, MssId prev) override {
     if (!owner_.group_.contains(mh)) return;
+    net().emit({.kind = obs::EventKind::kLocationUpdate,
+                .entity = net::entity_of(mh),
+                .peer = net::entity_of(self()),
+                .detail = "location_view"});
     const bool was_empty = local_members_.empty();
     local_members_.insert(mh);
     member_arrival_seq_[mh] = net().mh(mh).joins_completed();
@@ -272,6 +276,18 @@ class LocationViewGroup::StationAgent : public net::MssAgent {
     if (!changed) return;  // idempotent duplicate
     ++version_;
     ++owner_.significant_moves_;
+    {
+      std::string delta;
+      if (change.add != net::kInvalidMss) delta += "+" + net::to_string(change.add);
+      if (change.del != net::kInvalidMss) {
+        if (!delta.empty()) delta += ' ';
+        delta += "-" + net::to_string(change.del);
+      }
+      net().emit({.kind = obs::EventKind::kViewChange,
+                  .entity = net::entity_of(self()),
+                  .arg = version_,
+                  .detail = std::move(delta)});
+    }
     owner_.max_view_.set_max(static_cast<std::int64_t>(master_.size()));
     // Full copy to a newly added MSS, increments to everyone else.
     if (change.add != net::kInvalidMss) {

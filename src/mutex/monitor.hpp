@@ -6,7 +6,10 @@
 #include <optional>
 #include <vector>
 
+#include <string>
+
 #include "net/ids.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
@@ -30,6 +33,7 @@ class CsMonitor {
     sim::SimTime exited = 0;
     bool has_request_time = false;
     bool done = false;
+    obs::EventId enter_event = 0;  ///< the kCsEnter event; cause of the exit
   };
 
   /// Publish this monitor's activity into `registry`: the
@@ -38,6 +42,12 @@ class CsMonitor {
   /// The mutex algorithms bind their monitor to their network's registry
   /// at construction; an unbound monitor records nothing extra.
   void bind_metrics(obs::Registry& registry);
+
+  /// Publish CS request/enter/exit events into `stream`, tagged with
+  /// `label` ("L1", "R2'", ...) so several algorithm instances sharing
+  /// one network stay distinguishable to the stream checkers. Unbound
+  /// monitors emit nothing.
+  void bind_stream(obs::EventStream& stream, std::string label);
 
   /// Optional latency instrumentation: record that `mh` submitted a
   /// request now. The next enter() by the same MH is matched FIFO to the
@@ -81,6 +91,8 @@ class CsMonitor {
   obs::Histogram* wait_hist_ = nullptr;     // bound via bind_metrics
   obs::Counter* grants_counter_ = nullptr;
   obs::Counter* violations_counter_ = nullptr;
+  obs::EventStream* stream_ = nullptr;      // bound via bind_stream
+  std::string stream_label_;
 };
 
 }  // namespace mobidist::mutex

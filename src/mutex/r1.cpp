@@ -40,6 +40,10 @@ class R1Mutex::Agent : public net::MhAgent {
 
  private:
   void handle_token(R1Token token) {
+    const auto arrive_id = net().emit({.kind = obs::EventKind::kTokenArrive,
+                                       .entity = net::entity_of(self()),
+                                       .arg = token.traversal,
+                                       .detail = "R1"});
     if (index_ == 0 && token.traversal > 0 &&
         owner_.traversals_done_ < token.traversal) {
       owner_.traversals_done_ = token.traversal;
@@ -54,7 +58,8 @@ class R1Mutex::Agent : public net::MhAgent {
       // order within a loop.
       const std::uint64_t key = (token.traversal << 24) | index_;
       const std::size_t grant = monitor_.enter(self(), key, net().sched().now());
-      net().sched().schedule(opts_.cs_hold, [this, grant, token] {
+      net().sched().schedule(opts_.cs_hold, [this, grant, arrive_id, token] {
+        obs::CauseScope scope(net().events(), arrive_id);
         monitor_.exit(grant, net().sched().now());
         ++completed_;
         forward(token);
@@ -68,6 +73,11 @@ class R1Mutex::Agent : public net::MhAgent {
     const std::uint32_t successor = (index_ + 1) % n_;
     if (successor == 0) ++token.traversal;  // loop completes when it re-reaches MH 0
     run_when_connected([this, successor, token] {
+      net().emit({.kind = obs::EventKind::kTokenDepart,
+                  .entity = net::entity_of(self()),
+                  .peer = obs::Entity::mh(successor),
+                  .arg = token.traversal,
+                  .detail = "R1"});
       send_to_mh(static_cast<MhId>(successor), token, /*fifo=*/false);
     });
   }
@@ -93,6 +103,7 @@ class R1Mutex::Agent : public net::MhAgent {
 R1Mutex::R1Mutex(net::Network& net, CsMonitor& monitor, MutexOptions opts)
     : net_(net), monitor_(monitor) {
   monitor.bind_metrics(net.metrics());
+  monitor.bind_stream(net.events(), "R1");
   const std::uint32_t n = net.num_mh();
   agents_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {

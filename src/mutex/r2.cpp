@@ -27,6 +27,10 @@ class R2Mutex::StationAgent : public net::MssAgent {
     }
     if (const auto* ret = net::body_as<R2TokenReturn>(env)) {
       if (ret->home == self()) {
+        net().emit({.kind = obs::EventKind::kTokenArrive,
+                    .entity = net::entity_of(self()),
+                    .arg = token_.token_val,
+                    .detail = owner_.variant_label()});
         token_out_ = false;
         serve_next();
       } else {
@@ -42,10 +46,15 @@ class R2Mutex::StationAgent : public net::MssAgent {
   /// (we model that return as one fixed-network message, as the paper
   /// describes) and the ring moves on.
   void on_mh_unreachable(MhId /*mh*/, const std::any& body) override {
-    if (std::any_cast<R2TokenToMh>(&body) == nullptr) return;
+    const auto* grant = std::any_cast<R2TokenToMh>(&body);
+    if (grant == nullptr) return;
     ++owner_.skipped_disconnected_;
     ++owner_.skipped_disconnected_counter_;
     net().ledger().charge_fixed();  // the modeled token-return message
+    net().emit({.kind = obs::EventKind::kTokenArrive,
+                .entity = net::entity_of(self()),
+                .arg = grant->token_val,
+                .detail = owner_.variant_label()});
     token_out_ = false;
     serve_next();
   }
@@ -58,6 +67,10 @@ class R2Mutex::StationAgent : public net::MssAgent {
 
  private:
   void receive_token(R2Token token) {
+    net().emit({.kind = obs::EventKind::kTokenArrive,
+                .entity = net::entity_of(self()),
+                .arg = token.token_val,
+                .detail = owner_.variant_label()});
     if (index_ == 0 && !injected_done_) {
       injected_done_ = true;  // first arrival is the injection, not a loop
     } else if (index_ == 0) {
@@ -114,11 +127,19 @@ class R2Mutex::StationAgent : public net::MssAgent {
     }
     const R2Request request = grants_.front();
     grants_.pop_front();
+    // Label before recording: a repeat within this traversal must be
+    // visible to grant_label's stale-snapshot detection.
+    const char* label = owner_.grant_label(request.mh, token_.token_val);
     owner_.record_grant(token_.token_val, request.mh);
     if (owner_.variant_ == RingVariant::kTokenList) {
       token_.served.emplace_back(index_, net::index(request.mh));
     }
     token_out_ = true;
+    net().emit({.kind = obs::EventKind::kTokenDepart,
+                .entity = net::entity_of(self()),
+                .peer = net::entity_of(request.mh),
+                .arg = token_.token_val,
+                .detail = label});
     // "sends the token to the MH that made the request (which may
     // necessitate a search if the MH has changed its cell)".
     send_to_mh(request.mh, R2TokenToMh{token_.token_val, self()},
@@ -134,6 +155,11 @@ class R2Mutex::StationAgent : public net::MssAgent {
     }
     const auto successor = static_cast<MssId>((index_ + 1) % m_);
     ++owner_.token_passes_counter_;
+    net().emit({.kind = obs::EventKind::kTokenDepart,
+                .entity = net::entity_of(self()),
+                .peer = net::entity_of(successor),
+                .arg = token_.token_val,
+                .detail = owner_.variant_label()});
     send_fixed(successor, R2TokenPass{token_});
   }
 
@@ -169,11 +195,24 @@ class R2Mutex::HostAgent : public net::MhAgent {
     // "When a MH receives the token, it assigns the current value of
     // token_val to its copy of access_count."
     access_count_ = token->token_val;
+    const auto arrive_id = net().emit({.kind = obs::EventKind::kTokenArrive,
+                                       .entity = net::entity_of(self()),
+                                       .arg = token->token_val,
+                                       .detail = owner_.variant_label()});
     const std::size_t grant = monitor_.enter(self(), token->token_val, net().sched().now());
-    net().sched().schedule(opts_.cs_hold, [this, grant, home = token->from] {
+    net().sched().schedule(opts_.cs_hold, [this, grant, arrive_id, home = token->from,
+                                           val = token->token_val] {
+      obs::CauseScope scope(net().events(), arrive_id);
       monitor_.exit(grant, net().sched().now());
       ++owner_.completed_;
-      run_when_connected([this, home] { send_uplink(R2TokenReturn{home}); });
+      run_when_connected([this, home, val] {
+        net().emit({.kind = obs::EventKind::kTokenDepart,
+                    .entity = net::entity_of(self()),
+                    .peer = net::entity_of(home),
+                    .arg = val,
+                    .detail = owner_.variant_label()});
+        send_uplink(R2TokenReturn{home});
+      });
     });
   }
 
@@ -209,6 +248,7 @@ R2Mutex::R2Mutex(net::Network& net, CsMonitor& monitor, RingVariant variant,
       token_grants_counter_(net.metrics().counter("mutex.r2.token_grants")),
       skipped_disconnected_counter_(net.metrics().counter("mutex.r2.skipped_disconnected")) {
   monitor.bind_metrics(net.metrics());
+  monitor.bind_stream(net.events(), variant_label());
   const std::uint32_t m = net.num_mss();
   stations_.reserve(m);
   for (std::uint32_t i = 0; i < m; ++i) {
@@ -235,7 +275,25 @@ void R2Mutex::request(MhId mh) {
 }
 
 void R2Mutex::set_malicious(MhId mh, bool value) {
+  if (value) any_malicious_ = true;
   hosts_[net::index(mh)]->set_malicious(value);
+}
+
+const char* R2Mutex::variant_label() const noexcept {
+  switch (variant_) {
+    case RingVariant::kBasic: return "R2";
+    case RingVariant::kCounter: return "R2'";
+    case RingVariant::kTokenList: return "R2''";
+  }
+  return "R2";
+}
+
+const char* R2Mutex::grant_label(net::MhId mh, std::uint64_t token_val) const {
+  if (variant_ == RingVariant::kCounter) {
+    if (any_malicious_) return "R2'!";
+    if (grants_for(mh, token_val) > 0) return "R2'~";  // stale-snapshot repeat
+  }
+  return variant_label();
 }
 
 void R2Mutex::record_grant(std::uint64_t token_val, MhId mh) {

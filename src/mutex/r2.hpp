@@ -101,6 +101,18 @@ class R2Mutex {
 
   void record_grant(std::uint64_t token_val, net::MhId mh);
   [[nodiscard]] bool all_queues_empty() const;
+  /// Event-stream tag for this instance: "R2", "R2'", or "R2''".
+  [[nodiscard]] const char* variant_label() const noexcept;
+  /// Tag for the token grant about to be recorded for `mh` in traversal
+  /// `token_val`. R2' only asserts its once-per-traversal cap when every
+  /// MH reports honestly and has at most one outstanding request, so the
+  /// two known holes carry decorated tags — "R2'!" for runs with
+  /// malicious reporters, "R2'~" for a repeat grant admitted by a stale
+  /// access_count snapshot (a MH that queued requests at several cells
+  /// before its counter caught up; the weakness R2'' fixes). Both stay
+  /// in the R2 token family but are exempt from the traversal-cap
+  /// checker. R2'' holds unconditionally and always keeps its own tag.
+  [[nodiscard]] const char* grant_label(net::MhId mh, std::uint64_t token_val) const;
 
   net::Network& net_;
   CsMonitor& monitor_;
@@ -119,6 +131,7 @@ class R2Mutex {
   obs::Counter& skipped_disconnected_counter_;
   bool absorbed_ = false;
   bool absorb_when_idle_ = false;
+  bool any_malicious_ = false;
   std::map<std::pair<std::uint64_t, std::uint32_t>, std::uint64_t> grant_counts_;
 };
 

@@ -137,6 +137,11 @@ void MobileHost::dispatch_inner(ProtocolId proto, MhId from, const std::any& bod
     throw std::logic_error("MobileHost: relay for unknown protocol " + std::to_string(proto) +
                            " at " + to_string(id_));
   }
+  const auto deliver_id = net_.emit({.kind = obs::EventKind::kDeliver,
+                                     .entity = entity_of(id_),
+                                     .peer = entity_of(from),
+                                     .arg = proto});
+  obs::CauseScope scope(net_.events(), deliver_id);
   Envelope env;
   env.proto = proto;
   env.src = from;

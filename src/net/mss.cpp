@@ -53,6 +53,11 @@ void Mss::dispatch(const Envelope& env) {
       if (found->had_flag) {
         // Resume the reconnect handoff now that we know where the MH
         // disconnected.
+        net_.emit({.kind = obs::EventKind::kHandoffBegin,
+                   .entity = entity_of(id_),
+                   .peer = entity_of(found->from),
+                   .arg = index(found->mh),
+                   .detail = "reconnect"});
         awaiting_handoff_in_.insert(found->mh);
         msg::HandoffRequest req{found->mh, id_, /*clears_disconnect=*/true};
         net_.send_fixed(id_, found->from, make_control(NodeRef(id_), NodeRef(found->from), req));
@@ -79,11 +84,20 @@ void Mss::handle_join(const msg::Join& join) {
   arrival_seq_[join.mh] = net_.mh(join.mh).joins_completed();
   auto& stats = net_.stats();
   ++stats.joins;
-  if (join.reconnect) ++stats.reconnects;
+  if (join.reconnect) {
+    ++stats.reconnects;
+    net_.emit({.kind = obs::EventKind::kReconnect,
+               .entity = entity_of(join.mh),
+               .peer = entity_of(id_)});
+  }
 
   const bool needs_handoff = join.prev_mss != kInvalidMss && join.prev_mss != id_;
   if (needs_handoff) {
     ++stats.handoffs;
+    net_.emit({.kind = obs::EventKind::kHandoffBegin,
+               .entity = entity_of(id_),
+               .peer = entity_of(join.prev_mss),
+               .arg = index(join.mh)});
     awaiting_handoff_in_.insert(join.mh);
     msg::HandoffRequest req{join.mh, id_, join.reconnect,
                             net_.mh(join.mh).joins_completed()};
@@ -117,8 +131,9 @@ void Mss::handle_leave(const msg::Leave& leave) {
 
 void Mss::handle_disconnect(const msg::Disconnect& disc) {
   if (!local_.contains(disc.mh)) return;
-  net_.log(sim::TraceLevel::kInfo, "mss",
-           to_string(id_) + " disconnect " + to_string(disc.mh));
+  net_.emit({.kind = obs::EventKind::kDisconnect,
+             .entity = entity_of(disc.mh),
+             .peer = entity_of(id_)});
   ++net_.stats().disconnects;
   // Per §2: delete from the local list but set the "disconnected" flag;
   // the MH is still *located* here for search purposes, so agents get
@@ -156,8 +171,6 @@ void Mss::handle_handoff_request(const msg::HandoffRequest& req) {
 }
 
 void Mss::send_handoff_state(MhId mh, MssId new_mss) {
-  net_.log(sim::TraceLevel::kDebug, "mss",
-           to_string(id_) + " handoff " + to_string(mh) + " -> " + to_string(new_mss));
   msg::HandoffState state{mh, id_, {}};
   for (auto& [proto, agent] : agents_) {
     std::any blob = agent->on_handoff_out(mh);
@@ -167,6 +180,10 @@ void Mss::send_handoff_state(MhId mh, MssId new_mss) {
 }
 
 void Mss::handle_handoff_state(const msg::HandoffState& state) {
+  net_.emit({.kind = obs::EventKind::kHandoffEnd,
+             .entity = entity_of(id_),
+             .peer = entity_of(state.prev_mss),
+             .arg = index(state.mh)});
   awaiting_handoff_in_.erase(state.mh);
   for (const auto& [proto, blob] : state.state) {
     if (auto* target = agent(proto)) target->on_handoff_in(state.mh, state.prev_mss, blob);

@@ -21,6 +21,42 @@ void check_latency_range(const char* name, sim::Duration lo, sim::Duration hi) {
 
 }  // namespace
 
+namespace {
+
+/// Trace severity of a structured event kind: mobility disruptions are
+/// info, per-message flow is debug noise.
+sim::TraceLevel trace_level_of(obs::EventKind kind) {
+  switch (kind) {
+    case obs::EventKind::kDisconnect:
+    case obs::EventKind::kReconnect: return sim::TraceLevel::kInfo;
+    default: return sim::TraceLevel::kDebug;
+  }
+}
+
+/// Trace component tag of a structured event kind.
+std::string_view trace_component_of(obs::EventKind kind) {
+  switch (kind) {
+    case obs::EventKind::kSend:
+    case obs::EventKind::kRecv:
+    case obs::EventKind::kDeliver: return "net";
+    case obs::EventKind::kHandoffBegin:
+    case obs::EventKind::kHandoffEnd:
+    case obs::EventKind::kDisconnect:
+    case obs::EventKind::kReconnect: return "mss";
+    case obs::EventKind::kSearchRound: return "search";
+    case obs::EventKind::kCsRequest:
+    case obs::EventKind::kCsEnter:
+    case obs::EventKind::kCsExit:
+    case obs::EventKind::kTokenDepart:
+    case obs::EventKind::kTokenArrive: return "mutex";
+    case obs::EventKind::kLocationUpdate:
+    case obs::EventKind::kViewChange: return "group";
+  }
+  return "net";
+}
+
+}  // namespace
+
 Network::Network(NetConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
   if (cfg_.num_mss == 0) throw std::invalid_argument("Network: need at least one MSS");
   // Channel keys pack endpoint indices into 30-bit fields; reject id
@@ -31,6 +67,14 @@ Network::Network(NetConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
   check_latency_range("wired", cfg_.latency.wired_min, cfg_.latency.wired_max);
   check_latency_range("wireless", cfg_.latency.wireless_min, cfg_.latency.wireless_max);
   check_latency_range("search", cfg_.latency.search_min, cfg_.latency.search_max);
+  // The free-text trace is a rendering of the event stream: every
+  // structured event that clears the trace's level filter is formatted
+  // into it, so trace text and event records can never disagree.
+  events_.set_sink([this](const obs::Event& ev) {
+    const auto level = trace_level_of(ev.kind);
+    if (level < trace_.min_level()) return;  // skip the formatting work
+    trace_.log(ev.at, level, trace_component_of(ev.kind), obs::describe(ev));
+  });
   mss_.reserve(cfg_.num_mss);
   for (std::uint32_t i = 0; i < cfg_.num_mss; ++i) {
     mss_.push_back(std::make_unique<Mss>(*this, static_cast<MssId>(i)));
@@ -126,8 +170,19 @@ void Network::send_fixed(MssId from, MssId to, Envelope env) {
   env.dst = to;
   if (from == to) {
     // Local dispatch: free, but still through the event queue so agent
-    // reentrancy is impossible.
-    sched_.schedule(0, [this, to, env = std::move(env)]() mutable {
+    // reentrancy is impossible. Channel 0: self-sends are unordered
+    // relative to wired traffic.
+    const auto send_id = emit({.kind = obs::EventKind::kSend,
+                               .entity = entity_of(from),
+                               .peer = entity_of(to),
+                               .arg = env.proto});
+    sched_.schedule(0, [this, to, send_id, env = std::move(env)]() mutable {
+      const auto recv_id = emit({.kind = obs::EventKind::kRecv,
+                                 .entity = entity_of(to),
+                                 .peer = entity_of(to),
+                                 .cause = send_id,
+                                 .arg = env.proto});
+      obs::CauseScope scope(events_, recv_id);
       deliver_wired(to, std::move(env));
     });
     return;
@@ -135,7 +190,20 @@ void Network::send_fixed(MssId from, MssId to, Envelope env) {
   if (!env.control) ledger_.charge_fixed();
   const auto latency = sample(cfg_.latency.wired_min, cfg_.latency.wired_max);
   const auto arrival = fifo_arrival(ChannelType::kWired, index(from), index(to), latency);
-  sched_.schedule_at(arrival, [this, to, env = std::move(env)]() mutable {
+  const auto channel = channel_key(ChannelType::kWired, index(from), index(to));
+  const auto send_id = emit({.kind = obs::EventKind::kSend,
+                             .entity = entity_of(from),
+                             .peer = entity_of(to),
+                             .channel = channel,
+                             .arg = env.proto});
+  sched_.schedule_at(arrival, [this, from, to, send_id, channel, env = std::move(env)]() mutable {
+    const auto recv_id = emit({.kind = obs::EventKind::kRecv,
+                               .entity = entity_of(to),
+                               .peer = entity_of(from),
+                               .cause = send_id,
+                               .channel = channel,
+                               .arg = env.proto});
+    obs::CauseScope scope(events_, recv_id);
     deliver_wired(to, std::move(env));
   });
 }
@@ -156,18 +224,33 @@ void Network::send_wireless_downlink(MssId from, Envelope env, MhId to,
   const auto latency = sample(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
   const auto arrival =
       fifo_arrival(ChannelType::kDownlink, index(from), index(to), latency);
+  const auto channel = channel_key(ChannelType::kDownlink, index(from), index(to));
+  const auto send_id = emit({.kind = obs::EventKind::kSend,
+                             .entity = entity_of(from),
+                             .peer = entity_of(to),
+                             .channel = channel,
+                             .arg = env.proto});
   sched_.schedule_at(arrival,
-                     [this, from, to, env = std::move(env), on_fail = std::move(on_fail)]() mutable {
+                     [this, from, to, send_id, channel, env = std::move(env),
+                      on_fail = std::move(on_fail)]() mutable {
     auto& dest = mh(to);
     if (dest.current_mss() != from) {
       // The MH left between transmission and (would-be) reception: the
-      // frame is lost in the old cell — §2's prefix-delivery rule.
+      // frame is lost in the old cell — §2's prefix-delivery rule. No
+      // recv event: the send stays unconsumed in the stream.
       if (on_fail) on_fail();
       return;
     }
     if (!env.control) ledger_.charge_wireless(index(to), /*mh_transmitted=*/false);
     if (env.control) ++stats_.control_msgs;
     if (dest.dozing()) ++stats_.doze_interruptions;
+    const auto recv_id = emit({.kind = obs::EventKind::kRecv,
+                               .entity = entity_of(to),
+                               .peer = entity_of(from),
+                               .cause = send_id,
+                               .channel = channel,
+                               .arg = env.proto});
+    obs::CauseScope scope(events_, recv_id);
     dest.deliver(env);
   });
 }
@@ -186,7 +269,21 @@ void Network::send_wireless_uplink(MhId from, Envelope env) {
   const auto latency = sample(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
   const auto arrival =
       fifo_arrival(ChannelType::kUplink, index(from), index(target), latency);
-  sched_.schedule_at(arrival, [this, target, env = std::move(env)]() mutable {
+  const auto channel = channel_key(ChannelType::kUplink, index(from), index(target));
+  const auto send_id = emit({.kind = obs::EventKind::kSend,
+                             .entity = entity_of(from),
+                             .peer = entity_of(target),
+                             .channel = channel,
+                             .arg = env.proto});
+  sched_.schedule_at(arrival, [this, from, target, send_id, channel,
+                               env = std::move(env)]() mutable {
+    const auto recv_id = emit({.kind = obs::EventKind::kRecv,
+                               .entity = entity_of(target),
+                               .peer = entity_of(from),
+                               .cause = send_id,
+                               .channel = channel,
+                               .arg = env.proto});
+    obs::CauseScope scope(events_, recv_id);
     mss(target).dispatch(env);
   });
 }
@@ -223,10 +320,14 @@ void Network::send_to_mh_attempt(MssId from, Envelope env, MhId to, SendPolicy p
     // of the single c_search charge; in broadcast mode it is a real
     // wired message.
     if (cfg_.search == SearchMode::kBroadcast && at != from) ledger_.charge_fixed();
-    auto deliver = [this, at, env = std::move(env), to, policy, attempt]() mutable {
+    // The retry path re-launches from a scheduled lambda where no
+    // dispatch scope is active; carry the locate resolution's cause into
+    // it so retries stay on the causal chain.
+    auto deliver = [this, at, env = std::move(env), to, policy, attempt,
+                    cause = events_.current_cause()]() mutable {
       Envelope frame = env;  // keep a copy for the retry path
       send_wireless_downlink(at, std::move(frame), to, [this, at, env, to, policy,
-                                                        attempt]() {
+                                                        attempt, cause]() {
         ++stats_.delivery_retries;
         delivery_retry_depth_.record(attempt + 1);
         // Re-launch from the cell that noticed the miss: its MSS
@@ -236,7 +337,8 @@ void Network::send_to_mh_attempt(MssId from, Envelope env, MhId to, SendPolicy p
         // re-resolve to the same cell in the same virtual instant,
         // spinning forever without advancing time.
         const auto backoff = cfg_.latency.wireless_max + 1;
-        sched_.schedule(backoff, [this, at, env, to, policy, attempt]() {
+        sched_.schedule(backoff, [this, at, env, to, policy, attempt, cause]() {
+          obs::CauseScope scope(events_, cause);
           send_to_mh_attempt(at, env, to, policy, attempt + 1);
         });
       });
@@ -246,7 +348,25 @@ void Network::send_to_mh_attempt(MssId from, Envelope env, MhId to, SendPolicy p
     } else {
       const auto latency = sample(cfg_.latency.wired_min, cfg_.latency.wired_max);
       const auto arrival = fifo_arrival(ChannelType::kWired, index(from), index(at), latency);
-      sched_.schedule_at(arrival, std::move(deliver));
+      const auto channel = channel_key(ChannelType::kWired, index(from), index(at));
+      const auto fwd_id = emit({.kind = obs::EventKind::kSend,
+                                .entity = entity_of(from),
+                                .peer = entity_of(at),
+                                .channel = channel,
+                                .arg = env.proto,
+                                .detail = "forward"});
+      sched_.schedule_at(arrival, [this, from, at, fwd_id, channel, proto = env.proto,
+                                   deliver = std::move(deliver)]() mutable {
+        const auto recv_id = emit({.kind = obs::EventKind::kRecv,
+                                   .entity = entity_of(at),
+                                   .peer = entity_of(from),
+                                   .cause = fwd_id,
+                                   .channel = channel,
+                                   .arg = proto,
+                                   .detail = "forward"});
+        obs::CauseScope scope(events_, recv_id);
+        deliver();
+      });
     }
   });
 }
@@ -265,8 +385,6 @@ void Network::relay_to_mh(MssId via, const msg::Relay& relay) {
 }
 
 void Network::locate(MssId from, MhId target, LocateCallback cb) {
-  log(sim::TraceLevel::kDebug, "search",
-      to_string(from) + " locating " + to_string(target));
   ++stats_.searches_started;
   switch (cfg_.search) {
     case SearchMode::kOracle: oracle_locate(from, target, std::move(cb)); return;
@@ -277,8 +395,15 @@ void Network::locate(MssId from, MhId target, LocateCallback cb) {
 void Network::oracle_locate(MssId from, MhId target, LocateCallback cb) {
   const bool local_hit = mh(target).current_mss() == from;
   if (cfg_.charge_search_for_local || !local_hit) ledger_.charge_search();
+  emit({.kind = obs::EventKind::kSearchRound,
+        .entity = entity_of(from),
+        .peer = entity_of(target),
+        .arg = 1,
+        .detail = "oracle"});
   const auto delay = sample(cfg_.latency.search_min, cfg_.latency.search_max);
-  sched_.schedule(delay, [this, from, target, cb = std::move(cb)]() mutable {
+  sched_.schedule(delay, [this, from, target, cause = events_.current_cause(),
+                          cb = std::move(cb)]() mutable {
+    obs::CauseScope scope(events_, cause);
     auto& host = mh(target);
     switch (host.state()) {
       case MhState::kConnected:
@@ -305,7 +430,14 @@ void Network::broadcast_locate(MssId from, MhId target, LocateCallback cb) {
   // target as connected would spin the downlink fail/retry loop until
   // its join lands; park the resolution like oracle_locate does instead.
   if (cfg_.num_mss == 1) {
-    sched_.schedule(0, [this, from, target, cb = std::move(cb)]() mutable {
+    emit({.kind = obs::EventKind::kSearchRound,
+          .entity = entity_of(from),
+          .peer = entity_of(target),
+          .arg = 1,
+          .detail = "broadcast"});
+    sched_.schedule(0, [this, from, target, cause = events_.current_cause(),
+                        cb = std::move(cb)]() mutable {
+      obs::CauseScope scope(events_, cause);
       auto& host = mh(target);
       switch (host.state()) {
         case MhState::kConnected:
@@ -337,6 +469,11 @@ void Network::broadcast_round(std::uint64_t token) {
   ++search.round;
   search.found = false;
   search.saw_disconnected = false;
+  emit({.kind = obs::EventKind::kSearchRound,
+        .entity = entity_of(search.origin),
+        .peer = entity_of(search.target),
+        .arg = search.round,
+        .detail = "broadcast"});
   // Before spraying queries, check our own cell (free).
   if (mss(search.origin).is_local(search.target)) {
     auto cb = std::move(search.cb);
@@ -409,7 +546,10 @@ void Network::handle_search_reply(const msg::SearchReply& reply) {
     const std::uint64_t token = reply.token;
     const auto jitter = rng_.below(cfg_.latency.broadcast_retry / 2 + 1);
     sched_.schedule(cfg_.latency.broadcast_retry + jitter,
-                    [this, token]() { broadcast_round(token); });
+                    [this, token, cause = events_.current_cause()]() {
+                      obs::CauseScope scope(events_, cause);
+                      broadcast_round(token);
+                    });
   }
 }
 
@@ -417,7 +557,22 @@ void Network::submit_join(MhId from, MssId target, msg::Join join) {
   ++stats_.control_msgs;
   const auto latency = sample(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
   const auto arrival = fifo_arrival(ChannelType::kUplink, index(from), index(target), latency);
-  sched_.schedule_at(arrival, [this, target, join]() {
+  const auto channel = channel_key(ChannelType::kUplink, index(from), index(target));
+  const auto send_id = emit({.kind = obs::EventKind::kSend,
+                             .entity = entity_of(from),
+                             .peer = entity_of(target),
+                             .channel = channel,
+                             .arg = protocol::kSystem,
+                             .detail = "join"});
+  sched_.schedule_at(arrival, [this, from, target, send_id, channel, join]() {
+    const auto recv_id = emit({.kind = obs::EventKind::kRecv,
+                               .entity = entity_of(target),
+                               .peer = entity_of(from),
+                               .cause = send_id,
+                               .channel = channel,
+                               .arg = protocol::kSystem,
+                               .detail = "join"});
+    obs::CauseScope scope(events_, recv_id);
     mss(target).dispatch(make_control(NodeRef(join.mh), NodeRef(target), join));
   });
 }

@@ -15,12 +15,30 @@
 #include "net/mss.hpp"
 #include "net/search.hpp"
 #include "net/stats.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/trace.hpp"
 
 namespace mobidist::net {
+
+/// Map net-layer identifiers onto the obs layer's entity type (obs sits
+/// below net in the dependency order, so it cannot know these ids).
+[[nodiscard]] constexpr obs::Entity entity_of(MssId id) noexcept {
+  return id == kInvalidMss ? obs::Entity{} : obs::Entity::mss(index(id));
+}
+[[nodiscard]] constexpr obs::Entity entity_of(MhId id) noexcept {
+  return id == kInvalidMh ? obs::Entity{} : obs::Entity::mh(index(id));
+}
+[[nodiscard]] constexpr obs::Entity entity_of(NodeRef ref) noexcept {
+  switch (ref.kind) {
+    case NodeRef::Kind::kMss: return obs::Entity::mss(ref.idx);
+    case NodeRef::Kind::kMh: return obs::Entity::mh(ref.idx);
+    case NodeRef::Kind::kNone: break;
+  }
+  return obs::Entity{};
+}
 
 /// Where MHs sit before the simulation starts.
 enum class InitialPlacement : std::uint8_t {
@@ -73,6 +91,7 @@ class Network {
   [[nodiscard]] const sim::Scheduler& sched() const noexcept { return sched_; }
   [[nodiscard]] sim::Rng& rng() noexcept { return rng_; }
   [[nodiscard]] sim::Trace& trace() noexcept { return trace_; }
+  [[nodiscard]] const sim::Trace& trace() const noexcept { return trace_; }
   [[nodiscard]] cost::CostLedger& ledger() noexcept { return ledger_; }
   [[nodiscard]] const cost::CostLedger& ledger() const noexcept { return ledger_; }
   [[nodiscard]] NetStats& stats() noexcept { return stats_; }
@@ -81,6 +100,16 @@ class Network {
   /// histograms recorded by the substrate and the algorithm layers.
   [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
   [[nodiscard]] const obs::Registry& metrics() const noexcept { return metrics_; }
+  /// Structured causal event stream: every message hop, mobility event,
+  /// CS transition, and token movement, with Lamport clocks and causal
+  /// parent ids. sim::Trace renders a free-text view of the same stream.
+  [[nodiscard]] obs::EventStream& events() noexcept { return events_; }
+  [[nodiscard]] const obs::EventStream& events() const noexcept { return events_; }
+  /// Emit an event stamped with the current sim time; cause defaults to
+  /// the recv being dispatched (see obs::CauseScope).
+  obs::EventId emit(obs::EventStream::Emit spec) {
+    return events_.emit(sched_.now(), std::move(spec));
+  }
 
   /// Fire on_start on every registered agent (MSS agents first, then MH
   /// agents, each in id order). Call after registering all agents and
@@ -210,6 +239,7 @@ class Network {
   cost::CostLedger ledger_;
   obs::Registry metrics_;  ///< must precede every member referencing it
   NetStats stats_{metrics_};
+  obs::EventStream events_;
   // Always-on substrate histograms (virtual-time units; zero-cost when
   // nothing records). Queue delay is the FIFO clamp each channel kind
   // added on top of the sampled latency.

@@ -1,0 +1,266 @@
+#include "obs/checkers.hpp"
+
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+namespace mobidist::obs {
+
+std::string to_string(const CheckFailure& failure) {
+  std::ostringstream os;
+  os << failure.checker << " @ event " << failure.event << ": " << failure.diagnostic;
+  return os.str();
+}
+
+namespace {
+
+void fail(std::vector<CheckFailure>& out, std::string checker, EventId event,
+          std::string diagnostic) {
+  out.push_back(CheckFailure{std::move(checker), event, std::move(diagnostic)});
+}
+
+/// Ring family of a token event: the algorithm tag up to the first
+/// apostrophe/tilde decoration, so "R2", "R2'", "R2''", and "R2~" all
+/// share one token.
+std::string_view token_family(std::string_view detail) {
+  const auto cut = detail.find_first_of("'~");
+  return cut == std::string_view::npos ? detail : detail.substr(0, cut);
+}
+
+}  // namespace
+
+std::vector<CheckFailure> check_cs_exclusion(const std::deque<Event>& events) {
+  std::vector<CheckFailure> failures;
+  // Per mutual-exclusion instance (detail label): who is inside, and the
+  // enter event that put them there.
+  struct Holder {
+    Entity who;
+    EventId since = 0;
+  };
+  std::map<std::string, Holder, std::less<>> holders;
+  for (const auto& ev : events) {
+    if (ev.kind == EventKind::kCsEnter) {
+      auto [it, inserted] = holders.try_emplace(ev.detail);
+      if (!inserted && it->second.since != 0) {
+        std::ostringstream os;
+        os << to_string(ev.entity) << " entered the CS of instance \"" << ev.detail
+           << "\" at t=" << ev.at << " while " << to_string(it->second.who)
+           << " still holds it (enter event " << it->second.since << ")";
+        fail(failures, "cs_exclusion", ev.id, os.str());
+      }
+      it->second = Holder{ev.entity, ev.id};
+    } else if (ev.kind == EventKind::kCsExit) {
+      const auto it = holders.find(ev.detail);
+      if (it == holders.end()) continue;  // enter evicted from a truncated stream
+      if (it->second.since != 0 && !(it->second.who == ev.entity)) {
+        std::ostringstream os;
+        os << to_string(ev.entity) << " exited the CS of instance \"" << ev.detail
+           << "\" at t=" << ev.at << " but " << to_string(it->second.who)
+           << " is the recorded holder";
+        fail(failures, "cs_exclusion", ev.id, os.str());
+      }
+      it->second.since = 0;
+    }
+  }
+  return failures;
+}
+
+std::vector<CheckFailure> check_token_circulation(const std::deque<Event>& events) {
+  std::vector<CheckFailure> failures;
+  struct TokenState {
+    enum class Where { kUnknown, kHeld, kInFlight } where = Where::kUnknown;
+    Entity holder;        ///< valid when kHeld
+    Entity depart_from;   ///< valid when kInFlight
+    Entity depart_to;     ///< valid when kInFlight
+    EventId last_event = 0;
+  };
+  std::map<std::string, TokenState, std::less<>> tokens;
+  for (const auto& ev : events) {
+    if (ev.kind != EventKind::kTokenDepart && ev.kind != EventKind::kTokenArrive) continue;
+    auto& state = tokens[std::string(token_family(ev.detail))];
+    using Where = TokenState::Where;
+    if (ev.kind == EventKind::kTokenArrive) {
+      switch (state.where) {
+        case Where::kUnknown:
+          break;  // injection, or a truncated stream's first sighting
+        case Where::kHeld: {
+          std::ostringstream os;
+          os << "token \"" << token_family(ev.detail) << "\" arrived at "
+             << to_string(ev.entity) << " at t=" << ev.at << " while already held by "
+             << to_string(state.holder) << " (event " << state.last_event
+             << ") -- duplicate token";
+          fail(failures, "token_circulation", ev.id, os.str());
+          break;
+        }
+        case Where::kInFlight:
+          // The legal destinations are the announced peer and, when the
+          // peer was unreachable, the sender itself (the bounce path).
+          if (!(ev.entity == state.depart_to) && !(ev.entity == state.depart_from)) {
+            std::ostringstream os;
+            os << "token \"" << token_family(ev.detail) << "\" arrived at "
+               << to_string(ev.entity) << " at t=" << ev.at << " but event "
+               << state.last_event << " sent it from " << to_string(state.depart_from)
+               << " to " << to_string(state.depart_to);
+            fail(failures, "token_circulation", ev.id, os.str());
+          }
+          break;
+      }
+      state.where = Where::kHeld;
+      state.holder = ev.entity;
+      state.last_event = ev.id;
+    } else {  // kTokenDepart
+      switch (state.where) {
+        case Where::kUnknown:
+          break;  // the matching arrival predates the retained suffix
+        case Where::kHeld:
+          if (!(state.holder == ev.entity)) {
+            std::ostringstream os;
+            os << "token \"" << token_family(ev.detail) << "\" departed from "
+               << to_string(ev.entity) << " at t=" << ev.at << " but "
+               << to_string(state.holder) << " holds it (event " << state.last_event << ")";
+            fail(failures, "token_circulation", ev.id, os.str());
+          }
+          break;
+        case Where::kInFlight: {
+          std::ostringstream os;
+          os << "token \"" << token_family(ev.detail) << "\" departed from "
+             << to_string(ev.entity) << " at t=" << ev.at
+             << " while still in flight from " << to_string(state.depart_from) << " (event "
+             << state.last_event << ") -- duplicate token";
+          fail(failures, "token_circulation", ev.id, os.str());
+          break;
+        }
+      }
+      state.where = Where::kInFlight;
+      state.depart_from = ev.entity;
+      state.depart_to = ev.peer;
+      state.last_event = ev.id;
+    }
+  }
+  return failures;
+}
+
+std::vector<CheckFailure> check_channel_fifo(const std::deque<Event>& events) {
+  std::vector<CheckFailure> failures;
+  // Position of every retained send within its channel, and per channel
+  // the position of the last send already consumed by a recv.
+  struct SendPos {
+    std::uint64_t channel = 0;
+    std::uint64_t position = 0;
+  };
+  std::unordered_map<EventId, SendPos> send_positions;
+  std::unordered_map<std::uint64_t, std::uint64_t> send_counts;
+  struct Consumed {
+    std::uint64_t position = 0;
+    EventId recv = 0;
+    EventId send = 0;
+  };
+  std::unordered_map<std::uint64_t, Consumed> last_consumed;
+  for (const auto& ev : events) {
+    if (ev.channel == 0) continue;
+    if (ev.kind == EventKind::kSend) {
+      send_positions[ev.id] = SendPos{ev.channel, ++send_counts[ev.channel]};
+    } else if (ev.kind == EventKind::kRecv) {
+      const auto sent = send_positions.find(ev.cause);
+      if (sent == send_positions.end()) continue;  // send predates the suffix
+      if (sent->second.channel != ev.channel) {
+        std::ostringstream os;
+        os << "recv at " << to_string(ev.entity) << " on channel " << ev.channel
+           << " consumed send event " << ev.cause << " from channel "
+           << sent->second.channel;
+        fail(failures, "channel_fifo", ev.id, os.str());
+        continue;
+      }
+      auto& consumed = last_consumed[ev.channel];
+      if (consumed.recv != 0 && sent->second.position <= consumed.position) {
+        std::ostringstream os;
+        os << "FIFO violation on channel " << ev.channel << ": recv at "
+           << to_string(ev.entity) << " t=" << ev.at << " consumed send event " << ev.cause
+           << " (position " << sent->second.position << ") after recv event "
+           << consumed.recv << " already consumed send event " << consumed.send
+           << " (position " << consumed.position << ")";
+        fail(failures, "channel_fifo", ev.id, os.str());
+        continue;
+      }
+      consumed = Consumed{sent->second.position, ev.id, ev.cause};
+    }
+  }
+  return failures;
+}
+
+std::vector<CheckFailure> check_traversal_cap(const std::deque<Event>& events) {
+  std::vector<CheckFailure> failures;
+  // (variant, token_val, mh) -> the grant event already charged.
+  std::map<std::tuple<std::string, std::uint64_t, std::uint64_t>, EventId> grants;
+  for (const auto& ev : events) {
+    if (ev.kind != EventKind::kTokenDepart) continue;
+    if (ev.detail != "R2'" && ev.detail != "R2''") continue;
+    if (ev.peer.kind != Entity::Kind::kMh) continue;  // ring forwarding, not a grant
+    const auto key = std::make_tuple(ev.detail, ev.arg, static_cast<std::uint64_t>(ev.peer.idx));
+    const auto [it, inserted] = grants.try_emplace(key, ev.id);
+    if (!inserted) {
+      std::ostringstream os;
+      os << ev.detail << " granted the token to " << to_string(ev.peer)
+         << " twice in traversal token_val=" << ev.arg << " (events " << it->second
+         << " and " << ev.id << ") -- stale access_count replay";
+      fail(failures, "traversal_cap", ev.id, os.str());
+    }
+  }
+  return failures;
+}
+
+std::vector<CheckFailure> check_causal_clocks(const std::deque<Event>& events) {
+  std::vector<CheckFailure> failures;
+  std::unordered_map<EventId, std::uint64_t> lamports;
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, EventId>> last_seq;
+  lamports.reserve(events.size());
+  for (const auto& ev : events) {
+    if (ev.cause != 0) {
+      const auto parent = lamports.find(ev.cause);
+      if (parent != lamports.end() && ev.lamport <= parent->second) {
+        std::ostringstream os;
+        os << "event " << ev.id << " at " << to_string(ev.entity) << " has lamport "
+           << ev.lamport << " but its causal parent event " << ev.cause << " has lamport "
+           << parent->second << " -- clock did not advance across the causal edge";
+        fail(failures, "causal_clocks", ev.id, os.str());
+      }
+    }
+    lamports.emplace(ev.id, ev.lamport);
+    if (ev.entity.valid()) {
+      const auto [it, inserted] =
+          last_seq.try_emplace(ev.entity.key(), std::make_pair(ev.seq, ev.id));
+      if (!inserted) {
+        if (ev.seq <= it->second.first) {
+          std::ostringstream os;
+          os << "event " << ev.id << " at " << to_string(ev.entity) << " has seq " << ev.seq
+             << " but the entity's previous event " << it->second.second << " has seq "
+             << it->second.first << " -- per-entity sequence not strictly increasing";
+          fail(failures, "causal_clocks", ev.id, os.str());
+        }
+        it->second = std::make_pair(ev.seq, ev.id);
+      }
+    }
+  }
+  return failures;
+}
+
+std::vector<CheckFailure> check_all(const std::deque<Event>& events) {
+  std::vector<CheckFailure> failures = check_cs_exclusion(events);
+  auto append = [&failures](std::vector<CheckFailure> more) {
+    failures.insert(failures.end(), std::make_move_iterator(more.begin()),
+                    std::make_move_iterator(more.end()));
+  };
+  append(check_token_circulation(events));
+  append(check_channel_fifo(events));
+  append(check_traversal_cap(events));
+  append(check_causal_clocks(events));
+  return failures;
+}
+
+std::vector<CheckFailure> check_all(const EventStream& stream) {
+  return check_all(stream.records());
+}
+
+}  // namespace mobidist::obs

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace mobidist::obs {
+
+/// One invariant violation found by a checker, with enough context to
+/// point at the offending event in the exported JSONL.
+struct CheckFailure {
+  std::string checker;     ///< which checker fired ("cs_exclusion", ...)
+  EventId event = 0;       ///< the event that completed the violation
+  std::string diagnostic;  ///< precise human-readable explanation
+};
+
+/// "cs_exclusion @ event 42: ..." — suitable for assertion messages.
+[[nodiscard]] std::string to_string(const CheckFailure& failure);
+
+/// All checkers are pure functions over a finished stream (oldest event
+/// first). They tolerate truncated streams — a reference to an evicted
+/// cause id, or state established before the retained suffix, is skipped
+/// rather than reported, so bounded buffers never cause false positives.
+
+/// At most one MH inside the critical section at any sim time, per
+/// mutual-exclusion instance (instances are distinguished by the CS
+/// events' `detail` label, so scenarios running several algorithms on
+/// one network check each independently).
+[[nodiscard]] std::vector<CheckFailure> check_cs_exclusion(const std::deque<Event>& events);
+
+/// Exactly one live token per ring family between depart/arrive pairs:
+/// an arrival while the family's token is already held, or a departure
+/// from an entity that does not hold it, is a duplicate / forged token.
+/// Families are the leading algorithm tag of `detail` ("R1", "R2").
+[[nodiscard]] std::vector<CheckFailure> check_token_circulation(
+    const std::deque<Event>& events);
+
+/// Per-channel FIFO delivery: on every ordered channel (channel != 0),
+/// recvs must consume sends in emission order. Sends whose recv never
+/// appears (losses, in-flight at shutdown) are allowed to be skipped.
+[[nodiscard]] std::vector<CheckFailure> check_channel_fifo(const std::deque<Event>& events);
+
+/// R2'/R2'' at-most-once-per-traversal: within one token traversal
+/// (identified by token_val in `arg`), no MH is granted the token twice.
+/// Applies only to token departures tagged "R2'" or "R2''"; plain R2 is
+/// exempt, and the two documented R2' holes emit decorated tags — "R2'!"
+/// for runs with malicious reporters, "R2'~" for repeats admitted by a
+/// stale access_count snapshot — so only genuinely fresh-count R2'
+/// grants are held to the cap.
+[[nodiscard]] std::vector<CheckFailure> check_traversal_cap(const std::deque<Event>& events);
+
+/// Lamport clocks increase along every causal edge whose parent is
+/// retained, and per-entity sequence numbers are strictly increasing.
+[[nodiscard]] std::vector<CheckFailure> check_causal_clocks(const std::deque<Event>& events);
+
+/// Run every checker; failures are concatenated in the order above.
+[[nodiscard]] std::vector<CheckFailure> check_all(const std::deque<Event>& events);
+[[nodiscard]] std::vector<CheckFailure> check_all(const EventStream& stream);
+
+}  // namespace mobidist::obs

@@ -1,0 +1,204 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "sim/time.hpp"
+
+namespace mobidist::obs {
+
+/// What happened. One value per paper-level event class; the substrate
+/// and the algorithm layers emit these, the checkers and exporters in
+/// checkers.hpp / the JSONL+Chrome writers consume them.
+enum class EventKind : std::uint8_t {
+  kSend,            ///< a message entered a channel (wired / downlink / uplink)
+  kRecv,            ///< a message left its channel at the destination host
+  kDeliver,         ///< a relay payload reached its MH agent (post-resequencing)
+  kHandoffBegin,    ///< new MSS asked the previous MSS for per-MH state
+  kHandoffEnd,      ///< the handoff state landed at the new MSS
+  kDisconnect,      ///< a MH's "disconnected" flag was set at its cell
+  kReconnect,       ///< a disconnected MH rejoined (at `peer`'s cell)
+  kSearchRound,     ///< one search round resolved / was launched for a MH
+  kCsRequest,       ///< a MH asked for the critical section
+  kCsEnter,         ///< a MH entered the critical section
+  kCsExit,          ///< a MH left the critical section
+  kTokenDepart,     ///< a mutual-exclusion token left `entity` towards `peer`
+  kTokenArrive,     ///< a token arrived at `entity` (first arrival = injection)
+  kLocationUpdate,  ///< a group strategy recorded / propagated a member location
+  kViewChange,      ///< the location-view coordinator advanced the view version
+};
+
+[[nodiscard]] std::string_view to_string(EventKind kind) noexcept;
+/// Inverse of to_string; nullopt on unknown text.
+[[nodiscard]] std::optional<EventKind> parse_kind(std::string_view text) noexcept;
+
+/// The emitting (or peer) entity of an event. Mirrors net::NodeRef
+/// without depending on the net layer, so obs stays below net in the
+/// dependency order.
+struct Entity {
+  enum class Kind : std::uint8_t { kNone, kMss, kMh };
+
+  Kind kind = Kind::kNone;
+  std::uint32_t idx = 0;
+
+  [[nodiscard]] static constexpr Entity mss(std::uint32_t idx) noexcept {
+    return Entity{Kind::kMss, idx};
+  }
+  [[nodiscard]] static constexpr Entity mh(std::uint32_t idx) noexcept {
+    return Entity{Kind::kMh, idx};
+  }
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return kind != Kind::kNone; }
+  /// Dense map key: kind in the top bits, index below.
+  [[nodiscard]] constexpr std::uint64_t key() const noexcept {
+    return (static_cast<std::uint64_t>(kind) << 32) | idx;
+  }
+
+  friend constexpr bool operator==(Entity, Entity) = default;
+};
+
+/// "mss:3", "mh:7", or "?" for none.
+[[nodiscard]] std::string to_string(Entity entity);
+/// Inverse of to_string; nullopt on malformed text.
+[[nodiscard]] std::optional<Entity> parse_entity(std::string_view text) noexcept;
+
+/// Stream-unique event identifier, 1-based and dense; 0 means "none".
+using EventId = std::uint64_t;
+
+/// One structured event. Everything is a pure function of the
+/// simulation, so two same-seed runs produce byte-identical streams.
+struct Event {
+  EventId id = 0;          ///< dense, 1-based, assigned by EventStream
+  sim::SimTime at = 0;     ///< virtual time of emission
+  EventKind kind = EventKind::kSend;
+  Entity entity;           ///< who this happened at
+  Entity peer;             ///< the other endpoint, when there is one
+  std::uint64_t seq = 0;     ///< per-entity emission counter (1-based)
+  std::uint64_t lamport = 0; ///< per-entity Lamport clock, advanced across causes
+  EventId cause = 0;       ///< causal parent (the send behind this recv, ...)
+  std::uint64_t channel = 0; ///< FIFO channel key for send/recv; 0 = unordered
+  std::uint64_t arg = 0;     ///< kind-specific payload (proto, token_val, round, ...)
+  std::string detail;      ///< kind-specific tag ("R2'", "broadcast", "L2", ...)
+};
+
+/// Human-readable one-liner ("token depart mss:0 -> mh:3 val=2 [R2']");
+/// this is what sim::Trace renders, making the free-text trace a thin
+/// view of the event stream.
+[[nodiscard]] std::string describe(const Event& event);
+
+/// Bounded, append-only stream of structured events for one simulated
+/// system. Owns id assignment, per-entity sequence numbers, and the
+/// per-entity Lamport clocks (advanced past the causal parent's clock on
+/// every emission). The buffer keeps the most recent `capacity` events;
+/// evictions are counted in dropped() so artifact consumers can see
+/// truncation instead of silently trusting a partial stream.
+class EventStream {
+ public:
+  /// ~26 MB of retained events at the default; big enough for every
+  /// bench scenario, small enough to stay always-on.
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 18;
+
+  explicit EventStream(std::size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
+
+  /// Emission spec: everything the emitter knows. `cause` 0 means "use
+  /// the ambient CauseScope cause" (the message recv being dispatched).
+  struct Emit {
+    EventKind kind = EventKind::kSend;
+    Entity entity;
+    Entity peer{};
+    EventId cause = 0;
+    std::uint64_t channel = 0;
+    std::uint64_t arg = 0;
+    std::string detail{};
+  };
+
+  /// Append one event; returns its id (usable as a later cause).
+  EventId emit(sim::SimTime at, Emit spec);
+
+  /// Ambient causal parent for emissions that do not pass one
+  /// explicitly; managed by CauseScope.
+  [[nodiscard]] EventId current_cause() const noexcept { return current_cause_; }
+
+  /// Optional observer invoked for every emitted event before it is
+  /// buffered (the Network uses this to render events into sim::Trace).
+  using Sink = std::function<void(const Event&)>;
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Retained events, oldest first. Ids are contiguous:
+  /// records().front().id == dropped() + 1.
+  [[nodiscard]] const std::deque<Event>& records() const noexcept { return records_; }
+  /// Total events ever emitted (== the id of the newest event).
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return last_id_; }
+  /// Events evicted from the front of the buffer (truncation count).
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Lamport clock of a retained event; 0 if unknown (evicted / none).
+  [[nodiscard]] std::uint64_t lamport_of(EventId id) const noexcept;
+
+  void clear();
+
+ private:
+  friend class CauseScope;
+
+  struct EntityState {
+    std::uint64_t seq = 0;
+    std::uint64_t clock = 0;
+  };
+
+  std::size_t capacity_;
+  std::deque<Event> records_;
+  std::unordered_map<std::uint64_t, EntityState> entities_;
+  std::uint64_t last_id_ = 0;
+  std::uint64_t dropped_ = 0;
+  EventId current_cause_ = 0;
+  Sink sink_;
+};
+
+/// RAII ambient-cause marker: while alive, events emitted without an
+/// explicit cause inherit `cause`. The Network wraps every message
+/// dispatch in one of these so algorithm-level events (CS grants, token
+/// arrivals, follow-up sends) chain to the recv that triggered them.
+class CauseScope {
+ public:
+  CauseScope(EventStream& stream, EventId cause) noexcept
+      : stream_(stream), previous_(stream.current_cause_) {
+    stream_.current_cause_ = cause;
+  }
+  ~CauseScope() { stream_.current_cause_ = previous_; }
+
+  CauseScope(const CauseScope&) = delete;
+  CauseScope& operator=(const CauseScope&) = delete;
+
+ private:
+  EventStream& stream_;
+  EventId previous_;
+};
+
+// --- export / import --------------------------------------------------------
+
+/// One event as a single-line JSON object with a fixed key order, so
+/// same-seed runs serialize byte-identically.
+[[nodiscard]] std::string event_json(const Event& event);
+
+/// Inverse of event_json (one line, optionally with trailing newline);
+/// nullopt on malformed input. Used by the offline trace_check tool.
+[[nodiscard]] std::optional<Event> event_from_json(std::string_view line);
+
+/// Whole stream as JSON Lines (one event_json per line).
+[[nodiscard]] std::string to_jsonl(const std::deque<Event>& events);
+[[nodiscard]] std::string to_jsonl(const EventStream& stream);
+
+/// Chrome trace-event format (loadable in Perfetto / chrome://tracing):
+/// one track per entity (pid 1 = MSSs, pid 2 = MHs), B/E spans for CS
+/// occupancy and token holds on the owning entity's track, async spans
+/// for handoffs, instants for the remaining kinds. Virtual ticks map to
+/// microseconds.
+[[nodiscard]] std::string to_chrome_trace(const std::deque<Event>& events);
+[[nodiscard]] std::string to_chrome_trace(const EventStream& stream);
+
+}  // namespace mobidist::obs

@@ -9,6 +9,7 @@ ProxiedLamport::ProxiedLamport(net::Network& net, ProxyService& proxies,
                                mutex::CsMonitor& monitor, mutex::MutexOptions opts)
     : net_(net), proxies_(proxies), monitor_(monitor), opts_(opts) {
   monitor.bind_metrics(net.metrics());
+  monitor.bind_stream(net.events(), "proxy");
   const std::uint32_t m = net.num_mss();
   pending_.resize(m);
   next_req_.assign(m, 1);

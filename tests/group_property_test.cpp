@@ -105,6 +105,7 @@ TEST_P(DeliveryProperty, EveryMessageReachesEveryMemberExactlyOnce) {
     net.sched().schedule(20 + 40 * i, [&send, i] { send(static_cast<std::size_t>(i)); });
   }
   net.run();
+  ExpectCleanEventStream(net);
 
   SCOPED_TRACE(strategy_name(strategy));
   EXPECT_EQ(monitor().missing(group), 0u);
@@ -143,6 +144,7 @@ TEST(Scale, L2AtThreeHundredHosts) {
     net.sched().schedule(2 + 4 * i, [&, i] { l2.request(mh_id(i * 3)); });
   }
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(l2.completed(), 100u);
   EXPECT_EQ(monitor.violations(), 0u);
   EXPECT_EQ(monitor.order_inversions(), 0u);
@@ -173,6 +175,7 @@ TEST(Scale, LocationViewWithFortyMembers) {
     });
   }
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(lv.monitor().missing(group), 0u);
   EXPECT_EQ(lv.monitor().over_delivered(group), 0u);
   EXPECT_LE(lv.max_view_size(), 12u);

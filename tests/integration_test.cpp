@@ -79,6 +79,7 @@ TEST(Integration, AllProtocolsCoexistOnOneNetwork) {
   net.sched().schedule(3000, [&] { ring.set_absorb_when_idle(true); });
 
   const auto events = net.run();
+  ExpectCleanEventStream(net);
   ASSERT_FALSE(net.sched().hit_event_limit());
   EXPECT_GT(events, 1000u);
 
@@ -128,6 +129,7 @@ TEST(Integration, DeterministicEndToEnd) {
       });
     }
     net.run();
+    ExpectCleanEventStream(net);
     return std::tuple{net.ledger().fixed_msgs(), net.ledger().wireless_msgs(),
                       net.ledger().searches(), net.sched().fired(),
                       monitor.grants(), lv.significant_moves()};

@@ -33,6 +33,7 @@ TEST(L1, SingleRequestCompletesWithExactPaperCost) {
   net.start();
   net.sched().schedule(1, [&] { l1.request(mh_id(0)); });
   net.run();
+  ExpectCleanEventStream(net);
 
   EXPECT_EQ(l1.completed(), 1u);
   EXPECT_EQ(monitor.grants(), 1u);
@@ -57,6 +58,7 @@ TEST(L1, TotalCostMatchesClosedFormUnderParams) {
   net.start();
   net.sched().schedule(1, [&] { l1.request(mh_id(2)); });
   net.run();
+  ExpectCleanEventStream(net);
   const cost::CostParams p;  // c_w = 10, c_s = 4
   const double expected = 3.0 * (kN - 1) * (2 * p.c_wireless + p.c_search);
   EXPECT_DOUBLE_EQ(net.ledger().total(p), expected);
@@ -72,6 +74,7 @@ TEST(L1, ConcurrentRequestersAllCompleteSafely) {
     net.sched().schedule(1 + i, [&, i] { l1.request(mh_id(i)); });
   }
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(l1.completed(), kN);
   EXPECT_EQ(monitor.grants(), kN);
   EXPECT_EQ(monitor.violations(), 0u);
@@ -96,6 +99,7 @@ TEST(L1, SafeUnderMobility) {
     net.sched().schedule(5 + 11 * i, [&, i] { l1.request(mh_id(i)); });
   }
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(l1.completed(), 8u);
   EXPECT_EQ(monitor.violations(), 0u);
   EXPECT_GT(driver.moves(), 0u);
@@ -110,6 +114,7 @@ TEST(L1, RequiresEveryHostEvenNonRequesters) {
   net.start();
   net.sched().schedule(1, [&] { l1.request(mh_id(0)); });
   net.run();
+  ExpectCleanEventStream(net);
   const cost::CostParams unit;
   for (std::uint32_t i = 1; i < 6; ++i) {
     EXPECT_GT(net.ledger().energy_at(i, unit), 0.0) << "mh " << i;
@@ -128,6 +133,7 @@ TEST(L1, StallsWhileAnyParticipantIsDisconnected) {
   // Reconnection unblocks the algorithm.
   net.mh(mh_id(5)).reconnect_at(mss_id(1), 1);
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(l1.completed(), 1u);
   EXPECT_EQ(monitor.violations(), 0u);
 }
@@ -144,6 +150,7 @@ TEST(L2, StationaryRequestCostsThreeWirelessOneSearch) {
   net.start();
   net.sched().schedule(1, [&] { l2.request(mh_id(0)); });
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(l2.completed(), 1u);
   EXPECT_EQ(monitor.grants(), 1u);
   // init + grant + release-resource: 3 wireless hops total.
@@ -167,6 +174,7 @@ TEST(L2, MovedRequesterMatchesPaperFormulaExactly) {
   // wired round-trips away).
   net.sched().schedule(4, [&] { net.mh(mh_id(0)).move_to(mss_id(1), 2); });
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(l2.completed(), 1u);
   EXPECT_EQ(net.ledger().wireless_msgs(), 3u);
   EXPECT_EQ(net.ledger().searches(), 1u);
@@ -187,6 +195,7 @@ TEST(L2, SearchCostIndependentOfN) {
     net.start();
     net.sched().schedule(1, [&] { l2.request(mh_id(n - 1)); });
     net.run();
+    ExpectCleanEventStream(net);
     EXPECT_EQ(net.ledger().searches(), 1u) << "N=" << n;
     EXPECT_EQ(net.ledger().wireless_msgs(), 3u) << "N=" << n;
   }
@@ -201,6 +210,7 @@ TEST(L2, ConcurrentRequestsGrantedInInitTimestampOrder) {
     net.sched().schedule(1 + 3 * i, [&, i] { l2.request(mh_id(i)); });
   }
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(l2.completed(), 12u);
   EXPECT_EQ(monitor.grants(), 12u);
   EXPECT_EQ(monitor.violations(), 0u);
@@ -216,6 +226,7 @@ TEST(L2, NonParticipantsExchangeNoWirelessTraffic) {
   for (std::uint32_t i = 1; i < 10; ++i) net.mh(mh_id(i)).set_doze(true);
   net.sched().schedule(1, [&] { l2.request(mh_id(0)); });
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(l2.completed(), 1u);
   EXPECT_EQ(net.stats().doze_interruptions, 0u);
   const cost::CostParams unit;
@@ -235,6 +246,7 @@ TEST(L2, DisconnectBeforeGrantAbortsAndReleases) {
   net.sched().schedule(2, [&] { l2.request(mh_id(1)); });
   net.sched().schedule(4, [&] { net.mh(mh_id(0)).disconnect(); });
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(l2.aborted(), 1u);
   EXPECT_EQ(l2.completed(), 1u);
   EXPECT_EQ(monitor.grants(), 1u);  // only mh1 ever entered
@@ -262,6 +274,7 @@ TEST(L2, DisconnectWhileHoldingReleasesAfterReconnect) {
     if (net.is_disconnected(mh_id(0))) net.mh(mh_id(0)).reconnect_at(mss_id(2), 5);
   });
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(l2.completed(), 2u);
   EXPECT_EQ(monitor.violations(), 0u);
   // mh1's grant must come after mh0's reconnect-and-release.
@@ -287,6 +300,7 @@ TEST(L2, SafeUnderHeavyMobility) {
     net.sched().schedule(2 + 7 * i, [&, i] { l2.request(mh_id(i)); });
   }
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(l2.completed() + l2.aborted(), 20u);
   EXPECT_EQ(l2.aborted(), 0u);  // no disconnects in this run
   EXPECT_EQ(monitor.violations(), 0u);
@@ -305,6 +319,7 @@ TEST(L2, CheaperThanL1ForEqualWork) {
     net.start();
     net.sched().schedule(1, [&] { l1.request(mh_id(0)); });
     net.run();
+    ExpectCleanEventStream(net);
     l1_cost = net.ledger().total(p);
   }
   {
@@ -314,6 +329,7 @@ TEST(L2, CheaperThanL1ForEqualWork) {
     net.start();
     net.sched().schedule(1, [&] { l2.request(mh_id(0)); });
     net.run();
+    ExpectCleanEventStream(net);
     l2_cost = net.ledger().total(p);
   }
   EXPECT_LT(l2_cost, l1_cost);

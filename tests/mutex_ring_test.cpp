@@ -34,6 +34,7 @@ TEST(R1, IdleTraversalCostsExactlyNRelays) {
   net.start();
   net.sched().schedule(1, [&] { r1.start_token(1); });
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_TRUE(r1.token_absorbed());
   EXPECT_EQ(r1.traversals_done(), 1u);
   // N hops, each 2*c_wireless + c_search — with zero requests served.
@@ -53,6 +54,7 @@ TEST(R1, TraversalCostIndependentOfRequestsServed) {
     for (std::uint32_t i = 0; i < requesters; ++i) r1.request(mh_id(i));
     net.sched().schedule(1, [&] { r1.start_token(1); });
     net.run();
+    ExpectCleanEventStream(net);
     EXPECT_EQ(monitor.grants(), requesters);
     EXPECT_EQ(monitor.violations(), 0u);
     return std::pair{net.ledger().wireless_msgs(), net.ledger().searches()};
@@ -70,6 +72,7 @@ TEST(R1, ServesRequestsInRingOrder) {
   for (std::uint32_t i = 0; i < 5; ++i) r1.request(mh_id(i));
   net.sched().schedule(1, [&] { r1.start_token(1); });
   net.run();
+  ExpectCleanEventStream(net);
   ASSERT_EQ(monitor.grants(), 5u);
   EXPECT_EQ(monitor.order_inversions(), 0u);
   for (std::uint32_t i = 0; i < 5; ++i) {
@@ -85,6 +88,7 @@ TEST(R1, EveryHostPaysEnergyEvenWithoutRequesting) {
   net.start();
   net.sched().schedule(1, [&] { r1.start_token(1); });
   net.run();
+  ExpectCleanEventStream(net);
   const cost::CostParams unit;
   for (std::uint32_t i = 0; i < kN; ++i) {
     // Receive once + transmit once per traversal.
@@ -100,6 +104,7 @@ TEST(R1, InterruptsDozingHosts) {
   net.mh(mh_id(3)).set_doze(true);  // no request, yet still interrupted
   net.sched().schedule(1, [&] { r1.start_token(1); });
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_GE(net.stats().doze_interruptions, 1u);
 }
 
@@ -114,6 +119,7 @@ TEST(R1, DisconnectedHostParksTheToken) {
   EXPECT_FALSE(r1.token_absorbed());  // ring is stuck at mh3
   net.mh(mh_id(3)).reconnect_at(mss_id(0), 1);
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_TRUE(r1.token_absorbed());  // resumed after reconnect
 }
 
@@ -134,6 +140,7 @@ TEST(R1, SafeUnderMobility) {
   for (std::uint32_t i = 0; i < 8; i += 2) r1.request(mh_id(i));
   net.sched().schedule(1, [&] { r1.start_token(3); });
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_TRUE(r1.token_absorbed());
   EXPECT_EQ(monitor.grants(), 4u);
   EXPECT_EQ(monitor.violations(), 0u);
@@ -151,6 +158,7 @@ TEST(R2, IdleTraversalCostsExactlyMFixedMessages) {
   net.start();
   net.sched().schedule(1, [&] { r2.start_token(1); });
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_TRUE(r2.token_absorbed());
   EXPECT_EQ(net.ledger().fixed_msgs(), kM);
   EXPECT_EQ(net.ledger().wireless_msgs(), 0u);
@@ -173,6 +181,7 @@ TEST(R2, MovedRequesterMatchesPaperPerRequestCost) {
   net.sched().schedule(6, [&] { net.mh(mh_id(1)).move_to(mss_id(2), 3); });
   net.sched().schedule(12, [&] { r2.start_token(1); });
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(r2.completed(), 1u);
   EXPECT_EQ(net.ledger().wireless_msgs(), 3u);  // request + token out + token back
   EXPECT_EQ(net.ledger().searches(), 1u);
@@ -195,6 +204,7 @@ TEST(R2, CostScalesWithKNotN) {
     for (std::uint32_t i = 0; i < k; ++i) r2.request(mh_id(i));
     net.sched().schedule(5, [&] { r2.start_token(1); });
     net.run();
+    ExpectCleanEventStream(net);
     EXPECT_EQ(r2.completed(), k);
     return net.ledger();
   };
@@ -216,6 +226,7 @@ TEST(R2, GrantsAreMutuallyExclusive) {
   for (std::uint32_t i = 0; i < 12; ++i) r2.request(mh_id(i));
   net.sched().schedule(5, [&] { r2.start_token(2); });
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(monitor.grants(), 12u);
   EXPECT_EQ(monitor.violations(), 0u);
 }
@@ -233,6 +244,7 @@ TEST(R2, RequestsArrivingWhileTokenHeldWaitForNextTraversal) {
   // While mh0 holds the CS (token at cell 0), mh3 (also cell 0) submits.
   net.sched().schedule(60, [&] { r2.request(mh_id(3)); });
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(r2.completed(), 2u);
   // mh3 was served with token_val 2 (second traversal), not 1.
   EXPECT_EQ(r2.grants_for(mh_id(3), 1), 0u);
@@ -256,6 +268,7 @@ TEST(R2, BasicVariantAllowsRacingAheadOfToken) {
   net.sched().schedule(30, [&] { net.mh(mh_id(0)).move_to(mss_id(1), 3); });
   net.sched().schedule(40, [&] { r2.request(mh_id(0)); });
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(r2.completed(), 2u);
   EXPECT_EQ(r2.grants_for(mh_id(0), 1), 2u);  // twice in traversal 1
   EXPECT_EQ(monitor.violations(), 0u);
@@ -275,6 +288,7 @@ TEST(R2Prime, CapsEachHostAtOncePerTraversal) {
   net.sched().schedule(30, [&] { net.mh(mh_id(0)).move_to(mss_id(1), 3); });
   net.sched().schedule(40, [&] { r2.request(mh_id(0)); });
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(r2.completed(), 2u);
   EXPECT_EQ(r2.grants_for(mh_id(0), 1), 1u);  // capped in traversal 1
   EXPECT_EQ(r2.grants_for(mh_id(0), 2), 1u);  // served next time round
@@ -296,6 +310,7 @@ TEST(R2Prime, MaliciousCounterDefeatsTheCap) {
   net.sched().schedule(30, [&] { net.mh(mh_id(0)).move_to(mss_id(1), 3); });
   net.sched().schedule(40, [&] { r2.request(mh_id(0)); });
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(r2.grants_for(mh_id(0), 1), 2u);  // the lie worked
 }
 
@@ -314,6 +329,7 @@ TEST(R2DoublePrime, TokenListBlocksMaliciousCounter) {
   net.sched().schedule(30, [&] { net.mh(mh_id(0)).move_to(mss_id(1), 3); });
   net.sched().schedule(40, [&] { r2.request(mh_id(0)); });
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(r2.completed(), 2u);
   EXPECT_EQ(r2.grants_for(mh_id(0), 1), 1u);  // blocked within the traversal
   EXPECT_EQ(r2.grants_for(mh_id(0), 2), 1u);
@@ -329,6 +345,7 @@ TEST(R2, DisconnectedRequesterIsSkippedAndRingContinues) {
   net.sched().schedule(4, [&] { net.mh(mh_id(0)).disconnect(); });
   net.sched().schedule(20, [&] { r2.start_token(1); });
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_TRUE(r2.token_absorbed());
   EXPECT_EQ(r2.skipped_disconnected(), 1u);
   EXPECT_EQ(r2.completed(), 1u);  // mh1 still served
@@ -344,6 +361,7 @@ TEST(R2, DisconnectionOfNonRequesterIsInvisible) {
   net.sched().schedule(2, [&] { r2.request(mh_id(0)); });
   net.sched().schedule(10, [&] { r2.start_token(1); });
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_TRUE(r2.token_absorbed());
   EXPECT_EQ(r2.completed(), 1u);
   EXPECT_EQ(r2.skipped_disconnected(), 0u);
@@ -358,6 +376,7 @@ TEST(R2, DozingNonRequesterIsNeverInterrupted) {
   net.sched().schedule(1, [&] { r2.request(mh_id(0)); });
   net.sched().schedule(5, [&] { r2.start_token(2); });
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(net.stats().doze_interruptions, 0u);
 }
 
@@ -370,6 +389,7 @@ TEST(R2, AbsorbWhenIdleStopsEarly) {
   net.sched().schedule(1, [&] { r2.request(mh_id(0)); });
   net.sched().schedule(5, [&] { r2.start_token(1000); });
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_TRUE(r2.token_absorbed());
   EXPECT_EQ(r2.completed(), 1u);
   EXPECT_LT(net.ledger().fixed_msgs(), 20u);  // did not spin 1000 loops
@@ -395,6 +415,7 @@ TEST(R2, SafeUnderMobilityAndManyRequests) {
   net.sched().schedule(10, [&] { r2.start_token(50); });
   r2.set_absorb_when_idle(true);
   net.run();
+  ExpectCleanEventStream(net);
   EXPECT_EQ(r2.completed(), 16u);
   EXPECT_EQ(monitor.violations(), 0u);
   // R2' invariant across the whole run.

@@ -92,6 +92,7 @@ TEST_P(ChannelFifoProperty, WiredAndRelayChannelsNeverReorder) {
   for (int i = 0; i < 12; ++i) h.mh[0]->do_send_to_mh(mh_id(7), i);
   net.sched().schedule(5, [&] { net.mh(mh_id(7)).move_to(mss_id(4), 35); });
   net.run();
+  ExpectCleanEventStream(net);
 
   auto assert_monotone = [](const std::vector<RecordingMssAgent::Received>& log,
                             auto filter) {
@@ -143,6 +144,7 @@ TEST_P(HandoffProperty, LocalListsStayCoherentUnderChurn) {
   net.start();
   driver.start();
   net.run();
+  ExpectCleanEventStream(net);
 
   std::map<MhId, int> local_count;
   for (std::uint32_t s = 0; s < net.num_mss(); ++s) {
@@ -278,6 +280,7 @@ TEST_P(MutexProperty, SafetyLivenessOrderingUnderMobility) {
     }
   }
   net.run();
+  ExpectCleanEventStream(net);
 
   SCOPED_TRACE(algo_name(algo));
   EXPECT_EQ(monitor.violations(), 0u);
@@ -358,6 +361,7 @@ TEST_P(LocationViewProperty, ConvergesAndDeliversExactlyOnce) {
     });
   }
   net.run();
+  ExpectCleanEventStream(net);
 
   // Delivery: every sent message reached every other member exactly once.
   EXPECT_EQ(comm.monitor().missing(group), 0u);
@@ -400,6 +404,7 @@ TEST_P(FormulaProperty, L1AndL2LedgersMatchClosedForms) {
     net.start();
     net.sched().schedule(1, [&] { l1.request(mh_id(0)); });
     net.run();
+    ExpectCleanEventStream(net);
     EXPECT_DOUBLE_EQ(net.ledger().total(p), analysis::l1_execution_cost(n, p));
     EXPECT_EQ(net.ledger().wireless_msgs(), analysis::l1_wireless_hops(n));
   }
@@ -411,6 +416,7 @@ TEST_P(FormulaProperty, L1AndL2LedgersMatchClosedForms) {
     net.sched().schedule(1, [&] { l2.request(mh_id(0)); });
     net.sched().schedule(4, [&] { net.mh(mh_id(0)).move_to(mss_id(1), 2); });
     net.run();
+    ExpectCleanEventStream(net);
     EXPECT_DOUBLE_EQ(net.ledger().total(p), analysis::l2_execution_cost(m, p));
     EXPECT_EQ(net.ledger().wireless_msgs(), analysis::l2_wireless_msgs());
   }

@@ -9,10 +9,13 @@
 #include <utility>
 #include <vector>
 
+#include <gtest/gtest.h>
+
 #include "net/agent.hpp"
 #include "net/envelope.hpp"
 #include "net/ids.hpp"
 #include "net/network.hpp"
+#include "obs/checkers.hpp"
 
 namespace mobidist::test {
 
@@ -143,6 +146,16 @@ inline NetConfig small_config(std::uint32_t m = 3, std::uint32_t n = 6) {
   cfg.latency = fixed_latencies();
   cfg.seed = 12345;
   return cfg;
+}
+
+/// Run every obs checker over the network's event stream and report
+/// each violation as a test failure. Call at the end of any scenario
+/// that exercised real protocol traffic.
+inline void ExpectCleanEventStream(const Network& net) {
+  const auto failures = obs::check_all(net.events());
+  for (const auto& failure : failures) {
+    ADD_FAILURE() << "event-stream checker failed: " << obs::to_string(failure);
+  }
 }
 
 }  // namespace mobidist::test

@@ -1,0 +1,47 @@
+// Offline validator for exported event-stream artifacts: reads a
+// TRACE_*.jsonl file, re-runs every obs checker over it, and exits
+// non-zero on a malformed line or an invariant violation. Used by
+// tests/run_trace_check.sh to validate bench traces from outside the
+// process that produced them.
+
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/checkers.hpp"
+#include "obs/events.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: trace_check <trace.jsonl>\n";
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "trace_check: cannot open " << argv[1] << '\n';
+    return 2;
+  }
+  std::deque<mobidist::obs::Event> events;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto event = mobidist::obs::event_from_json(line);
+    if (!event) {
+      std::cerr << "trace_check: " << argv[1] << ":" << line_no << ": malformed event\n";
+      return 2;
+    }
+    events.push_back(std::move(*event));
+  }
+  const auto failures = mobidist::obs::check_all(events);
+  for (const auto& failure : failures) {
+    std::cerr << "trace_check: " << argv[1] << ": " << to_string(failure) << '\n';
+  }
+  if (!failures.empty()) return 1;
+  std::cout << "trace_check: " << argv[1] << ": " << events.size()
+            << " events, all checkers passed\n";
+  return 0;
+}
