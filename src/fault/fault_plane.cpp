@@ -1,0 +1,99 @@
+#include "fault/fault_plane.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mobidist::fault {
+
+bool FaultProfile::trivial() const noexcept {
+  return wireless_loss <= 0.0 && wireless_dup <= 0.0 && wireless_reorder <= 0.0 &&
+         wired_spike <= 0.0 && crashes.empty() && partitions.empty() &&
+         drop_first_wireless == 0 && dup_first_wireless == 0;
+}
+
+std::uint64_t fault_stream_seed(std::uint64_t network_seed) noexcept {
+  // Any fixed perturbation works; the constant just keeps the fault
+  // stream away from the network stream for identical raw seeds (the
+  // Rng constructor's splitmix64 scrambles whatever we feed it).
+  constexpr std::uint64_t kFaultStreamSalt = 0xfa171'7f4a5eULL;
+  return network_seed ^ kFaultStreamSalt;
+}
+
+FaultPlane::FaultPlane(std::uint64_t seed, FaultProfile profile)
+    : profile_(std::move(profile)), rng_(seed) {}
+
+bool FaultPlane::draw_wireless_loss() {
+  if (frames_seen_ < profile_.drop_first_wireless) {
+    ++frames_seen_;
+    return true;
+  }
+  ++frames_seen_;
+  return profile_.wireless_loss > 0.0 && rng_.chance(profile_.wireless_loss);
+}
+
+bool FaultPlane::draw_wireless_dup() {
+  if (delivered_seen_ < profile_.dup_first_wireless) {
+    ++delivered_seen_;
+    return true;
+  }
+  ++delivered_seen_;
+  return profile_.wireless_dup > 0.0 && rng_.chance(profile_.wireless_dup);
+}
+
+sim::Duration FaultPlane::draw_wireless_spike() {
+  if (profile_.wireless_reorder <= 0.0 || !rng_.chance(profile_.wireless_reorder)) return 0;
+  count_spike();
+  return 1 + rng_.below(profile_.wireless_spike_max);
+}
+
+sim::Duration FaultPlane::draw_wired_spike() {
+  if (profile_.wired_spike <= 0.0 || !rng_.chance(profile_.wired_spike)) return 0;
+  count_spike();
+  return 1 + rng_.below(profile_.wired_spike_max);
+}
+
+sim::Duration FaultPlane::draw_latency(sim::Duration lo, sim::Duration hi) {
+  if (hi <= lo) return lo;
+  return lo + rng_.below(hi - lo + 1);
+}
+
+sim::Duration FaultPlane::draw_evacuation_transit() { return 1 + rng_.below(4); }
+
+bool FaultPlane::crashed(std::uint32_t mss, sim::SimTime now) const noexcept {
+  for (const auto& crash : profile_.crashes) {
+    if (crash.mss == mss && now >= crash.at && now < crash.at + crash.down_for) return true;
+  }
+  return false;
+}
+
+sim::SimTime FaultPlane::wired_release_at(std::uint32_t from, std::uint32_t to,
+                                          sim::SimTime now) const noexcept {
+  sim::SimTime release = now;
+  for (const auto& crash : profile_.crashes) {
+    if (crash.mss != to) continue;
+    if (now >= crash.at && now < crash.at + crash.down_for) {
+      release = std::max(release, crash.at + crash.down_for);
+    }
+  }
+  for (const auto& part : profile_.partitions) {
+    const bool on_link = (part.a == from && part.b == to) || (part.a == to && part.b == from);
+    if (on_link && now >= part.from && now < part.until) {
+      release = std::max(release, part.until);
+    }
+  }
+  return release;
+}
+
+void FaultPlane::bump(obs::Counter*& slot, const char* name) {
+  if (registry_ == nullptr) return;
+  if (slot == nullptr) slot = &registry_->counter(name);
+  ++*slot;
+}
+
+void FaultPlane::count_loss() { bump(loss_, "fault.injected_loss"); }
+void FaultPlane::count_dup() { bump(dup_, "fault.injected_dup"); }
+void FaultPlane::count_spike() { bump(spike_, "fault.injected_spike"); }
+void FaultPlane::count_crash_drop() { bump(crash_drop_, "fault.injected_crash_drop"); }
+void FaultPlane::count_deferral() { bump(deferral_, "fault.injected_wired_deferral"); }
+
+}  // namespace mobidist::fault

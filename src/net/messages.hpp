@@ -30,6 +30,11 @@ struct Join {
 struct Leave {
   MhId mh = kInvalidMh;
   std::uint64_t last_seq = 0;
+  /// The MH's monotone join counter when this leave was sent. A leave
+  /// retransmitted over the lossy wireless hop can trail the MH's next
+  /// join on the same channel; the MSS ignores it once its recorded
+  /// arrival epoch for the MH is newer than this departure.
+  std::uint64_t join_seq = 0;
 };
 
 /// MH -> current MSS on voluntary disconnection; identical shape to
@@ -38,6 +43,7 @@ struct Leave {
 struct Disconnect {
   MhId mh = kInvalidMh;
   std::uint64_t last_seq = 0;
+  std::uint64_t join_seq = 0;  ///< same stale-retransmission guard as Leave
 };
 
 /// New MSS -> previous MSS after a join: asks for algorithm state held

@@ -34,7 +34,8 @@ void MobileHost::move_to(MssId target, sim::Duration transit) {
   // leave(r): r is the last downlink sequence number received here. After
   // sending it the MH neither sends nor receives in this cell (§2).
   net_.send_wireless_uplink(
-      id_, make_control(NodeRef(id_), NodeRef(mss_), msg::Leave{id_, downlink_seq_seen_}));
+      id_, make_control(NodeRef(id_), NodeRef(mss_),
+                        msg::Leave{id_, downlink_seq_seen_, joins_completed_}));
   prev_mss_ = mss_;
   state_ = MhState::kInTransit;
   downlink_seq_seen_ = 0;
@@ -49,7 +50,8 @@ void MobileHost::disconnect() {
     throw std::logic_error("MobileHost::disconnect: " + to_string(id_) + " is not in a cell");
   }
   net_.send_wireless_uplink(
-      id_, make_control(NodeRef(id_), NodeRef(mss_), msg::Disconnect{id_, downlink_seq_seen_}));
+      id_, make_control(NodeRef(id_), NodeRef(mss_),
+                        msg::Disconnect{id_, downlink_seq_seen_, joins_completed_}));
   state_ = MhState::kDisconnected;  // mss_ keeps the flag location
   downlink_seq_seen_ = 0;
   for (auto& [proto, agent] : agents_) agent->on_left_cell();

@@ -123,6 +123,14 @@ void Mss::handle_leave(const msg::Leave& leave) {
   // A handoff request from the next cell may have overtaken this leave;
   // in that case the MH is already gone and the leave is stale.
   if (!local_.contains(leave.mh)) return;
+  // A leave retransmitted over the lossy wireless hop can also trail the
+  // MH's re-join into this same cell (FIFO clamps the late copy behind
+  // the join): the recorded arrival epoch being newer than the departure
+  // this leave describes means the member here is alive, not leaving.
+  if (const auto it = arrival_seq_.find(leave.mh);
+      it != arrival_seq_.end() && it->second > leave.join_seq) {
+    return;
+  }
   net_.log(sim::TraceLevel::kDebug, "mss",
            to_string(id_) + " leave " + to_string(leave.mh));
   ++net_.stats().leaves;
@@ -131,6 +139,12 @@ void Mss::handle_leave(const msg::Leave& leave) {
 
 void Mss::handle_disconnect(const msg::Disconnect& disc) {
   if (!local_.contains(disc.mh)) return;
+  // Same stale-retransmission guard as handle_leave: never set the
+  // disconnected flag for a member whose re-join postdates this message.
+  if (const auto it = arrival_seq_.find(disc.mh);
+      it != arrival_seq_.end() && it->second > disc.join_seq) {
+    return;
+  }
   net_.emit({.kind = obs::EventKind::kDisconnect,
              .entity = entity_of(disc.mh),
              .peer = entity_of(id_)});

@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -28,7 +29,9 @@ namespace {
 sim::TraceLevel trace_level_of(obs::EventKind kind) {
   switch (kind) {
     case obs::EventKind::kDisconnect:
-    case obs::EventKind::kReconnect: return sim::TraceLevel::kInfo;
+    case obs::EventKind::kReconnect:
+    case obs::EventKind::kMssCrash:
+    case obs::EventKind::kMssRecover: return sim::TraceLevel::kInfo;
     default: return sim::TraceLevel::kDebug;
   }
 }
@@ -51,6 +54,10 @@ std::string_view trace_component_of(obs::EventKind kind) {
     case obs::EventKind::kTokenArrive: return "mutex";
     case obs::EventKind::kLocationUpdate:
     case obs::EventKind::kViewChange: return "group";
+    case obs::EventKind::kMsgDropped:
+    case obs::EventKind::kMsgDuplicated:
+    case obs::EventKind::kMssCrash:
+    case obs::EventKind::kMssRecover: return "fault";
   }
   return "net";
 }
@@ -119,6 +126,49 @@ const MobileHost& Network::mh(MhId id) const {
   return *mh_[index(id)];
 }
 
+fault::FaultPlane& Network::install_fault_plane(fault::FaultProfile profile) {
+  if (fault_) throw std::logic_error("Network: fault plane already installed");
+  for (const auto& crash : profile.crashes) {
+    if (crash.mss >= cfg_.num_mss) {
+      throw std::invalid_argument("Network: crash schedule names an unknown MSS");
+    }
+  }
+  // The plane's randomness lives on its own stream, derived from the run
+  // seed but never touching rng_ (not even via Rng::split(), which
+  // advances the parent): the fault-free draw sequence must be identical
+  // whether or not a plane is installed.
+  fault_ = std::make_unique<fault::FaultPlane>(fault::fault_stream_seed(cfg_.seed),
+                                               std::move(profile));
+  fault_->bind_metrics(metrics_);
+  for (const auto& crash : fault_->profile().crashes) {
+    sched_.schedule_at(crash.at, [this, crash]() { begin_crash(crash); });
+    sched_.schedule_at(crash.at + crash.down_for, [this, mss = crash.mss]() {
+      emit({.kind = obs::EventKind::kMssRecover, .entity = obs::Entity::mss(mss)});
+    });
+  }
+  return *fault_;
+}
+
+void Network::begin_crash(const fault::MssCrash& crash) {
+  emit({.kind = obs::EventKind::kMssCrash,
+        .entity = obs::Entity::mss(crash.mss),
+        .arg = crash.down_for});
+  if (!fault_->profile().evacuate_on_crash || cfg_.num_mss < 2) return;
+  // Coverage died with the station: connected MHs notice the dead beacon
+  // and re-home to the neighbouring cell through the ordinary
+  // leave/join/handoff path. Their leave frames are lost in the dead
+  // cell (abandoned once the re-join lands) and the new MSS's handoff
+  // request waits at the crashed station's interface until recovery, so
+  // parked messages and pending grants re-home through the existing
+  // handoff machinery rather than a side channel.
+  const auto refuge = static_cast<MssId>((crash.mss + 1) % cfg_.num_mss);
+  for (std::uint32_t i = 0; i < cfg_.num_mh; ++i) {
+    auto& host = mh(static_cast<MhId>(i));
+    if (host.current_mss() != static_cast<MssId>(crash.mss)) continue;
+    host.move_to(refuge, fault_->draw_evacuation_transit());
+  }
+}
+
 void Network::start() {
   if (started_) return;
   started_ = true;
@@ -176,19 +226,14 @@ void Network::send_fixed(MssId from, MssId to, Envelope env) {
                                .entity = entity_of(from),
                                .peer = entity_of(to),
                                .arg = env.proto});
-    sched_.schedule(0, [this, to, send_id, env = std::move(env)]() mutable {
-      const auto recv_id = emit({.kind = obs::EventKind::kRecv,
-                                 .entity = entity_of(to),
-                                 .peer = entity_of(to),
-                                 .cause = send_id,
-                                 .arg = env.proto});
-      obs::CauseScope scope(events_, recv_id);
-      deliver_wired(to, std::move(env));
+    sched_.schedule(0, [this, from, to, send_id, env = std::move(env)]() mutable {
+      arrive_wired(from, to, send_id, 0, std::move(env));
     });
     return;
   }
   if (!env.control) ledger_.charge_fixed();
-  const auto latency = sample(cfg_.latency.wired_min, cfg_.latency.wired_max);
+  auto latency = sample(cfg_.latency.wired_min, cfg_.latency.wired_max);
+  if (fault_) latency += fault_->draw_wired_spike();
   const auto arrival = fifo_arrival(ChannelType::kWired, index(from), index(to), latency);
   const auto channel = channel_key(ChannelType::kWired, index(from), index(to));
   const auto send_id = emit({.kind = obs::EventKind::kSend,
@@ -197,15 +242,63 @@ void Network::send_fixed(MssId from, MssId to, Envelope env) {
                              .channel = channel,
                              .arg = env.proto});
   sched_.schedule_at(arrival, [this, from, to, send_id, channel, env = std::move(env)]() mutable {
-    const auto recv_id = emit({.kind = obs::EventKind::kRecv,
-                               .entity = entity_of(to),
-                               .peer = entity_of(from),
-                               .cause = send_id,
-                               .channel = channel,
-                               .arg = env.proto});
-    obs::CauseScope scope(events_, recv_id);
-    deliver_wired(to, std::move(env));
+    arrive_wired(from, to, send_id, channel, std::move(env));
   });
+}
+
+void Network::arrive_wired(MssId from, MssId to, obs::EventId send_id, std::uint64_t channel,
+                           Envelope env) {
+  if (fault_) {
+    // A crashed (or partitioned-off) destination leaves the message
+    // waiting at its network interface; re-offer it when the outage
+    // window closes. Deferrals preserve per-channel FIFO order: every
+    // arrival during one window reschedules to the same release instant,
+    // and the scheduler breaks same-instant ties in scheduling order.
+    const auto release = fault_->wired_release_at(index(from), index(to), sched_.now());
+    if (release > sched_.now()) {
+      fault_->count_deferral();
+      sched_.schedule_at(release, [this, from, to, send_id, channel,
+                                   env = std::move(env)]() mutable {
+        arrive_wired(from, to, send_id, channel, std::move(env));
+      });
+      return;
+    }
+  }
+  const auto recv_id = emit({.kind = obs::EventKind::kRecv,
+                             .entity = entity_of(to),
+                             .peer = entity_of(from),
+                             .cause = send_id,
+                             .channel = channel,
+                             .arg = env.proto});
+  obs::CauseScope scope(events_, recv_id);
+  deliver_wired(to, std::move(env));
+}
+
+void Network::arrive_deferred(MssId from, MssId at, obs::EventId send_id,
+                              std::uint64_t channel, ProtocolId proto, std::string detail,
+                              std::function<void()> deliver) {
+  if (fault_) {
+    const auto release = fault_->wired_release_at(index(from), index(at), sched_.now());
+    if (release > sched_.now()) {
+      fault_->count_deferral();
+      sched_.schedule_at(release, [this, from, at, send_id, channel, proto,
+                                   detail = std::move(detail),
+                                   deliver = std::move(deliver)]() mutable {
+        arrive_deferred(from, at, send_id, channel, proto, std::move(detail),
+                        std::move(deliver));
+      });
+      return;
+    }
+  }
+  const auto recv_id = emit({.kind = obs::EventKind::kRecv,
+                             .entity = entity_of(at),
+                             .peer = entity_of(from),
+                             .cause = send_id,
+                             .channel = channel,
+                             .arg = proto,
+                             .detail = std::move(detail)});
+  obs::CauseScope scope(events_, recv_id);
+  deliver();
 }
 
 void Network::deliver_wired(MssId to, Envelope env) {
@@ -213,46 +306,149 @@ void Network::deliver_wired(MssId to, Envelope env) {
   mss(to).dispatch(env);
 }
 
+bool Network::wireless_frame_lost(std::uint32_t cell, const char** why) {
+  if (!fault_) return false;
+  if (fault_->crashed(cell, sched_.now())) {
+    // A dead station neither transmits nor hears anything: deterministic
+    // loss, no randomness consumed.
+    *why = "crash";
+    fault_->count_crash_drop();
+    return true;
+  }
+  if (fault_->draw_wireless_loss()) {
+    *why = "loss";
+    fault_->count_loss();
+    return true;
+  }
+  return false;
+}
+
+sim::Duration Network::retransmit_backoff(std::uint32_t attempt) const {
+  const auto& profile = fault_->profile();
+  const sim::Duration base = profile.rto_base > 0 ? profile.rto_base : 1;
+  const sim::Duration rto = base << std::min<std::uint32_t>(attempt, 16);
+  return std::max<sim::Duration>(std::min(rto, profile.rto_cap), 1);
+}
+
+bool Network::dedup_deliver(std::uint64_t channel, std::uint64_t wseq) {
+  auto& dedup = wireless_dedup_[channel];
+  if (wseq <= dedup.floor || dedup.above.contains(wseq)) return false;
+  dedup.above.insert(wseq);
+  while (dedup.above.contains(dedup.floor + 1)) {
+    dedup.above.erase(dedup.floor + 1);
+    ++dedup.floor;
+  }
+  return true;
+}
+
 void Network::send_wireless_downlink(MssId from, Envelope env, MhId to,
                                      std::function<void()> on_fail) {
+  downlink_attempt(from, std::move(env), to, std::move(on_fail), 0, 0);
+}
+
+void Network::downlink_attempt(MssId from, Envelope env, MhId to,
+                               std::function<void()> on_fail, std::uint32_t attempt,
+                               std::uint64_t wseq) {
   auto& host = mh(to);
   if (host.current_mss() != from) {
     // Already gone: fail asynchronously so callers see uniform behaviour.
+    // Retransmission stops here too — the sender's link layer only
+    // promises delivery while the MH stays in this cell; the send_to_mh
+    // chase re-searches from scratch.
     if (on_fail) sched_.schedule(0, std::move(on_fail));
     return;
   }
-  const auto latency = sample(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
-  const auto arrival =
-      fifo_arrival(ChannelType::kDownlink, index(from), index(to), latency);
   const auto channel = channel_key(ChannelType::kDownlink, index(from), index(to));
+  if (attempt == 0) wseq = ++wireless_seq_[channel];
   const auto send_id = emit({.kind = obs::EventKind::kSend,
                              .entity = entity_of(from),
                              .peer = entity_of(to),
                              .channel = channel,
-                             .arg = env.proto});
-  sched_.schedule_at(arrival,
-                     [this, from, to, send_id, channel, env = std::move(env),
-                      on_fail = std::move(on_fail)]() mutable {
-    auto& dest = mh(to);
-    if (dest.current_mss() != from) {
-      // The MH left between transmission and (would-be) reception: the
-      // frame is lost in the old cell — §2's prefix-delivery rule. No
-      // recv event: the send stays unconsumed in the stream.
-      if (on_fail) on_fail();
-      return;
-    }
-    if (!env.control) ledger_.charge_wireless(index(to), /*mh_transmitted=*/false);
-    if (env.control) ++stats_.control_msgs;
-    if (dest.dozing()) ++stats_.doze_interruptions;
-    const auto recv_id = emit({.kind = obs::EventKind::kRecv,
-                               .entity = entity_of(to),
-                               .peer = entity_of(from),
+                             .arg = env.proto,
+                             .detail = attempt == 0 ? "" : "retx"});
+  const char* why = nullptr;
+  if (wireless_frame_lost(index(from), &why)) {
+    const auto drop_id = emit({.kind = obs::EventKind::kMsgDropped,
+                               .entity = entity_of(from),
+                               .peer = entity_of(to),
                                .cause = send_id,
                                .channel = channel,
-                               .arg = env.proto});
-    obs::CauseScope scope(events_, recv_id);
-    dest.deliver(env);
+                               .arg = env.proto,
+                               .detail = why});
+    ++stats_.retransmissions;
+    delivery_retry_depth_.record(attempt + 1);
+    sched_.schedule(retransmit_backoff(attempt),
+                    [this, from, to, attempt, wseq, cause = drop_id, env = std::move(env),
+                     on_fail = std::move(on_fail)]() mutable {
+                      obs::CauseScope scope(events_, cause);
+                      downlink_attempt(from, std::move(env), to, std::move(on_fail),
+                                       attempt + 1, wseq);
+                    });
+    return;
+  }
+  auto latency = sample(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
+  const bool duplicated = fault_ && fault_->draw_wireless_dup();
+  if (fault_) latency += fault_->draw_wireless_spike();
+  if (duplicated) {
+    // The link layer repeats the frame: a full extra transmission with
+    // its own airtime, FIFO-clamped behind the original so the receiver
+    // always sees (and suppresses) the copy second.
+    fault_->count_dup();
+    emit({.kind = obs::EventKind::kMsgDuplicated,
+          .entity = entity_of(from),
+          .peer = entity_of(to),
+          .cause = send_id,
+          .channel = channel,
+          .arg = env.proto});
+  }
+  const auto arrival = fifo_arrival(ChannelType::kDownlink, index(from), index(to), latency);
+  sched_.schedule_at(arrival, [this, from, to, send_id, channel, wseq, env,
+                               on_fail = std::move(on_fail)]() mutable {
+    deliver_downlink_frame(from, to, send_id, channel, wseq, std::move(env),
+                           std::move(on_fail));
   });
+  if (duplicated) {
+    const auto copy_latency =
+        fault_->draw_latency(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
+    const auto copy_arrival =
+        fifo_arrival(ChannelType::kDownlink, index(from), index(to), copy_latency);
+    // No on_fail on the copy: it is link-layer noise, and resurrecting an
+    // already-delivered frame through the retry path would ghost-deliver.
+    sched_.schedule_at(copy_arrival, [this, from, to, send_id, channel, wseq,
+                                      env = std::move(env)]() mutable {
+      deliver_downlink_frame(from, to, send_id, channel, wseq, std::move(env), {});
+    });
+  }
+}
+
+void Network::deliver_downlink_frame(MssId from, MhId to, obs::EventId send_id,
+                                     std::uint64_t channel, std::uint64_t wseq, Envelope env,
+                                     std::function<void()> on_fail) {
+  auto& dest = mh(to);
+  if (dest.current_mss() != from) {
+    // The MH left between transmission and (would-be) reception: the
+    // frame is lost in the old cell — §2's prefix-delivery rule. No
+    // recv event: the send stays unconsumed in the stream.
+    if (on_fail) on_fail();
+    return;
+  }
+  if (!dedup_deliver(channel, wseq)) {
+    // A link-layer copy of a frame this MH already consumed: silently
+    // suppressed, its send stays unconsumed in the stream.
+    ++stats_.dup_suppressed;
+    return;
+  }
+  if (!env.control) ledger_.charge_wireless(index(to), /*mh_transmitted=*/false);
+  if (env.control) ++stats_.control_msgs;
+  if (dest.dozing()) ++stats_.doze_interruptions;
+  const auto recv_id = emit({.kind = obs::EventKind::kRecv,
+                             .entity = entity_of(to),
+                             .peer = entity_of(from),
+                             .cause = send_id,
+                             .channel = channel,
+                             .arg = env.proto});
+  obs::CauseScope scope(events_, recv_id);
+  dest.deliver(env);
 }
 
 void Network::send_wireless_uplink(MhId from, Envelope env) {
@@ -266,26 +462,85 @@ void Network::send_wireless_uplink(MhId from, Envelope env) {
   } else {
     ++stats_.control_msgs;
   }
-  const auto latency = sample(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
-  const auto arrival =
-      fifo_arrival(ChannelType::kUplink, index(from), index(target), latency);
+  uplink_attempt(from, target, std::move(env), host.joins_completed(), 0, 0);
+}
+
+void Network::uplink_attempt(MhId from, MssId target, Envelope env, std::uint64_t epoch,
+                             std::uint32_t attempt, std::uint64_t wseq) {
   const auto channel = channel_key(ChannelType::kUplink, index(from), index(target));
+  if (attempt == 0) wseq = ++wireless_seq_[channel];
   const auto send_id = emit({.kind = obs::EventKind::kSend,
                              .entity = entity_of(from),
                              .peer = entity_of(target),
                              .channel = channel,
-                             .arg = env.proto});
-  sched_.schedule_at(arrival, [this, from, target, send_id, channel,
-                               env = std::move(env)]() mutable {
+                             .arg = env.proto,
+                             .detail = attempt == 0 ? "" : "retx"});
+  const char* why = nullptr;
+  if (wireless_frame_lost(index(target), &why)) {
+    const auto drop_id = emit({.kind = obs::EventKind::kMsgDropped,
+                               .entity = entity_of(from),
+                               .peer = entity_of(target),
+                               .cause = send_id,
+                               .channel = channel,
+                               .arg = env.proto,
+                               .detail = why});
+    ++stats_.retransmissions;
+    delivery_retry_depth_.record(attempt + 1);
+    sched_.schedule(retransmit_backoff(attempt),
+                    [this, from, target, epoch, attempt, wseq, cause = drop_id,
+                     env = std::move(env)]() mutable {
+                      obs::CauseScope scope(events_, cause);
+                      // Leave/Disconnect frames describe a departure the
+                      // §2 join/handoff protocol has already superseded
+                      // once the MH completed another join; delivering a
+                      // stale copy now could only evict a live member.
+                      // Every other uplink keeps retrying: the link layer
+                      // owes eventual delivery to the cell the frame was
+                      // sent in, no matter where the MH went since.
+                      if (env.proto == protocol::kSystem &&
+                          mh(from).joins_completed() != epoch) {
+                        return;
+                      }
+                      uplink_attempt(from, target, std::move(env), epoch, attempt + 1, wseq);
+                    });
+    return;
+  }
+  auto latency = sample(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
+  const bool duplicated = fault_ && fault_->draw_wireless_dup();
+  if (fault_) latency += fault_->draw_wireless_spike();
+  if (duplicated) {
+    fault_->count_dup();
+    emit({.kind = obs::EventKind::kMsgDuplicated,
+          .entity = entity_of(from),
+          .peer = entity_of(target),
+          .cause = send_id,
+          .channel = channel,
+          .arg = env.proto});
+  }
+  const auto arrival = fifo_arrival(ChannelType::kUplink, index(from), index(target), latency);
+  auto deliver = [this, from, target, send_id, channel, wseq](Envelope frame) {
+    if (!dedup_deliver(channel, wseq)) {
+      ++stats_.dup_suppressed;
+      return;
+    }
     const auto recv_id = emit({.kind = obs::EventKind::kRecv,
                                .entity = entity_of(target),
                                .peer = entity_of(from),
                                .cause = send_id,
                                .channel = channel,
-                               .arg = env.proto});
+                               .arg = frame.proto});
     obs::CauseScope scope(events_, recv_id);
-    mss(target).dispatch(env);
-  });
+    mss(target).dispatch(frame);
+  };
+  sched_.schedule_at(arrival, [deliver, env]() mutable { deliver(std::move(env)); });
+  if (duplicated) {
+    const auto copy_latency =
+        fault_->draw_latency(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
+    const auto copy_arrival =
+        fifo_arrival(ChannelType::kUplink, index(from), index(target), copy_latency);
+    sched_.schedule_at(copy_arrival,
+                       [deliver, env = std::move(env)]() mutable { deliver(std::move(env)); });
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -346,7 +601,8 @@ void Network::send_to_mh_attempt(MssId from, Envelope env, MhId to, SendPolicy p
     if (at == from) {
       deliver();
     } else {
-      const auto latency = sample(cfg_.latency.wired_min, cfg_.latency.wired_max);
+      auto latency = sample(cfg_.latency.wired_min, cfg_.latency.wired_max);
+      if (fault_) latency += fault_->draw_wired_spike();
       const auto arrival = fifo_arrival(ChannelType::kWired, index(from), index(at), latency);
       const auto channel = channel_key(ChannelType::kWired, index(from), index(at));
       const auto fwd_id = emit({.kind = obs::EventKind::kSend,
@@ -357,15 +613,7 @@ void Network::send_to_mh_attempt(MssId from, Envelope env, MhId to, SendPolicy p
                                 .detail = "forward"});
       sched_.schedule_at(arrival, [this, from, at, fwd_id, channel, proto = env.proto,
                                    deliver = std::move(deliver)]() mutable {
-        const auto recv_id = emit({.kind = obs::EventKind::kRecv,
-                                   .entity = entity_of(at),
-                                   .peer = entity_of(from),
-                                   .cause = fwd_id,
-                                   .channel = channel,
-                                   .arg = proto,
-                                   .detail = "forward"});
-        obs::CauseScope scope(events_, recv_id);
-        deliver();
+        arrive_deferred(from, at, fwd_id, channel, proto, "forward", std::move(deliver));
       });
     }
   });
@@ -555,16 +803,59 @@ void Network::handle_search_reply(const msg::SearchReply& reply) {
 
 void Network::submit_join(MhId from, MssId target, msg::Join join) {
   ++stats_.control_msgs;
-  const auto latency = sample(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
-  const auto arrival = fifo_arrival(ChannelType::kUplink, index(from), index(target), latency);
+  join_attempt(from, target, join, 0, 0);
+}
+
+void Network::join_attempt(MhId from, MssId target, msg::Join join, std::uint32_t attempt,
+                           std::uint64_t wseq) {
   const auto channel = channel_key(ChannelType::kUplink, index(from), index(target));
+  if (attempt == 0) wseq = ++wireless_seq_[channel];
   const auto send_id = emit({.kind = obs::EventKind::kSend,
                              .entity = entity_of(from),
                              .peer = entity_of(target),
                              .channel = channel,
                              .arg = protocol::kSystem,
-                             .detail = "join"});
-  sched_.schedule_at(arrival, [this, from, target, send_id, channel, join]() {
+                             .detail = attempt == 0 ? "join" : "join retx"});
+  const char* why = nullptr;
+  if (wireless_frame_lost(index(target), &why)) {
+    const auto drop_id = emit({.kind = obs::EventKind::kMsgDropped,
+                               .entity = entity_of(from),
+                               .peer = entity_of(target),
+                               .cause = send_id,
+                               .channel = channel,
+                               .arg = protocol::kSystem,
+                               .detail = why});
+    ++stats_.retransmissions;
+    delivery_retry_depth_.record(attempt + 1);
+    sched_.schedule(retransmit_backoff(attempt),
+                    [this, from, target, join, attempt, wseq, cause = drop_id]() {
+                      obs::CauseScope scope(events_, cause);
+                      // Joining is the one state a MH cannot leave on its
+                      // own (move_to/disconnect require connectivity), so
+                      // retry until the join lands.
+                      if (mh(from).connected()) return;
+                      join_attempt(from, target, join, attempt + 1, wseq);
+                    });
+    return;
+  }
+  auto latency = sample(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
+  const bool duplicated = fault_ && fault_->draw_wireless_dup();
+  if (fault_) latency += fault_->draw_wireless_spike();
+  if (duplicated) {
+    fault_->count_dup();
+    emit({.kind = obs::EventKind::kMsgDuplicated,
+          .entity = entity_of(from),
+          .peer = entity_of(target),
+          .cause = send_id,
+          .channel = channel,
+          .arg = protocol::kSystem});
+  }
+  const auto arrival = fifo_arrival(ChannelType::kUplink, index(from), index(target), latency);
+  auto deliver = [this, from, target, send_id, channel, wseq, join]() {
+    if (!dedup_deliver(channel, wseq)) {
+      ++stats_.dup_suppressed;
+      return;
+    }
     const auto recv_id = emit({.kind = obs::EventKind::kRecv,
                                .entity = entity_of(target),
                                .peer = entity_of(from),
@@ -574,7 +865,15 @@ void Network::submit_join(MhId from, MssId target, msg::Join join) {
                                .detail = "join"});
     obs::CauseScope scope(events_, recv_id);
     mss(target).dispatch(make_control(NodeRef(join.mh), NodeRef(target), join));
-  });
+  };
+  sched_.schedule_at(arrival, deliver);
+  if (duplicated) {
+    const auto copy_latency =
+        fault_->draw_latency(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
+    const auto copy_arrival =
+        fifo_arrival(ChannelType::kUplink, index(from), index(target), copy_latency);
+    sched_.schedule_at(copy_arrival, deliver);
+  }
 }
 
 void Network::on_mh_rejoined(MhId mh_id, MssId at) {

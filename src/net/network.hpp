@@ -5,9 +5,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "cost/cost_model.hpp"
+#include "fault/fault_plane.hpp"
 #include "net/envelope.hpp"
 #include "net/ids.hpp"
 #include "net/messages.hpp"
@@ -110,6 +112,18 @@ class Network {
   obs::EventId emit(obs::EventStream::Emit spec) {
     return events_.emit(sched_.now(), std::move(spec));
   }
+
+  // --- fault injection ------------------------------------------------------
+
+  /// Install a deterministic fault plane driving wireless loss /
+  /// duplication / delay spikes, MSS crash-recover schedules, and cell
+  /// partitions. Call once, before running the scheduler. The plane
+  /// draws from its own RNG stream (fault::fault_stream_seed(cfg.seed)),
+  /// never from rng_, so a zero-probability profile leaves the run
+  /// byte-identical to one without a plane.
+  fault::FaultPlane& install_fault_plane(fault::FaultProfile profile);
+  [[nodiscard]] fault::FaultPlane* fault_plane() noexcept { return fault_.get(); }
+  [[nodiscard]] const fault::FaultPlane* fault_plane() const noexcept { return fault_.get(); }
 
   /// Fire on_start on every registered agent (MSS agents first, then MH
   /// agents, each in id order). Call after registering all agents and
@@ -222,6 +236,47 @@ class Network {
                           std::uint32_t attempt);
 
   void deliver_wired(MssId to, Envelope env);
+
+  // --- reliable wireless hop (ack/retransmit + dedup) -----------------------
+  //
+  // Each logical frame gets a per-channel sequence number (wseq) at its
+  // first transmission; every retransmission attempt emits a fresh kSend
+  // so the physical channel history stays FIFO-checkable, while the
+  // receiver suppresses duplicate wseqs. Loss is decided at send time by
+  // the fault plane (implicit ack: the sender knows ground truth), so a
+  // dropped attempt schedules the next one after a capped exponential
+  // backoff.
+
+  void downlink_attempt(MssId from, Envelope env, MhId to, std::function<void()> on_fail,
+                        std::uint32_t attempt, std::uint64_t wseq);
+  void deliver_downlink_frame(MssId from, MhId to, obs::EventId send_id,
+                              std::uint64_t channel, std::uint64_t wseq, Envelope env,
+                              std::function<void()> on_fail);
+  void uplink_attempt(MhId from, MssId target, Envelope env, std::uint64_t epoch,
+                      std::uint32_t attempt, std::uint64_t wseq);
+  void join_attempt(MhId from, MssId target, msg::Join join, std::uint32_t attempt,
+                    std::uint64_t wseq);
+
+  /// Consult the fault plane for this wireless frame; on loss, `why` is
+  /// set to "crash" (dead cell) or "loss" (random drop).
+  [[nodiscard]] bool wireless_frame_lost(std::uint32_t cell, const char** why);
+  [[nodiscard]] sim::Duration retransmit_backoff(std::uint32_t attempt) const;
+  /// Record one delivered wseq; false = duplicate, suppress the frame.
+  [[nodiscard]] bool dedup_deliver(std::uint64_t channel, std::uint64_t wseq);
+
+  /// Wired arrival with crash/partition deferral: a message reaching a
+  /// crashed (or partitioned-off) MSS waits at its interface and is
+  /// re-offered when the outage window closes; the recv event fires only
+  /// at actual delivery.
+  void arrive_wired(MssId from, MssId to, obs::EventId send_id, std::uint64_t channel,
+                    Envelope env);
+  /// Same deferral for the send_to_mh forward leg, which delivers via a
+  /// closure instead of dispatch.
+  void arrive_deferred(MssId from, MssId at, obs::EventId send_id, std::uint64_t channel,
+                       ProtocolId proto, std::string detail, std::function<void()> deliver);
+
+  void begin_crash(const fault::MssCrash& crash);
+
   void oracle_locate(MssId from, MhId target, LocateCallback cb);
   void broadcast_locate(MssId from, MhId target, LocateCallback cb);
   void broadcast_round(std::uint64_t token);
@@ -268,6 +323,20 @@ class Network {
   std::map<std::uint64_t, BroadcastSearch> broadcast_;
   std::uint64_t next_search_token_ = 1;
   bool started_ = false;
+
+  std::unique_ptr<fault::FaultPlane> fault_;
+  /// Sender-side logical frame numbering per wireless channel.
+  std::map<std::uint64_t, std::uint64_t> wireless_seq_;
+  /// Receiver-side duplicate suppression per wireless channel: every
+  /// wseq <= floor was delivered; delivered wseqs above the floor wait in
+  /// `above` until the floor catches up. A frame abandoned mid-retry (its
+  /// MH left the cell for good) leaves a permanent hole below later
+  /// deliveries, so a plain high-water mark would mis-drop fresh frames.
+  struct WirelessDedup {
+    std::uint64_t floor = 0;
+    std::set<std::uint64_t> above;
+  };
+  std::map<std::uint64_t, WirelessDedup> wireless_dedup_;
 };
 
 }  // namespace mobidist::net

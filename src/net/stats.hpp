@@ -28,7 +28,9 @@ struct NetStats {
         doze_interruptions(registry.counter("net.doze_interruptions")),
         control_msgs(registry.counter("net.control_msgs")),
         relay_msgs(registry.counter("net.relay_msgs")),
-        relay_reordered(registry.counter("net.relay_reordered")) {}
+        relay_reordered(registry.counter("net.relay_reordered")),
+        retransmissions(registry.counter("net.retransmissions")),
+        dup_suppressed(registry.counter("net.dup_suppressed")) {}
 
   obs::Counter& joins;
   obs::Counter& leaves;
@@ -44,6 +46,8 @@ struct NetStats {
   obs::Counter& control_msgs;         ///< substrate messages (not cost-charged)
   obs::Counter& relay_msgs;           ///< MH-to-MH relayed payloads
   obs::Counter& relay_reordered;      ///< relay payloads buffered for FIFO
+  obs::Counter& retransmissions;      ///< wireless frames re-sent after a drop
+  obs::Counter& dup_suppressed;       ///< duplicate wireless frames discarded
 };
 
 }  // namespace mobidist::net

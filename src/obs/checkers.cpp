@@ -4,6 +4,7 @@
 #include <sstream>
 #include <tuple>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 namespace mobidist::obs {
@@ -246,6 +247,58 @@ std::vector<CheckFailure> check_causal_clocks(const std::deque<Event>& events) {
   return failures;
 }
 
+std::vector<CheckFailure> check_fault_delivery(const std::deque<Event>& events) {
+  std::vector<CheckFailure> failures;
+  std::unordered_set<EventId> dropped_sends;
+  // Crash state per MSS entity key; entities with no retained crash
+  // history are left alone (truncated streams must not false-positive).
+  std::unordered_map<std::uint64_t, std::pair<bool, EventId>> down;
+  for (const auto& ev : events) {
+    switch (ev.kind) {
+      case EventKind::kMsgDropped:
+        if (ev.cause != 0) dropped_sends.insert(ev.cause);
+        break;
+      case EventKind::kRecv:
+        if (ev.cause != 0 && dropped_sends.contains(ev.cause)) {
+          std::ostringstream os;
+          os << "recv at " << to_string(ev.entity) << " t=" << ev.at
+             << " consumed send event " << ev.cause
+             << " that the fault plane dropped -- ghost delivery";
+          fail(failures, "fault_delivery", ev.id, os.str());
+        }
+        break;
+      case EventKind::kMssCrash: {
+        const auto [it, inserted] =
+            down.try_emplace(ev.entity.key(), std::make_pair(true, ev.id));
+        if (!inserted) {
+          if (it->second.first) {
+            std::ostringstream os;
+            os << to_string(ev.entity) << " crashed at t=" << ev.at
+               << " while already down (event " << it->second.second << ")";
+            fail(failures, "fault_delivery", ev.id, os.str());
+          }
+          it->second = std::make_pair(true, ev.id);
+        }
+        break;
+      }
+      case EventKind::kMssRecover: {
+        const auto it = down.find(ev.entity.key());
+        if (it != down.end() && !it->second.first) {
+          std::ostringstream os;
+          os << to_string(ev.entity) << " recovered at t=" << ev.at
+             << " but was not down (event " << it->second.second << ")";
+          fail(failures, "fault_delivery", ev.id, os.str());
+        }
+        down[ev.entity.key()] = std::make_pair(false, ev.id);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return failures;
+}
+
 std::vector<CheckFailure> check_all(const std::deque<Event>& events) {
   std::vector<CheckFailure> failures = check_cs_exclusion(events);
   auto append = [&failures](std::vector<CheckFailure> more) {
@@ -256,6 +309,7 @@ std::vector<CheckFailure> check_all(const std::deque<Event>& events) {
   append(check_channel_fifo(events));
   append(check_traversal_cap(events));
   append(check_causal_clocks(events));
+  append(check_fault_delivery(events));
   return failures;
 }
 

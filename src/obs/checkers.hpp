@@ -56,6 +56,12 @@ struct CheckFailure {
 /// retained, and per-entity sequence numbers are strictly increasing.
 [[nodiscard]] std::vector<CheckFailure> check_causal_clocks(const std::deque<Event>& events);
 
+/// Fault-plane consistency: no recv may consume a send the fault plane
+/// dropped (retransmissions are fresh sends with fresh ids, so a recv
+/// causally parented to a dropped send means a ghost delivery), and
+/// crash / recover events must alternate per MSS.
+[[nodiscard]] std::vector<CheckFailure> check_fault_delivery(const std::deque<Event>& events);
+
 /// Run every checker; failures are concatenated in the order above.
 [[nodiscard]] std::vector<CheckFailure> check_all(const std::deque<Event>& events);
 [[nodiscard]] std::vector<CheckFailure> check_all(const EventStream& stream);

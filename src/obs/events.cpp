@@ -15,7 +15,7 @@ struct KindName {
   std::string_view name;
 };
 
-constexpr std::array<KindName, 15> kKindNames{{
+constexpr std::array<KindName, 19> kKindNames{{
     {EventKind::kSend, "send"},
     {EventKind::kRecv, "recv"},
     {EventKind::kDeliver, "deliver"},
@@ -31,6 +31,10 @@ constexpr std::array<KindName, 15> kKindNames{{
     {EventKind::kTokenArrive, "token_arrive"},
     {EventKind::kLocationUpdate, "location_update"},
     {EventKind::kViewChange, "view_change"},
+    {EventKind::kMsgDropped, "msg_dropped"},
+    {EventKind::kMsgDuplicated, "msg_duplicated"},
+    {EventKind::kMssCrash, "mss_crash"},
+    {EventKind::kMssRecover, "mss_recover"},
 }};
 
 }  // namespace
@@ -130,6 +134,20 @@ std::string describe(const Event& event) {
       break;
     case EventKind::kViewChange:
       os << "view change " << to_string(event.entity) << " version " << event.arg;
+      break;
+    case EventKind::kMsgDropped:
+      os << "drop " << to_string(event.entity) << " -> " << to_string(event.peer)
+         << " proto=" << event.arg;
+      break;
+    case EventKind::kMsgDuplicated:
+      os << "dup " << to_string(event.entity) << " -> " << to_string(event.peer)
+         << " proto=" << event.arg;
+      break;
+    case EventKind::kMssCrash:
+      os << "crash " << to_string(event.entity) << " down for " << event.arg;
+      break;
+    case EventKind::kMssRecover:
+      os << "recover " << to_string(event.entity);
       break;
   }
   if (!event.detail.empty()) os << " [" << event.detail << "]";

@@ -31,6 +31,10 @@ enum class EventKind : std::uint8_t {
   kTokenArrive,     ///< a token arrived at `entity` (first arrival = injection)
   kLocationUpdate,  ///< a group strategy recorded / propagated a member location
   kViewChange,      ///< the location-view coordinator advanced the view version
+  kMsgDropped,      ///< the fault plane killed a wireless frame (cause = its send)
+  kMsgDuplicated,   ///< the fault plane scheduled a link-layer copy (cause = the send)
+  kMssCrash,        ///< an MSS crashed per the fault schedule; arg = down_for
+  kMssRecover,      ///< a crashed MSS came back up
 };
 
 [[nodiscard]] std::string_view to_string(EventKind kind) noexcept;

@@ -1,0 +1,187 @@
+// Randomized chaos suite: the mutual-exclusion algorithms must stay
+// safe AND live under the fault plane. Each test sweeps 64 seeds of one
+// {algorithm} x {fault profile} cell with a fixed request/mobility
+// workload and asserts that every requested CS execution is eventually
+// granted, the monitor saw no exclusion violation, and every trace
+// checker (including the fault-delivery checker) passes.
+//
+// These are the slowest tests in the repo and carry the `chaos` ctest
+// label so they can be selected (-L chaos) or skipped (-LE chaos).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_plane.hpp"
+#include "mutex/l2.hpp"
+#include "mutex/monitor.hpp"
+#include "mutex/r2.hpp"
+#include "test_support.hpp"
+
+namespace mobidist::test {
+namespace {
+
+using mutex::CsMonitor;
+using mutex::L2Mutex;
+using mutex::R2Mutex;
+using mutex::RingVariant;
+
+constexpr std::uint32_t kM = 3;
+constexpr std::uint32_t kN = 6;
+constexpr int kRequests = 8;
+constexpr std::uint64_t kSeeds = 64;
+constexpr std::uint64_t kSeedBase = 1000;
+
+enum class Algo : std::uint8_t { kL2, kR2, kR2Prime, kR2DoublePrime };
+
+/// 5% loss + 2% duplication on every wireless frame.
+fault::FaultProfile loss_profile() {
+  fault::FaultProfile profile;
+  profile.wireless_loss = 0.05;
+  profile.wireless_dup = 0.02;
+  return profile;
+}
+
+/// One mid-run MSS crash; its cell's hosts evacuate through the normal
+/// leave/join/handoff path.
+fault::FaultProfile crash_profile() {
+  fault::FaultProfile profile;
+  profile.crashes.push_back({1, 120, 80});
+  return profile;
+}
+
+/// The ISSUE acceptance profile: loss + duplication + delay spikes plus
+/// the mid-run crash, all at once.
+fault::FaultProfile combined_profile() {
+  fault::FaultProfile profile = loss_profile();
+  profile.wireless_reorder = 0.03;
+  profile.crashes.push_back({1, 120, 80});
+  return profile;
+}
+
+/// Faults actually injected during one run (summed across a sweep so we
+/// can prove the suite exercised the plane rather than a silent no-op).
+struct Injected {
+  std::uint64_t losses = 0;
+  std::uint64_t dups = 0;
+  std::uint64_t crashes = 0;
+
+  Injected& operator+=(const Injected& other) {
+    losses += other.losses;
+    dups += other.dups;
+    crashes += other.crashes;
+    return *this;
+  }
+};
+
+std::uint64_t counter_or_zero(const Network& net, const std::string& name) {
+  const auto& counters = net.metrics().counters();
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second.value();
+}
+
+/// Run one seed of the chaos workload and assert safety + liveness.
+Injected run_chaos_seed(Algo algo, const fault::FaultProfile& profile, std::uint64_t seed) {
+  NetConfig cfg;  // default randomized latencies + oracle search
+  cfg.num_mss = kM;
+  cfg.num_mh = kN;
+  cfg.seed = seed;
+  Network net(cfg);
+  net.install_fault_plane(profile);
+  CsMonitor monitor;
+
+  std::unique_ptr<L2Mutex> l2;
+  std::unique_ptr<R2Mutex> r2;
+  std::function<void(MhId)> request;
+  if (algo == Algo::kL2) {
+    l2 = std::make_unique<L2Mutex>(net, monitor);
+    request = [&l2](MhId mh) { l2->request(mh); };
+  } else {
+    const RingVariant variant = algo == Algo::kR2        ? RingVariant::kBasic
+                                : algo == Algo::kR2Prime ? RingVariant::kCounter
+                                                         : RingVariant::kTokenList;
+    r2 = std::make_unique<R2Mutex>(net, monitor, variant);
+    request = [&r2](MhId mh) { r2->request(mh); };
+  }
+  net.start();
+  // Enough traversal fuel that the token outlives the whole request
+  // schedule; never absorb-when-idle (an idle window can race an
+  // in-flight retransmitted request).
+  if (r2) net.sched().schedule_at(1, [&r2] { r2->start_token(60); });
+  for (int i = 0; i < kRequests; ++i) {
+    const auto mh = static_cast<MhId>(static_cast<std::uint32_t>(i) % kN);
+    net.sched().schedule_at(5 + static_cast<sim::SimTime>(i) * 40,
+                            [&request, mh] { request(mh); });
+  }
+  // Background mobility, guarded: a host may be mid-transit (or already
+  // evacuated from a crashed cell) when its move comes up.
+  const std::pair<sim::SimTime, std::uint32_t> moves[] = {{60, 2}, {140, 4}, {220, 0}};
+  for (const auto& [at, idx] : moves) {
+    const auto mh = static_cast<MhId>(idx);
+    const auto target = static_cast<MssId>((idx + 1) % kM);
+    net.sched().schedule_at(at, [&net, mh, target] {
+      if (net.mh(mh).connected()) net.mh(mh).move_to(target, 15);
+    });
+  }
+  net.run();
+
+  EXPECT_FALSE(net.sched().hit_event_limit());
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_EQ(monitor.grants(), static_cast<std::uint64_t>(kRequests));
+  if (l2) {
+    EXPECT_EQ(l2->completed(), static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(l2->aborted(), 0u);
+  } else {
+    EXPECT_EQ(r2->completed(), static_cast<std::uint64_t>(kRequests));
+  }
+  ExpectCleanEventStream(net);
+
+  Injected injected;
+  injected.losses = counter_or_zero(net, "fault.injected_loss");
+  injected.dups = counter_or_zero(net, "fault.injected_dup");
+  for (const auto& ev : net.events().records()) {
+    if (ev.kind == obs::EventKind::kMssCrash) ++injected.crashes;
+  }
+  return injected;
+}
+
+void sweep(Algo algo, const fault::FaultProfile& profile) {
+  Injected total;
+  for (std::uint64_t i = 0; i < kSeeds; ++i) {
+    const std::uint64_t seed = kSeedBase + i;
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    total += run_chaos_seed(algo, profile, seed);
+    if (::testing::Test::HasFatalFailure() || ::testing::Test::HasNonfatalFailure()) {
+      return;  // one seed's diagnosis is enough; don't spam 63 more
+    }
+  }
+  // The sweep must have actually hurt: a silently inert plane would make
+  // every liveness assertion above vacuous.
+  if (profile.wireless_loss > 0.0) EXPECT_GT(total.losses, 0u);
+  if (profile.wireless_dup > 0.0) EXPECT_GT(total.dups, 0u);
+  EXPECT_EQ(total.crashes, profile.crashes.size() * kSeeds);
+}
+
+TEST(ChaosL2, SurvivesWirelessLoss) { sweep(Algo::kL2, loss_profile()); }
+TEST(ChaosL2, SurvivesMssCrash) { sweep(Algo::kL2, crash_profile()); }
+TEST(ChaosL2, SurvivesCombinedProfile) { sweep(Algo::kL2, combined_profile()); }
+
+TEST(ChaosR2, SurvivesWirelessLoss) { sweep(Algo::kR2, loss_profile()); }
+TEST(ChaosR2, SurvivesMssCrash) { sweep(Algo::kR2, crash_profile()); }
+TEST(ChaosR2, SurvivesCombinedProfile) { sweep(Algo::kR2, combined_profile()); }
+
+TEST(ChaosR2Prime, SurvivesWirelessLoss) { sweep(Algo::kR2Prime, loss_profile()); }
+TEST(ChaosR2Prime, SurvivesMssCrash) { sweep(Algo::kR2Prime, crash_profile()); }
+TEST(ChaosR2Prime, SurvivesCombinedProfile) { sweep(Algo::kR2Prime, combined_profile()); }
+
+TEST(ChaosR2DoublePrime, SurvivesWirelessLoss) { sweep(Algo::kR2DoublePrime, loss_profile()); }
+TEST(ChaosR2DoublePrime, SurvivesMssCrash) { sweep(Algo::kR2DoublePrime, crash_profile()); }
+TEST(ChaosR2DoublePrime, SurvivesCombinedProfile) {
+  sweep(Algo::kR2DoublePrime, combined_profile());
+}
+
+}  // namespace
+}  // namespace mobidist::test

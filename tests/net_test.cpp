@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "fault/fault_plane.hpp"
 #include "test_support.hpp"
 
 namespace mobidist::test {
@@ -615,6 +616,95 @@ TEST(Determinism, IdenticalSeedsGiveIdenticalRuns) {
   EXPECT_NE(std::get<4>(run_once(77)), 0u);
 }
 
+// --------------------------------------------------------------------------
+// Reliable wireless hop (fault plane installed)
+// --------------------------------------------------------------------------
+
+std::size_t count_kind(const Network& net, obs::EventKind kind) {
+  std::size_t n = 0;
+  for (const auto& ev : net.events().records()) {
+    if (ev.kind == kind) ++n;
+  }
+  return n;
+}
+
+TEST(ReliableWireless, DroppedUplinkIsRetransmittedAfterRtoBase) {
+  Network net(small_config(3, 6));
+  fault::FaultProfile profile;
+  profile.drop_first_wireless = 1;
+  net.install_fault_plane(profile);
+  Harness h(net);
+  net.start();
+  h.mh[1]->do_send_uplink(std::string("release"));
+  net.run();
+  // Frame dropped at t=0, retransmitted at t=16 (rto_base), wireless
+  // latency 2 — delivered exactly once, never a second copy.
+  ASSERT_EQ(h.mss[1]->received.size(), 1u);
+  EXPECT_EQ(h.mss[1]->received[0].at, 18u);
+  EXPECT_EQ(net.stats().retransmissions, 1u);
+  EXPECT_EQ(net.stats().dup_suppressed, 0u);
+  EXPECT_EQ(count_kind(net, obs::EventKind::kMsgDropped), 1u);
+  ExpectCleanEventStream(net);
+}
+
+TEST(ReliableWireless, BackoffDoublesPerAttemptAndRetryDepthIsRecorded) {
+  Network net(small_config(3, 6));
+  fault::FaultProfile profile;
+  profile.drop_first_wireless = 3;
+  net.install_fault_plane(profile);
+  Harness h(net);
+  net.start();
+  h.mss[1]->do_send_local(mh_id(1), std::string("grant"));
+  net.run();
+  // Attempts at t=0, 16, 48; the fourth at t=112 (16+32+64 of capped
+  // exponential backoff) finally gets through, +2 wireless latency.
+  ASSERT_EQ(h.mh[1]->received.size(), 1u);
+  EXPECT_EQ(h.mh[1]->received[0].at, 114u);
+  EXPECT_EQ(net.stats().retransmissions, 3u);
+  EXPECT_EQ(count_kind(net, obs::EventKind::kMsgDropped), 3u);
+  const auto& depth = net.metrics().histograms().at("net.delivery_retry_depth");
+  EXPECT_EQ(depth.count(), 3u);
+  EXPECT_EQ(depth.max(), 3u);  // deepest recorded attempt number
+  ExpectCleanEventStream(net);
+}
+
+TEST(ReliableWireless, DuplicatedDownlinkIsSuppressedExactlyOnce) {
+  Network net(small_config(3, 6));
+  fault::FaultProfile profile;
+  profile.dup_first_wireless = 1;
+  net.install_fault_plane(profile);
+  Harness h(net);
+  net.start();
+  h.mss[1]->do_send_local(mh_id(1), std::string("grant"));
+  net.run();
+  // The link-layer copy reaches the MH but the dedup window kills it:
+  // one application delivery, one rx charge, one suppression.
+  ASSERT_EQ(h.mh[1]->received.size(), 1u);
+  EXPECT_EQ(net.stats().dup_suppressed, 1u);
+  EXPECT_EQ(net.ledger().wireless_rx(), 1u);
+  EXPECT_EQ(count_kind(net, obs::EventKind::kMsgDuplicated), 1u);
+  std::size_t recvs_at_mh = 0;
+  for (const auto& ev : net.events().records()) {
+    if (ev.kind == obs::EventKind::kRecv && ev.entity == obs::Entity::mh(1)) ++recvs_at_mh;
+  }
+  EXPECT_EQ(recvs_at_mh, 1u);  // the suppressed copy emits no recv
+  ExpectCleanEventStream(net);
+}
+
+TEST(ReliableWireless, DuplicatedUplinkIsSuppressedExactlyOnce) {
+  Network net(small_config(3, 6));
+  fault::FaultProfile profile;
+  profile.dup_first_wireless = 1;
+  net.install_fault_plane(profile);
+  Harness h(net);
+  net.start();
+  h.mh[1]->do_send_uplink(std::string("release"));
+  net.run();
+  ASSERT_EQ(h.mss[1]->received.size(), 1u);
+  EXPECT_EQ(net.stats().dup_suppressed, 1u);
+  EXPECT_EQ(count_kind(net, obs::EventKind::kMsgDuplicated), 1u);
+  ExpectCleanEventStream(net);
+}
 
 // --------------------------------------------------------------------------
 // Trace instrumentation

@@ -145,7 +145,7 @@ TEST(EventJson, RejectsMalformedLines) {
 }
 
 TEST(EventJson, KindAndEntityNamesRoundTrip) {
-  for (int k = 0; k <= static_cast<int>(EventKind::kViewChange); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kMssRecover); ++k) {
     const auto kind = static_cast<EventKind>(k);
     const auto parsed = obs::parse_kind(obs::to_string(kind));
     ASSERT_TRUE(parsed.has_value()) << obs::to_string(kind);
@@ -403,6 +403,60 @@ TEST(Checkers, StuckLamportClockAcrossCausalEdge) {
   ASSERT_EQ(seq_failures.size(), 1u);
   EXPECT_NE(seq_failures[0].diagnostic.find("sequence not strictly increasing"),
             std::string::npos);
+}
+
+TEST(Checkers, GhostDeliveryFromDroppedSend) {
+  std::deque<Event> events;
+  Event send = make(1, 10, EventKind::kSend, Entity::mss(0));
+  send.peer = Entity::mh(0);
+  send.channel = 9;
+  events.push_back(send);
+  Event drop = make(2, 10, EventKind::kMsgDropped, Entity::mss(0), "loss");
+  drop.cause = 1;
+  drop.channel = 9;
+  events.push_back(drop);
+  Event recv = make(3, 12, EventKind::kRecv, Entity::mh(0));
+  recv.cause = 1;  // consumes the very send the plane killed
+  recv.channel = 9;
+  events.push_back(recv);
+  const auto failures = obs::check_fault_delivery(events);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].checker, "fault_delivery");
+  EXPECT_EQ(failures[0].event, 3u);
+  EXPECT_NE(failures[0].diagnostic.find("ghost delivery"), std::string::npos);
+
+  // A recv consuming a *different* (retransmitted) send is clean.
+  events[2].cause = 4;
+  EXPECT_TRUE(obs::check_fault_delivery(events).empty());
+}
+
+TEST(Checkers, CrashRecoverMustAlternatePerMss) {
+  std::deque<Event> events;
+  events.push_back(make(1, 100, EventKind::kMssCrash, Entity::mss(1)));
+  events.push_back(make(2, 120, EventKind::kMssCrash, Entity::mss(1)));  // still down
+  const auto failures = obs::check_fault_delivery(events);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].checker, "fault_delivery");
+  EXPECT_NE(failures[0].diagnostic.find("while already down"), std::string::npos);
+
+  std::deque<Event> twice;
+  twice.push_back(make(1, 100, EventKind::kMssCrash, Entity::mss(1)));
+  twice.push_back(make(2, 150, EventKind::kMssRecover, Entity::mss(1)));
+  twice.push_back(make(3, 160, EventKind::kMssRecover, Entity::mss(1)));
+  const auto double_up = obs::check_fault_delivery(twice);
+  ASSERT_EQ(double_up.size(), 1u);
+  EXPECT_NE(double_up[0].diagnostic.find("was not down"), std::string::npos);
+
+  // Alternation over two windows — and crashes on distinct MSSs — pass;
+  // a bare recover on an entity with no retained history is tolerated
+  // (the stream may have evicted its crash).
+  std::deque<Event> ok;
+  ok.push_back(make(1, 50, EventKind::kMssRecover, Entity::mss(2)));
+  ok.push_back(make(2, 100, EventKind::kMssCrash, Entity::mss(1)));
+  ok.push_back(make(3, 150, EventKind::kMssRecover, Entity::mss(1)));
+  ok.push_back(make(4, 400, EventKind::kMssCrash, Entity::mss(1)));
+  ok.push_back(make(5, 425, EventKind::kMssRecover, Entity::mss(1)));
+  EXPECT_TRUE(obs::check_fault_delivery(ok).empty());
 }
 
 TEST(Checkers, CheckAllConcatenatesEveryChecker) {

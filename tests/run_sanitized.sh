@@ -5,11 +5,18 @@
 #
 #   tests/run_sanitized.sh            # full suite
 #   tests/run_sanitized.sh -R Fifo    # forward extra args to ctest
+#   tests/run_sanitized.sh --chaos    # only the fault-injection chaos
+#                                     # sweeps (ctest -L chaos)
 
 set -euo pipefail
 
 repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$repo_root"
+
+if [[ "${1:-}" == "--chaos" ]]; then
+  shift
+  set -- -L chaos "$@"
+fi
 
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)"

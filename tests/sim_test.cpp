@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fault/fault_plane.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/trace.hpp"
@@ -296,6 +297,37 @@ TEST(Rng, SplitProducesIndependentStream) {
   Rng child_b = parent.split();
   // Children of the same parent differ from each other and the parent.
   EXPECT_NE(child_a.next(), child_b.next());
+}
+
+TEST(Rng, FaultPlaneDrawsNeverPerturbTheNetworkStream) {
+  // Regression guard for the shared-stream bug class: the broadcast
+  // retry jitter in net::Network draws from the network's rng_, so the
+  // fault plane must source every probabilistic decision from its own
+  // salted stream — note it is seeded directly, NOT via rng.split(),
+  // which would advance the parent and shift every later network draw.
+  Rng reference(777);
+  std::vector<std::uint64_t> expect;
+  for (int i = 0; i < 16; ++i) expect.push_back(reference.next());
+
+  fault::FaultProfile profile;
+  profile.wireless_loss = 0.5;
+  profile.wireless_dup = 0.25;
+  profile.wireless_reorder = 0.5;
+  profile.wired_spike = 0.5;
+  fault::FaultPlane plane(fault::fault_stream_seed(777), profile);
+  Rng observed(777);
+  std::vector<std::uint64_t> got;
+  for (int i = 0; i < 16; ++i) {
+    got.push_back(observed.next());
+    (void)plane.draw_wireless_loss();
+    (void)plane.draw_wireless_dup();
+    (void)plane.draw_wireless_spike();
+    (void)plane.draw_wired_spike();
+    (void)plane.draw_latency(0, 100);
+  }
+  EXPECT_EQ(got, expect);
+  // The salted fault seed also never collides with the raw network seed.
+  EXPECT_NE(fault::fault_stream_seed(777), 777u);
 }
 
 // --------------------------------------------------------------------------

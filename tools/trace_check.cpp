@@ -36,12 +36,31 @@ int main(int argc, char** argv) {
     }
     events.push_back(std::move(*event));
   }
+  // check_all includes check_fault_delivery, so fault-injected traces
+  // are verified end to end: no recv may be causally parented to a send
+  // the fault plane dropped, and crash/recover events must alternate.
   const auto failures = mobidist::obs::check_all(events);
   for (const auto& failure : failures) {
     std::cerr << "trace_check: " << argv[1] << ": " << to_string(failure) << '\n';
   }
   if (!failures.empty()) return 1;
+  std::size_t drops = 0;
+  std::size_t dups = 0;
+  std::size_t crashes = 0;
+  for (const auto& event : events) {
+    switch (event.kind) {
+      case mobidist::obs::EventKind::kMsgDropped: ++drops; break;
+      case mobidist::obs::EventKind::kMsgDuplicated: ++dups; break;
+      case mobidist::obs::EventKind::kMssCrash: ++crashes; break;
+      default: break;
+    }
+  }
   std::cout << "trace_check: " << argv[1] << ": " << events.size()
-            << " events, all checkers passed\n";
+            << " events, all checkers passed";
+  if (drops + dups + crashes > 0) {
+    std::cout << " (fault events: " << drops << " dropped, " << dups << " duplicated, "
+              << crashes << " crashes)";
+  }
+  std::cout << '\n';
   return 0;
 }
