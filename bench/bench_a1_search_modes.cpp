@@ -9,93 +9,78 @@
 
 #include <iostream>
 
+#include "bench_support.hpp"
 #include "core/mobidist.hpp"
 
 namespace {
 
 using namespace mobidist;
-using net::Envelope;
-using net::MhId;
-using net::MssId;
-using net::NetConfig;
-using net::Network;
 
-/// Minimal sender/receiver pair for one locate-and-deliver.
-class PingStation : public net::MssAgent {
- public:
-  void on_message(const Envelope&) override {}
-  void ping(MhId target) { send_to_mh(target, 1); }
-};
+exp::ScenarioSpec delivery_spec(std::uint32_t m, net::SearchMode mode, bool target_in_transit) {
+  exp::ScenarioSpec spec;
+  spec.name = "a1_search_modes";
+  spec.workload = "delivery";
+  spec.variant = "ping";
+  spec.net.num_mss = m;
+  spec.net.num_mh = m;  // mh i in cell i
+  spec.net.search = mode;
+  spec.net.latency.wired_min = spec.net.latency.wired_max = 3;
+  spec.net.latency.wireless_min = spec.net.latency.wireless_max = 1;
+  spec.net.latency.search_min = spec.net.latency.search_max = 3;
+  spec.net.seed = 1;
+  if (target_in_transit) spec.params["in_transit"] = 1;
+  return spec;
+}
 
-class PingHost : public net::MhAgent {
- public:
-  void on_message(const Envelope&) override { ++received; }
-  int received = 0;
-};
-
-struct Run {
-  std::uint64_t fixed = 0;
-  std::uint64_t searches = 0;
-  int received = 0;
-};
-
-Run deliver_once(std::uint32_t m, net::SearchMode mode, bool target_in_transit,
-                 core::BenchReport& report) {
-  NetConfig cfg;
-  cfg.num_mss = m;
-  cfg.num_mh = m;  // mh i in cell i
-  cfg.search = mode;
-  cfg.latency.wired_min = cfg.latency.wired_max = 3;
-  cfg.latency.wireless_min = cfg.latency.wireless_max = 1;
-  cfg.latency.search_min = cfg.latency.search_max = 3;
-  cfg.seed = 1;
-  Network net(cfg);
-  auto station = std::make_shared<PingStation>();
-  net.mss(MssId(0)).register_agent(net::protocol::kUserBase, station);
-  auto host = std::make_shared<PingHost>();
-  const auto target = MhId(m - 1);  // remote cell
-  net.mh(target).register_agent(net::protocol::kUserBase, host);
-  net.start();
-  if (target_in_transit) {
-    net.sched().schedule(1, [&net, target] {
-      net.mh(target).move_to(MssId(1), 120);  // long transit
-    });
-  }
-  net.sched().schedule(5, [station, target] { station->ping(target); });
-  net.run();
-  report.add_run(std::string(mode == net::SearchMode::kOracle ? "oracle" : "broadcast") +
-                     "_m" + std::to_string(m) + (target_in_transit ? "_transit" : ""),
-                 net, cost::CostParams{});
-  return Run{net.ledger().fixed_msgs(), net.ledger().searches(), host->received};
+std::string cell(std::uint32_t m, net::SearchMode mode, bool transit) {
+  return std::string(mode == net::SearchMode::kOracle ? "oracle" : "broadcast") + "_m" +
+         std::to_string(m) + (transit ? "_transit" : "");
 }
 
 }  // namespace
 
 int main() {
-  std::cout << "A1: oracle vs broadcast search for one remote delivery\n\n";
-  core::BenchReport report("a1_search_modes");
-  report.note("sweep", "oracle vs broadcast over M, plus in-transit target at M=16");
+  const std::uint32_t kMs[] = {4, 8, 16, 32, 64};
 
+  bench::Sections sweep("a1_search_modes");
+  for (const std::uint32_t m : kMs) {
+    sweep.add(cell(m, net::SearchMode::kOracle, false),
+              delivery_spec(m, net::SearchMode::kOracle, false));
+    sweep.add(cell(m, net::SearchMode::kBroadcast, false),
+              delivery_spec(m, net::SearchMode::kBroadcast, false));
+  }
+  sweep.add(cell(16, net::SearchMode::kOracle, true),
+            delivery_spec(16, net::SearchMode::kOracle, true));
+  sweep.add(cell(16, net::SearchMode::kBroadcast, true),
+            delivery_spec(16, net::SearchMode::kBroadcast, true));
+  sweep.run();
+
+  std::cout << "A1: oracle vs broadcast search for one remote delivery\n\n";
   core::Table table({"M", "oracle searches", "oracle fixed", "broadcast fixed",
                      "paper worst case M+1"});
-  for (const std::uint32_t m : {4u, 8u, 16u, 32u, 64u}) {
-    const auto oracle = deliver_once(m, net::SearchMode::kOracle, false, report);
-    const auto broadcast = deliver_once(m, net::SearchMode::kBroadcast, false, report);
-    table.row({core::num(m), core::num(static_cast<double>(oracle.searches)),
-               core::num(static_cast<double>(oracle.fixed)),
-               core::num(static_cast<double>(broadcast.fixed)), core::num(m + 1.0)});
+  for (const std::uint32_t m : kMs) {
+    table.row({core::num(m),
+               core::num(sweep.metric(cell(m, net::SearchMode::kOracle, false), "ledger.searches")),
+               core::num(sweep.metric(cell(m, net::SearchMode::kOracle, false), "ledger.fixed_msgs")),
+               core::num(sweep.metric(cell(m, net::SearchMode::kBroadcast, false),
+                                      "ledger.fixed_msgs")),
+               core::num(m + 1.0)});
   }
   table.print(std::cout);
 
   std::cout << "\nIn-transit target (joins its new cell only after 120 ticks):\n";
   core::Table transit({"mode", "delivered", "fixed msgs", "note"});
-  const auto oracle = deliver_once(16, net::SearchMode::kOracle, true, report);
-  const auto broadcast = deliver_once(16, net::SearchMode::kBroadcast, true, report);
-  transit.row({"oracle", core::num(static_cast<double>(oracle.received)),
-               core::num(static_cast<double>(oracle.fixed)),
+  transit.row({"oracle",
+               core::num(sweep.metric(cell(16, net::SearchMode::kOracle, true),
+                                      "workload.delivered")),
+               core::num(sweep.metric(cell(16, net::SearchMode::kOracle, true),
+                                      "ledger.fixed_msgs")),
                "resolution pends until the join"});
-  transit.row({"broadcast", core::num(static_cast<double>(broadcast.received)),
-               core::num(static_cast<double>(broadcast.fixed)),
+  transit.row({"broadcast",
+               core::num(sweep.metric(cell(16, net::SearchMode::kBroadcast, true),
+                                      "workload.delivered")),
+               core::num(sweep.metric(cell(16, net::SearchMode::kBroadcast, true),
+                                      "ledger.fixed_msgs")),
                "negative rounds retried until the join"});
   transit.print(std::cout);
 
@@ -103,6 +88,6 @@ int main() {
                "the broadcast substrate shows why the paper prices the worst case\n"
                "at ~M fixed messages and why repeated rounds punish slow joins.\n"
                "\nwrote "
-            << report.write() << "\n";
+            << sweep.write() << "\n";
   return 0;
 }

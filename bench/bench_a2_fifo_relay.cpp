@@ -9,101 +9,69 @@
 // badly ordering breaks without it.
 
 #include <iostream>
-#include <vector>
 
+#include "bench_support.hpp"
 #include "core/mobidist.hpp"
 
 namespace {
 
 using namespace mobidist;
-using net::Envelope;
-using net::MhId;
-using net::MssId;
-using net::NetConfig;
-using net::Network;
 
-class Receiver : public net::MhAgent {
- public:
-  void on_message(const Envelope& env) override {
-    if (const auto* value = net::body_as<int>(env)) received.push_back(*value);
-  }
-  std::vector<int> received;
-};
+exp::ScenarioSpec burst_spec(const std::string& variant) {
+  exp::ScenarioSpec spec;
+  spec.name = "a2_fifo_relay";
+  spec.workload = "relay_burst";
+  spec.variant = variant;
+  spec.net.num_mss = 4;
+  spec.net.num_mh = 4;
+  spec.net.latency.wired_min = 1;
+  spec.net.latency.wired_max = 60;  // heavy jitter across searches/forwards
+  spec.net.latency.search_min = 1;
+  spec.net.latency.search_max = 40;
+  return spec;
+}
 
-class Sender : public net::MhAgent {
- public:
-  void on_message(const Envelope&) override {}
-  void burst(MhId to, int from, int count, bool fifo) {
-    for (int i = from; i < from + count; ++i) send_to_mh(to, i, fifo);
-  }
-};
-
-struct Run {
-  std::uint64_t inversions = 0;   ///< adjacent out-of-order pairs seen by the app
-  std::uint64_t held = 0;         ///< relay payloads buffered by the resequencer
-  std::size_t delivered = 0;
-};
-
-Run run_burst(bool fifo, std::uint64_t seed, core::BenchReport& report) {
-  NetConfig cfg;
-  cfg.num_mss = 4;
-  cfg.num_mh = 4;
-  cfg.latency.wired_min = 1;
-  cfg.latency.wired_max = 60;  // heavy jitter across searches/forwards
-  cfg.latency.search_min = 1;
-  cfg.latency.search_max = 40;
-  cfg.seed = seed;
-  Network net(cfg);
-  auto sender = std::make_shared<Sender>();
-  auto receiver = std::make_shared<Receiver>();
-  net.mh(MhId(0)).register_agent(net::protocol::kUserBase, sender);
-  net.mh(MhId(1)).register_agent(net::protocol::kUserBase, receiver);
-  net.start();
-  net.sched().schedule(1, [&] { sender->burst(MhId(1), 0, 15, fifo); });
-  net.sched().schedule(4, [&] { net.mh(MhId(1)).move_to(MssId(2), 30); });
-  net.sched().schedule(80, [&] { sender->burst(MhId(1), 15, 15, fifo); });
-  net.sched().schedule(90, [&] { net.mh(MhId(1)).move_to(MssId(3), 25); });
-  net.run();
-  Run run;
-  run.delivered = receiver->received.size();
-  for (std::size_t i = 1; i < receiver->received.size(); ++i) {
-    if (receiver->received[i] < receiver->received[i - 1]) ++run.inversions;
-  }
-  run.held = net.stats().relay_reordered;
-  report.add_run(std::string(fifo ? "fifo" : "raw") + "_seed" + std::to_string(seed), net,
-                 cost::CostParams{});
-  return run;
+double run_metric(const exp::RunResult& run, std::string_view name) {
+  const auto it = run.metrics.find(name);
+  return it == run.metrics.end() ? 0.0 : it->second;
 }
 
 }  // namespace
 
 int main() {
+  const std::vector<std::uint64_t> kSeeds = {11, 22, 33, 44, 55};
+
+  bench::Sections sweep("a2_fifo_relay");
+  sweep.add("fifo", burst_spec("fifo"), kSeeds);
+  sweep.add("raw", burst_spec("raw"), kSeeds);
+  sweep.run();
+
   std::cout << "A2: relay resequencer under jitter + mid-burst moves "
                "(30 numbered messages, receiver moves twice)\n\n";
 
-  core::BenchReport report("a2_fifo_relay");
-  report.note("sweep", "resequencer on/off across five seeds");
   core::Table table({"seed", "mode", "delivered", "order inversions", "held by reseq"});
-  std::uint64_t total_inversions_raw = 0;
-  for (const std::uint64_t seed : {11ull, 22ull, 33ull, 44ull, 55ull}) {
-    const auto with = run_burst(true, seed, report);
-    const auto without = run_burst(false, seed, report);
-    total_inversions_raw += without.inversions;
-    table.row({core::num(static_cast<double>(seed)), "fifo",
-               core::num(static_cast<double>(with.delivered)),
-               core::num(static_cast<double>(with.inversions)),
-               core::num(static_cast<double>(with.held))});
-    table.row({core::num(static_cast<double>(seed)), "raw",
-               core::num(static_cast<double>(without.delivered)),
-               core::num(static_cast<double>(without.inversions)),
-               core::num(static_cast<double>(without.held))});
+  double total_inversions_raw = 0;
+  const auto fifo_runs = sweep.runs("fifo");
+  const auto raw_runs = sweep.runs("raw");
+  for (std::size_t i = 0; i < kSeeds.size(); ++i) {
+    const auto* with = fifo_runs[i];
+    const auto* without = raw_runs[i];
+    total_inversions_raw += run_metric(*without, "workload.inversions");
+    table.row({core::num(static_cast<double>(with->seed)), "fifo",
+               core::num(run_metric(*with, "workload.delivered")),
+               core::num(run_metric(*with, "workload.inversions")),
+               core::num(run_metric(*with, "net.relay_reordered"))});
+    table.row({core::num(static_cast<double>(without->seed)), "raw",
+               core::num(run_metric(*without, "workload.delivered")),
+               core::num(run_metric(*without, "workload.inversions")),
+               core::num(run_metric(*without, "net.relay_reordered"))});
   }
   table.print(std::cout);
 
   std::cout << "\nReading: the resequencer delivers 0 inversions at the price of\n"
                "buffering (the 'additional burden on the underlying network\n"
                "protocols' the paper charges against L1); raw mode saw "
-            << total_inversions_raw << " inversions across the seeds.\n"
-            << "\nwrote " << report.write() << "\n";
+            << core::num(total_inversions_raw) << " inversions across the seeds.\n"
+            << "\nwrote " << sweep.write() << "\n";
   return 0;
 }

@@ -8,74 +8,52 @@
 
 #include <iostream>
 
+#include "bench_support.hpp"
 #include "core/mobidist.hpp"
 
 namespace {
 
 using namespace mobidist;
-using net::MhId;
-using net::MssId;
-using net::NetConfig;
-using net::Network;
 
-struct Run {
-  std::uint64_t informs = 0;
-  std::uint64_t searches = 0;
-  double total = 0;
-  int delivered = 0;
-};
-
-Run run_k(std::uint32_t k, const cost::CostParams& p, core::BenchReport& report) {
-  NetConfig cfg;
-  cfg.num_mss = 8;
-  cfg.num_mh = 4;
-  cfg.latency.wired_min = cfg.latency.wired_max = 2;
-  cfg.latency.wireless_min = cfg.latency.wireless_max = 1;
-  cfg.latency.search_min = cfg.latency.search_max = 3;
-  cfg.seed = 77;
-  Network net(cfg);
-  proxy::ProxyOptions opts;
-  opts.scope = proxy::ProxyScope::kLazyHome;
-  opts.inform_every = k;
-  proxy::ProxyService proxies(net, opts);
-  int delivered = 0;
-  proxies.set_client_handler([&](MhId, const std::any&) { ++delivered; });
-  net.start();
-  // mh0 walks the ring of cells: 24 moves; its home proxy (cell 0) sends
-  // it a message after every third move.
-  for (int move = 0; move < 24; ++move) {
-    net.sched().schedule(1 + 40 * move, [&net] {
-      auto& host = net.mh(MhId(0));
-      if (!host.connected()) return;
-      const auto next = static_cast<MssId>((net::index(host.current_mss()) + 1) % 8);
-      host.move_to(next, 4);
-    });
-    if (move % 3 == 2) {
-      net.sched().schedule(20 + 40 * move, [&proxies] {
-        proxies.proxy_send(MssId(0), MhId(0), 1);
-      });
-    }
-  }
-  net.run();
-  report.add_run("k" + std::to_string(k), net, p);
-  return Run{proxies.informs(), net.ledger().searches(), net.ledger().total(p), delivered};
+exp::ScenarioSpec lazy_spec(std::uint32_t k) {
+  exp::ScenarioSpec spec;
+  spec.name = "a3_lazy_inform";
+  spec.workload = "lazy_proxy";
+  spec.variant = "lazy_home";
+  spec.net.num_mss = 8;
+  spec.net.num_mh = 4;
+  spec.net.latency.wired_min = spec.net.latency.wired_max = 2;
+  spec.net.latency.wireless_min = spec.net.latency.wireless_max = 1;
+  spec.net.latency.search_min = spec.net.latency.search_max = 3;
+  spec.net.seed = 77;
+  spec.params["inform_every"] = k;
+  spec.params["moves"] = 24;
+  spec.params["send_every"] = 3;
+  spec.params["move_gap"] = 40;
+  return spec;
 }
 
 }  // namespace
 
 int main() {
-  const cost::CostParams p;
+  const std::uint32_t kPeriods[] = {1, 2, 3, 4, 6, 8, 12, 16, 24};
+
+  bench::Sections sweep("a3_lazy_inform");
+  for (const std::uint32_t k : kPeriods) {
+    sweep.add("k" + std::to_string(k), lazy_spec(k));
+  }
+  sweep.run();
+
   std::cout << "A3: lazy home proxy — inform period k vs cost "
                "(24 moves, 8 proxy->MH deliveries)\n\n";
 
-  core::BenchReport report("a3_lazy_inform");
-  report.note("sweep", "lazy-home inform period k over the U-curve");
   core::Table table({"k", "informs", "searches", "delivered", "total cost"});
-  for (const std::uint32_t k : {1u, 2u, 3u, 4u, 6u, 8u, 12u, 16u, 24u}) {
-    const auto run = run_k(k, p, report);
-    table.row({core::num(k), core::num(static_cast<double>(run.informs)),
-               core::num(static_cast<double>(run.searches)),
-               core::num(static_cast<double>(run.delivered)), core::num(run.total)});
+  for (const std::uint32_t k : kPeriods) {
+    const std::string cell = "k" + std::to_string(k);
+    table.row({core::num(k), core::num(sweep.metric(cell, "workload.informs")),
+               core::num(sweep.metric(cell, "ledger.searches")),
+               core::num(sweep.metric(cell, "workload.delivered")),
+               core::num(sweep.metric(cell, "cost.total"))});
   }
   table.print(std::cout);
 
@@ -83,6 +61,6 @@ int main() {
                "large k approaches search-on-demand. The sweet spot depends on the\n"
                "deliveries-to-moves ratio — exactly the adaptivity §5 calls for.\n"
                "\nwrote "
-            << report.write() << "\n";
+            << sweep.write() << "\n";
   return 0;
 }

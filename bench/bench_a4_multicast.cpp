@@ -9,136 +9,65 @@
 
 #include <iostream>
 
+#include "bench_support.hpp"
 #include "core/mobidist.hpp"
-#include "multicast/multicast.hpp"
 
 namespace {
 
 using namespace mobidist;
-using group::Group;
-using net::MhId;
-using net::MssId;
-using net::NetConfig;
-using net::Network;
 
 constexpr std::uint64_t kMessages = 20;
 
-NetConfig base_config(std::uint32_t m, std::uint32_t n) {
-  NetConfig cfg;
-  cfg.num_mss = m;
-  cfg.num_mh = n;
-  cfg.latency.wired_min = cfg.latency.wired_max = 2;
-  cfg.latency.wireless_min = cfg.latency.wireless_max = 1;
-  cfg.latency.search_min = cfg.latency.search_max = 3;
-  cfg.seed = 23;
-  return cfg;
+exp::ScenarioSpec mcast_spec(const std::string& variant, std::uint32_t m, std::uint32_t r) {
+  exp::ScenarioSpec spec;
+  spec.name = "a4_multicast";
+  spec.workload = "multicast";
+  spec.variant = variant;
+  spec.net.num_mss = m;
+  spec.net.num_mh = r + 4;
+  spec.net.latency.wired_min = spec.net.latency.wired_max = 2;
+  spec.net.latency.wireless_min = spec.net.latency.wireless_max = 1;
+  spec.net.latency.search_min = spec.net.latency.search_max = 3;
+  spec.net.seed = 23;
+  spec.mob.mean_pause = 50;
+  spec.mob.mean_transit = 5;
+  spec.mob.max_moves_per_host = 3;
+  spec.params["recipients"] = r;
+  spec.params["messages"] = static_cast<double>(kMessages);
+  return spec;
 }
 
-Group recipients(std::uint32_t count) {
-  std::vector<MhId> list;
-  for (std::uint32_t i = 0; i < count; ++i) list.push_back(MhId(i));
-  return Group::of(list);
-}
-
-/// Flood-and-buffer multicast under background mobility.
-double run_mcast(std::uint32_t m, std::uint32_t r, const cost::CostParams& p, bool& exact,
-                 core::BenchReport& report) {
-  Network net(base_config(m, r + 4));
-  multicast::McastService mcast(net, recipients(r));
-  mobility::MobilityConfig mob;
-  mob.mean_pause = 50;
-  mob.mean_transit = 5;
-  mob.max_moves_per_host = 3;
-  mobility::MobilityDriver driver(net, mob, recipients(r).members);
-  net.start();
-  driver.start();
-  for (std::uint64_t i = 0; i < kMessages; ++i) {
-    net.sched().schedule(5 + 25 * i, [&] { mcast.publish(MssId(0)); });
-  }
-  net.run();
-  exact = mcast.monitor().exactly_once(mcast.recipients());
-  report.add_run("flood_m" + std::to_string(m) + "_r" + std::to_string(r), net, p);
-  return net.ledger().total(p) / static_cast<double>(kMessages);
-}
-
-/// Naive per-recipient search delivery (send_to_mh per recipient), same
-/// workload. Implemented with a throwaway agent.
-class NaiveSender : public net::MssAgent {
- public:
-  explicit NaiveSender(Group recipients) : recipients_(std::move(recipients)) {}
-  void on_message(const net::Envelope&) override {}
-  void blast(std::uint64_t msg_id) {
-    for (const auto mh : recipients_.members) send_to_mh(mh, msg_id);
-  }
-
- private:
-  Group recipients_;
-};
-
-class NaiveReceiver : public net::MhAgent {
- public:
-  explicit NaiveReceiver(group::DeliveryMonitor& monitor) : monitor_(monitor) {}
-  void on_message(const net::Envelope& env) override {
-    if (const auto* id = net::body_as<std::uint64_t>(env)) monitor_.delivered(*id, self());
-  }
-
- private:
-  group::DeliveryMonitor& monitor_;
-};
-
-double run_naive(std::uint32_t m, std::uint32_t r, const cost::CostParams& p, bool& exact,
-                 core::BenchReport& report) {
-  Network net(base_config(m, r + 4));
-  const auto group = recipients(r);
-  group::DeliveryMonitor monitor;
-  auto sender = std::make_shared<NaiveSender>(group);
-  net.mss(MssId(0)).register_agent(net::protocol::kUserBase + 9, sender);
-  for (std::uint32_t i = 1; i < m; ++i) {
-    net.mss(MssId(i)).register_agent(net::protocol::kUserBase + 9,
-                                     std::make_shared<NaiveSender>(group));
-  }
-  for (const auto mh : group.members) {
-    net.mh(mh).register_agent(net::protocol::kUserBase + 9,
-                              std::make_shared<NaiveReceiver>(monitor));
-  }
-  mobility::MobilityConfig mob;
-  mob.mean_pause = 50;
-  mob.mean_transit = 5;
-  mob.max_moves_per_host = 3;
-  mobility::MobilityDriver driver(net, mob, group.members);
-  net.start();
-  driver.start();
-  for (std::uint64_t i = 0; i < kMessages; ++i) {
-    net.sched().schedule(5 + 25 * i, [&, i] {
-      monitor.sent(i + 1, net::kInvalidMh);
-      sender->blast(i + 1);
-    });
-  }
-  net.run();
-  exact = monitor.exactly_once(group);
-  report.add_run("search_m" + std::to_string(m) + "_r" + std::to_string(r), net, p);
-  return net.ledger().total(p) / static_cast<double>(kMessages);
+std::string cell(const std::string& variant, std::uint32_t m, std::uint32_t r) {
+  return variant + "_m" + std::to_string(m) + "_r" + std::to_string(r);
 }
 
 }  // namespace
 
 int main() {
-  const cost::CostParams p;
+  const std::pair<std::uint32_t, std::uint32_t> kShapes[] = {
+      {4, 4}, {4, 12}, {16, 4}, {16, 12}, {32, 8}, {64, 2}};
+
+  bench::Sections sweep("a4_multicast");
+  for (const auto& [m, r] : kShapes) {
+    sweep.add(cell("flood", m, r), mcast_spec("flood", m, r));
+    sweep.add(cell("search", m, r), mcast_spec("search", m, r));
+  }
+  sweep.run();
+
   std::cout << "A4: multicast to mobile recipients — flood+handoff (ref [1]) vs\n"
                "per-recipient search, " << kMessages << " publications under mobility\n\n";
 
-  core::BenchReport report("a4_multicast");
-  report.note("sweep", "flood+handoff vs per-recipient search over (M, |R|)");
   core::Table table({"M", "|R|", "flood+handoff /msg", "per-search /msg", "winner",
                      "both exactly-once"});
-  for (const auto& [m, r] : {std::pair{4u, 4u}, {4u, 12u}, {16u, 4u}, {16u, 12u},
-                             {32u, 8u}, {64u, 2u}}) {
-    bool exact_mcast = false, exact_naive = false;
-    const double mcast_cost = run_mcast(m, r, p, exact_mcast, report);
-    const double naive_cost = run_naive(m, r, p, exact_naive, report);
+  for (const auto& [m, r] : kShapes) {
+    const double mcast_cost =
+        sweep.metric(cell("flood", m, r), "cost.total") / static_cast<double>(kMessages);
+    const double naive_cost =
+        sweep.metric(cell("search", m, r), "cost.total") / static_cast<double>(kMessages);
+    const bool exact = sweep.metric(cell("flood", m, r), "workload.exactly_once") == 1.0 &&
+                       sweep.metric(cell("search", m, r), "workload.exactly_once") == 1.0;
     table.row({core::num(m), core::num(r), core::num(mcast_cost), core::num(naive_cost),
-               mcast_cost < naive_cost ? "flood" : "search",
-               exact_mcast && exact_naive ? "yes" : "NO"});
+               mcast_cost < naive_cost ? "flood" : "search", exact ? "yes" : "NO"});
   }
   table.print(std::cout);
 
@@ -146,6 +75,6 @@ int main() {
                "searches are expensive; per-recipient search wins for tiny recipient\n"
                "sets in large networks. Only the flood+handoff scheme never searches.\n"
                "\nwrote "
-            << report.write() << "\n";
+            << sweep.write() << "\n";
   return 0;
 }

@@ -5,74 +5,73 @@
 //   L1 (Lamport directly on the N MHs):   3*(N-1)*(2*c_w + c_s)
 //   L2 (Lamport among the M MSSs):        3*c_w + c_f + c_s + 3*(M-1)*c_f
 // sweeping N with M fixed, then M with N fixed. Each cell runs one real
-// simulated execution and prints the measured ledger cost next to the
-// closed form; the shape to verify is L1 growing linearly in N while L2
-// stays flat (constant search cost per execution).
+// simulated execution (on the exp parallel runner) and prints the
+// measured ledger cost next to the closed form; the shape to verify is
+// L1 growing linearly in N while L2 stays flat (constant search cost per
+// execution).
 
 #include <iostream>
 
+#include "bench_support.hpp"
 #include "core/mobidist.hpp"
 
 namespace {
 
 using namespace mobidist;
-using net::MhId;
-using net::MssId;
-using net::NetConfig;
-using net::Network;
 
-NetConfig base_config(std::uint32_t m, std::uint32_t n) {
-  NetConfig cfg;
-  cfg.num_mss = m;
-  cfg.num_mh = n;
-  cfg.latency.wired_min = cfg.latency.wired_max = 5;
-  cfg.latency.wireless_min = cfg.latency.wireless_max = 2;
-  cfg.latency.search_min = cfg.latency.search_max = 4;
-  cfg.seed = 42;
-  return cfg;
+exp::ScenarioSpec base_spec(const std::string& variant, std::uint32_t m, std::uint32_t n) {
+  exp::ScenarioSpec spec;
+  spec.name = "e1_lamport_cost";
+  spec.workload = "mutex";
+  spec.variant = variant;
+  spec.net.num_mss = m;
+  spec.net.num_mh = n;
+  spec.net.latency.wired_min = spec.net.latency.wired_max = 5;
+  spec.net.latency.wireless_min = spec.net.latency.wireless_max = 2;
+  spec.net.latency.search_min = spec.net.latency.search_max = 4;
+  spec.net.seed = 42;
+  spec.params["requests"] = 1;
+  spec.params["request_start"] = 1;
+  if (variant == "l2") {
+    // The paper's expression charges the release relay: the MH moves once
+    // between init and grant, exactly the scenario the formula models.
+    spec.params["move_at"] = 4;
+    spec.params["move_to"] = 1;
+    spec.params["move_transit"] = 2;
+  }
+  return spec;
 }
 
-double run_l1(std::uint32_t m, std::uint32_t n, const cost::CostParams& p,
-              core::BenchReport& report) {
-  Network net(base_config(m, n));
-  mutex::CsMonitor monitor;
-  mutex::L1Mutex l1(net, monitor);
-  net.start();
-  net.sched().schedule(1, [&] { l1.request(MhId(0)); });
-  net.run();
-  report.add_run("l1_m" + std::to_string(m) + "_n" + std::to_string(n), net, p);
-  return net.ledger().total(p);
-}
-
-double run_l2(std::uint32_t m, std::uint32_t n, const cost::CostParams& p,
-              core::BenchReport& report) {
-  Network net(base_config(m, n));
-  mutex::CsMonitor monitor;
-  mutex::L2Mutex l2(net, monitor);
-  net.start();
-  net.sched().schedule(1, [&] { l2.request(MhId(0)); });
-  // The paper's expression charges the release relay: the MH moves once
-  // between init and grant, exactly the scenario the formula models.
-  net.sched().schedule(4, [&] { net.mh(MhId(0)).move_to(MssId(1), 2); });
-  net.run();
-  report.add_run("l2_m" + std::to_string(m) + "_n" + std::to_string(n), net, p);
-  return net.ledger().total(p);
+std::string cell(const std::string& variant, std::uint32_t m, std::uint32_t n) {
+  return variant + "_m" + std::to_string(m) + "_n" + std::to_string(n);
 }
 
 }  // namespace
 
 int main() {
   const cost::CostParams p;  // c_f = 1, c_w = 10, c_s = 4
-  core::BenchReport report("e1_lamport_cost");
-  report.note("sweep", "L1 over N (M=8) and over M (N=64), vs closed forms");
+  const std::uint32_t kNs[] = {8, 16, 32, 64, 128, 256};
+  const std::uint32_t kMs[] = {4, 8, 16, 32};
+
+  bench::Sections sweep("e1_lamport_cost");
+  for (const std::uint32_t n : kNs) {
+    sweep.add(cell("l1", 8, n), base_spec("l1", 8, n));
+    sweep.add(cell("l2", 8, n), base_spec("l2", 8, n));
+  }
+  for (const std::uint32_t m : kMs) {
+    sweep.add(cell("l1", m, 64) + "_bym", base_spec("l1", m, 64));
+    sweep.add(cell("l2", m, 64) + "_bym", base_spec("l2", m, 64));
+  }
+  sweep.run();
+
   std::cout << "E1: cost of one mutual-exclusion execution (c_fixed=" << p.c_fixed
             << ", c_wireless=" << p.c_wireless << ", c_search=" << p.c_search << ")\n\n";
 
   std::cout << "Sweep N (M = 8):\n";
   core::Table by_n({"N", "L1 sim", "L1 formula", "L2 sim", "L2 formula", "L1/L2"});
-  for (const std::uint32_t n : {8u, 16u, 32u, 64u, 128u, 256u}) {
-    const double l1_sim = run_l1(8, n, p, report);
-    const double l2_sim = run_l2(8, n, p, report);
+  for (const std::uint32_t n : kNs) {
+    const double l1_sim = sweep.metric(cell("l1", 8, n), "cost.total");
+    const double l2_sim = sweep.metric(cell("l2", 8, n), "cost.total");
     by_n.row({core::num(n), core::num(l1_sim), core::num(analysis::l1_execution_cost(n, p)),
               core::num(l2_sim), core::num(analysis::l2_execution_cost(8, p)),
               core::ratio(l1_sim / l2_sim)});
@@ -81,9 +80,9 @@ int main() {
 
   std::cout << "\nSweep M (N = 64):\n";
   core::Table by_m({"M", "L1 sim", "L1 formula", "L2 sim", "L2 formula", "L1/L2"});
-  for (const std::uint32_t m : {4u, 8u, 16u, 32u}) {
-    const double l1_sim = run_l1(m, 64, p, report);
-    const double l2_sim = run_l2(m, 64, p, report);
+  for (const std::uint32_t m : kMs) {
+    const double l1_sim = sweep.metric(cell("l1", m, 64) + "_bym", "cost.total");
+    const double l2_sim = sweep.metric(cell("l2", m, 64) + "_bym", "cost.total");
     by_m.row({core::num(m), core::num(l1_sim), core::num(analysis::l1_execution_cost(64, p)),
               core::num(l2_sim), core::num(analysis::l2_execution_cost(m, p)),
               core::ratio(l1_sim / l2_sim)});
@@ -92,6 +91,6 @@ int main() {
 
   std::cout << "\nShape check: L1 grows ~3*(2c_w+c_s) per extra MH; L2 is constant in N\n"
             << "and grows only 3*c_f per extra MSS (the paper's structuring principle).\n"
-            << "\nwrote " << report.write() << "\n";
+            << "\nwrote " << sweep.write() << "\n";
   return 0;
 }

@@ -9,118 +9,98 @@
 
 #include <iostream>
 
+#include "bench_support.hpp"
 #include "core/mobidist.hpp"
 
 namespace {
 
 using namespace mobidist;
-using net::MhId;
-using net::MssId;
-using net::NetConfig;
-using net::Network;
 
-NetConfig base_config(std::uint32_t n) {
-  NetConfig cfg;
-  cfg.num_mss = 8;
-  cfg.num_mh = n;
-  cfg.latency.wired_min = cfg.latency.wired_max = 5;
-  cfg.latency.wireless_min = cfg.latency.wireless_max = 2;
-  cfg.latency.search_min = cfg.latency.search_max = 4;
-  cfg.seed = 7;
-  return cfg;
+exp::ScenarioSpec base_spec(const std::string& variant, std::uint32_t n) {
+  exp::ScenarioSpec spec;
+  spec.name = "e2_wireless_energy";
+  spec.workload = "mutex";
+  spec.variant = variant;
+  spec.net.num_mss = 8;
+  spec.net.num_mh = n;
+  spec.net.latency.wired_min = spec.net.latency.wired_max = 5;
+  spec.net.latency.wireless_min = spec.net.latency.wireless_max = 2;
+  spec.net.latency.search_min = spec.net.latency.search_max = 4;
+  spec.net.seed = 7;
+  spec.params["requests"] = 1;
+  spec.params["request_start"] = 1;
+  return spec;
 }
 
 }  // namespace
 
 int main() {
   const cost::CostParams p;  // unit energy per wireless hop
-  core::BenchReport report("e2_wireless_energy");
-  report.note("sweep", "L1 vs L2 wireless hops and energy over N, plus disconnection runs");
-  std::cout << "E2: wireless traffic and MH battery drain per execution\n\n";
+  const std::uint32_t kNs[] = {8, 16, 32, 64, 128};
 
+  bench::Sections sweep("e2_wireless_energy");
+  for (const std::uint32_t n : kNs) {
+    sweep.add("l1_n" + std::to_string(n), base_spec("l1", n));
+    // Everyone except the requester dozes: the paper's point is that
+    // they are never interrupted.
+    auto l2 = base_spec("l2", n);
+    l2.params["doze_others"] = 1;
+    sweep.add("l2_n" + std::to_string(n), l2);
+  }
+  // Disconnection tolerance, demonstrated. L1 with any MH disconnected
+  // stalls forever, so that run is truncated at t=20000.
+  {
+    auto l1 = base_spec("l1", 16);
+    l1.params["request_start"] = 5;
+    l1.params["disconnect_mh"] = 9;
+    l1.params["disconnect_at"] = 1;
+    l1.params["run_until"] = 20000;
+    sweep.add("l1_unrelated_disconnect", l1);
+
+    auto l2 = base_spec("l2", 16);
+    l2.params["request_start"] = 5;
+    l2.params["disconnect_mh"] = 9;
+    l2.params["disconnect_at"] = 1;
+    sweep.add("l2_unrelated_disconnect", l2);
+
+    auto self = base_spec("l2", 16);
+    self.params["requests"] = 2;
+    self.params["request_start"] = 1;
+    self.params["request_gap"] = 1;
+    self.params["disconnect_mh"] = 0;
+    self.params["disconnect_at"] = 4;
+    sweep.add("l2_requester_disconnect", self);
+  }
+  sweep.run();
+
+  std::cout << "E2: wireless traffic and MH battery drain per execution\n\n";
   core::Table table({"N", "L1 wireless", "6(N-1)", "L1 init energy", "3(N-1)",
                      "L2 wireless", "L2 init energy", "L2 doze intr"});
-  for (const std::uint32_t n : {8u, 16u, 32u, 64u, 128u}) {
-    std::uint64_t l1_wireless = 0;
-    double l1_init_energy = 0;
-    {
-      Network net(base_config(n));
-      mutex::CsMonitor monitor;
-      mutex::L1Mutex l1(net, monitor);
-      net.start();
-      net.sched().schedule(1, [&] { l1.request(MhId(0)); });
-      net.run();
-      l1_wireless = net.ledger().wireless_msgs();
-      l1_init_energy = net.ledger().energy_at(0, p);
-      report.add_run("l1_n" + std::to_string(n), net, p);
-    }
-    std::uint64_t l2_wireless = 0;
-    double l2_init_energy = 0;
-    std::uint64_t l2_doze = 0;
-    {
-      Network net(base_config(n));
-      mutex::CsMonitor monitor;
-      mutex::L2Mutex l2(net, monitor);
-      net.start();
-      // Everyone except the requester dozes: the paper's point is that
-      // they are never interrupted.
-      for (std::uint32_t i = 1; i < n; ++i) net.mh(MhId(i)).set_doze(true);
-      net.sched().schedule(1, [&] { l2.request(MhId(0)); });
-      net.run();
-      l2_wireless = net.ledger().wireless_msgs();
-      l2_init_energy = net.ledger().energy_at(0, p);
-      l2_doze = net.stats().doze_interruptions;
-      report.add_run("l2_n" + std::to_string(n), net, p);
-    }
-    table.row({core::num(n), core::num(static_cast<double>(l1_wireless)),
+  for (const std::uint32_t n : kNs) {
+    const std::string l1 = "l1_n" + std::to_string(n);
+    const std::string l2 = "l2_n" + std::to_string(n);
+    table.row({core::num(n), core::num(sweep.metric(l1, "ledger.wireless_msgs")),
                core::num(static_cast<double>(analysis::l1_wireless_hops(n))),
-               core::num(l1_init_energy),
+               core::num(sweep.metric(l1, "workload.initiator_energy")),
                core::num(static_cast<double>(analysis::l1_initiator_energy(n))),
-               core::num(static_cast<double>(l2_wireless)), core::num(l2_init_energy),
-               core::num(static_cast<double>(l2_doze))});
+               core::num(sweep.metric(l2, "ledger.wireless_msgs")),
+               core::num(sweep.metric(l2, "workload.initiator_energy")),
+               core::num(sweep.metric(l2, "net.doze_interruptions"))});
   }
   table.print(std::cout);
 
-  // Disconnection tolerance, demonstrated.
-  std::cout << "\nDisconnection behaviour (N = 16, requester = mh0):\n";
-  {
-    Network net(base_config(16));
-    mutex::CsMonitor monitor;
-    mutex::L1Mutex l1(net, monitor);
-    net.start();
-    net.sched().schedule(1, [&] { net.mh(MhId(9)).disconnect(); });
-    net.sched().schedule(5, [&] { l1.request(MhId(0)); });
-    net.sched().run_until(20000);
-    std::cout << "  L1 with one unrelated MH disconnected: completed "
-              << l1.completed() << "/1 (stalled — every MH must answer)\n";
-    report.add_run("l1_n16_unrelated_disconnect", net, p);
-  }
-  {
-    Network net(base_config(16));
-    mutex::CsMonitor monitor;
-    mutex::L2Mutex l2(net, monitor);
-    net.start();
-    net.sched().schedule(1, [&] { net.mh(MhId(9)).disconnect(); });
-    net.sched().schedule(5, [&] { l2.request(MhId(0)); });
-    net.run();
-    std::cout << "  L2 with one unrelated MH disconnected: completed "
-              << l2.completed() << "/1 (unaffected)\n";
-    report.add_run("l2_n16_unrelated_disconnect", net, p);
-  }
-  {
-    Network net(base_config(16));
-    mutex::CsMonitor monitor;
-    mutex::L2Mutex l2(net, monitor);
-    net.start();
-    net.sched().schedule(1, [&] { l2.request(MhId(0)); });
-    net.sched().schedule(2, [&] { l2.request(MhId(1)); });
-    net.sched().schedule(4, [&] { net.mh(MhId(0)).disconnect(); });
-    net.run();
-    std::cout << "  L2 when the requester itself disconnects pre-grant: completed "
-              << l2.completed() << ", aborted " << l2.aborted()
-              << " (home MSS released on its behalf)\n";
-    report.add_run("l2_n16_requester_disconnect", net, p);
-  }
-  std::cout << "\nwrote " << report.write() << "\n";
+  std::cout << "\nDisconnection behaviour (N = 16, requester = mh0):\n"
+            << "  L1 with one unrelated MH disconnected: completed "
+            << sweep.metric("l1_unrelated_disconnect", "workload.completed")
+            << "/1 (stalled — every MH must answer)\n"
+            << "  L2 with one unrelated MH disconnected: completed "
+            << sweep.metric("l2_unrelated_disconnect", "workload.completed")
+            << "/1 (unaffected)\n"
+            << "  L2 when the requester itself disconnects pre-grant: completed "
+            << sweep.metric("l2_requester_disconnect", "workload.completed") << ", aborted "
+            << sweep.metric("l2_requester_disconnect", "workload.aborted")
+            << " (home MSS released on its behalf)\n";
+
+  std::cout << "\nwrote " << sweep.write() << "\n";
   return 0;
 }

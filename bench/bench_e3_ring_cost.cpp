@@ -10,67 +10,58 @@
 
 #include <iostream>
 
+#include "bench_support.hpp"
 #include "core/mobidist.hpp"
 
 namespace {
 
 using namespace mobidist;
-using net::MhId;
-using net::NetConfig;
-using net::Network;
 
-NetConfig base_config(std::uint32_t m, std::uint32_t n) {
-  NetConfig cfg;
-  cfg.num_mss = m;
-  cfg.num_mh = n;
-  cfg.latency.wired_min = cfg.latency.wired_max = 5;
-  cfg.latency.wireless_min = cfg.latency.wireless_max = 2;
-  cfg.latency.search_min = cfg.latency.search_max = 4;
-  cfg.seed = 21;
-  return cfg;
-}
-
-double run_r1(std::uint32_t n, std::uint32_t k, const cost::CostParams& p,
-              core::BenchReport& report) {
-  Network net(base_config(4, n));
-  mutex::CsMonitor monitor;
-  mutex::R1Mutex r1(net, monitor);
-  net.start();
-  for (std::uint32_t i = 0; i < k; ++i) r1.request(MhId(i));
-  net.sched().schedule(1, [&] { r1.start_token(1); });
-  net.run();
-  report.add_run("r1_n" + std::to_string(n) + "_k" + std::to_string(k), net, p);
-  return net.ledger().total(p);
-}
-
-double run_r2(std::uint32_t m, std::uint32_t n, std::uint32_t k, const cost::CostParams& p,
-              core::BenchReport& report) {
-  Network net(base_config(m, n));
-  mutex::CsMonitor monitor;
-  mutex::R2Mutex r2(net, monitor, mutex::RingVariant::kBasic);
-  net.start();
-  for (std::uint32_t i = 0; i < k; ++i) r2.request(MhId(i));
-  net.sched().schedule(5, [&] { r2.start_token(1); });
-  net.run();
-  report.add_run("r2_m" + std::to_string(m) + "_n" + std::to_string(n) + "_k" +
-                     std::to_string(k),
-                 net, p);
-  return net.ledger().total(p);
+exp::ScenarioSpec base_spec(const std::string& variant, std::uint32_t m, std::uint32_t n,
+                            std::uint32_t k) {
+  exp::ScenarioSpec spec;
+  spec.name = "e3_ring_cost";
+  spec.workload = "ring";
+  spec.variant = variant;
+  spec.net.num_mss = m;
+  spec.net.num_mh = n;
+  spec.net.latency.wired_min = spec.net.latency.wired_max = 5;
+  spec.net.latency.wireless_min = spec.net.latency.wireless_max = 2;
+  spec.net.latency.search_min = spec.net.latency.search_max = 4;
+  spec.net.seed = 21;
+  // Requests land at t=0, before the token starts circulating.
+  spec.params["requests"] = k;
+  spec.params["traversals"] = 1;
+  return spec;
 }
 
 }  // namespace
 
 int main() {
   const cost::CostParams p;
-  core::BenchReport report("e3_ring_cost");
-  report.note("sweep", "R1 traversal cost over N, R2 cost over K, crossover at N=32");
+
+  bench::Sections sweep("e3_ring_cost");
+  for (const std::uint32_t n : {4u, 8u, 16u, 32u, 64u}) {
+    sweep.add("r1_n" + std::to_string(n) + "_k0", base_spec("r1", 4, n, 0));
+    sweep.add("r1_n" + std::to_string(n) + "_kn", base_spec("r1", 4, n, n));
+  }
+  for (const std::uint32_t k : {0u, 1u, 2u, 4u, 8u, 16u, 32u}) {
+    sweep.add("r2_k" + std::to_string(k), base_spec("r2", 4, 64, k));
+  }
+  for (const std::uint32_t k : {1u, 4u, 8u, 16u, 24u, 32u}) {
+    sweep.add("x_r2_k" + std::to_string(k), base_spec("r2", 4, 32, k));
+  }
+  sweep.run();
+
   std::cout << "E3: token-ring traversal costs (c_fixed=" << p.c_fixed
             << ", c_wireless=" << p.c_wireless << ", c_search=" << p.c_search << ")\n\n";
 
   std::cout << "R1: one traversal, idle vs fully loaded (cost independent of K):\n";
   core::Table r1_table({"N", "sim K=0", "sim K=N", "formula N(2cw+cs)"});
   for (const std::uint32_t n : {4u, 8u, 16u, 32u, 64u}) {
-    r1_table.row({core::num(n), core::num(run_r1(n, 0, p, report)), core::num(run_r1(n, n, p, report)),
+    const std::string base = "r1_n" + std::to_string(n);
+    r1_table.row({core::num(n), core::num(sweep.metric(base + "_k0", "cost.total")),
+                  core::num(sweep.metric(base + "_kn", "cost.total")),
                   core::num(analysis::r1_traversal_cost(n, p))});
   }
   r1_table.print(std::cout);
@@ -78,7 +69,7 @@ int main() {
   std::cout << "\nR2 (M = 4, N = 64): cost grows with requests served K:\n";
   core::Table r2_table({"K", "sim", "formula K(3cw+cf+cs)+Mcf"});
   for (const std::uint32_t k : {0u, 1u, 2u, 4u, 8u, 16u, 32u}) {
-    r2_table.row({core::num(k), core::num(run_r2(4, 64, k, p, report)),
+    r2_table.row({core::num(k), core::num(sweep.metric("r2_k" + std::to_string(k), "cost.total")),
                   core::num(analysis::r2_cost(k, 4, p))});
   }
   r2_table.print(std::cout);
@@ -86,9 +77,9 @@ int main() {
   std::cout << "\nCrossover (N = 32, M = 4): R2 wins until K makes its per-request\n"
                "search bill exceed R1's flat traversal cost:\n";
   core::Table crossover({"K", "R1 sim", "R2 sim", "winner"});
-  const double r1_flat = run_r1(32, 0, p, report);
+  const double r1_flat = sweep.metric("r1_n32_k0", "cost.total");
   for (const std::uint32_t k : {1u, 4u, 8u, 16u, 24u, 32u}) {
-    const double r2_cost = run_r2(4, 32, k, p, report);
+    const double r2_cost = sweep.metric("x_r2_k" + std::to_string(k), "cost.total");
     crossover.row({core::num(k), core::num(r1_flat), core::num(r2_cost),
                    r2_cost < r1_flat ? "R2" : "R1"});
   }
@@ -96,6 +87,6 @@ int main() {
 
   std::cout << "\nNote: R1's number is per traversal whether or not anyone asked;\n"
                "R2 additionally never interrupts non-requesting (dozing) MHs.\n"
-            << "\nwrote " << report.write() << "\n";
+            << "\nwrote " << sweep.write() << "\n";
   return 0;
 }

@@ -9,93 +9,72 @@
 
 #include <iostream>
 
+#include "bench_support.hpp"
 #include "core/mobidist.hpp"
 
 namespace {
 
 using namespace mobidist;
-using net::MhId;
-using net::MssId;
-using net::NetConfig;
-using net::Network;
 
 constexpr std::uint32_t kM = 4;
 
-struct Outcome {
-  std::uint64_t grants_traversal1 = 0;
-  std::uint64_t total = 0;
-};
-
-Outcome run(mutex::RingVariant variant, bool malicious, core::BenchReport& report) {
-  NetConfig cfg;
-  cfg.num_mss = kM;
-  cfg.num_mh = 8;
-  cfg.latency.wired_min = cfg.latency.wired_max = 200;  // slow ring hops
-  cfg.latency.wireless_min = cfg.latency.wireless_max = 2;
-  cfg.latency.search_min = cfg.latency.search_max = 4;
-  cfg.seed = 4;
-  Network net(cfg);
-  mutex::CsMonitor monitor;
-  mutex::R2Mutex r2(net, monitor, variant);
-  if (malicious) r2.set_malicious(MhId(0), true);
-  net.start();
-  // mh0 starts at cell 0: request there, then hop ahead of the token and
-  // request at every cell it reaches before the token does.
-  net.sched().schedule(1, [&] { r2.request(MhId(0)); });
-  net.sched().schedule(5, [&] { r2.start_token(2); });
-  for (std::uint32_t cell = 1; cell < kM; ++cell) {
-    const sim::SimTime when = 60 + (cell - 1) * 200;
-    net.sched().schedule(when, [&, cell] {
-      auto& host = net.mh(MhId(0));
-      if (host.connected() && host.current_mss() != MssId(cell)) {
-        host.move_to(MssId(cell), 3);
-      }
-    });
-    net.sched().schedule(when + 10, [&] { r2.request(MhId(0)); });
-  }
-  net.run();
-  Outcome outcome;
-  outcome.grants_traversal1 = r2.grants_for(MhId(0), 1);
-  outcome.total = r2.completed();
-  report.add_run("variant" + std::to_string(static_cast<int>(variant)) +
-                     (malicious ? "_malicious" : "_honest"),
-                 net, cost::CostParams{});
-  return outcome;
+exp::ScenarioSpec chase_spec(const std::string& variant, bool malicious) {
+  exp::ScenarioSpec spec;
+  spec.name = "e4_ring_fairness";
+  spec.workload = "ring";
+  spec.variant = variant;
+  spec.net.num_mss = kM;
+  spec.net.num_mh = 8;
+  spec.net.latency.wired_min = spec.net.latency.wired_max = 200;  // slow ring hops
+  spec.net.latency.wireless_min = spec.net.latency.wireless_max = 2;
+  spec.net.latency.search_min = spec.net.latency.search_max = 4;
+  spec.net.seed = 4;
+  spec.params["chase"] = 1;
+  spec.params["traversals"] = 2;
+  spec.params["token_at"] = 5;
+  if (malicious) spec.params["malicious"] = 1;
+  return spec;
 }
 
-const char* name(mutex::RingVariant variant) {
-  switch (variant) {
-    case mutex::RingVariant::kBasic: return "R2  (basic)";
-    case mutex::RingVariant::kCounter: return "R2' (token_val counter)";
-    case mutex::RingVariant::kTokenList: return "R2'' (token_list)";
-  }
-  return "?";
+std::string cell(const std::string& variant, bool malicious) {
+  return variant + (malicious ? "_malicious" : "_honest");
+}
+
+const char* pretty(const std::string& variant) {
+  if (variant == "r2") return "R2  (basic)";
+  if (variant == "r2p") return "R2' (token_val counter)";
+  return "R2'' (token_list)";
 }
 
 }  // namespace
 
 int main() {
-  core::BenchReport report("e4_ring_fairness");
-  report.note("sweep", "R2/R2'/R2'' grants to a token-chasing MH, honest and lying");
+  const std::string kVariants[] = {"r2", "r2p", "r2pp"};
+
+  bench::Sections sweep("e4_ring_fairness");
+  for (const auto& variant : kVariants) {
+    sweep.add(cell(variant, false), chase_spec(variant, false));
+    sweep.add(cell(variant, true), chase_spec(variant, true));
+  }
+  sweep.run();
+
   std::cout << "E4: grants collected by one MH chasing the token through all " << kM
             << " cells within traversal 1\n"
             << "(paper bounds: R2 <= N*M per traversal, R2' <= N; R2'' holds even "
                "against a lying access_count)\n\n";
 
   core::Table table({"variant", "honest MH", "malicious MH", "paper cap/traversal"});
-  for (const auto variant : {mutex::RingVariant::kBasic, mutex::RingVariant::kCounter,
-                             mutex::RingVariant::kTokenList}) {
-    const auto honest = run(variant, false, report);
-    const auto lying = run(variant, true, report);
-    const char* cap = variant == mutex::RingVariant::kBasic ? "N*M" : "1 per MH";
-    table.row({name(variant), core::num(static_cast<double>(honest.grants_traversal1)),
-               core::num(static_cast<double>(lying.grants_traversal1)), cap});
+  for (const auto& variant : kVariants) {
+    const char* cap = variant == "r2" ? "N*M" : "1 per MH";
+    table.row({pretty(variant),
+               core::num(sweep.metric(cell(variant, false), "workload.grants_traversal1")),
+               core::num(sweep.metric(cell(variant, true), "workload.grants_traversal1")), cap});
   }
   table.print(std::cout);
 
   std::cout << "\nReading: basic R2 serves the chaser at every cell (" << kM
             << " grants); R2' stops the honest chaser after one grant but a\n"
                "malicious access_count defeats it; the token_list variant caps both.\n"
-            << "\nwrote " << report.write() << "\n";
+            << "\nwrote " << sweep.write() << "\n";
   return 0;
 }

@@ -14,86 +14,52 @@
 
 #include <iostream>
 
+#include "bench_support.hpp"
 #include "core/mobidist.hpp"
 
 namespace {
 
 using namespace mobidist;
-using group::Group;
-using net::MhId;
-using net::MssId;
-using net::NetConfig;
-using net::Network;
 
 constexpr std::uint64_t kMessages = 40;
 
-NetConfig base_config() {
-  NetConfig cfg;
-  cfg.num_mss = 8;
-  cfg.num_mh = 24;  // round robin: cell0 = {0,8,16}, cell1 = {1,9,17}
-  cfg.latency.wired_min = cfg.latency.wired_max = 2;
-  cfg.latency.wireless_min = cfg.latency.wireless_max = 1;
-  cfg.latency.search_min = cfg.latency.search_max = 3;
-  cfg.seed = 11;
-  return cfg;
-}
-
-Group five_members() {
-  return Group::of({MhId(0), MhId(8), MhId(16), MhId(1), MhId(9)});
-}
-
-workload::MobMsgDriver::Config driver_config(double ratio, double f) {
-  workload::MobMsgDriver::Config cfg;
-  cfg.messages = kMessages;
-  cfg.mob_per_msg = ratio;
-  cfg.significant_fraction = f;
-  cfg.step = 40;
-  cfg.transit = 3;
-  return cfg;
+exp::ScenarioSpec strategy_spec(const std::string& variant, double ratio, double f) {
+  exp::ScenarioSpec spec;
+  spec.name = "e5_group_location";
+  spec.workload = "group";
+  spec.variant = variant;
+  spec.net.num_mss = 8;
+  spec.net.num_mh = 24;  // round robin: cell0 = {0,8,16}, cell1 = {1,9,17}
+  spec.net.latency.wired_min = spec.net.latency.wired_max = 2;
+  spec.net.latency.wireless_min = spec.net.latency.wireless_max = 1;
+  spec.net.latency.search_min = spec.net.latency.search_max = 3;
+  spec.net.seed = 11;
+  spec.params["messages"] = static_cast<double>(kMessages);
+  spec.params["mob_per_msg"] = ratio;
+  spec.params["significant_fraction"] = f;
+  spec.params["step"] = 40;
+  spec.params["transit"] = 3;
+  return spec;
 }
 
 struct Run {
   double effective_cost = 0;  ///< ledger total / MSG
-  std::uint64_t wired = 0;
-  std::uint64_t wireless = 0;
-  std::uint64_t searches = 0;
   double measured_f = 0;
-  std::size_t lv_max = 0;
-  bool exactly_once = false;
+  double lv_max = 0;
 };
 
-template <typename Comm>
-Run run_strategy(double ratio, double f, const cost::CostParams& p,
-                 const std::function<std::unique_ptr<Comm>(Network&, const Group&)>& make,
-                 core::BenchReport& report, const std::string& label) {
-  Network net(base_config());
-  const auto group = five_members();
-  auto comm = make(net, group);
-  workload::MobMsgDriver driver(
-      net, driver_config(ratio, f), {MssId(0), MssId(1)},
-      {MssId(5), MssId(6), MssId(7)}, MhId(16),
-      [&](std::uint64_t) { comm->send_group_message(MhId(0)); });
-  net.start();
-  driver.start();
-  net.run();
+Run read_run(const bench::Sections& sweep, const std::string& cell, bool location_view) {
   Run run;
-  run.effective_cost = net.ledger().total(p) / static_cast<double>(kMessages);
-  run.wired = net.ledger().fixed_msgs();
-  run.wireless = net.ledger().wireless_msgs();
-  run.searches = net.ledger().searches();
-  run.exactly_once = comm->monitor().exactly_once(group);
-  if (driver.moves_scheduled() > 0) {
-    run.measured_f = static_cast<double>(driver.significant_scheduled()) /
-                     static_cast<double>(driver.moves_scheduled());
+  run.effective_cost = sweep.metric(cell, "cost.total") / static_cast<double>(kMessages);
+  const double moves = sweep.metric(cell, "workload.moves_scheduled");
+  if (moves > 0) {
+    // LV counts the moves its views actually classified significant; the
+    // other strategies report what the driver scheduled.
+    const double significant = location_view ? sweep.metric(cell, "workload.significant_moves")
+                                             : sweep.metric(cell, "workload.significant_scheduled");
+    run.measured_f = significant / moves;
   }
-  if constexpr (std::is_same_v<Comm, group::LocationViewGroup>) {
-    run.lv_max = comm->max_view_size();
-    run.measured_f = driver.moves_scheduled() > 0
-                         ? static_cast<double>(comm->significant_moves()) /
-                               static_cast<double>(driver.moves_scheduled())
-                         : 0.0;
-  }
-  report.add_run(label, net, p);
+  if (location_view) run.lv_max = sweep.metric(cell, "workload.lv_max");
   return run;
 }
 
@@ -101,65 +67,55 @@ Run run_strategy(double ratio, double f, const cost::CostParams& p,
 
 int main() {
   const cost::CostParams p;
-  core::BenchReport report("e5_group_location");
-  report.note("sweep", "three group strategies over MOB/MSG and significant fraction f");
   const std::size_t g = 5;
+  const double kRatios[] = {0.0, 1.0, 2.0, 4.0, 8.0};
+  const double kFs[] = {0.1, 0.3, 0.5, 0.7, 0.9};
+
+  bench::Sections sweep("e5_group_location");
+  for (const double ratio : kRatios) {
+    const std::string suffix = "_ratio" + core::num(ratio);
+    sweep.add("pure_search" + suffix, strategy_spec("pure_search", ratio, 0.5));
+    sweep.add("always_inform" + suffix, strategy_spec("always_inform", ratio, 0.5));
+    sweep.add("location_view" + suffix, strategy_spec("location_view", ratio, 0.5));
+  }
+  for (const double f : kFs) {
+    const std::string suffix = "_f" + core::num(f);
+    sweep.add("location_view" + suffix, strategy_spec("location_view", 4.0, f));
+    sweep.add("always_inform" + suffix, strategy_spec("always_inform", 4.0, f));
+  }
+  sweep.run();
+
   std::cout << "E5: effective cost per group message, |G| = " << g
             << ", members clustered in 2 cells, " << kMessages << " messages\n\n";
 
   std::cout << "Sweep MOB/MSG ratio (f ~= 0.5):\n";
   core::Table table({"MOB/MSG", "pure-search", "PS formula", "always-inform", "AI formula",
                      "location-view", "LV bound", "f meas", "|LV|max"});
-  for (const double ratio : {0.0, 1.0, 2.0, 4.0, 8.0}) {
+  for (const double ratio : kRatios) {
     const std::string suffix = "_ratio" + core::num(ratio);
-    const auto ps = run_strategy<group::PureSearchGroup>(
-        ratio, 0.5, p,
-        [](Network& net, const Group& grp) {
-          return std::make_unique<group::PureSearchGroup>(net, grp);
-        },
-        report, "pure_search" + suffix);
-    const auto ai = run_strategy<group::AlwaysInformGroup>(
-        ratio, 0.5, p,
-        [](Network& net, const Group& grp) {
-          return std::make_unique<group::AlwaysInformGroup>(net, grp);
-        },
-        report, "always_inform" + suffix);
-    const auto lv = run_strategy<group::LocationViewGroup>(
-        ratio, 0.5, p,
-        [](Network& net, const Group& grp) {
-          return std::make_unique<group::LocationViewGroup>(net, grp);
-        },
-        report, "location_view" + suffix);
+    const auto ps = read_run(sweep, "pure_search" + suffix, false);
+    const auto ai = read_run(sweep, "always_inform" + suffix, false);
+    const auto lv = read_run(sweep, "location_view" + suffix, true);
     table.row({core::num(ratio), core::num(ps.effective_cost),
                core::num(analysis::pure_search_msg_cost(g, p)),
                core::num(ai.effective_cost),
                core::num(analysis::always_inform_effective(ratio, g, p)),
                core::num(lv.effective_cost),
-               core::num(analysis::location_view_effective_bound(lv.measured_f * ratio,
-                                                                 lv.lv_max, g, p)),
-               core::num(lv.measured_f), core::num(static_cast<double>(lv.lv_max))});
+               core::num(analysis::location_view_effective_bound(
+                   lv.measured_f * ratio, static_cast<std::size_t>(lv.lv_max), g, p)),
+               core::num(lv.measured_f), core::num(lv.lv_max)});
   }
   table.print(std::cout);
 
   std::cout << "\nSweep significant fraction f (MOB/MSG = 4):\n";
   core::Table ftable({"f target", "f meas", "location-view", "LV bound", "always-inform"});
-  for (const double f : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+  for (const double f : kFs) {
     const std::string suffix = "_f" + core::num(f);
-    const auto lv = run_strategy<group::LocationViewGroup>(
-        4.0, f, p,
-        [](Network& net, const Group& grp) {
-          return std::make_unique<group::LocationViewGroup>(net, grp);
-        },
-        report, "location_view" + suffix);
-    const auto ai = run_strategy<group::AlwaysInformGroup>(
-        4.0, f, p,
-        [](Network& net, const Group& grp) {
-          return std::make_unique<group::AlwaysInformGroup>(net, grp);
-        },
-        report, "always_inform" + suffix);
+    const auto lv = read_run(sweep, "location_view" + suffix, true);
+    const auto ai = read_run(sweep, "always_inform" + suffix, false);
     ftable.row({core::num(f), core::num(lv.measured_f), core::num(lv.effective_cost),
-                core::num(analysis::location_view_effective_bound(lv.measured_f * 4.0,
-                                                                  lv.lv_max, g, p)),
+                core::num(analysis::location_view_effective_bound(
+                    lv.measured_f * 4.0, static_cast<std::size_t>(lv.lv_max), g, p)),
                 core::num(ai.effective_cost)});
   }
   ftable.print(std::cout);
@@ -167,6 +123,6 @@ int main() {
   std::cout << "\nReading: pure search is flat but always pays (|G|-1) searches;\n"
                "always-inform climbs linearly with MOB/MSG; location view tracks only\n"
                "the significant fraction and stays under its paper bound.\n"
-            << "\nwrote " << report.write() << "\n";
+            << "\nwrote " << sweep.write() << "\n";
   return 0;
 }

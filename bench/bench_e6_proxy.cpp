@@ -11,99 +11,64 @@
 
 #include <iostream>
 
+#include "bench_support.hpp"
 #include "core/mobidist.hpp"
 
 namespace {
 
 using namespace mobidist;
-using net::MhId;
-using net::MssId;
-using net::NetConfig;
-using net::Network;
-using proxy::ProxyScope;
 
-constexpr std::uint32_t kHosts = 8;
 constexpr std::uint32_t kRequests = 8;  // one per host
 
-struct Run {
-  double total = 0;
-  std::uint64_t informs = 0;
-  std::uint64_t searches = 0;
-  std::uint64_t completed = 0;
-};
-
-Run run_scope(ProxyScope scope, std::uint32_t moves_per_request, const cost::CostParams& p,
-              core::BenchReport& report) {
-  NetConfig cfg;
-  cfg.num_mss = 6;
-  cfg.num_mh = kHosts;
-  cfg.latency.wired_min = cfg.latency.wired_max = 3;
-  cfg.latency.wireless_min = cfg.latency.wireless_max = 1;
-  cfg.latency.search_min = cfg.latency.search_max = 3;
-  cfg.seed = 17;
-  Network net(cfg);
-  proxy::ProxyOptions opts;
-  opts.scope = scope;
-  opts.inform_every = 3;
-  proxy::ProxyService proxies(net, opts);
-  mutex::CsMonitor monitor;
-  proxy::ProxiedLamport mutex(net, proxies, monitor);
-  net.start();
-  // Deterministic round-robin moves for every host, then one request each.
-  const std::uint32_t total_moves = moves_per_request * kRequests;
-  for (std::uint32_t move = 0; move < total_moves; ++move) {
-    const auto host = MhId(move % kHosts);
-    net.sched().schedule(1 + 25 * move, [&, host] {
-      auto& mobile = net.mh(host);
-      if (!mobile.connected()) return;
-      const auto next = static_cast<MssId>((net::index(mobile.current_mss()) + 1) % 6);
-      mobile.move_to(next, 4);
-    });
-  }
-  const sim::SimTime request_start = 10 + 25ULL * total_moves;
-  for (std::uint32_t i = 0; i < kRequests; ++i) {
-    net.sched().schedule(request_start + 60ULL * i, [&, i] { mutex.request(MhId(i)); });
-  }
-  net.run();
-  Run run;
-  run.total = net.ledger().total(p);
-  run.informs = proxies.informs();
-  run.searches = net.ledger().searches();
-  run.completed = mutex.completed();
-  report.add_run("scope" + std::to_string(static_cast<int>(scope)) + "_moves" +
-                     std::to_string(moves_per_request),
-                 net, p);
-  return run;
+exp::ScenarioSpec scope_spec(const std::string& variant, std::uint32_t moves_per_request) {
+  exp::ScenarioSpec spec;
+  spec.name = "e6_proxy";
+  spec.workload = "proxy_mutex";
+  spec.variant = variant;
+  spec.net.num_mss = 6;
+  spec.net.num_mh = 8;
+  spec.net.latency.wired_min = spec.net.latency.wired_max = 3;
+  spec.net.latency.wireless_min = spec.net.latency.wireless_max = 1;
+  spec.net.latency.search_min = spec.net.latency.search_max = 3;
+  spec.net.seed = 17;
+  spec.params["inform_every"] = 3;
+  spec.params["requests"] = kRequests;
+  spec.params["moves_per_request"] = moves_per_request;
+  return spec;
 }
 
-const char* name(ProxyScope scope) {
-  switch (scope) {
-    case ProxyScope::kLocalMss: return "local-MSS";
-    case ProxyScope::kFixedHome: return "fixed home";
-    case ProxyScope::kLazyHome: return "lazy home k=3";
-  }
-  return "?";
+const char* pretty(const std::string& variant) {
+  if (variant == "local_mss") return "local-MSS";
+  if (variant == "fixed_home") return "fixed home";
+  return "lazy home k=3";
 }
 
 }  // namespace
 
 int main() {
-  const cost::CostParams p;
-  core::BenchReport report("e6_proxy");
-  report.note("sweep", "three proxy scopes over moves-per-request");
+  const std::string kScopes[] = {"local_mss", "fixed_home", "lazy_home"};
+  const std::uint32_t kMoves[] = {0, 1, 2, 4, 8};
+
+  bench::Sections sweep("e6_proxy");
+  for (const std::uint32_t moves : kMoves) {
+    for (const auto& scope : kScopes) {
+      sweep.add(scope + "_moves" + std::to_string(moves), scope_spec(scope, moves));
+    }
+  }
+  sweep.run();
+
   std::cout << "E6: Lamport-over-proxies under three proxy scopes, " << kRequests
             << " CS requests, varying mobility\n\n";
 
-  for (const std::uint32_t moves : {0u, 1u, 2u, 4u, 8u}) {
+  for (const std::uint32_t moves : kMoves) {
     std::cout << "moves per request = " << moves << ":\n";
     core::Table table({"scope", "total cost", "informs", "searches", "completed"});
-    for (const auto scope :
-         {ProxyScope::kLocalMss, ProxyScope::kFixedHome, ProxyScope::kLazyHome}) {
-      const auto run = run_scope(scope, moves, p, report);
-      table.row({name(scope), core::num(run.total),
-                 core::num(static_cast<double>(run.informs)),
-                 core::num(static_cast<double>(run.searches)),
-                 core::num(static_cast<double>(run.completed))});
+    for (const auto& scope : kScopes) {
+      const std::string cell = scope + "_moves" + std::to_string(moves);
+      table.row({pretty(scope), core::num(sweep.metric(cell, "cost.total")),
+                 core::num(sweep.metric(cell, "workload.informs")),
+                 core::num(sweep.metric(cell, "ledger.searches")),
+                 core::num(sweep.metric(cell, "workload.completed"))});
     }
     table.print(std::cout);
     std::cout << '\n';
@@ -114,6 +79,6 @@ int main() {
                "bill climbs linearly while the local-MSS proxy pays only per-use\n"
                "searches — the lazy proxy interpolates (the paper's 'less static\n"
                "solutions').\n"
-            << "\nwrote " << report.write() << "\n";
+            << "\nwrote " << sweep.write() << "\n";
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "bench_support.hpp"
 #include "core/mobidist.hpp"
 
 namespace {
@@ -172,32 +173,28 @@ void BM_FullMobilityScenario(benchmark::State& state) {
 BENCHMARK(BM_FullMobilityScenario);
 
 /// One deterministic run of the BM_FullMobilityScenario system, captured
-/// as the bench artifact (the timed loops above are wall-clock-dependent
-/// and stay out of it).
+/// as the bench artifact via the exp runner (the timed loops above are
+/// wall-clock-dependent and stay out of it).
 void write_artifact() {
-  core::BenchReport report("e7_kernel_micro");
-  report.note("scenario", "full mobility scenario: 32 hosts under L2 with moves");
-  NetConfig cfg;
-  cfg.num_mss = 8;
-  cfg.num_mh = 32;
-  cfg.latency.wired_min = 1;
-  cfg.latency.wired_max = 10;
-  cfg.seed = 13;
-  Network net(cfg);
-  mutex::CsMonitor monitor;
-  mutex::L2Mutex l2(net, monitor);
-  mobility::MobilityConfig mob;
-  mob.mean_pause = 30;
-  mob.max_moves_per_host = 4;
-  mobility::MobilityDriver driver(net, mob);
-  net.start();
-  driver.start();
-  for (std::uint32_t i = 0; i < 32; ++i) {
-    net.sched().schedule(1 + 3 * i, [&, i] { l2.request(MhId(i)); });
-  }
-  net.run();
-  report.add_run("full_mobility_scenario", net, cost::CostParams{});
-  std::cout << "wrote " << report.write() << "\n";
+  exp::ScenarioSpec spec;
+  spec.name = "e7_kernel_micro";
+  spec.workload = "mutex";
+  spec.variant = "l2";
+  spec.net.num_mss = 8;
+  spec.net.num_mh = 32;
+  spec.net.latency.wired_min = 1;
+  spec.net.latency.wired_max = 10;
+  spec.net.seed = 13;
+  spec.mobility = true;
+  spec.mob.mean_pause = 30;
+  spec.mob.max_moves_per_host = 4;
+  spec.params["requests"] = 32;
+  spec.params["request_start"] = 1;
+  spec.params["request_gap"] = 3;
+  bench::Sections sweep("e7_kernel_micro");
+  sweep.add("full_mobility_scenario", spec);
+  sweep.run();
+  std::cout << "wrote " << sweep.write() << "\n";
 }
 
 }  // namespace

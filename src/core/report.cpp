@@ -279,6 +279,7 @@ void BenchReport::add_run(std::string label, const net::Network& net,
   }
 
   runs_.push_back(os.str());
+  seeds_.push_back(net.config().seed);
 }
 
 void BenchReport::note(std::string key, std::string value) {
@@ -287,7 +288,13 @@ void BenchReport::note(std::string key, std::string value) {
 
 std::string BenchReport::body_json() const {
   std::ostringstream os;
-  os << "{\"name\":" << quoted(name_) << ",\"notes\":{";
+  os << "{\"schema_version\":" << kBenchSchemaVersion << ",\"name\":" << quoted(name_)
+     << ",\"meta\":{\"runs\":" << runs_.size() << ",\"seeds\":[";
+  for (std::size_t i = 0; i < seeds_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << seeds_[i];
+  }
+  os << "]},\"notes\":{";
   for (std::size_t i = 0; i < notes_.size(); ++i) {
     if (i != 0) os << ',';
     os << quoted(notes_[i].first) << ':' << quoted(notes_[i].second);
@@ -309,9 +316,11 @@ std::string BenchReport::json() const {
       std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(elapsed).count();
   const double events_per_sec =
       ms > 0.0 ? static_cast<double>(total_events_) / (ms / 1000.0) : 0.0;
+  const char* sha = std::getenv("MOBIDIST_GIT_SHA");
   std::ostringstream os;
   os << body_json() << ",\"timing\":{\"wall_clock_ms\":" << json_double(ms)
-     << ",\"events_per_sec\":" << json_double(events_per_sec) << "}}";
+     << ",\"events_per_sec\":" << json_double(events_per_sec) << "}"
+     << ",\"provenance\":{\"git_sha\":" << quoted(sha != nullptr ? sha : "") << "}}";
   return os.str();
 }
 

@@ -44,6 +44,12 @@ class Table {
 
 // --- JSON bench artifacts ---------------------------------------------------
 
+/// BENCH_*.json layout version. Version 1 was the unversioned layout
+/// (no "schema_version" / "meta" members); version 2 adds both.
+/// Artifact consumers (exp::compare_to_baseline and external tooling)
+/// refuse to compare artifacts across versions.
+inline constexpr int kBenchSchemaVersion = 2;
+
 /// Escape `text` for embedding inside a JSON string literal (quotes,
 /// backslashes, control characters).
 [[nodiscard]] std::string json_escape(std::string_view text);
@@ -117,6 +123,7 @@ class BenchReport {
   std::string name_;
   std::vector<std::pair<std::string, std::string>> notes_;
   std::vector<std::string> runs_;        // pre-serialized run objects
+  std::vector<std::uint64_t> seeds_;     // cfg.seed of each run, in order
   std::uint64_t total_events_ = 0;
   std::chrono::steady_clock::time_point start_;
 };

@@ -1,0 +1,12 @@
+#pragma once
+
+/// Umbrella header for the experiment subsystem: declarative scenarios
+/// (ScenarioSpec / JSON files), sweep grids over seeds and spec axes,
+/// the thread-pool ParallelRunner (deterministic regardless of thread
+/// count), and statistical aggregation with baseline regression gating.
+
+#include "exp/aggregate.hpp"   // IWYU pragma: export
+#include "exp/json.hpp"        // IWYU pragma: export
+#include "exp/runner.hpp"      // IWYU pragma: export
+#include "exp/scenario.hpp"    // IWYU pragma: export
+#include "exp/sweep.hpp"       // IWYU pragma: export

@@ -1,0 +1,712 @@
+#include "exp/runner.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/report.hpp"
+#include "group/always_inform.hpp"
+#include "group/group.hpp"
+#include "group/location_view.hpp"
+#include "group/pure_search.hpp"
+#include "mobility/mobility_model.hpp"
+#include "multicast/multicast.hpp"
+#include "mutex/l1.hpp"
+#include "mutex/l2.hpp"
+#include "mutex/monitor.hpp"
+#include "mutex/r1.hpp"
+#include "mutex/r2.hpp"
+#include "net/agent.hpp"
+#include "obs/checkers.hpp"
+#include "obs/events.hpp"
+#include "proxy/proxy.hpp"
+#include "proxy/static_algorithm.hpp"
+#include "workload/workload.hpp"
+
+namespace mobidist::exp {
+
+namespace {
+
+using net::MhId;
+using net::MssId;
+
+[[noreturn]] void bad_workload(const ScenarioSpec& spec, const std::string& what) {
+  throw std::runtime_error("workload '" + spec.workload + "': " + what);
+}
+
+[[noreturn]] void bad_variant(const ScenarioSpec& spec) {
+  bad_workload(spec, "unknown variant '" + spec.variant + "'");
+}
+
+void require_topology(const ScenarioSpec& spec, std::uint32_t min_mss, std::uint32_t min_mh) {
+  if (spec.net.num_mss < min_mss || spec.net.num_mh < min_mh) {
+    bad_workload(spec, "needs at least " + std::to_string(min_mss) + " MSSs and " +
+                           std::to_string(min_mh) + " MHs");
+  }
+}
+
+/// Chaos-style scripted moves shared by the mutex/ring workloads: move i
+/// fires at 60 + 80*i, relocating host (2 + 2*i) mod N one cell to the
+/// right, guarded so a host that is mid-transit (or evacuating a crashed
+/// cell) simply skips its turn.
+void schedule_chaos_moves(ScenarioContext& ctx) {
+  const auto count = ctx.spec().param_u64("chaos_moves", 0);
+  auto& net = ctx.net();
+  const std::uint32_t n = net.num_mh();
+  const std::uint32_t m = net.num_mss();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto host = static_cast<MhId>((2 + 2 * i) % n);
+    const auto target = static_cast<MssId>((net::index(host) + 1) % m);
+    net.sched().schedule_at(60 + 80 * i, [&net, host, target] {
+      if (net.mh(host).connected()) net.mh(host).move_to(target, 15);
+    });
+  }
+}
+
+void monitor_metrics(ScenarioContext& ctx, mutex::CsMonitor& monitor) {
+  auto* mon = &monitor;
+  ctx.metric("violations", [mon] { return static_cast<double>(mon->violations()); });
+  ctx.metric("grants", [mon] { return static_cast<double>(mon->grants()); });
+}
+
+// --- mutex: L1 / L2 (benches e1, e2, e7; chaos) ----------------------------
+
+void build_mutex(ScenarioContext& ctx) {
+  const auto& spec = ctx.spec();
+  auto& net = ctx.net();
+  const std::uint32_t n = net.num_mh();
+  auto& monitor = ctx.emplace<mutex::CsMonitor>();
+
+  std::function<void(MhId)> request;
+  if (spec.variant == "l1") {
+    auto* l1 = &ctx.emplace<mutex::L1Mutex>(net, monitor);
+    request = [l1](MhId mh) { l1->request(mh); };
+    ctx.metric("completed", [l1] { return static_cast<double>(l1->completed()); });
+  } else if (spec.variant == "l2") {
+    auto* l2 = &ctx.emplace<mutex::L2Mutex>(net, monitor);
+    request = [l2](MhId mh) { l2->request(mh); };
+    ctx.metric("completed", [l2] { return static_cast<double>(l2->completed()); });
+    ctx.metric("aborted", [l2] { return static_cast<double>(l2->aborted()); });
+  } else {
+    bad_variant(spec);
+  }
+  monitor_metrics(ctx, monitor);
+  auto* netp = &net;
+  const auto cost = spec.cost;
+  ctx.metric("initiator_energy",
+             [netp, cost] { return netp->ledger().energy_at(0, cost); });
+
+  const auto requests = ctx.spec().param_u64("requests", 1);
+  const auto start = ctx.spec().param_u64("request_start", 1);
+  const auto gap = ctx.spec().param_u64("request_gap", 0);
+  for (std::uint64_t i = 0; i < requests; ++i) {
+    const auto mh = static_cast<MhId>(i % n);
+    net.sched().schedule_at(start + i * gap, [request, mh] { request(mh); });
+  }
+
+  // Optional scripted move of the first requester (e1's L2 release relay).
+  if (const auto move_at = spec.param_u64("move_at", 0); move_at != 0) {
+    const auto to = static_cast<MssId>(spec.param_u64("move_to", 1));
+    const auto transit = spec.param_u64("move_transit", 2);
+    net.sched().schedule_at(move_at, [&net, to, transit] {
+      net.mh(MhId(0)).move_to(to, transit);
+    });
+  }
+
+  // Everyone but the first requester dozes (e2's battery story).
+  if (spec.param_u64("doze_others", 0) != 0) {
+    for (std::uint32_t i = 1; i < n; ++i) net.mh(static_cast<MhId>(i)).set_doze(true);
+  }
+
+  // Optional scripted disconnect (e2's tolerance scenarios).
+  if (const auto disc_at = spec.param_u64("disconnect_at", 0); disc_at != 0) {
+    const auto mh = static_cast<MhId>(spec.param_u64("disconnect_mh", 0));
+    net.sched().schedule_at(disc_at, [&net, mh] { net.mh(mh).disconnect(); });
+  }
+
+  schedule_chaos_moves(ctx);
+
+  if (const auto until = spec.param_u64("run_until", 0); until != 0) ctx.run_until(until);
+}
+
+// --- ring: R1 / R2 / R2' / R2'' (benches e3, e4; chaos) --------------------
+
+void build_ring(ScenarioContext& ctx) {
+  const auto& spec = ctx.spec();
+  auto& net = ctx.net();
+  const std::uint32_t n = net.num_mh();
+  const std::uint32_t m = net.num_mss();
+  auto& monitor = ctx.emplace<mutex::CsMonitor>();
+
+  const auto traversals = spec.param_u64("traversals", 1);
+  std::function<void(MhId)> request;
+  mutex::R2Mutex* r2 = nullptr;
+  if (spec.variant == "r1") {
+    auto* r1 = &ctx.emplace<mutex::R1Mutex>(net, monitor);
+    request = [r1](MhId mh) { r1->request(mh); };
+    ctx.metric("completed", [r1] { return static_cast<double>(r1->completed()); });
+    const auto token_at = spec.param_u64("token_at", 1);
+    net.sched().schedule_at(token_at, [r1, traversals] { r1->start_token(traversals); });
+  } else {
+    mutex::RingVariant variant;
+    if (spec.variant == "r2") variant = mutex::RingVariant::kBasic;
+    else if (spec.variant == "r2p") variant = mutex::RingVariant::kCounter;
+    else if (spec.variant == "r2pp") variant = mutex::RingVariant::kTokenList;
+    else bad_variant(spec);
+    r2 = &ctx.emplace<mutex::R2Mutex>(net, monitor, variant);
+    request = [r2](MhId mh) { r2->request(mh); };
+    ctx.metric("completed", [r2] { return static_cast<double>(r2->completed()); });
+    if (spec.param_u64("malicious", 0) != 0) r2->set_malicious(MhId(0), true);
+    const auto token_at = spec.param_u64("token_at", 5);
+    net.sched().schedule_at(token_at, [r2, traversals] { r2->start_token(traversals); });
+  }
+  monitor_metrics(ctx, monitor);
+
+  const auto requests = spec.param_u64("requests", 0);
+  const auto start = spec.param_u64("request_start", 0);
+  const auto gap = spec.param_u64("request_gap", 0);
+  for (std::uint64_t i = 0; i < requests; ++i) {
+    const auto mh = static_cast<MhId>(i % n);
+    net.sched().schedule_at(start + i * gap, [request, mh] { request(mh); });
+  }
+
+  // e4's token chase: mh0 requests at its start cell, then hops one cell
+  // ahead of the slow token and requests again at every stop.
+  if (spec.param_u64("chase", 0) != 0) {
+    if (r2 == nullptr) bad_workload(spec, "'chase' needs an R2 variant");
+    net.sched().schedule_at(1, [request] { request(MhId(0)); });
+    const auto hop_gap = spec.param_u64("chase_hop_gap", 200);
+    for (std::uint32_t cell = 1; cell < m; ++cell) {
+      const sim::SimTime when = 60 + (cell - 1) * hop_gap;
+      net.sched().schedule_at(when, [&net, cell] {
+        auto& host = net.mh(MhId(0));
+        if (host.connected() && host.current_mss() != static_cast<MssId>(cell)) {
+          host.move_to(static_cast<MssId>(cell), 3);
+        }
+      });
+      net.sched().schedule_at(when + 10, [request] { request(MhId(0)); });
+    }
+    ctx.metric("grants_traversal1",
+               [r2] { return static_cast<double>(r2->grants_for(MhId(0), 1)); });
+  }
+
+  schedule_chaos_moves(ctx);
+}
+
+// --- delivery: one locate-and-deliver (bench a1) ---------------------------
+
+class PingStation : public net::MssAgent {
+ public:
+  void on_message(const net::Envelope&) override {}
+  void ping(MhId target) { send_to_mh(target, 1); }
+};
+
+class PingHost : public net::MhAgent {
+ public:
+  void on_message(const net::Envelope&) override { ++received; }
+  std::uint64_t received = 0;
+};
+
+void build_delivery(ScenarioContext& ctx) {
+  const auto& spec = ctx.spec();
+  auto& net = ctx.net();
+  require_topology(spec, 2, 2);
+  auto station = std::make_shared<PingStation>();
+  auto host = std::make_shared<PingHost>();
+  ctx.emplace<std::shared_ptr<PingStation>>(station);
+  ctx.emplace<std::shared_ptr<PingHost>>(host);
+  const auto target = static_cast<MhId>(net.num_mh() - 1);
+  net.mss(MssId(0)).register_agent(net::protocol::kUserBase, station);
+  net.mh(target).register_agent(net::protocol::kUserBase, host);
+  if (spec.param_u64("in_transit", 0) != 0) {
+    net.sched().schedule_at(1, [&net, target] {
+      net.mh(target).move_to(MssId(1), 120);  // long transit across the query
+    });
+  }
+  net.sched().schedule_at(5, [station, target] { station->ping(target); });
+  ctx.metric("delivered", [host] { return static_cast<double>(host->received); });
+}
+
+// --- relay_burst: MH-to-MH FIFO resequencer (bench a2) ---------------------
+
+class BurstReceiver : public net::MhAgent {
+ public:
+  void on_message(const net::Envelope& env) override {
+    if (const auto* value = net::body_as<int>(env)) received.push_back(*value);
+  }
+  std::vector<int> received;
+};
+
+class BurstSender : public net::MhAgent {
+ public:
+  void on_message(const net::Envelope&) override {}
+  void burst(MhId to, int from, int count, bool fifo) {
+    for (int i = from; i < from + count; ++i) send_to_mh(to, i, fifo);
+  }
+};
+
+void build_relay_burst(ScenarioContext& ctx) {
+  const auto& spec = ctx.spec();
+  auto& net = ctx.net();
+  require_topology(spec, 4, 2);
+  bool fifo = false;
+  if (spec.variant == "fifo") fifo = true;
+  else if (spec.variant != "raw") bad_variant(spec);
+
+  auto sender = std::make_shared<BurstSender>();
+  auto receiver = std::make_shared<BurstReceiver>();
+  ctx.emplace<std::shared_ptr<BurstSender>>(sender);
+  ctx.emplace<std::shared_ptr<BurstReceiver>>(receiver);
+  net.mh(MhId(0)).register_agent(net::protocol::kUserBase, sender);
+  net.mh(MhId(1)).register_agent(net::protocol::kUserBase, receiver);
+
+  const int burst = static_cast<int>(spec.param_u64("burst", 15));
+  net.sched().schedule_at(1, [sender, burst, fifo] {
+    sender->burst(MhId(1), 0, burst, fifo);
+  });
+  net.sched().schedule_at(4, [&net] { net.mh(MhId(1)).move_to(MssId(2), 30); });
+  net.sched().schedule_at(80, [sender, burst, fifo] {
+    sender->burst(MhId(1), burst, burst, fifo);
+  });
+  net.sched().schedule_at(90, [&net] { net.mh(MhId(1)).move_to(MssId(3), 25); });
+
+  ctx.metric("delivered", [receiver] { return static_cast<double>(receiver->received.size()); });
+  ctx.metric("inversions", [receiver] {
+    std::uint64_t inversions = 0;
+    for (std::size_t i = 1; i < receiver->received.size(); ++i) {
+      if (receiver->received[i] < receiver->received[i - 1]) ++inversions;
+    }
+    return static_cast<double>(inversions);
+  });
+}
+
+// --- lazy_proxy: inform-period U-curve (bench a3) --------------------------
+
+void build_lazy_proxy(ScenarioContext& ctx) {
+  const auto& spec = ctx.spec();
+  auto& net = ctx.net();
+  const std::uint32_t m = net.num_mss();
+  require_topology(spec, 2, 1);
+  proxy::ProxyOptions opts;
+  opts.scope = proxy::ProxyScope::kLazyHome;
+  opts.inform_every = static_cast<std::uint32_t>(spec.param_u64("inform_every", 3));
+  auto& proxies = ctx.emplace<proxy::ProxyService>(net, opts);
+  auto delivered = std::make_shared<std::uint64_t>(0);
+  proxies.set_client_handler([delivered](MhId, const std::any&) { ++*delivered; });
+
+  const auto moves = spec.param_u64("moves", 24);
+  const auto send_every = spec.param_u64("send_every", 3);
+  const auto move_gap = spec.param_u64("move_gap", 40);
+  auto* service = &proxies;
+  for (std::uint64_t move = 0; move < moves; ++move) {
+    net.sched().schedule_at(1 + move_gap * move, [&net, m] {
+      auto& host = net.mh(MhId(0));
+      if (!host.connected()) return;
+      const auto next = static_cast<MssId>((net::index(host.current_mss()) + 1) % m);
+      host.move_to(next, 4);
+    });
+    if (send_every != 0 && move % send_every == send_every - 1) {
+      net.sched().schedule_at(move_gap / 2 + move_gap * move, [service] {
+        service->proxy_send(MssId(0), MhId(0), 1);
+      });
+    }
+  }
+  ctx.metric("informs", [service] { return static_cast<double>(service->informs()); });
+  ctx.metric("delivered", [delivered] { return static_cast<double>(*delivered); });
+}
+
+// --- multicast: flood+handoff vs per-recipient search (bench a4) -----------
+
+class NaiveMcastSender : public net::MssAgent {
+ public:
+  explicit NaiveMcastSender(group::Group recipients) : recipients_(std::move(recipients)) {}
+  void on_message(const net::Envelope&) override {}
+  void blast(std::uint64_t msg_id) {
+    for (const auto mh : recipients_.members) send_to_mh(mh, msg_id);
+  }
+
+ private:
+  group::Group recipients_;
+};
+
+class NaiveMcastReceiver : public net::MhAgent {
+ public:
+  explicit NaiveMcastReceiver(group::DeliveryMonitor& monitor) : monitor_(monitor) {}
+  void on_message(const net::Envelope& env) override {
+    if (const auto* id = net::body_as<std::uint64_t>(env)) monitor_.delivered(*id, self());
+  }
+
+ private:
+  group::DeliveryMonitor& monitor_;
+};
+
+void build_multicast(ScenarioContext& ctx) {
+  const auto& spec = ctx.spec();
+  auto& net = ctx.net();
+  const auto count = static_cast<std::uint32_t>(spec.param_u64("recipients", 4));
+  require_topology(spec, 2, count);
+  std::vector<MhId> members;
+  for (std::uint32_t i = 0; i < count; ++i) members.push_back(static_cast<MhId>(i));
+  const auto recipients = group::Group::of(members);
+  const auto messages = spec.param_u64("messages", 20);
+
+  // Background mobility over the recipient set only, configured by the
+  // spec's mobility block but driven here regardless of spec.mobility
+  // (which would move every host instead).
+  auto& driver = ctx.emplace<mobility::MobilityDriver>(net, spec.mob, members);
+  auto* driver_ptr = &driver;
+  ctx.after_start([driver_ptr] { driver_ptr->start(); });
+
+  if (spec.variant == "flood") {
+    auto& mcast = ctx.emplace<multicast::McastService>(net, recipients);
+    auto* service = &mcast;
+    for (std::uint64_t i = 0; i < messages; ++i) {
+      net.sched().schedule_at(5 + 25 * i, [service] { service->publish(MssId(0)); });
+    }
+    ctx.metric("exactly_once", [service, recipients] {
+      return service->monitor().exactly_once(recipients) ? 1.0 : 0.0;
+    });
+  } else if (spec.variant == "search") {
+    auto& monitor = ctx.emplace<group::DeliveryMonitor>();
+    auto sender = std::make_shared<NaiveMcastSender>(recipients);
+    ctx.emplace<std::shared_ptr<NaiveMcastSender>>(sender);
+    net.mss(MssId(0)).register_agent(net::protocol::kUserBase + 9, sender);
+    for (std::uint32_t i = 1; i < net.num_mss(); ++i) {
+      net.mss(static_cast<MssId>(i))
+          .register_agent(net::protocol::kUserBase + 9,
+                          std::make_shared<NaiveMcastSender>(recipients));
+    }
+    for (const auto mh : recipients.members) {
+      net.mh(mh).register_agent(net::protocol::kUserBase + 9,
+                                std::make_shared<NaiveMcastReceiver>(monitor));
+    }
+    auto* mon = &monitor;
+    for (std::uint64_t i = 0; i < messages; ++i) {
+      net.sched().schedule_at(5 + 25 * i, [mon, sender, i] {
+        mon->sent(i + 1, net::kInvalidMh);
+        sender->blast(i + 1);
+      });
+    }
+    ctx.metric("exactly_once", [mon, recipients] {
+      return mon->exactly_once(recipients) ? 1.0 : 0.0;
+    });
+  } else {
+    bad_variant(spec);
+  }
+}
+
+// --- group: the three §4 location strategies (bench e5) --------------------
+
+workload::MobMsgDriver::Config group_driver_config(const ScenarioSpec& spec) {
+  workload::MobMsgDriver::Config cfg;
+  cfg.messages = spec.param_u64("messages", 40);
+  cfg.mob_per_msg = spec.param("mob_per_msg", 1.0);
+  cfg.significant_fraction = spec.param("significant_fraction", 0.5);
+  cfg.step = spec.param_u64("step", 40);
+  cfg.transit = spec.param_u64("transit", 3);
+  return cfg;
+}
+
+void build_group(ScenarioContext& ctx) {
+  const auto& spec = ctx.spec();
+  auto& net = ctx.net();
+  // e5's clustered layout: five members across cells 0 and 1 (round
+  // robin), cells 0/1 anchored into LV(G), cells 5..7 fresh, mh16 roves.
+  require_topology(spec, 8, 18);
+  const auto group = group::Group::of({MhId(0), MhId(8), MhId(16), MhId(1), MhId(9)});
+  const std::vector<MssId> anchored{MssId(0), MssId(1)};
+  const std::vector<MssId> fresh{MssId(5), MssId(6), MssId(7)};
+  const auto rover = MhId(16);
+
+  std::function<void(std::uint64_t)> send_fn;
+  if (spec.variant == "pure_search") {
+    auto* comm = &ctx.emplace<group::PureSearchGroup>(net, group);
+    send_fn = [comm](std::uint64_t) { comm->send_group_message(MhId(0)); };
+    ctx.metric("exactly_once",
+               [comm, group] { return comm->monitor().exactly_once(group) ? 1.0 : 0.0; });
+  } else if (spec.variant == "always_inform") {
+    auto* comm = &ctx.emplace<group::AlwaysInformGroup>(net, group);
+    send_fn = [comm](std::uint64_t) { comm->send_group_message(MhId(0)); };
+    ctx.metric("exactly_once",
+               [comm, group] { return comm->monitor().exactly_once(group) ? 1.0 : 0.0; });
+  } else if (spec.variant == "location_view") {
+    auto* comm = &ctx.emplace<group::LocationViewGroup>(net, group);
+    send_fn = [comm](std::uint64_t) { comm->send_group_message(MhId(0)); };
+    ctx.metric("exactly_once",
+               [comm, group] { return comm->monitor().exactly_once(group) ? 1.0 : 0.0; });
+    ctx.metric("lv_max", [comm] { return static_cast<double>(comm->max_view_size()); });
+    ctx.metric("significant_moves",
+               [comm] { return static_cast<double>(comm->significant_moves()); });
+  } else {
+    bad_variant(spec);
+  }
+
+  auto& driver = ctx.emplace<workload::MobMsgDriver>(
+      net, group_driver_config(spec), anchored, fresh, rover, std::move(send_fn));
+  auto* driver_ptr = &driver;
+  ctx.after_start([driver_ptr] { driver_ptr->start(); });
+  ctx.metric("moves_scheduled",
+             [driver_ptr] { return static_cast<double>(driver_ptr->moves_scheduled()); });
+  ctx.metric("significant_scheduled", [driver_ptr] {
+    return static_cast<double>(driver_ptr->significant_scheduled());
+  });
+}
+
+// --- proxy_mutex: Lamport over the three proxy scopes (bench e6) -----------
+
+void build_proxy_mutex(ScenarioContext& ctx) {
+  const auto& spec = ctx.spec();
+  auto& net = ctx.net();
+  const std::uint32_t m = net.num_mss();
+  const std::uint32_t n = net.num_mh();
+  require_topology(spec, 2, 1);
+
+  proxy::ProxyOptions opts;
+  if (spec.variant == "local_mss") opts.scope = proxy::ProxyScope::kLocalMss;
+  else if (spec.variant == "fixed_home") opts.scope = proxy::ProxyScope::kFixedHome;
+  else if (spec.variant == "lazy_home") opts.scope = proxy::ProxyScope::kLazyHome;
+  else bad_variant(spec);
+  opts.inform_every = static_cast<std::uint32_t>(spec.param_u64("inform_every", 3));
+
+  auto& proxies = ctx.emplace<proxy::ProxyService>(net, opts);
+  auto& monitor = ctx.emplace<mutex::CsMonitor>();
+  auto& algorithm = ctx.emplace<proxy::ProxiedLamport>(net, proxies, monitor);
+
+  const auto requests = spec.param_u64("requests", 8);
+  const auto moves_per_request = spec.param_u64("moves_per_request", 0);
+  const std::uint64_t total_moves = moves_per_request * requests;
+  for (std::uint64_t move = 0; move < total_moves; ++move) {
+    const auto host = static_cast<MhId>(move % n);
+    net.sched().schedule_at(1 + 25 * move, [&net, host, m] {
+      auto& mobile = net.mh(host);
+      if (!mobile.connected()) return;
+      const auto next = static_cast<MssId>((net::index(mobile.current_mss()) + 1) % m);
+      mobile.move_to(next, 4);
+    });
+  }
+  auto* alg = &algorithm;
+  const sim::SimTime request_start = 10 + 25 * total_moves;
+  for (std::uint64_t i = 0; i < requests; ++i) {
+    const auto mh = static_cast<MhId>(i % n);
+    net.sched().schedule_at(request_start + 60 * i, [alg, mh] { alg->request(mh); });
+  }
+
+  auto* service = &proxies;
+  ctx.metric("informs", [service] { return static_cast<double>(service->informs()); });
+  ctx.metric("completed", [alg] { return static_cast<double>(alg->completed()); });
+  monitor_metrics(ctx, monitor);
+}
+
+// --- harvest ---------------------------------------------------------------
+
+void harvest(RunResult& result, const ScenarioSpec& spec, const net::Network& net,
+             ScenarioContext& ctx) {
+  auto& m = result.metrics;
+  const auto& ledger = net.ledger();
+  m["cost.total"] = ledger.total(spec.cost);
+  m["cost.energy"] = ledger.total_energy(spec.cost);
+  m["ledger.fixed_msgs"] = static_cast<double>(ledger.fixed_msgs());
+  m["ledger.wireless_msgs"] = static_cast<double>(ledger.wireless_msgs());
+  m["ledger.searches"] = static_cast<double>(ledger.searches());
+  m["ledger.wireless_tx"] = static_cast<double>(ledger.wireless_tx());
+  m["ledger.wireless_rx"] = static_cast<double>(ledger.wireless_rx());
+  m["sched.fired"] = static_cast<double>(net.sched().fired());
+  m["sched.hit_event_limit"] = net.sched().hit_event_limit() ? 1.0 : 0.0;
+  m["events.emitted"] = static_cast<double>(net.events().emitted());
+  m["events.dropped"] = static_cast<double>(net.events().dropped());
+
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  for (const auto& event : net.events().records()) {
+    if (event.kind == obs::EventKind::kMssCrash) ++crashes;
+    if (event.kind == obs::EventKind::kMssRecover) ++recoveries;
+  }
+  m["events.mss_crash"] = static_cast<double>(crashes);
+  m["events.mss_recover"] = static_cast<double>(recoveries);
+
+  for (const auto& [name, counter] : net.metrics().counters()) {
+    m[name] = static_cast<double>(counter.value());
+  }
+  for (const auto& [name, gauge] : net.metrics().gauges()) {
+    m[name] = static_cast<double>(gauge.value());
+  }
+  for (const auto& [name, histogram] : net.metrics().histograms()) {
+    m[name + ".count"] = static_cast<double>(histogram.count());
+    m[name + ".mean"] = histogram.mean();
+    m[name + ".max"] = static_cast<double>(histogram.max());
+  }
+  for (const auto& [name, producer] : ctx.extras()) {
+    m["workload." + name] = producer();
+  }
+}
+
+std::string cell_slug(std::string_view cell) {
+  std::string slug(cell);
+  for (char& c : slug) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0) c = '_';
+  }
+  return slug;
+}
+
+}  // namespace
+
+// --- WorkloadLibrary -------------------------------------------------------
+
+const WorkloadLibrary& WorkloadLibrary::builtin() {
+  static const WorkloadLibrary library = [] {
+    WorkloadLibrary lib;
+    lib.add("mutex", build_mutex);
+    lib.add("ring", build_ring);
+    lib.add("delivery", build_delivery);
+    lib.add("relay_burst", build_relay_burst);
+    lib.add("lazy_proxy", build_lazy_proxy);
+    lib.add("multicast", build_multicast);
+    lib.add("group", build_group);
+    lib.add("proxy_mutex", build_proxy_mutex);
+    return lib;
+  }();
+  return library;
+}
+
+void WorkloadLibrary::add(std::string name, Builder builder) {
+  builders_.insert_or_assign(std::move(name), std::move(builder));
+}
+
+const WorkloadLibrary::Builder* WorkloadLibrary::find(std::string_view name) const {
+  const auto it = builders_.find(name);
+  return it == builders_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> WorkloadLibrary::names() const {
+  std::vector<std::string> names;
+  names.reserve(builders_.size());
+  for (const auto& [name, builder] : builders_) names.push_back(name);
+  return names;
+}
+
+// --- run_scenario ----------------------------------------------------------
+
+RunResult run_scenario(const RunPlan& plan, const WorkloadLibrary& workloads) {
+  RunResult result;
+  result.index = plan.index;
+  result.cell = plan.cell;
+  result.seed = plan.seed;
+  try {
+    const ScenarioSpec& spec = plan.spec;
+    const auto* builder = workloads.find(spec.workload);
+    if (builder == nullptr) {
+      throw std::runtime_error("unknown workload '" + spec.workload + "'");
+    }
+
+    net::Network net(spec.net);
+    if (spec.has_faults()) net.install_fault_plane(spec.fault);
+    ScenarioContext ctx(spec, net);
+    (*builder)(ctx);
+
+    // Generic whole-population mobility; workloads that drive a subset
+    // construct their own driver instead of enabling spec.mobility.
+    if (spec.mobility) {
+      auto& driver = ctx.emplace<mobility::MobilityDriver>(net, spec.mob);
+      auto* driver_ptr = &driver;
+      ctx.after_start([driver_ptr] { driver_ptr->start(); });
+    }
+
+    net.start();
+    for (const auto& hook : ctx.after_start_) hook();
+    if (ctx.run_until_ != 0) {
+      net.sched().run_until(ctx.run_until_);
+    } else {
+      net.run();
+    }
+
+    // Every run is a correctness oracle: the paper's safety properties
+    // must hold on the event stream it just produced.
+    const auto failures = obs::check_all(net.events());
+    if (!failures.empty()) {
+      result.error = "trace checkers failed:";
+      const std::size_t shown = std::min<std::size_t>(failures.size(), 5);
+      for (std::size_t i = 0; i < shown; ++i) {
+        result.error += "\n  " + obs::to_string(failures[i]);
+      }
+      if (failures.size() > shown) {
+        result.error += "\n  ... and " + std::to_string(failures.size() - shown) + " more";
+      }
+      return result;
+    }
+
+    harvest(result, spec, net, ctx);
+    result.ok = true;
+
+    const std::string trace_dir = core::resolve_env_dir("MOBIDIST_TRACE_DIR", "");
+    if (!trace_dir.empty()) {
+      const std::string base = trace_dir + "TRACE_" + spec.name + "_" +
+                               std::to_string(plan.index) + "_" + cell_slug(plan.cell);
+      core::write_text_file(base + ".jsonl", obs::to_jsonl(net.events()));
+      core::write_text_file(base + ".trace.json", obs::to_chrome_trace(net.events()));
+    }
+  } catch (const std::exception& err) {
+    result.ok = false;
+    result.error = err.what();
+  }
+  return result;
+}
+
+// --- ParallelRunner --------------------------------------------------------
+
+ParallelRunner::ParallelRunner(unsigned jobs) : jobs_(jobs) {
+  if (jobs_ == 0) {
+    jobs_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+std::vector<RunResult> ParallelRunner::run(const std::vector<RunPlan>& plans,
+                                           const RunFn& fn) const {
+  std::vector<RunResult> results(plans.size());
+  if (plans.empty()) return results;
+
+  auto execute = [&fn](const RunPlan& plan) -> RunResult {
+    try {
+      return fn(plan);
+    } catch (const std::exception& err) {
+      RunResult failed;
+      failed.index = plan.index;
+      failed.cell = plan.cell;
+      failed.seed = plan.seed;
+      failed.error = err.what();
+      return failed;
+    }
+  };
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(jobs_, plans.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < plans.size(); ++i) results[i] = execute(plans[i]);
+    return results;
+  }
+
+  // Work stealing by atomic ticket: each worker claims the next
+  // unclaimed plan and writes its own results slot, so the result vector
+  // is position-stable no matter which thread ran what.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= plans.size()) break;
+        results[i] = execute(plans[i]);
+      }
+    });
+  }
+  for (auto& worker : pool) worker.join();
+  return results;
+}
+
+std::vector<RunResult> ParallelRunner::run(const std::vector<RunPlan>& plans) const {
+  return run(plans, [](const RunPlan& plan) { return run_scenario(plan); });
+}
+
+}  // namespace mobidist::exp

@@ -5,29 +5,25 @@
 // granted, the monitor saw no exclusion violation, and every trace
 // checker (including the fault-delivery checker) passes.
 //
+// The 64 seeds run concurrently on the exp::ParallelRunner (each seed is
+// an isolated Network instance); all assertions happen on the main
+// thread over the harvested RunResults, so gtest state is never touched
+// from a worker.
+//
 // These are the slowest tests in the repo and carry the `chaos` ctest
 // label so they can be selected (-L chaos) or skipped (-LE chaos).
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <string>
+#include <string_view>
 
 #include <gtest/gtest.h>
 
+#include "exp/exp.hpp"
 #include "fault/fault_plane.hpp"
-#include "mutex/l2.hpp"
-#include "mutex/monitor.hpp"
-#include "mutex/r2.hpp"
-#include "test_support.hpp"
 
 namespace mobidist::test {
 namespace {
-
-using mutex::CsMonitor;
-using mutex::L2Mutex;
-using mutex::R2Mutex;
-using mutex::RingVariant;
 
 constexpr std::uint32_t kM = 3;
 constexpr std::uint32_t kN = 6;
@@ -62,107 +58,72 @@ fault::FaultProfile combined_profile() {
   return profile;
 }
 
-/// Faults actually injected during one run (summed across a sweep so we
-/// can prove the suite exercised the plane rather than a silent no-op).
-struct Injected {
-  std::uint64_t losses = 0;
-  std::uint64_t dups = 0;
-  std::uint64_t crashes = 0;
-
-  Injected& operator+=(const Injected& other) {
-    losses += other.losses;
-    dups += other.dups;
-    crashes += other.crashes;
-    return *this;
+/// The chaos workload, expressed as a ScenarioSpec for the exp runner.
+/// Requests, token fuel, and the three guarded background moves
+/// (`chaos_moves`) reproduce the original hand-rolled schedule exactly.
+exp::ScenarioSpec chaos_spec(Algo algo, const fault::FaultProfile& profile) {
+  exp::ScenarioSpec spec;
+  spec.name = "fault_chaos";
+  spec.net.num_mss = kM;  // default randomized latencies + oracle search
+  spec.net.num_mh = kN;
+  spec.fault = profile;
+  spec.params["requests"] = kRequests;
+  spec.params["request_start"] = 5;
+  spec.params["request_gap"] = 40;
+  spec.params["chaos_moves"] = 3;
+  if (algo == Algo::kL2) {
+    spec.workload = "mutex";
+    spec.variant = "l2";
+  } else {
+    spec.workload = "ring";
+    spec.variant = algo == Algo::kR2        ? "r2"
+                   : algo == Algo::kR2Prime ? "r2p"
+                                            : "r2pp";
+    // Enough traversal fuel that the token outlives the whole request
+    // schedule; never absorb-when-idle (an idle window can race an
+    // in-flight retransmitted request).
+    spec.params["token_at"] = 1;
+    spec.params["traversals"] = 60;
   }
-};
-
-std::uint64_t counter_or_zero(const Network& net, const std::string& name) {
-  const auto& counters = net.metrics().counters();
-  const auto it = counters.find(name);
-  return it == counters.end() ? 0 : it->second.value();
+  return spec;
 }
 
-/// Run one seed of the chaos workload and assert safety + liveness.
-Injected run_chaos_seed(Algo algo, const fault::FaultProfile& profile, std::uint64_t seed) {
-  NetConfig cfg;  // default randomized latencies + oracle search
-  cfg.num_mss = kM;
-  cfg.num_mh = kN;
-  cfg.seed = seed;
-  Network net(cfg);
-  net.install_fault_plane(profile);
-  CsMonitor monitor;
-
-  std::unique_ptr<L2Mutex> l2;
-  std::unique_ptr<R2Mutex> r2;
-  std::function<void(MhId)> request;
-  if (algo == Algo::kL2) {
-    l2 = std::make_unique<L2Mutex>(net, monitor);
-    request = [&l2](MhId mh) { l2->request(mh); };
-  } else {
-    const RingVariant variant = algo == Algo::kR2        ? RingVariant::kBasic
-                                : algo == Algo::kR2Prime ? RingVariant::kCounter
-                                                         : RingVariant::kTokenList;
-    r2 = std::make_unique<R2Mutex>(net, monitor, variant);
-    request = [&r2](MhId mh) { r2->request(mh); };
-  }
-  net.start();
-  // Enough traversal fuel that the token outlives the whole request
-  // schedule; never absorb-when-idle (an idle window can race an
-  // in-flight retransmitted request).
-  if (r2) net.sched().schedule_at(1, [&r2] { r2->start_token(60); });
-  for (int i = 0; i < kRequests; ++i) {
-    const auto mh = static_cast<MhId>(static_cast<std::uint32_t>(i) % kN);
-    net.sched().schedule_at(5 + static_cast<sim::SimTime>(i) * 40,
-                            [&request, mh] { request(mh); });
-  }
-  // Background mobility, guarded: a host may be mid-transit (or already
-  // evacuated from a crashed cell) when its move comes up.
-  const std::pair<sim::SimTime, std::uint32_t> moves[] = {{60, 2}, {140, 4}, {220, 0}};
-  for (const auto& [at, idx] : moves) {
-    const auto mh = static_cast<MhId>(idx);
-    const auto target = static_cast<MssId>((idx + 1) % kM);
-    net.sched().schedule_at(at, [&net, mh, target] {
-      if (net.mh(mh).connected()) net.mh(mh).move_to(target, 15);
-    });
-  }
-  net.run();
-
-  EXPECT_FALSE(net.sched().hit_event_limit());
-  EXPECT_EQ(monitor.violations(), 0u);
-  EXPECT_EQ(monitor.grants(), static_cast<std::uint64_t>(kRequests));
-  if (l2) {
-    EXPECT_EQ(l2->completed(), static_cast<std::uint64_t>(kRequests));
-    EXPECT_EQ(l2->aborted(), 0u);
-  } else {
-    EXPECT_EQ(r2->completed(), static_cast<std::uint64_t>(kRequests));
-  }
-  ExpectCleanEventStream(net);
-
-  Injected injected;
-  injected.losses = counter_or_zero(net, "fault.injected_loss");
-  injected.dups = counter_or_zero(net, "fault.injected_dup");
-  for (const auto& ev : net.events().records()) {
-    if (ev.kind == obs::EventKind::kMssCrash) ++injected.crashes;
-  }
-  return injected;
+double metric_or_zero(const exp::RunResult& run, std::string_view name) {
+  const auto it = run.metrics.find(name);
+  return it == run.metrics.end() ? 0.0 : it->second;
 }
 
 void sweep(Algo algo, const fault::FaultProfile& profile) {
-  Injected total;
-  for (std::uint64_t i = 0; i < kSeeds; ++i) {
-    const std::uint64_t seed = kSeedBase + i;
-    SCOPED_TRACE("seed=" + std::to_string(seed));
-    total += run_chaos_seed(algo, profile, seed);
+  exp::SweepGrid grid;
+  for (std::uint64_t i = 0; i < kSeeds; ++i) grid.seeds.push_back(kSeedBase + i);
+  const auto plans = grid.expand(chaos_spec(algo, profile));
+  const exp::ParallelRunner runner;  // hardware concurrency
+  const auto results = runner.run(plans);
+
+  double losses = 0, dups = 0, crashes = 0;
+  for (const auto& result : results) {
+    SCOPED_TRACE("seed=" + std::to_string(result.seed));
+    // ok covers every obs trace checker (including fault delivery).
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(metric_or_zero(result, "sched.hit_event_limit"), 0.0);
+    EXPECT_EQ(metric_or_zero(result, "workload.violations"), 0.0);
+    EXPECT_EQ(metric_or_zero(result, "workload.grants"), static_cast<double>(kRequests));
+    EXPECT_EQ(metric_or_zero(result, "workload.completed"), static_cast<double>(kRequests));
+    if (algo == Algo::kL2) {
+      EXPECT_EQ(metric_or_zero(result, "workload.aborted"), 0.0);
+    }
+    losses += metric_or_zero(result, "fault.injected_loss");
+    dups += metric_or_zero(result, "fault.injected_dup");
+    crashes += metric_or_zero(result, "events.mss_crash");
     if (::testing::Test::HasFatalFailure() || ::testing::Test::HasNonfatalFailure()) {
       return;  // one seed's diagnosis is enough; don't spam 63 more
     }
   }
   // The sweep must have actually hurt: a silently inert plane would make
   // every liveness assertion above vacuous.
-  if (profile.wireless_loss > 0.0) EXPECT_GT(total.losses, 0u);
-  if (profile.wireless_dup > 0.0) EXPECT_GT(total.dups, 0u);
-  EXPECT_EQ(total.crashes, profile.crashes.size() * kSeeds);
+  if (profile.wireless_loss > 0.0) EXPECT_GT(losses, 0.0);
+  if (profile.wireless_dup > 0.0) EXPECT_GT(dups, 0.0);
+  EXPECT_EQ(crashes, static_cast<double>(profile.crashes.size() * kSeeds));
 }
 
 TEST(ChaosL2, SurvivesWirelessLoss) { sweep(Algo::kL2, loss_profile()); }

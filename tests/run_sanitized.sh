@@ -1,23 +1,32 @@
 #!/usr/bin/env bash
-# Configure, build, and run the full test suite under AddressSanitizer +
-# UndefinedBehaviorSanitizer using the `asan` CMake preset. Run from
-# anywhere; builds into <repo>/build-asan.
+# Configure, build, and run the test suite under a sanitizer preset.
+# Run from anywhere; builds into <repo>/build-asan or <repo>/build-tsan.
 #
-#   tests/run_sanitized.sh            # full suite
+#   tests/run_sanitized.sh            # full suite under ASan+UBSan
 #   tests/run_sanitized.sh -R Fifo    # forward extra args to ctest
 #   tests/run_sanitized.sh --chaos    # only the fault-injection chaos
 #                                     # sweeps (ctest -L chaos)
+#   tests/run_sanitized.sh --tsan     # full suite under ThreadSanitizer
+#                                     # (the parallel-runner suites are
+#                                     # the interesting targets)
+#   tests/run_sanitized.sh --tsan -L sweep   # TSan on the exp suites only
 
 set -euo pipefail
 
 repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$repo_root"
 
+preset=asan
+if [[ "${1:-}" == "--tsan" ]]; then
+  preset=tsan
+  shift
+fi
+
 if [[ "${1:-}" == "--chaos" ]]; then
   shift
   set -- -L chaos "$@"
 fi
 
-cmake --preset asan
-cmake --build --preset asan -j "$(nproc)"
-ctest --preset asan -j "$(nproc)" "$@"
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc)"
+ctest --preset "$preset" -j "$(nproc)" "$@"

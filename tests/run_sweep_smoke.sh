@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Sweep-runner smoke test, registered with ctest as `sweep_smoke`
+# (label: sweep-smoke). Exercises the full CLI path on a tiny grid:
+#   1. run scenarios/mutex_smoke.json with --jobs 1 and --jobs 4 in
+#      --deterministic mode and require byte-identical artifacts — the
+#      pinned thread-count-independence guarantee;
+#   2. gate a fresh run against the jobs=1 artifact as baseline (must
+#      pass: exit 0);
+#   3. tamper one metric mean in the baseline and require the gate to
+#      fail with the regression exit code (3) — the deliberate-fail leg.
+set -euo pipefail
+
+build_dir=${1:?usage: run_sweep_smoke.sh <build-dir> <scenario.json>}
+scenario=${2:?usage: run_sweep_smoke.sh <build-dir> <scenario.json>}
+cli="$build_dir/tools/mobidist_sweep"
+if [ ! -x "$cli" ]; then
+  echo "run_sweep_smoke: missing binary $cli (build first)" >&2
+  exit 1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$cli" --scenario "$scenario" --jobs 1 --deterministic --out "$tmp/jobs1.json" > /dev/null
+"$cli" --scenario "$scenario" --jobs 4 --deterministic --out "$tmp/jobs4.json" > /dev/null
+cmp "$tmp/jobs1.json" "$tmp/jobs4.json"
+
+"$cli" --scenario "$scenario" --jobs 2 --deterministic --out "$tmp/gated.json" \
+  --baseline "$tmp/jobs1.json" > /dev/null
+
+sed -E '0,/"mean":[-0-9.]+/s//"mean":999999.000000/' "$tmp/jobs1.json" > "$tmp/tampered.json"
+set +e
+"$cli" --scenario "$scenario" --jobs 2 --deterministic --out "$tmp/refuted.json" \
+  --baseline "$tmp/tampered.json" > "$tmp/gate.log" 2>&1
+status=$?
+set -e
+if [ "$status" -ne 3 ]; then
+  echo "run_sweep_smoke: expected regression exit code 3, got $status:" >&2
+  cat "$tmp/gate.log" >&2
+  exit 1
+fi
+if ! grep -qi "regression" "$tmp/gate.log"; then
+  echo "run_sweep_smoke: gate failed without reporting a regression:" >&2
+  cat "$tmp/gate.log" >&2
+  exit 1
+fi
+
+echo "run_sweep_smoke: jobs-independent artifacts byte-identical; gate passes clean baseline and rejects tampered one"
