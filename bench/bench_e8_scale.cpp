@@ -1,0 +1,81 @@
+// E8 (ROADMAP "as fast as the hardware allows").
+//
+// Simulation-core throughput at scale: N mobile hosts ping their local
+// MSS in a chained loop (echo) or churn far-future timers through
+// schedule/cancel (timers) across growing M x N grids, up to ~10^6
+// scheduled events per run. The interesting numbers are host wall-clock
+// and scheduler events/sec — they live in the artifact's provenance
+// "timing" section, never in the deterministic body, so same-seed
+// artifacts stay byte-identical across machines.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "bench_support.hpp"
+#include "core/mobidist.hpp"
+
+namespace {
+
+using namespace mobidist;
+
+const std::vector<std::uint64_t> kSeeds = {11, 12, 13};
+
+exp::ScenarioSpec scale_spec(const std::string& variant, std::uint32_t num_mss,
+                             std::uint32_t num_mh) {
+  exp::ScenarioSpec spec;
+  spec.name = "e8_scale";
+  spec.workload = "scale";
+  spec.variant = variant;
+  spec.net.num_mss = num_mss;
+  spec.net.num_mh = num_mh;
+  spec.params["gap"] = 7;
+  spec.params["pings"] = 300;  // echo: ~6 events per ping per MH
+  spec.params["ticks"] = 64;   // timers: cancel churn*ticks per MH
+  spec.params["churn"] = 8;
+  return spec;
+}
+
+std::string cell(const std::string& variant, std::uint32_t m, std::uint32_t n) {
+  return variant + "_" + std::to_string(m) + "x" + std::to_string(n);
+}
+
+}  // namespace
+
+int main() {
+  struct Grid {
+    std::uint32_t m;
+    std::uint32_t n;
+  };
+  const Grid kGrids[] = {{4, 64}, {8, 256}, {16, 1024}};
+
+  bench::Sections sweep("scale");
+  for (const auto& grid : kGrids) {
+    sweep.add(cell("echo", grid.m, grid.n), scale_spec("echo", grid.m, grid.n), kSeeds);
+    sweep.add(cell("timers", grid.m, grid.n), scale_spec("timers", grid.m, grid.n),
+              kSeeds);
+  }
+  sweep.run();
+
+  std::cout << "E8: simulation-core throughput across M x N grids\n"
+            << "(echo = chained MH<->MSS wireless ping traffic; timers = "
+               "schedule+cancel churn of far-future timers)\n\n";
+
+  core::Table table({"cell", "fired events", "wall ms (mean)", "events/sec (mean)"});
+  for (const auto& grid : kGrids) {
+    for (const std::string variant : {"echo", "timers"}) {
+      const auto name = cell(variant, grid.m, grid.n);
+      const auto* summary = sweep.report().find_cell(name);
+      table.row({name, core::num(sweep.metric(name, "sched.fired")),
+                 core::num(summary->wall_sec.mean * 1e3),
+                 core::num(summary->events_per_sec.mean)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: events/sec is sched.fired / host wall seconds per run,\n"
+               "averaged over " << kSeeds.size()
+            << " seeds; compare against bench/baselines/BENCH_scale_pre.json.\n"
+            << "\nwrote " << sweep.write() << "\n";
+  return 0;
+}

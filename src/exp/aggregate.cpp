@@ -166,11 +166,20 @@ SweepReport aggregate(const std::string& name, const SweepGrid& grid,
   std::size_t cursor = 0;
   for (auto& cell : report.cells) {
     std::map<std::string, std::vector<double>, std::less<>> samples;
+    std::vector<double> walls;
+    std::vector<double> rates;
     while (cursor < plans.size() && plans[cursor].cell == cell.cell) {
       const auto& result = results[cursor];
       if (result.ok) {
         for (const auto& [metric, value] : result.metrics) {
           samples[metric].push_back(value);
+        }
+        if (result.wall_sec > 0.0) {
+          walls.push_back(result.wall_sec);
+          if (const auto it = result.metrics.find("sched.fired");
+              it != result.metrics.end()) {
+            rates.push_back(it->second / result.wall_sec);
+          }
         }
       }
       ++cursor;
@@ -178,6 +187,8 @@ SweepReport aggregate(const std::string& name, const SweepGrid& grid,
     for (auto& [metric, sample] : samples) {
       cell.metrics.emplace(metric, MetricSummary::of(std::move(sample)));
     }
+    if (!walls.empty()) cell.wall_sec = MetricSummary::of(std::move(walls));
+    if (!rates.empty()) cell.events_per_sec = MetricSummary::of(std::move(rates));
   }
   return report;
 }
@@ -194,7 +205,24 @@ std::string SweepReport::json() const {
   append_body(out, *this);
   out += ",\"provenance\":{\"git_sha\":" + quote(git_sha) +
          ",\"jobs\":" + std::to_string(jobs) +
-         ",\"wall_clock_sec\":" + num(wall_clock_sec) + "}";
+         ",\"wall_clock_sec\":" + num(wall_clock_sec);
+  // Per-cell host timing (wall seconds and scheduler events/sec). Kept
+  // under provenance so the deterministic body — and therefore the
+  // jobs-independence guarantee and the regression gate — never sees a
+  // machine-dependent number.
+  out += ",\"timing\":[";
+  bool first = true;
+  for (const auto& cell : cells) {
+    if (cell.wall_sec.n == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"cell\":" + quote(cell.cell) + ",\"wall_sec\":";
+    append_summary(out, cell.wall_sec);
+    out += ",\"events_per_sec\":";
+    append_summary(out, cell.events_per_sec);
+    out += '}';
+  }
+  out += "]}";
   out += '}';
   return out;
 }

@@ -39,6 +39,12 @@ struct CellSummary {
   std::size_t failed = 0;                  ///< runs with ok == false
   std::vector<std::string> errors;         ///< distinct error strings (capped)
   std::map<std::string, MetricSummary, std::less<>> metrics;
+  /// Host wall-clock seconds per ok run and derived scheduler throughput
+  /// (sched.fired / wall_sec). Nondeterministic provenance: serialized
+  /// by json() only, never part of the deterministic body or the
+  /// baseline gate.
+  MetricSummary wall_sec;
+  MetricSummary events_per_sec;
 };
 
 /// The whole aggregated artifact: deterministic body plus optional

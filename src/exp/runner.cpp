@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -499,6 +500,145 @@ void build_proxy_mutex(ScenarioContext& ctx) {
   monitor_metrics(ctx, monitor);
 }
 
+// --- scale: hot-path throughput driver (bench e8) --------------------------
+
+// The "echo" variant keeps every MH in a chained ping loop against its
+// local MSS (uplink data frame, wireless echo back), so fired events grow
+// as ~6 x pings x num_mh with realistic Envelope traffic while the
+// pending queue stays O(num_mh). The "timers" variant stresses the
+// cancellation path instead: each tick schedules `churn` far-future
+// timers and cancels the previous batch.
+
+class EchoStation : public net::MssAgent {
+ public:
+  void on_message(const net::Envelope& env) override {
+    if (const auto* value = net::body_as<std::uint64_t>(env)) {
+      ++echoed_;
+      send_local(env.src.mh(), *value);
+    }
+  }
+  [[nodiscard]] std::uint64_t echoed() const noexcept { return echoed_; }
+
+ private:
+  std::uint64_t echoed_ = 0;
+};
+
+class EchoHost : public net::MhAgent {
+ public:
+  void on_message(const net::Envelope&) override { ++received_; }
+
+  /// Send one uplink ping and chain the next `gap` ticks later.
+  void ping(std::uint64_t remaining, sim::Duration gap) {
+    send_uplink(std::uint64_t{remaining});
+    ++sent_;
+    if (remaining > 1) {
+      net().sched().schedule(gap, [this, remaining, gap] { ping(remaining - 1, gap); });
+    }
+  }
+
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
+
+ private:
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+/// Timer-churn driver: every tick cancels the previous batch of
+/// far-future timers and schedules a fresh one — the schedule-then-regret
+/// pattern whose cancelled events linger in the queue until their distant
+/// firing time unless the scheduler reclaims them eagerly.
+class TimerChurn {
+ public:
+  explicit TimerChurn(sim::Scheduler& sched) : sched_(sched) {}
+
+  void tick(std::uint64_t remaining, std::uint64_t churn, sim::Duration gap) {
+    for (const auto handle : parked_) {
+      if (sched_.cancel(handle)) ++cancelled_;
+    }
+    parked_.clear();
+    if (remaining == 0) return;
+    constexpr sim::Duration kFarFuture = 1'000'000'000;
+    for (std::uint64_t k = 0; k < churn; ++k) {
+      parked_.push_back(sched_.schedule(kFarFuture + k, [] {}));
+    }
+    sched_.schedule(gap, [this, remaining, churn, gap] {
+      tick(remaining - 1, churn, gap);
+    });
+  }
+
+  [[nodiscard]] std::uint64_t cancelled() const noexcept { return cancelled_; }
+
+ private:
+  sim::Scheduler& sched_;
+  std::vector<sim::EventHandle> parked_;
+  std::uint64_t cancelled_ = 0;
+};
+
+void build_scale(ScenarioContext& ctx) {
+  const auto& spec = ctx.spec();
+  auto& net = ctx.net();
+  require_topology(spec, 1, 1);
+  const std::uint32_t n = net.num_mh();
+  const auto gap = std::max<std::uint64_t>(1, spec.param_u64("gap", 7));
+
+  if (spec.variant == "echo") {
+    const auto pings = spec.param_u64("pings", 50);
+    auto& stations = ctx.emplace<std::vector<std::shared_ptr<EchoStation>>>();
+    for (std::uint32_t s = 0; s < net.num_mss(); ++s) {
+      auto station = std::make_shared<EchoStation>();
+      net.mss(static_cast<MssId>(s)).register_agent(net::protocol::kUserBase, station);
+      stations.push_back(std::move(station));
+    }
+    auto& hosts = ctx.emplace<std::vector<std::shared_ptr<EchoHost>>>();
+    for (std::uint32_t h = 0; h < n; ++h) {
+      auto host = std::make_shared<EchoHost>();
+      net.mh(static_cast<MhId>(h)).register_agent(net::protocol::kUserBase, host);
+      hosts.push_back(host);
+      // Stagger start instants across the gap so uplinks don't all land
+      // on the same tick.
+      auto* driver = host.get();
+      net.sched().schedule_at(1 + h % gap, [driver, pings, gap] {
+        driver->ping(pings, gap);
+      });
+    }
+    ctx.metric("sent", [&hosts] {
+      std::uint64_t total = 0;
+      for (const auto& host : hosts) total += host->sent();
+      return static_cast<double>(total);
+    });
+    ctx.metric("delivered", [&hosts] {
+      std::uint64_t total = 0;
+      for (const auto& host : hosts) total += host->received();
+      return static_cast<double>(total);
+    });
+    ctx.metric("echoed", [&stations] {
+      std::uint64_t total = 0;
+      for (const auto& station : stations) total += station->echoed();
+      return static_cast<double>(total);
+    });
+  } else if (spec.variant == "timers") {
+    const auto ticks = spec.param_u64("ticks", 64);
+    const auto churn = spec.param_u64("churn", 16);
+    auto& drivers = ctx.emplace<std::vector<std::shared_ptr<TimerChurn>>>();
+    for (std::uint32_t h = 0; h < n; ++h) {
+      auto driver = std::make_shared<TimerChurn>(net.sched());
+      drivers.push_back(driver);
+      auto* churner = driver.get();
+      net.sched().schedule_at(1 + h % gap, [churner, ticks, churn, gap] {
+        churner->tick(ticks, churn, gap);
+      });
+    }
+    ctx.metric("cancelled", [&drivers] {
+      std::uint64_t total = 0;
+      for (const auto& driver : drivers) total += driver->cancelled();
+      return static_cast<double>(total);
+    });
+  } else {
+    bad_variant(spec);
+  }
+}
+
 // --- harvest ---------------------------------------------------------------
 
 void harvest(RunResult& result, const ScenarioSpec& spec, const net::Network& net,
@@ -565,6 +705,7 @@ const WorkloadLibrary& WorkloadLibrary::builtin() {
     lib.add("multicast", build_multicast);
     lib.add("group", build_group);
     lib.add("proxy_mutex", build_proxy_mutex);
+    lib.add("scale", build_scale);
     return lib;
   }();
   return library;
@@ -613,6 +754,7 @@ RunResult run_scenario(const RunPlan& plan, const WorkloadLibrary& workloads) {
       ctx.after_start([driver_ptr] { driver_ptr->start(); });
     }
 
+    const auto sim_begin = std::chrono::steady_clock::now();
     net.start();
     for (const auto& hook : ctx.after_start_) hook();
     if (ctx.run_until_ != 0) {
@@ -620,6 +762,9 @@ RunResult run_scenario(const RunPlan& plan, const WorkloadLibrary& workloads) {
     } else {
       net.run();
     }
+    result.wall_sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - sim_begin)
+            .count();
 
     // Every run is a correctness oracle: the paper's safety properties
     // must hold on the event stream it just produced.

@@ -26,6 +26,11 @@ struct RunResult {
   bool ok = false;
   std::string error;  ///< checker violations or thrown setup errors
   std::map<std::string, double, std::less<>> metrics;
+  /// Host wall-clock seconds spent driving the simulation (start + run;
+  /// excludes setup and checker validation). Nondeterministic, so it
+  /// lives outside `metrics` and never reaches the deterministic
+  /// artifact body or the baseline regression gate.
+  double wall_sec = 0.0;
 };
 
 /// Everything a workload builder may touch while wiring one run. The
@@ -90,7 +95,8 @@ class WorkloadLibrary {
   /// All built-in workload kinds: "mutex" (l1|l2), "ring"
   /// (r1|r2|r2p|r2pp), "delivery", "relay_burst", "lazy_proxy",
   /// "multicast" (flood|search), "group" (pure_search|always_inform|
-  /// location_view), "proxy_mutex" (local_mss|fixed_home|lazy_home).
+  /// location_view), "proxy_mutex" (local_mss|fixed_home|lazy_home),
+  /// "scale" (echo|timers).
   [[nodiscard]] static const WorkloadLibrary& builtin();
 
   void add(std::string name, Builder builder);

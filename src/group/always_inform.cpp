@@ -29,7 +29,7 @@ struct LocUpdate {
 struct Directed {
   MhId dst_mh = net::kInvalidMh;
   MssId dst_mss = net::kInvalidMss;
-  std::any inner;  // GroupMsg or LocUpdate
+  net::Body inner;  // GroupMsg or LocUpdate
 };
 
 }  // namespace
@@ -48,7 +48,7 @@ class AlwaysInformGroup::HostAgent : public net::MhAgent {
   }
 
   void send_group(std::uint64_t msg_id) {
-    run_when_connected([this, msg_id] { fan_out(std::any(GroupMsg{msg_id, self()})); });
+    run_when_connected([this, msg_id] { fan_out(net::Body(GroupMsg{msg_id, self()})); });
   }
 
   void on_message(const Envelope& env) override {
@@ -71,7 +71,7 @@ class AlwaysInformGroup::HostAgent : public net::MhAgent {
                 .entity = net::entity_of(self()),
                 .peer = net::entity_of(mss),
                 .detail = "always_inform"});
-    fan_out(std::any(LocUpdate{self(), mss}));
+    fan_out(net::Body(LocUpdate{self(), mss}));
     std::deque<std::function<void()>> ready;
     ready.swap(deferred_);
     for (auto& action : ready) action();
@@ -79,7 +79,7 @@ class AlwaysInformGroup::HostAgent : public net::MhAgent {
 
  private:
   /// One Directed uplink per other member: 2*c_wireless + c_fixed each.
-  void fan_out(const std::any& inner) {
+  void fan_out(const net::Body& inner) {
     for (const auto member : owner_.group_.members) {
       if (member == self()) continue;
       send_uplink(Directed{member, directory_[member], inner});
@@ -117,7 +117,7 @@ class AlwaysInformGroup::StationAgent : public net::MssAgent {
     send_local(directed->dst_mh, directed->inner);
   }
 
-  void on_local_send_failed(MhId mh, const std::any& body) override {
+  void on_local_send_failed(MhId mh, const net::Body& body) override {
     ++owner_.stale_chases_;
     send_to_mh(mh, body, net::SendPolicy::kEventualDelivery);
   }

@@ -153,7 +153,7 @@ class LocationViewGroup::StationAgent : public net::MssAgent {
   // cell), so LV(G) is untouched — the paper's disconnection story.
   void on_mh_disconnected(MhId /*mh*/) override {}
 
-  void on_local_send_failed(MhId mh, const std::any& body) override {
+  void on_local_send_failed(MhId mh, const net::Body& body) override {
     // The member moved while the message was in flight (the paper
     // assumes this away; we chase instead of dropping).
     ++owner_.chases_;

@@ -82,10 +82,10 @@ class McastService::StationAgent : public net::MssAgent {
     if (net().mh(mh).current_mss() == self()) deliver_pending(mh);
   }
 
-  void on_local_send_failed(MhId mh, const std::any& body) override {
+  void on_local_send_failed(MhId mh, const net::Body& body) override {
     // The recipient left mid-burst: roll its watermark back so the next
     // MSS (via handoff) resumes from the first undelivered message.
-    const auto* data = std::any_cast<McastData>(&body);
+    const auto* data = body.get<McastData>();
     if (data == nullptr) return;
     const auto it = watermarks_.find(mh);
     if (it == watermarks_.end()) return;

@@ -51,8 +51,8 @@ class L2Mutex::StationAgent : public net::MssAgent {
 
   /// Grant-request bounced: the MH disconnected before it arrived. Per
   /// the paper the request cannot be satisfied; release on its behalf.
-  void on_mh_unreachable(MhId /*mh*/, const std::any& body) override {
-    const auto* grant_msg = std::any_cast<L2Grant>(&body);
+  void on_mh_unreachable(MhId /*mh*/, const net::Body& body) override {
+    const auto* grant_msg = body.get<L2Grant>();
     if (grant_msg == nullptr) return;
     if (pending_.erase(grant_msg->req_id) > 0) {
       ++aborted_;

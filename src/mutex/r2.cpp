@@ -45,8 +45,8 @@ class R2Mutex::StationAgent : public net::MssAgent {
   /// The token chased a disconnected MH: its flag-holding MSS returns it
   /// (we model that return as one fixed-network message, as the paper
   /// describes) and the ring moves on.
-  void on_mh_unreachable(MhId /*mh*/, const std::any& body) override {
-    const auto* grant = std::any_cast<R2TokenToMh>(&body);
+  void on_mh_unreachable(MhId /*mh*/, const net::Body& body) override {
+    const auto* grant = body.get<R2TokenToMh>();
     if (grant == nullptr) return;
     ++owner_.skipped_disconnected_;
     ++owner_.skipped_disconnected_counter_;

@@ -7,26 +7,26 @@
 
 namespace mobidist::net {
 
-void MssAgent::send_fixed(MssId to, std::any body) {
+void MssAgent::send_fixed(MssId to, Body body) {
   Envelope env;
   env.proto = proto_;
   env.body = std::move(body);
   net().send_fixed(self_, to, std::move(env));
 }
 
-void MssAgent::send_local(MhId mh, std::any body) {
+void MssAgent::send_local(MhId mh, Body body) {
   Envelope env;
   env.proto = proto_;
   env.src = self_;
   env.dst = mh;
   env.body = std::move(body);
-  const std::any payload = env.body;  // keep for the failure callback
-  net().send_wireless_downlink(self_, std::move(env), mh, [this, mh, payload]() {
-    on_local_send_failed(mh, payload);
-  });
+  net().send_wireless_downlink(self_, std::move(env), mh,
+                               [this, mh](const Envelope& failed) {
+                                 on_local_send_failed(mh, failed.body);
+                               });
 }
 
-void MssAgent::send_to_mh(MhId mh, std::any body, SendPolicy policy) {
+void MssAgent::send_to_mh(MhId mh, Body body, SendPolicy policy) {
   Envelope env;
   env.proto = proto_;
   env.src = self_;
@@ -35,7 +35,7 @@ void MssAgent::send_to_mh(MhId mh, std::any body, SendPolicy policy) {
   net().send_to_mh(self_, std::move(env), mh, policy);
 }
 
-void MhAgent::send_uplink(std::any body) {
+void MhAgent::send_uplink(Body body) {
   Envelope env;
   env.proto = proto_;
   env.src = self_;
@@ -44,7 +44,7 @@ void MhAgent::send_uplink(std::any body) {
   net().send_wireless_uplink(self_, std::move(env));
 }
 
-void MhAgent::send_to_mh(MhId dst, std::any body, bool fifo) {
+void MhAgent::send_to_mh(MhId dst, Body body, bool fifo) {
   net().mh(self_).send_relay(dst, proto_, std::move(body), fifo);
 }
 

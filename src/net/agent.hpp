@@ -72,28 +72,31 @@ class MssAgent {
 
   /// A send_to_mh with SendPolicy::kNotifyIfDisconnected found the MH
   /// disconnected; the undelivered body comes back.
-  virtual void on_mh_unreachable(MhId /*mh*/, const std::any& /*body*/) {}
+  virtual void on_mh_unreachable(MhId /*mh*/, const Body& /*body*/) {}
 
   /// A send_local frame was lost because the MH left the cell before it
   /// landed; the undelivered body comes back.
-  virtual void on_local_send_failed(MhId /*mh*/, const std::any& /*body*/) {}
+  virtual void on_local_send_failed(MhId /*mh*/, const Body& /*body*/) {}
 
  protected:
+  /// The substrate this agent is attached to.
   [[nodiscard]] Network& net() const noexcept { return *net_; }
+  /// The MSS this agent instance lives on.
   [[nodiscard]] MssId self() const noexcept { return self_; }
+  /// The protocol id this agent registered under.
   [[nodiscard]] ProtocolId proto() const noexcept { return proto_; }
 
   /// Send to another MSS over the wired network (FIFO, charged c_fixed;
   /// a self-send dispatches locally free of charge).
-  void send_fixed(MssId to, std::any body);
+  void send_fixed(MssId to, Body body);
 
   /// Send to a MH that must currently be local to this MSS (one
   /// wireless hop, charged c_wireless).
-  void send_local(MhId mh, std::any body);
+  void send_local(MhId mh, Body body);
 
   /// Locate a MH anywhere in the system and deliver (charged c_search +
   /// c_wireless in oracle mode; real messages in broadcast mode).
-  void send_to_mh(MhId mh, std::any body,
+  void send_to_mh(MhId mh, Body body,
                   SendPolicy policy = SendPolicy::kEventualDelivery);
 
  private:
@@ -107,12 +110,14 @@ class MhAgent {
  public:
   virtual ~MhAgent() = default;
 
+  /// Wiring performed by MobileHost::register_agent(); not called by users.
   void attach(Network& net, MhId self, ProtocolId proto) noexcept {
     net_ = &net;
     self_ = self;
     proto_ = proto;
   }
 
+  /// Called once after every agent in the system has been registered.
   virtual void on_start() {}
 
   /// An envelope for this protocol was delivered over the wireless link.
@@ -125,18 +130,21 @@ class MhAgent {
   virtual void on_left_cell() {}
 
  protected:
+  /// The substrate this agent is attached to.
   [[nodiscard]] Network& net() const noexcept { return *net_; }
+  /// The MH this agent instance lives on.
   [[nodiscard]] MhId self() const noexcept { return self_; }
+  /// The protocol id this agent registered under.
   [[nodiscard]] ProtocolId proto() const noexcept { return proto_; }
 
   /// Send to this MH's current local MSS (one wireless hop). The MH must
   /// be connected and in a cell.
-  void send_uplink(std::any body);
+  void send_uplink(Body body);
 
   /// Send to another MH via the relay service: wireless uplink, then
   /// search + forward, then wireless downlink (the 2*c_wireless +
   /// c_search path of §2). `fifo` enables destination resequencing.
-  void send_to_mh(MhId dst, std::any body, bool fifo = true);
+  void send_to_mh(MhId dst, Body body, bool fifo = true);
 
  private:
   Network* net_ = nullptr;

@@ -1,0 +1,181 @@
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mobidist::net {
+
+namespace detail {
+/// One byte per payload type; its address is the type's identity (an
+/// inline variable, so every translation unit sees the same address —
+/// cheaper than RTTI and immune to typeid-across-DSO surprises).
+template <typename T>
+inline constexpr char kBodyTypeTag = 0;
+}  // namespace detail
+
+/// Type-erased message payload with small-buffer storage — the
+/// `std::any` of Envelope bodies, minus the heap allocation for every
+/// payload over a pointer in size. Every substrate control message and
+/// most algorithm messages fit the inline buffer, so copying an Envelope
+/// through the retry/locate paths is a flat copy; oversized payloads
+/// (e.g. a Relay wrapper nesting another Body) fall back to one heap
+/// allocation, exactly matching the old std::any cost.
+///
+/// Copyable because Envelopes are copied (retransmission keeps the
+/// original while a copy rides the channel); payload types must be
+/// copy-constructible like they had to be under std::any.
+class Body {
+ public:
+  /// Inline storage size. Covers the largest substrate control message
+  /// (HandoffState, ~56 bytes) with a little headroom.
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  Body() noexcept = default;
+
+  /// Wrap a payload value. Storing a std::any (or a Body inside a Body)
+  /// is almost always an accidental double-wrap that would make every
+  /// body_as<T>() miss, so it is rejected at compile time.
+  template <typename T>
+    requires(!std::is_same_v<std::remove_cvref_t<T>, Body>)
+  Body(T&& value) {  // NOLINT(google-explicit-constructor): mirrors std::any
+    using Stored = std::decay_t<T>;
+    static_assert(!std::is_same_v<Stored, std::any>,
+                  "store the payload type directly, not a std::any wrapper");
+    static_assert(std::is_copy_constructible_v<Stored>,
+                  "Envelope payloads must be copyable");
+    if constexpr (fits_inline<Stored>()) {
+      ::new (static_cast<void*>(buf_)) Stored(std::forward<T>(value));
+      ops_ = &kInlineOps<Stored>;
+    } else {
+      heap_ = new Stored(std::forward<T>(value));
+      ops_ = &kHeapOps<Stored>;
+    }
+  }
+
+  Body(const Body& other) {
+    if (other.ops_ != nullptr) other.ops_->copy(*this, other);
+  }
+
+  Body(Body&& other) noexcept { steal(other); }
+
+  Body& operator=(const Body& other) {
+    if (this != &other) {
+      Body tmp(other);  // copy may throw: build aside, then commit
+      reset();
+      steal(tmp);
+    }
+    return *this;
+  }
+
+  Body& operator=(Body&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  ~Body() { reset(); }
+
+  /// Destroy the held payload (if any); the Body becomes empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(*this);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when a payload is held (a default-constructed Body is empty).
+  [[nodiscard]] bool has_value() const noexcept { return ops_ != nullptr; }
+  [[nodiscard]] explicit operator bool() const noexcept { return has_value(); }
+
+  /// Typed access; nullptr when empty or holding a different type.
+  template <typename T>
+  [[nodiscard]] const T* get() const noexcept {
+    using Stored = std::remove_cvref_t<T>;
+    if (ops_ == nullptr || ops_->type != &detail::kBodyTypeTag<Stored>) return nullptr;
+    if (ops_->heap_stored) return static_cast<const Stored*>(heap_);
+    return inline_target<Stored>();
+  }
+
+ private:
+  struct Ops {
+    void (*copy)(Body& dst, const Body& src);       // dst is empty
+    void (*relocate)(Body& dst, Body& src) noexcept;  // dst empty; src left empty
+    void (*destroy)(Body& self) noexcept;
+    const void* type;
+    bool heap_stored;
+  };
+
+  template <typename T>
+  [[nodiscard]] static constexpr bool fits_inline() noexcept {
+    return sizeof(T) <= kInlineCapacity && alignof(T) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<T>;
+  }
+
+  template <typename T>
+  [[nodiscard]] T* inline_target() noexcept {
+    return std::launder(reinterpret_cast<T*>(buf_));
+  }
+  template <typename T>
+  [[nodiscard]] const T* inline_target() const noexcept {
+    return std::launder(reinterpret_cast<const T*>(buf_));
+  }
+
+  template <typename T>
+  static void inline_copy(Body& dst, const Body& src) {
+    ::new (static_cast<void*>(dst.buf_)) T(*src.inline_target<T>());
+    dst.ops_ = src.ops_;  // only after the construct: copy may throw
+  }
+  template <typename T>
+  static void inline_relocate(Body& dst, Body& src) noexcept {
+    ::new (static_cast<void*>(dst.buf_)) T(std::move(*src.inline_target<T>()));
+    src.inline_target<T>()->~T();
+  }
+  template <typename T>
+  static void inline_destroy(Body& self) noexcept {
+    self.inline_target<T>()->~T();
+  }
+
+  template <typename T>
+  static void heap_copy(Body& dst, const Body& src) {
+    dst.heap_ = new T(*static_cast<const T*>(src.heap_));
+    dst.ops_ = src.ops_;
+  }
+  static void heap_relocate(Body& dst, Body& src) noexcept {
+    dst.heap_ = src.heap_;
+    src.heap_ = nullptr;
+  }
+  template <typename T>
+  static void heap_destroy(Body& self) noexcept {
+    delete static_cast<T*>(self.heap_);
+  }
+
+  template <typename T>
+  static constexpr Ops kInlineOps = {&inline_copy<T>, &inline_relocate<T>,
+                                     &inline_destroy<T>, &detail::kBodyTypeTag<T>,
+                                     /*heap_stored=*/false};
+  template <typename T>
+  static constexpr Ops kHeapOps = {&heap_copy<T>, &heap_relocate, &heap_destroy<T>,
+                                   &detail::kBodyTypeTag<T>, /*heap_stored=*/true};
+
+  void steal(Body& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(*this, other);
+      other.ops_ = nullptr;
+    }
+  }
+
+  union {
+    alignas(std::max_align_t) unsigned char buf_[kInlineCapacity];
+    void* heap_;
+  };
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace mobidist::net

@@ -1,9 +1,9 @@
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <utility>
 
+#include "net/body.hpp"
 #include "net/ids.hpp"
 
 namespace mobidist::net {
@@ -34,33 +34,34 @@ inline constexpr ProtocolId kProxy = 30;
 inline constexpr ProtocolId kUserBase = 100;
 }  // namespace protocol
 
-/// A message in flight. `body` holds a protocol-defined value struct;
-/// receivers any_cast it back. `control` exempts substrate bookkeeping
-/// traffic from cost accounting.
+/// A message in flight. `body` holds a protocol-defined value struct
+/// (type-erased in a small-buffer Body — no heap traffic for typical
+/// payloads); receivers read it back with body_as(). `control` exempts
+/// substrate bookkeeping traffic from cost accounting.
 struct Envelope {
   ProtocolId proto = protocol::kSystem;
   NodeRef src;
   NodeRef dst;
-  std::any body;
+  Body body;
   bool control = false;
 };
 
 /// Convenience factory for an algorithm (cost-charged) envelope.
-template <typename Body>
-[[nodiscard]] Envelope make_envelope(ProtocolId proto, NodeRef src, NodeRef dst, Body body) {
-  return Envelope{proto, src, dst, std::any(std::move(body)), /*control=*/false};
+template <typename T>
+[[nodiscard]] Envelope make_envelope(ProtocolId proto, NodeRef src, NodeRef dst, T body) {
+  return Envelope{proto, src, dst, Body(std::move(body)), /*control=*/false};
 }
 
 /// Convenience factory for a substrate control envelope (not charged).
-template <typename Body>
-[[nodiscard]] Envelope make_control(NodeRef src, NodeRef dst, Body body) {
-  return Envelope{protocol::kSystem, src, dst, std::any(std::move(body)), /*control=*/true};
+template <typename T>
+[[nodiscard]] Envelope make_control(NodeRef src, NodeRef dst, T body) {
+  return Envelope{protocol::kSystem, src, dst, Body(std::move(body)), /*control=*/true};
 }
 
 /// Extract a typed body; returns nullptr on type mismatch.
-template <typename Body>
-[[nodiscard]] const Body* body_as(const Envelope& env) noexcept {
-  return std::any_cast<Body>(&env.body);
+template <typename T>
+[[nodiscard]] const T* body_as(const Envelope& env) noexcept {
+  return env.body.get<T>();
 }
 
 }  // namespace mobidist::net

@@ -17,22 +17,27 @@ enum class MhId : std::uint32_t {};
 inline constexpr MssId kInvalidMss{0xFFFFFFFFu};
 inline constexpr MhId kInvalidMh{0xFFFFFFFFu};
 
+/// Dense array index of an MSS id.
 [[nodiscard]] constexpr std::uint32_t index(MssId id) noexcept {
   return static_cast<std::uint32_t>(id);
 }
+/// Dense array index of a MH id.
 [[nodiscard]] constexpr std::uint32_t index(MhId id) noexcept {
   return static_cast<std::uint32_t>(id);
 }
 
+/// "mss:3", or "mss:?" for kInvalidMss.
 [[nodiscard]] inline std::string to_string(MssId id) {
   return id == kInvalidMss ? "mss:?" : "mss:" + std::to_string(index(id));
 }
+/// "mh:7", or "mh:?" for kInvalidMh.
 [[nodiscard]] inline std::string to_string(MhId id) {
   return id == kInvalidMh ? "mh:?" : "mh:" + std::to_string(index(id));
 }
 
 /// Reference to either kind of host; the address form used on envelopes.
 struct NodeRef {
+  /// Which kind of endpoint this refers to; kNone is "no address".
   enum class Kind : std::uint8_t { kNone, kMss, kMh };
 
   Kind kind = Kind::kNone;
@@ -42,14 +47,19 @@ struct NodeRef {
   constexpr NodeRef(MssId id) noexcept : kind(Kind::kMss), idx(index(id)) {}  // NOLINT(google-explicit-constructor)
   constexpr NodeRef(MhId id) noexcept : kind(Kind::kMh), idx(index(id)) {}    // NOLINT(google-explicit-constructor)
 
+  /// True when this refers to a fixed host (MSS).
   [[nodiscard]] constexpr bool is_mss() const noexcept { return kind == Kind::kMss; }
+  /// True when this refers to a mobile host.
   [[nodiscard]] constexpr bool is_mh() const noexcept { return kind == Kind::kMh; }
+  /// The MSS id; only meaningful when is_mss().
   [[nodiscard]] constexpr MssId mss() const noexcept { return static_cast<MssId>(idx); }
+  /// The MH id; only meaningful when is_mh().
   [[nodiscard]] constexpr MhId mh() const noexcept { return static_cast<MhId>(idx); }
 
   friend constexpr bool operator==(NodeRef, NodeRef) = default;
 };
 
+/// "mss:3" / "mh:7" / "none".
 [[nodiscard]] inline std::string to_string(NodeRef ref) {
   switch (ref.kind) {
     case NodeRef::Kind::kMss: return to_string(ref.mss());
@@ -61,6 +71,7 @@ struct NodeRef {
 
 }  // namespace mobidist::net
 
+/// Hash support so MssId can key unordered containers.
 template <>
 struct std::hash<mobidist::net::MssId> {
   std::size_t operator()(mobidist::net::MssId id) const noexcept {
@@ -68,6 +79,7 @@ struct std::hash<mobidist::net::MssId> {
   }
 };
 
+/// Hash support so MhId can key unordered containers.
 template <>
 struct std::hash<mobidist::net::MhId> {
   std::size_t operator()(mobidist::net::MhId id) const noexcept {

@@ -93,7 +93,7 @@ struct SearchReply {
 struct UnreachableNotice {
   MhId mh = kInvalidMh;
   ProtocolId proto = 0;
-  std::any body;
+  Body body;
 };
 
 /// reconnect(mh) without a previous-MSS id: the new MSS "may have to
@@ -122,7 +122,7 @@ struct Relay {
   MhId src_mh = kInvalidMh;
   MhId dst_mh = kInvalidMh;
   ProtocolId inner_proto = 0;
-  std::any inner;
+  Body inner;  ///< nested payload (pushes the Relay itself to Body's heap path)
   std::uint64_t seq = 0;
   bool fifo = true;  ///< false: deliver in arrival order (no resequencing)
 };

@@ -77,7 +77,7 @@ void MobileHost::complete_join(MssId at) {
   for (auto& [proto, agent] : agents_) agent->on_joined_cell(at);
 }
 
-void MobileHost::send_relay(MhId dst, ProtocolId inner_proto, std::any body, bool fifo) {
+void MobileHost::send_relay(MhId dst, ProtocolId inner_proto, Body body, bool fifo) {
   if (state_ != MhState::kConnected) {
     throw std::logic_error("MobileHost::send_relay: " + to_string(id_) + " is not in a cell");
   }
@@ -133,7 +133,7 @@ void MobileHost::accept_relay(const msg::Relay& relay) {
   }
 }
 
-void MobileHost::dispatch_inner(ProtocolId proto, MhId from, const std::any& body) {
+void MobileHost::dispatch_inner(ProtocolId proto, MhId from, const Body& body) {
   auto* target = agent(proto);
   if (target == nullptr) {
     throw std::logic_error("MobileHost: relay for unknown protocol " + std::to_string(proto) +

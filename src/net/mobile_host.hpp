@@ -31,8 +31,11 @@ class MobileHost {
   MobileHost(const MobileHost&) = delete;
   MobileHost& operator=(const MobileHost&) = delete;
 
+  /// This host's identity.
   [[nodiscard]] MhId id() const noexcept { return id_; }
+  /// Connectivity state (connected / in transit / disconnected).
   [[nodiscard]] MhState state() const noexcept { return state_; }
+  /// Shorthand for state() == kConnected.
   [[nodiscard]] bool connected() const noexcept { return state_ == MhState::kConnected; }
 
   /// Current cell; kInvalidMss while in transit or disconnected.
@@ -51,9 +54,12 @@ class MobileHost {
   /// Doze mode: the MH stays reachable but counts every delivery as an
   /// interruption (the R1-vs-R2 comparison metric of §3.1.2).
   void set_doze(bool dozing) noexcept { dozing_ = dozing; }
+  /// True while doze mode is on.
   [[nodiscard]] bool dozing() const noexcept { return dozing_; }
 
+  /// Register an agent for `proto`. Must happen before Network::start().
   void register_agent(ProtocolId proto, std::shared_ptr<MhAgent> agent);
+  /// The agent registered for `proto`; nullptr if none.
   [[nodiscard]] MhAgent* agent(ProtocolId proto) const noexcept;
 
   // --- mobility (driven by mobility models / tests) -----------------------
@@ -83,8 +89,9 @@ class MobileHost {
   /// Send to another MH through the relay service: assigns the FIFO
   /// sequence number and ships the wrapper uplink. Used by
   /// MhAgent::send_to_mh; requires connected().
-  void send_relay(MhId dst, ProtocolId inner_proto, std::any body, bool fifo);
+  void send_relay(MhId dst, ProtocolId inner_proto, Body body, bool fifo);
 
+  /// Fire on_start on all registered agents (called by Network::start).
   void start_agents();
 
  private:
@@ -92,7 +99,7 @@ class MobileHost {
   friend class Mss;
 
   void complete_join(MssId at);  ///< invoked when the MSS processes our join
-  void dispatch_inner(ProtocolId proto, MhId from, const std::any& body);
+  void dispatch_inner(ProtocolId proto, MhId from, const Body& body);
   void accept_relay(const msg::Relay& relay);
 
   Network& net_;

@@ -76,9 +76,11 @@ void Mss::dispatch(const Envelope& env) {
 }
 
 void Mss::handle_join(const msg::Join& join) {
-  net_.log(sim::TraceLevel::kDebug, "mss",
-           to_string(id_) + (join.reconnect ? " reconnect " : " join ") + to_string(join.mh) +
-               " prev=" + to_string(join.prev_mss));
+  if (net_.trace_enabled(sim::TraceLevel::kDebug)) {
+    net_.log(sim::TraceLevel::kDebug, "mss",
+             to_string(id_) + (join.reconnect ? " reconnect " : " join ") + to_string(join.mh) +
+                 " prev=" + to_string(join.prev_mss));
+  }
   local_.insert(join.mh);
   net_.mh(join.mh).complete_join(id_);
   arrival_seq_[join.mh] = net_.mh(join.mh).joins_completed();
@@ -131,8 +133,9 @@ void Mss::handle_leave(const msg::Leave& leave) {
       it != arrival_seq_.end() && it->second > leave.join_seq) {
     return;
   }
-  net_.log(sim::TraceLevel::kDebug, "mss",
-           to_string(id_) + " leave " + to_string(leave.mh));
+  if (net_.trace_enabled(sim::TraceLevel::kDebug)) {
+    net_.log(sim::TraceLevel::kDebug, "mss", to_string(id_) + " leave " + to_string(leave.mh));
+  }
   ++net_.stats().leaves;
   remove_local(leave.mh);
 }

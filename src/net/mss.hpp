@@ -26,15 +26,18 @@ class Mss {
   Mss(const Mss&) = delete;
   Mss& operator=(const Mss&) = delete;
 
+  /// This station's identity.
   [[nodiscard]] MssId id() const noexcept { return id_; }
 
   /// Register an agent for `proto`. Must happen before Network::start().
   void register_agent(ProtocolId proto, std::shared_ptr<MssAgent> agent);
 
+  /// The agent registered for `proto`; nullptr if none.
   [[nodiscard]] MssAgent* agent(ProtocolId proto) const noexcept;
 
   /// MHs currently local to this cell.
   [[nodiscard]] const std::set<MhId>& local_mhs() const noexcept { return local_; }
+  /// True when `mh` is currently local to this cell.
   [[nodiscard]] bool is_local(MhId mh) const noexcept { return local_.contains(mh); }
 
   /// MHs that disconnected while local to this cell and have not yet
@@ -42,6 +45,7 @@ class Mss {
   [[nodiscard]] bool has_disconnected_flag(MhId mh) const noexcept {
     return disconnected_.contains(mh);
   }
+  /// All MHs carrying a "disconnected" flag in this cell.
   [[nodiscard]] const std::set<MhId>& disconnected_flags() const noexcept {
     return disconnected_;
   }

@@ -202,11 +202,14 @@ sim::Duration Network::sample(sim::Duration lo, sim::Duration hi) {
 
 sim::SimTime Network::fifo_arrival(ChannelType type, std::uint32_t a, std::uint32_t b,
                                    sim::Duration latency) {
+  return fifo_arrival(channels_[channel_key(type, a, b)], type, latency);
+}
+
+sim::SimTime Network::fifo_arrival(ChannelState& ch, ChannelType type, sim::Duration latency) {
   const sim::SimTime natural = sched_.now() + latency;
   sim::SimTime arrival = natural;
-  auto& clock = channel_clock_[channel_key(type, a, b)];
-  if (arrival < clock) arrival = clock;  // never overtake an earlier message
-  clock = arrival;
+  if (arrival < ch.fifo_clock) arrival = ch.fifo_clock;  // never overtake an earlier message
+  ch.fifo_clock = arrival;
   switch (type) {
     case ChannelType::kWired: queue_delay_wired_.record(arrival - natural); break;
     case ChannelType::kDownlink: queue_delay_downlink_.record(arrival - natural); break;
@@ -330,36 +333,44 @@ sim::Duration Network::retransmit_backoff(std::uint32_t attempt) const {
   return std::max<sim::Duration>(std::min(rto, profile.rto_cap), 1);
 }
 
-bool Network::dedup_deliver(std::uint64_t channel, std::uint64_t wseq) {
-  auto& dedup = wireless_dedup_[channel];
-  if (wseq <= dedup.floor || dedup.above.contains(wseq)) return false;
-  dedup.above.insert(wseq);
-  while (dedup.above.contains(dedup.floor + 1)) {
-    dedup.above.erase(dedup.floor + 1);
-    ++dedup.floor;
+bool Network::dedup_deliver(ChannelState& ch, std::uint64_t wseq) {
+  if (wseq <= ch.floor) return false;
+  if (wseq == ch.floor + 1 && ch.above.empty()) {
+    ++ch.floor;  // in-order frame, nothing parked: no set traffic at all
+    return true;
+  }
+  if (ch.above.contains(wseq)) return false;
+  ch.above.insert(wseq);
+  while (ch.above.contains(ch.floor + 1)) {
+    ch.above.erase(ch.floor + 1);
+    ++ch.floor;
   }
   return true;
 }
 
 void Network::send_wireless_downlink(MssId from, Envelope env, MhId to,
-                                     std::function<void()> on_fail) {
+                                     FailCallback on_fail) {
   downlink_attempt(from, std::move(env), to, std::move(on_fail), 0, 0);
 }
 
-void Network::downlink_attempt(MssId from, Envelope env, MhId to,
-                               std::function<void()> on_fail, std::uint32_t attempt,
-                               std::uint64_t wseq) {
+void Network::downlink_attempt(MssId from, Envelope env, MhId to, FailCallback on_fail,
+                               std::uint32_t attempt, std::uint64_t wseq) {
   auto& host = mh(to);
   if (host.current_mss() != from) {
     // Already gone: fail asynchronously so callers see uniform behaviour.
     // Retransmission stops here too — the sender's link layer only
     // promises delivery while the MH stays in this cell; the send_to_mh
     // chase re-searches from scratch.
-    if (on_fail) sched_.schedule(0, std::move(on_fail));
+    if (on_fail) {
+      sched_.schedule(0, [on_fail = std::move(on_fail), env = std::move(env)]() {
+        on_fail(env);
+      });
+    }
     return;
   }
   const auto channel = channel_key(ChannelType::kDownlink, index(from), index(to));
-  if (attempt == 0) wseq = ++wireless_seq_[channel];
+  auto& chan = channels_[channel];
+  if (attempt == 0) wseq = ++chan.next_wseq;
   const auto send_id = emit({.kind = obs::EventKind::kSend,
                              .entity = entity_of(from),
                              .peer = entity_of(to),
@@ -401,7 +412,7 @@ void Network::downlink_attempt(MssId from, Envelope env, MhId to,
           .channel = channel,
           .arg = env.proto});
   }
-  const auto arrival = fifo_arrival(ChannelType::kDownlink, index(from), index(to), latency);
+  const auto arrival = fifo_arrival(chan, ChannelType::kDownlink, latency);
   sched_.schedule_at(arrival, [this, from, to, send_id, channel, wseq, env,
                                on_fail = std::move(on_fail)]() mutable {
     deliver_downlink_frame(from, to, send_id, channel, wseq, std::move(env),
@@ -410,8 +421,7 @@ void Network::downlink_attempt(MssId from, Envelope env, MhId to,
   if (duplicated) {
     const auto copy_latency =
         fault_->draw_latency(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
-    const auto copy_arrival =
-        fifo_arrival(ChannelType::kDownlink, index(from), index(to), copy_latency);
+    const auto copy_arrival = fifo_arrival(chan, ChannelType::kDownlink, copy_latency);
     // No on_fail on the copy: it is link-layer noise, and resurrecting an
     // already-delivered frame through the retry path would ghost-deliver.
     sched_.schedule_at(copy_arrival, [this, from, to, send_id, channel, wseq,
@@ -423,16 +433,16 @@ void Network::downlink_attempt(MssId from, Envelope env, MhId to,
 
 void Network::deliver_downlink_frame(MssId from, MhId to, obs::EventId send_id,
                                      std::uint64_t channel, std::uint64_t wseq, Envelope env,
-                                     std::function<void()> on_fail) {
+                                     FailCallback on_fail) {
   auto& dest = mh(to);
   if (dest.current_mss() != from) {
     // The MH left between transmission and (would-be) reception: the
     // frame is lost in the old cell — §2's prefix-delivery rule. No
     // recv event: the send stays unconsumed in the stream.
-    if (on_fail) on_fail();
+    if (on_fail) on_fail(env);
     return;
   }
-  if (!dedup_deliver(channel, wseq)) {
+  if (!dedup_deliver(channels_[channel], wseq)) {
     // A link-layer copy of a frame this MH already consumed: silently
     // suppressed, its send stays unconsumed in the stream.
     ++stats_.dup_suppressed;
@@ -468,7 +478,8 @@ void Network::send_wireless_uplink(MhId from, Envelope env) {
 void Network::uplink_attempt(MhId from, MssId target, Envelope env, std::uint64_t epoch,
                              std::uint32_t attempt, std::uint64_t wseq) {
   const auto channel = channel_key(ChannelType::kUplink, index(from), index(target));
-  if (attempt == 0) wseq = ++wireless_seq_[channel];
+  auto& chan = channels_[channel];
+  if (attempt == 0) wseq = ++chan.next_wseq;
   const auto send_id = emit({.kind = obs::EventKind::kSend,
                              .entity = entity_of(from),
                              .peer = entity_of(target),
@@ -517,9 +528,9 @@ void Network::uplink_attempt(MhId from, MssId target, Envelope env, std::uint64_
           .channel = channel,
           .arg = env.proto});
   }
-  const auto arrival = fifo_arrival(ChannelType::kUplink, index(from), index(target), latency);
+  const auto arrival = fifo_arrival(chan, ChannelType::kUplink, latency);
   auto deliver = [this, from, target, send_id, channel, wseq](Envelope frame) {
-    if (!dedup_deliver(channel, wseq)) {
+    if (!dedup_deliver(channels_[channel], wseq)) {
       ++stats_.dup_suppressed;
       return;
     }
@@ -536,8 +547,7 @@ void Network::uplink_attempt(MhId from, MssId target, Envelope env, std::uint64_
   if (duplicated) {
     const auto copy_latency =
         fault_->draw_latency(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
-    const auto copy_arrival =
-        fifo_arrival(ChannelType::kUplink, index(from), index(target), copy_latency);
+    const auto copy_arrival = fifo_arrival(chan, ChannelType::kUplink, copy_latency);
     sched_.schedule_at(copy_arrival,
                        [deliver, env = std::move(env)]() mutable { deliver(std::move(env)); });
   }
@@ -560,8 +570,10 @@ void Network::send_to_mh_attempt(MssId from, Envelope env, MhId to, SendPolicy p
       if (policy == SendPolicy::kNotifyIfDisconnected) {
         // The MSS holding the "disconnected" flag notifies the sender,
         // returning the undelivered body (L2's disconnect handling).
-        log(sim::TraceLevel::kInfo, "search",
-            to_string(to) + " unreachable (disconnected at " + to_string(at) + ")");
+        if (trace_enabled(sim::TraceLevel::kInfo)) {
+          log(sim::TraceLevel::kInfo, "search",
+              to_string(to) + " unreachable (disconnected at " + to_string(at) + ")");
+        }
         ++stats_.unreachable_notices;
         msg::UnreachableNotice notice{to, env.proto, env.body};
         send_fixed(at, from, make_control(NodeRef(at), NodeRef(from), std::move(notice)));
@@ -580,23 +592,23 @@ void Network::send_to_mh_attempt(MssId from, Envelope env, MhId to, SendPolicy p
     // it so retries stay on the causal chain.
     auto deliver = [this, at, env = std::move(env), to, policy, attempt,
                     cause = events_.current_cause()]() mutable {
-      Envelope frame = env;  // keep a copy for the retry path
-      send_wireless_downlink(at, std::move(frame), to, [this, at, env, to, policy,
-                                                        attempt, cause]() {
-        ++stats_.delivery_retries;
-        delivery_retry_depth_.record(attempt + 1);
-        // Re-launch from the cell that noticed the miss: its MSS
-        // searches again, as the paper's footnote 1 describes. The
-        // backoff is essential: a just-departed MH can still sit in the
-        // local list until its leave() lands, and an instant retry would
-        // re-resolve to the same cell in the same virtual instant,
-        // spinning forever without advancing time.
-        const auto backoff = cfg_.latency.wireless_max + 1;
-        sched_.schedule(backoff, [this, at, env, to, policy, attempt, cause]() {
-          obs::CauseScope scope(events_, cause);
-          send_to_mh_attempt(at, env, to, policy, attempt + 1);
-        });
-      });
+      send_wireless_downlink(
+          at, std::move(env), to,
+          [this, at, to, policy, attempt, cause](const Envelope& failed) {
+            ++stats_.delivery_retries;
+            delivery_retry_depth_.record(attempt + 1);
+            // Re-launch from the cell that noticed the miss: its MSS
+            // searches again, as the paper's footnote 1 describes. The
+            // backoff is essential: a just-departed MH can still sit in the
+            // local list until its leave() lands, and an instant retry would
+            // re-resolve to the same cell in the same virtual instant,
+            // spinning forever without advancing time.
+            const auto backoff = cfg_.latency.wireless_max + 1;
+            sched_.schedule(backoff, [this, at, env = failed, to, policy, attempt, cause]() {
+              obs::CauseScope scope(events_, cause);
+              send_to_mh_attempt(at, env, to, policy, attempt + 1);
+            });
+          });
     };
     if (at == from) {
       deliver();
@@ -809,7 +821,8 @@ void Network::submit_join(MhId from, MssId target, msg::Join join) {
 void Network::join_attempt(MhId from, MssId target, msg::Join join, std::uint32_t attempt,
                            std::uint64_t wseq) {
   const auto channel = channel_key(ChannelType::kUplink, index(from), index(target));
-  if (attempt == 0) wseq = ++wireless_seq_[channel];
+  auto& chan = channels_[channel];
+  if (attempt == 0) wseq = ++chan.next_wseq;
   const auto send_id = emit({.kind = obs::EventKind::kSend,
                              .entity = entity_of(from),
                              .peer = entity_of(target),
@@ -850,9 +863,9 @@ void Network::join_attempt(MhId from, MssId target, msg::Join join, std::uint32_
           .channel = channel,
           .arg = protocol::kSystem});
   }
-  const auto arrival = fifo_arrival(ChannelType::kUplink, index(from), index(target), latency);
+  const auto arrival = fifo_arrival(chan, ChannelType::kUplink, latency);
   auto deliver = [this, from, target, send_id, channel, wseq, join]() {
-    if (!dedup_deliver(channel, wseq)) {
+    if (!dedup_deliver(channels_[channel], wseq)) {
       ++stats_.dup_suppressed;
       return;
     }
@@ -870,8 +883,7 @@ void Network::join_attempt(MhId from, MssId target, msg::Join join, std::uint32_
   if (duplicated) {
     const auto copy_latency =
         fault_->draw_latency(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
-    const auto copy_arrival =
-        fifo_arrival(ChannelType::kUplink, index(from), index(target), copy_latency);
+    const auto copy_arrival = fifo_arrival(chan, ChannelType::kUplink, copy_latency);
     sched_.schedule_at(copy_arrival, deliver);
   }
 }
@@ -889,14 +901,15 @@ void Network::on_mh_rejoined(MhId mh_id, MssId at) {
     parked_.erase(it);
     for (auto& parked : queue) {
       Envelope env = std::move(parked.env);
-      send_wireless_downlink(at, env, mh_id, [this, at, env, mh_id]() {
-        ++stats_.delivery_retries;
-        delivery_retry_depth_.record(1);
-        const auto backoff = cfg_.latency.wireless_max + 1;
-        sched_.schedule(backoff, [this, at, env, mh_id]() {
-          send_to_mh(at, env, mh_id, SendPolicy::kEventualDelivery);
-        });
-      });
+      send_wireless_downlink(at, std::move(env), mh_id,
+                             [this, at, mh_id](const Envelope& failed) {
+                               ++stats_.delivery_retries;
+                               delivery_retry_depth_.record(1);
+                               const auto backoff = cfg_.latency.wireless_max + 1;
+                               sched_.schedule(backoff, [this, at, env = failed, mh_id]() {
+                                 send_to_mh(at, env, mh_id, SendPolicy::kEventualDelivery);
+                               });
+                             });
     }
   }
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <unordered_map>
 #include <memory>
 #include <set>
 #include <vector>
@@ -30,9 +31,11 @@ namespace mobidist::net {
 [[nodiscard]] constexpr obs::Entity entity_of(MssId id) noexcept {
   return id == kInvalidMss ? obs::Entity{} : obs::Entity::mss(index(id));
 }
+/// MH counterpart of entity_of(MssId).
 [[nodiscard]] constexpr obs::Entity entity_of(MhId id) noexcept {
   return id == kInvalidMh ? obs::Entity{} : obs::Entity::mh(index(id));
 }
+/// NodeRef counterpart of entity_of(MssId); kNone maps to the empty entity.
 [[nodiscard]] constexpr obs::Entity entity_of(NodeRef ref) noexcept {
   switch (ref.kind) {
     case NodeRef::Kind::kMss: return obs::Entity::mss(ref.idx);
@@ -80,22 +83,37 @@ class Network {
 
   // --- topology & components ----------------------------------------------
 
+  /// M, the number of fixed stations.
   [[nodiscard]] std::uint32_t num_mss() const noexcept { return cfg_.num_mss; }
+  /// N, the number of mobile hosts.
   [[nodiscard]] std::uint32_t num_mh() const noexcept { return cfg_.num_mh; }
+  /// The configuration this system was built from.
   [[nodiscard]] const NetConfig& config() const noexcept { return cfg_; }
 
+  /// The station with the given id (ids are dense, [0, M)).
   [[nodiscard]] Mss& mss(MssId id);
   [[nodiscard]] const Mss& mss(MssId id) const;
+  /// The mobile host with the given id (ids are dense, [0, N)).
   [[nodiscard]] MobileHost& mh(MhId id);
   [[nodiscard]] const MobileHost& mh(MhId id) const;
 
+  /// The simulation kernel driving this system.
   [[nodiscard]] sim::Scheduler& sched() noexcept { return sched_; }
   [[nodiscard]] const sim::Scheduler& sched() const noexcept { return sched_; }
+  /// The system's root deterministic RNG stream.
   [[nodiscard]] sim::Rng& rng() noexcept { return rng_; }
+  /// Free-text trace (a rendering of the structured event stream).
   [[nodiscard]] sim::Trace& trace() noexcept { return trace_; }
   [[nodiscard]] const sim::Trace& trace() const noexcept { return trace_; }
+  /// Guard for log() call sites that build their text with string
+  /// concatenation: skip the formatting entirely when `level` is muted.
+  [[nodiscard]] bool trace_enabled(sim::TraceLevel level) const noexcept {
+    return trace_.enabled(level);
+  }
+  /// The cost ledger metering every charged hop (the paper's C_* terms).
   [[nodiscard]] cost::CostLedger& ledger() noexcept { return ledger_; }
   [[nodiscard]] const cost::CostLedger& ledger() const noexcept { return ledger_; }
+  /// Substrate protocol-event counters (joins, handoffs, retries, ...).
   [[nodiscard]] NetStats& stats() noexcept { return stats_; }
   [[nodiscard]] const NetStats& stats() const noexcept { return stats_; }
   /// Per-system metric registry: every NetStats counter plus the latency
@@ -122,6 +140,7 @@ class Network {
   /// never from rng_, so a zero-probability profile leaves the run
   /// byte-identical to one without a plane.
   fault::FaultPlane& install_fault_plane(fault::FaultProfile profile);
+  /// The installed fault plane; nullptr when the run has none.
   [[nodiscard]] fault::FaultPlane* fault_plane() noexcept { return fault_.get(); }
   [[nodiscard]] const fault::FaultPlane* fault_plane() const noexcept { return fault_.get(); }
 
@@ -138,7 +157,9 @@ class Network {
 
   /// Current MSS of a connected MH; kInvalidMss otherwise.
   [[nodiscard]] MssId current_mss_of(MhId id) const;
+  /// True while `id` is voluntarily disconnected.
   [[nodiscard]] bool is_disconnected(MhId id) const;
+  /// True while `id` is between leave() and its next join.
   [[nodiscard]] bool is_in_transit(MhId id) const;
 
   // --- messaging (used by agents via the helpers in agent.hpp) ------------
@@ -147,13 +168,18 @@ class Network {
   /// control or self-addressed.
   void send_fixed(MssId from, MssId to, Envelope env);
 
+  /// Failure callback for a wireless downlink: receives the undelivered
+  /// envelope. Taking the envelope as an argument (instead of capturing
+  /// it) keeps happy-path callbacks small enough for std::function's
+  /// inline buffer — no heap traffic per send.
+  using FailCallback = std::function<void(const Envelope&)>;
+
   /// Wireless downlink to a MH that is local to `from` right now. If the
   /// MH leaves before the frame lands, the sending agent's
   /// on_local_send_failed is NOT invoked (there is none); instead the
-  /// optional `on_fail` runs. Charges c_wireless + rx energy only on
-  /// successful delivery.
-  void send_wireless_downlink(MssId from, Envelope env, MhId to,
-                              std::function<void()> on_fail = {});
+  /// optional `on_fail` runs with the undelivered envelope. Charges
+  /// c_wireless + rx energy only on successful delivery.
+  void send_wireless_downlink(MssId from, Envelope env, MhId to, FailCallback on_fail = {});
 
   /// Wireless uplink from a connected MH to its current MSS. Always
   /// delivered (the MSS does not move). Charges c_wireless + tx energy
@@ -174,6 +200,8 @@ class Network {
   /// "disconnected" flag when `disconnected` is true. Searches for
   /// in-transit MHs resolve when the MH joins its next cell.
   using LocateCallback = std::function<void(MssId, bool disconnected)>;
+  /// Start a location search from `from` for `target` (mode chosen by
+  /// NetConfig::search_mode); `cb` fires when the search resolves.
   void locate(MssId from, MhId target, LocateCallback cb);
 
   /// MH -> MSS join/reconnect transmission in the *new* cell (the MH is
@@ -182,6 +210,7 @@ class Network {
 
   /// Broadcast-search protocol handlers (invoked by Mss::dispatch).
   void handle_search_query(MssId at, const msg::SearchQuery& query);
+  /// Reply leg of the broadcast search; resolves the pending locate().
   void handle_search_reply(const msg::SearchReply& reply);
 
   // --- FIFO channel identity ----------------------------------------------
@@ -227,6 +256,12 @@ class Network {
   // FIFO clamping: per ordered channel, arrivals never decrease.
   [[nodiscard]] sim::SimTime fifo_arrival(ChannelType type, std::uint32_t a, std::uint32_t b,
                                           sim::Duration latency);
+  struct ChannelState;
+  /// Same, against an already-looked-up channel state (one hash lookup
+  /// per message instead of one per bookkeeping field).
+  [[nodiscard]] sim::SimTime fifo_arrival(ChannelState& ch, ChannelType type,
+                                          sim::Duration latency);
+
 
   [[nodiscard]] sim::Duration sample(sim::Duration lo, sim::Duration hi);
 
@@ -247,11 +282,11 @@ class Network {
   // dropped attempt schedules the next one after a capped exponential
   // backoff.
 
-  void downlink_attempt(MssId from, Envelope env, MhId to, std::function<void()> on_fail,
+  void downlink_attempt(MssId from, Envelope env, MhId to, FailCallback on_fail,
                         std::uint32_t attempt, std::uint64_t wseq);
   void deliver_downlink_frame(MssId from, MhId to, obs::EventId send_id,
                               std::uint64_t channel, std::uint64_t wseq, Envelope env,
-                              std::function<void()> on_fail);
+                              FailCallback on_fail);
   void uplink_attempt(MhId from, MssId target, Envelope env, std::uint64_t epoch,
                       std::uint32_t attempt, std::uint64_t wseq);
   void join_attempt(MhId from, MssId target, msg::Join join, std::uint32_t attempt,
@@ -262,7 +297,6 @@ class Network {
   [[nodiscard]] bool wireless_frame_lost(std::uint32_t cell, const char** why);
   [[nodiscard]] sim::Duration retransmit_backoff(std::uint32_t attempt) const;
   /// Record one delivered wseq; false = duplicate, suppress the frame.
-  [[nodiscard]] bool dedup_deliver(std::uint64_t channel, std::uint64_t wseq);
 
   /// Wired arrival with crash/partition deferral: a message reaching a
   /// crashed (or partitioned-off) MSS waits at its interface and is
@@ -312,7 +346,6 @@ class Network {
   std::vector<std::unique_ptr<Mss>> mss_;
   std::vector<std::unique_ptr<MobileHost>> mh_;
 
-  std::map<std::uint64_t, sim::SimTime> channel_clock_;
   std::map<MhId, std::vector<PendingLocate>> pending_locates_;
   /// Messages awaiting a disconnected MH's reconnect (eventual-delivery
   /// policy). Keyed by MH; delivered via its new MSS on rejoin.
@@ -325,18 +358,27 @@ class Network {
   bool started_ = false;
 
   std::unique_ptr<fault::FaultPlane> fault_;
-  /// Sender-side logical frame numbering per wireless channel.
-  std::map<std::uint64_t, std::uint64_t> wireless_seq_;
-  /// Receiver-side duplicate suppression per wireless channel: every
-  /// wseq <= floor was delivered; delivered wseqs above the floor wait in
-  /// `above` until the floor catches up. A frame abandoned mid-retry (its
-  /// MH left the cell for good) leaves a permanent hole below later
-  /// deliveries, so a plain high-water mark would mis-drop fresh frames.
-  struct WirelessDedup {
+  /// Everything keyed by channel lives in one map so the per-message
+  /// hot path does a single hash lookup. `fifo_clock` clamps arrivals
+  /// (never decrease per ordered channel); `next_wseq` is the
+  /// sender-side logical frame number for wireless channels; `floor` /
+  /// `above` are receiver-side duplicate suppression: every wseq <=
+  /// floor was delivered, and delivered wseqs above the floor wait in
+  /// `above` until the floor catches up. A frame abandoned mid-retry
+  /// (its MH left the cell for good) leaves a permanent hole below
+  /// later deliveries, so a plain high-water mark would mis-drop fresh
+  /// frames.
+  struct ChannelState {
+    sim::SimTime fifo_clock = 0;
+    std::uint64_t next_wseq = 0;
     std::uint64_t floor = 0;
     std::set<std::uint64_t> above;
   };
-  std::map<std::uint64_t, WirelessDedup> wireless_dedup_;
+  std::unordered_map<std::uint64_t, ChannelState> channels_;
+
+  [[nodiscard]] ChannelState& channel_state(std::uint64_t key) { return channels_[key]; }
+  /// Receiver-side duplicate suppression; true = first delivery of wseq.
+  [[nodiscard]] static bool dedup_deliver(ChannelState& ch, std::uint64_t wseq);
 };
 
 }  // namespace mobidist::net

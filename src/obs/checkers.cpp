@@ -32,7 +32,7 @@ std::string_view token_family(std::string_view detail) {
 
 }  // namespace
 
-std::vector<CheckFailure> check_cs_exclusion(const std::deque<Event>& events) {
+std::vector<CheckFailure> check_cs_exclusion(std::span<const Event> events) {
   std::vector<CheckFailure> failures;
   // Per mutual-exclusion instance (detail label): who is inside, and the
   // enter event that put them there.
@@ -68,7 +68,7 @@ std::vector<CheckFailure> check_cs_exclusion(const std::deque<Event>& events) {
   return failures;
 }
 
-std::vector<CheckFailure> check_token_circulation(const std::deque<Event>& events) {
+std::vector<CheckFailure> check_token_circulation(std::span<const Event> events) {
   std::vector<CheckFailure> failures;
   struct TokenState {
     enum class Where { kUnknown, kHeld, kInFlight } where = Where::kUnknown;
@@ -143,7 +143,7 @@ std::vector<CheckFailure> check_token_circulation(const std::deque<Event>& event
   return failures;
 }
 
-std::vector<CheckFailure> check_channel_fifo(const std::deque<Event>& events) {
+std::vector<CheckFailure> check_channel_fifo(std::span<const Event> events) {
   std::vector<CheckFailure> failures;
   // Position of every retained send within its channel, and per channel
   // the position of the last send already consumed by a recv.
@@ -191,7 +191,7 @@ std::vector<CheckFailure> check_channel_fifo(const std::deque<Event>& events) {
   return failures;
 }
 
-std::vector<CheckFailure> check_traversal_cap(const std::deque<Event>& events) {
+std::vector<CheckFailure> check_traversal_cap(std::span<const Event> events) {
   std::vector<CheckFailure> failures;
   // (variant, token_val, mh) -> the grant event already charged.
   std::map<std::tuple<std::string, std::uint64_t, std::uint64_t>, EventId> grants;
@@ -212,7 +212,7 @@ std::vector<CheckFailure> check_traversal_cap(const std::deque<Event>& events) {
   return failures;
 }
 
-std::vector<CheckFailure> check_causal_clocks(const std::deque<Event>& events) {
+std::vector<CheckFailure> check_causal_clocks(std::span<const Event> events) {
   std::vector<CheckFailure> failures;
   std::unordered_map<EventId, std::uint64_t> lamports;
   std::unordered_map<std::uint64_t, std::pair<std::uint64_t, EventId>> last_seq;
@@ -247,7 +247,7 @@ std::vector<CheckFailure> check_causal_clocks(const std::deque<Event>& events) {
   return failures;
 }
 
-std::vector<CheckFailure> check_fault_delivery(const std::deque<Event>& events) {
+std::vector<CheckFailure> check_fault_delivery(std::span<const Event> events) {
   std::vector<CheckFailure> failures;
   std::unordered_set<EventId> dropped_sends;
   // Crash state per MSS entity key; entities with no retained crash
@@ -299,7 +299,7 @@ std::vector<CheckFailure> check_fault_delivery(const std::deque<Event>& events) 
   return failures;
 }
 
-std::vector<CheckFailure> check_all(const std::deque<Event>& events) {
+std::vector<CheckFailure> check_all(std::span<const Event> events) {
   std::vector<CheckFailure> failures = check_cs_exclusion(events);
   auto append = [&failures](std::vector<CheckFailure> more) {
     failures.insert(failures.end(), std::make_move_iterator(more.begin()),

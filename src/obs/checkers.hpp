@@ -1,6 +1,6 @@
 #pragma once
 
-#include <deque>
+#include <span>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,19 +29,19 @@ struct CheckFailure {
 /// mutual-exclusion instance (instances are distinguished by the CS
 /// events' `detail` label, so scenarios running several algorithms on
 /// one network check each independently).
-[[nodiscard]] std::vector<CheckFailure> check_cs_exclusion(const std::deque<Event>& events);
+[[nodiscard]] std::vector<CheckFailure> check_cs_exclusion(std::span<const Event> events);
 
 /// Exactly one live token per ring family between depart/arrive pairs:
 /// an arrival while the family's token is already held, or a departure
 /// from an entity that does not hold it, is a duplicate / forged token.
 /// Families are the leading algorithm tag of `detail` ("R1", "R2").
 [[nodiscard]] std::vector<CheckFailure> check_token_circulation(
-    const std::deque<Event>& events);
+    std::span<const Event> events);
 
 /// Per-channel FIFO delivery: on every ordered channel (channel != 0),
 /// recvs must consume sends in emission order. Sends whose recv never
 /// appears (losses, in-flight at shutdown) are allowed to be skipped.
-[[nodiscard]] std::vector<CheckFailure> check_channel_fifo(const std::deque<Event>& events);
+[[nodiscard]] std::vector<CheckFailure> check_channel_fifo(std::span<const Event> events);
 
 /// R2'/R2'' at-most-once-per-traversal: within one token traversal
 /// (identified by token_val in `arg`), no MH is granted the token twice.
@@ -50,20 +50,20 @@ struct CheckFailure {
 /// for runs with malicious reporters, "R2'~" for repeats admitted by a
 /// stale access_count snapshot — so only genuinely fresh-count R2'
 /// grants are held to the cap.
-[[nodiscard]] std::vector<CheckFailure> check_traversal_cap(const std::deque<Event>& events);
+[[nodiscard]] std::vector<CheckFailure> check_traversal_cap(std::span<const Event> events);
 
 /// Lamport clocks increase along every causal edge whose parent is
 /// retained, and per-entity sequence numbers are strictly increasing.
-[[nodiscard]] std::vector<CheckFailure> check_causal_clocks(const std::deque<Event>& events);
+[[nodiscard]] std::vector<CheckFailure> check_causal_clocks(std::span<const Event> events);
 
 /// Fault-plane consistency: no recv may consume a send the fault plane
 /// dropped (retransmissions are fresh sends with fresh ids, so a recv
 /// causally parented to a dropped send means a ghost delivery), and
 /// crash / recover events must alternate per MSS.
-[[nodiscard]] std::vector<CheckFailure> check_fault_delivery(const std::deque<Event>& events);
+[[nodiscard]] std::vector<CheckFailure> check_fault_delivery(std::span<const Event> events);
 
 /// Run every checker; failures are concatenated in the order above.
-[[nodiscard]] std::vector<CheckFailure> check_all(const std::deque<Event>& events);
+[[nodiscard]] std::vector<CheckFailure> check_all(std::span<const Event> events);
 [[nodiscard]] std::vector<CheckFailure> check_all(const EventStream& stream);
 
 }  // namespace mobidist::obs

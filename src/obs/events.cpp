@@ -166,7 +166,7 @@ EventId EventStream::emit(sim::SimTime at, Emit spec) {
   ev.arg = spec.arg;
   ev.detail = std::move(spec.detail);
 
-  auto& st = entities_[ev.entity.key()];
+  auto& st = state_of(ev.entity);
   ev.seq = ++st.seq;
   st.clock = std::max(st.clock, lamport_of(ev.cause)) + 1;
   ev.lamport = st.clock;
@@ -174,23 +174,47 @@ EventId EventStream::emit(sim::SimTime at, Emit spec) {
   if (sink_) sink_(ev);
 
   records_.push_back(std::move(ev));
-  while (records_.size() > capacity_) {
-    records_.pop_front();
+  if (records_.size() - head_ > capacity_) {
+    ++head_;
     ++dropped_;
+    if (head_ >= capacity_) {
+      // Compact the dead prefix away: amortized one extra move per
+      // event, and the vector's capacity stops growing at ~2x the
+      // retention limit.
+      records_.erase(records_.begin(),
+                     records_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
   }
   return last_id_;
+}
+
+EventStream::EntityState& EventStream::state_of(Entity entity) {
+  auto slot = [idx = entity.idx](std::vector<EntityState>& pool) -> EntityState& {
+    if (idx >= pool.size()) pool.resize(idx + 1);
+    return pool[idx];
+  };
+  switch (entity.kind) {
+    case Entity::Kind::kMss: return slot(mss_state_);
+    case Entity::Kind::kMh: return slot(mh_state_);
+    case Entity::Kind::kNone: break;
+  }
+  return none_state_;
 }
 
 std::uint64_t EventStream::lamport_of(EventId id) const noexcept {
   // Eviction is front-only, so retained ids form the contiguous range
   // [dropped_ + 1, last_id_] and index straight into records_.
   if (id == 0 || id <= dropped_ || id > last_id_) return 0;
-  return records_[id - dropped_ - 1].lamport;
+  return records_[head_ + (id - dropped_ - 1)].lamport;
 }
 
 void EventStream::clear() {
   records_.clear();
-  entities_.clear();
+  head_ = 0;
+  mss_state_.clear();
+  mh_state_.clear();
+  none_state_ = EntityState{};
   last_id_ = 0;
   dropped_ = 0;
   current_cause_ = 0;
@@ -352,7 +376,7 @@ std::optional<Event> event_from_json(std::string_view line) {
   return ev;
 }
 
-std::string to_jsonl(const std::deque<Event>& events) {
+std::string to_jsonl(std::span<const Event> events) {
   std::string out;
   for (const auto& ev : events) {
     out += event_json(ev);
@@ -415,7 +439,7 @@ std::string chrome_args(const Event& ev) {
 
 }  // namespace
 
-std::string to_chrome_trace(const std::deque<Event>& events) {
+std::string to_chrome_trace(std::span<const Event> events) {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool first = true;
 

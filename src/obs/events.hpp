@@ -1,12 +1,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <vector>
 
 #include "sim/time.hpp"
 
@@ -134,8 +134,11 @@ class EventStream {
   void set_sink(Sink sink) { sink_ = std::move(sink); }
 
   /// Retained events, oldest first. Ids are contiguous:
-  /// records().front().id == dropped() + 1.
-  [[nodiscard]] const std::deque<Event>& records() const noexcept { return records_; }
+  /// records().front().id == dropped() + 1. The view is invalidated by
+  /// the next emit()/clear().
+  [[nodiscard]] std::span<const Event> records() const noexcept {
+    return {records_.data() + head_, records_.size() - head_};
+  }
   /// Total events ever emitted (== the id of the newest event).
   [[nodiscard]] std::uint64_t emitted() const noexcept { return last_id_; }
   /// Events evicted from the front of the buffer (truncation count).
@@ -154,9 +157,21 @@ class EventStream {
     std::uint64_t clock = 0;
   };
 
+  /// Entity indices are dense small integers, so per-entity counters
+  /// live in flat vectors (grown on demand) instead of a hash map —
+  /// emit() is on the simulation hot path.
+  [[nodiscard]] EntityState& state_of(Entity entity);
+
   std::size_t capacity_;
-  std::deque<Event> records_;
-  std::unordered_map<std::uint64_t, EntityState> entities_;
+  /// Flat storage with a dead prefix of `head_` evicted events; the
+  /// prefix is compacted away once it reaches `capacity_`, so emit()
+  /// performs no per-event allocation at steady state (a deque would
+  /// allocate a block node every few events).
+  std::vector<Event> records_;
+  std::size_t head_ = 0;
+  std::vector<EntityState> mss_state_;
+  std::vector<EntityState> mh_state_;
+  EntityState none_state_;
   std::uint64_t last_id_ = 0;
   std::uint64_t dropped_ = 0;
   EventId current_cause_ = 0;
@@ -194,7 +209,7 @@ class CauseScope {
 [[nodiscard]] std::optional<Event> event_from_json(std::string_view line);
 
 /// Whole stream as JSON Lines (one event_json per line).
-[[nodiscard]] std::string to_jsonl(const std::deque<Event>& events);
+[[nodiscard]] std::string to_jsonl(std::span<const Event> events);
 [[nodiscard]] std::string to_jsonl(const EventStream& stream);
 
 /// Chrome trace-event format (loadable in Perfetto / chrome://tracing):
@@ -202,7 +217,7 @@ class CauseScope {
 /// occupancy and token holds on the owning entity's track, async spans
 /// for handoffs, instants for the remaining kinds. Virtual ticks map to
 /// microseconds.
-[[nodiscard]] std::string to_chrome_trace(const std::deque<Event>& events);
+[[nodiscard]] std::string to_chrome_trace(std::span<const Event> events);
 [[nodiscard]] std::string to_chrome_trace(const EventStream& stream);
 
 }  // namespace mobidist::obs

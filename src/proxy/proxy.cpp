@@ -92,15 +92,15 @@ class ProxyService::StationAgent : public net::MssAgent {
   }
 
   /// A Down frame missed (stale cache / MH left this cell): chase.
-  void on_local_send_failed(MhId mh, const std::any& body) override {
+  void on_local_send_failed(MhId mh, const net::Body& body) override {
     ++owner_.location_misses_;
-    const auto* down = std::any_cast<Down>(&body);
+    const auto* down = body.get<Down>();
     if (down == nullptr) return;
     send_to_mh(mh, *down, down->policy);
   }
 
-  void on_mh_unreachable(MhId mh, const std::any& body) override {
-    const auto* down = std::any_cast<Down>(&body);
+  void on_mh_unreachable(MhId mh, const net::Body& body) override {
+    const auto* down = body.get<Down>();
     if (down == nullptr) return;
     if (owner_.unreachable_handler_) {
       owner_.unreachable_handler_(down->proxy, mh, down->body);
@@ -108,9 +108,9 @@ class ProxyService::StationAgent : public net::MssAgent {
   }
 
   // Expose protected sends to the owning service.
-  void do_send_fixed(MssId to, std::any body) { send_fixed(to, std::move(body)); }
-  void do_send_local(MhId mh, std::any body) { send_local(mh, std::move(body)); }
-  void do_send_to_mh(MhId mh, std::any body, net::SendPolicy policy) {
+  void do_send_fixed(MssId to, net::Body body) { send_fixed(to, std::move(body)); }
+  void do_send_local(MhId mh, net::Body body) { send_local(mh, std::move(body)); }
+  void do_send_to_mh(MhId mh, net::Body body, net::SendPolicy policy) {
     send_to_mh(mh, std::move(body), policy);
   }
 

@@ -1,10 +1,25 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
 
 namespace mobidist::sim {
+
+namespace {
+
+// Handle layout: generation in the high 32 bits, slot index + 1 in the
+// low 32 bits (the +1 keeps id 0 reserved for "invalid").
+constexpr std::uint64_t pack_handle(std::uint32_t generation, std::uint32_t slot) {
+  return (static_cast<std::uint64_t>(generation) << 32) |
+         (static_cast<std::uint64_t>(slot) + 1);
+}
+
+// Corpses below this count are never worth a compaction pass.
+constexpr std::size_t kCompactFloor = 64;
+
+}  // namespace
 
 EventHandle Scheduler::schedule(Duration delay, Callback fn) {
   return schedule_at(now_ + delay, std::move(fn));
@@ -13,36 +28,134 @@ EventHandle Scheduler::schedule(Duration delay, Callback fn) {
 EventHandle Scheduler::schedule_at(SimTime at, Callback fn) {
   if (at < now_) throw std::invalid_argument("Scheduler: event scheduled in the past");
   if (!fn) throw std::invalid_argument("Scheduler: null callback");
-  const std::uint64_t id = next_id_++;
-  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
-  live_ids_.insert(id);
-  return EventHandle{id};
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.scheduled = true;
+  push_entry(Entry{at, next_seq_++, slot});
+  ++live_;
+  return EventHandle{pack_handle(s.generation, slot)};
 }
 
 bool Scheduler::cancel(EventHandle h) {
   if (!h.valid()) return false;
-  // Erase from the live set; the queue drops the corpse lazily when the
-  // event reaches the front (a priority_queue cannot cheaply remove an
-  // arbitrary element).
-  return live_ids_.erase(h.id) > 0;
+  const auto slot = static_cast<std::uint32_t>((h.id & 0xffffffffU) - 1);
+  const auto generation = static_cast<std::uint32_t>(h.id >> 32);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (!s.scheduled || s.generation != generation) return false;
+  // Destroy the callback now (its captures may hold large payloads); the
+  // heap entry becomes a corpse, dropped when it surfaces or compacted
+  // away when corpses outnumber live events.
+  s.fn.reset();
+  s.scheduled = false;
+  --live_;
+  ++corpses_;
+  if (corpses_ > live_ && corpses_ >= kCompactFloor) compact();
+  return true;
 }
 
-bool Scheduler::pop_one(Event& out) {
-  while (!queue_.empty()) {
-    // top() is const; the move is safe because we pop immediately after.
-    out = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (live_ids_.erase(out.id) > 0) return true;  // not cancelled
+void Scheduler::sift_up(std::size_t i) noexcept {
+  const Entry e = heap_[i];
+  while (i != 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Scheduler::sift_down(std::size_t i) noexcept {
+  const std::size_t n = heap_.size();
+  const Entry e = heap_[i];
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void Scheduler::push_entry(Entry e) {
+  heap_.push_back(e);
+  sift_up(heap_.size() - 1);
+}
+
+Scheduler::Entry Scheduler::pop_entry() noexcept {
+  assert(!heap_.empty());
+  const Entry top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return top;
+}
+
+void Scheduler::release_slot(std::uint32_t slot) noexcept {
+  Slot& s = slots_[slot];
+  ++s.generation;  // stale handles to this slot stop matching
+  free_.push_back(slot);
+}
+
+void Scheduler::compact() {
+  // Drop every corpse in one pass, then restore the heap invariant
+  // bottom-up. O(queue) — amortized against the cancels that created the
+  // corpses, and it keeps queue_depth() <= 2 * pending() + kCompactFloor.
+  std::size_t kept = 0;
+  for (const Entry& e : heap_) {
+    if (slots_[e.slot].scheduled) {
+      heap_[kept++] = e;
+    } else {
+      release_slot(e.slot);
+    }
+  }
+  heap_.resize(kept);
+  corpses_ = 0;
+  if (kept > 1) {
+    for (std::size_t i = (kept - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
+}
+
+bool Scheduler::pop_live(Entry& out) {
+  while (!heap_.empty()) {
+    const Entry e = pop_entry();
+    if (slots_[e.slot].scheduled) {
+      out = e;
+      return true;
+    }
+    // A corpse surfaced: its slot can be recycled now.
+    release_slot(e.slot);
+    --corpses_;
   }
   return false;
 }
 
 bool Scheduler::step() {
-  Event ev;
-  if (!pop_one(ev)) return false;
-  now_ = ev.at;
+  Entry e;
+  if (!pop_live(e)) return false;
+  Slot& s = slots_[e.slot];
+  Callback fn = std::move(s.fn);
+  s.fn.reset();
+  s.scheduled = false;
+  release_slot(e.slot);
+  --live_;
+  now_ = e.at;
   ++fired_;
-  ev.fn();
+  fn();
   return true;
 }
 
@@ -62,19 +175,25 @@ std::uint64_t Scheduler::run() {
 std::uint64_t Scheduler::run_until(SimTime until) {
   hit_limit_ = false;
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().at <= until) {
-    Event ev;
-    if (!pop_one(ev)) break;
-    if (ev.at > until) {
-      // pop_one skipped cancelled corpses and surfaced a live event past
-      // the horizon: requeue it untouched and stop.
-      live_ids_.insert(ev.id);
-      queue_.push(std::move(ev));
-      break;
+  while (!heap_.empty()) {
+    // Peek: drop corpses at the front without touching live events past
+    // the horizon (they stay queued untouched).
+    if (!slots_[heap_.front().slot].scheduled) {
+      release_slot(pop_entry().slot);
+      --corpses_;
+      continue;
     }
-    now_ = ev.at;
+    if (heap_.front().at > until) break;
+    const Entry e = pop_entry();
+    Slot& s = slots_[e.slot];
+    Callback fn = std::move(s.fn);
+    s.fn.reset();
+    s.scheduled = false;
+    release_slot(e.slot);
+    --live_;
+    now_ = e.at;
     ++fired_;
-    ev.fn();
+    fn();
     ++n;
     if (limit_ != 0 && fired_ >= limit_) {
       hit_limit_ = true;

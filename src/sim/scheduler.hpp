@@ -1,21 +1,24 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 namespace mobidist::sim {
 
 /// Opaque handle identifying a scheduled event; used to cancel timers.
 ///
-/// Handles are never reused within one Scheduler instance.
+/// Handles are never reused within one Scheduler instance: the id packs
+/// a pooled slot index with that slot's generation counter, so a handle
+/// kept across the event's firing (or cancellation) goes stale instead
+/// of aliasing a later event.
 struct EventHandle {
   std::uint64_t id = 0;
 
+  /// True for handles returned by schedule(); default-constructed
+  /// handles are invalid and cancel() ignores them.
   [[nodiscard]] bool valid() const noexcept { return id != 0; }
   friend bool operator==(EventHandle, EventHandle) = default;
 };
@@ -25,9 +28,20 @@ struct EventHandle {
 /// Events scheduled for the same virtual instant fire in the order they
 /// were scheduled (FIFO tie-break by sequence number), which makes every
 /// simulation run a pure function of (initial state, seed).
+///
+/// The hot path is allocation-free at steady state: callbacks live in
+/// pooled slots via SmallFn's inline buffer, the priority queue is a
+/// flat-array 4-ary heap of 24-byte entries, and cancel() destroys the
+/// callback in place (releasing its captures immediately) while the
+/// corpse entry is reclaimed lazily — eagerly compacted whenever corpses
+/// outnumber live events, so schedule-then-cancel churn of far-future
+/// timers cannot grow the queue without bound.
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  /// Event callback type. SmallFn's inline buffer is sized for the
+  /// substrate's largest hot-path capture, so scheduling never heap
+  /// -allocates for ordinary events.
+  using Callback = SmallFn;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
@@ -45,7 +59,8 @@ class Scheduler {
 
   /// Cancel a pending event. Returns true if the event existed and had
   /// not yet fired (or been cancelled). Cancelling an invalid/expired
-  /// handle is a harmless no-op returning false.
+  /// handle is a harmless no-op returning false. The callback is
+  /// destroyed immediately, releasing whatever its captures own.
   bool cancel(EventHandle h);
 
   /// Run events until the queue drains. Returns the number of events fired.
@@ -60,7 +75,12 @@ class Scheduler {
   bool step();
 
   /// Events currently pending (scheduled, not fired, not cancelled).
-  [[nodiscard]] std::size_t pending() const noexcept { return live_ids_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
+
+  /// Heap entries currently queued, including cancelled corpses not yet
+  /// reclaimed. Compaction keeps this <= 2 * pending() + a small floor;
+  /// exposed so tests can pin the bound.
+  [[nodiscard]] std::size_t queue_depth() const noexcept { return heap_.size(); }
 
   /// Total events fired since construction.
   [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
@@ -73,26 +93,44 @@ class Scheduler {
   [[nodiscard]] bool hit_event_limit() const noexcept { return hit_limit_; }
 
  private:
-  struct Event {
+  /// One pooled callback slot. A slot owns at most one in-flight event;
+  /// it is recycled (generation bumped) only after its heap entry has
+  /// left the queue, so heap entries never need a generation of their own.
+  struct Slot {
+    Callback fn;
+    std::uint32_t generation = 0;
+    bool scheduled = false;  // false after fire or cancel
+  };
+
+  /// 24-byte heap entry; the callback stays in its slot so sift moves
+  /// are cheap flat copies.
+  struct Entry {
     SimTime at;
     std::uint64_t seq;  // tie-break: FIFO among same-instant events
-    std::uint64_t id;
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+    std::uint32_t slot;
   };
 
-  bool pop_one(Event& out);
+  [[nodiscard]] static bool before(const Entry& a, const Entry& b) noexcept {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;  // seqs are unique: a strict total order
+  }
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<std::uint64_t> live_ids_;  // scheduled, not fired/cancelled
+  void sift_up(std::size_t i) noexcept;
+  void sift_down(std::size_t i) noexcept;
+  void push_entry(Entry e);
+  Entry pop_entry() noexcept;
+  void release_slot(std::uint32_t slot) noexcept;
+  void compact();
+  /// Pop entries until a live one surfaces; returns false when drained.
+  bool pop_live(Entry& out);
+
+  std::vector<Entry> heap_;      // 4-ary min-heap ordered by (at, seq)
+  std::vector<Slot> slots_;      // slab of callback slots
+  std::vector<std::uint32_t> free_;  // recycled slot indices
+  std::size_t live_ = 0;         // scheduled, not fired/cancelled
+  std::size_t corpses_ = 0;      // cancelled entries still in heap_
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t fired_ = 0;
   std::uint64_t limit_ = 0;
   bool hit_limit_ = false;

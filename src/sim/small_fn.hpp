@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mobidist::sim {
+
+/// Move-only type-erased `void()` callable with a fixed inline buffer.
+///
+/// The scheduler's replacement for `std::function<void()>`: callables
+/// whose captures fit in kInlineCapacity bytes (every hot-path lambda in
+/// `net` does) are stored in place, so scheduling them performs no heap
+/// allocation. Larger callables fall back to a single heap allocation,
+/// trading speed for correctness rather than failing to compile.
+///
+/// Unlike `std::function` it is move-only, so captures may own
+/// non-copyable resources and moving a SmallFn never allocates.
+class SmallFn {
+ public:
+  /// Inline storage size. Sized for the largest `net` hot-path capture
+  /// (a 128-byte Envelope plus the downlink failure callback and retry
+  /// bookkeeping, ~200 bytes) with headroom; raising it is cheap because
+  /// Scheduler slots are pooled.
+  static constexpr std::size_t kInlineCapacity = 256;
+
+  SmallFn() noexcept = default;
+
+  /// Wrap any `void()` callable. Lives inline when it fits (size and
+  /// alignment) and its move constructor cannot throw; otherwise on the
+  /// heap.
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, SmallFn> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  SmallFn(F&& fn) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      heap_ = new Fn(std::forward<F>(fn));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { steal(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  /// Destroy the held callable (if any); the SmallFn becomes empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(this);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when a callable is held (empty SmallFns must not be invoked).
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Invoke the held callable. Precondition: non-empty.
+  void operator()() { ops_->invoke(this); }
+
+ private:
+  struct Ops {
+    void (*invoke)(SmallFn* self);
+    void (*relocate)(SmallFn* dst, SmallFn* src) noexcept;  // move into dst, leave src empty
+    void (*destroy)(SmallFn* self) noexcept;
+  };
+
+  template <typename Fn>
+  [[nodiscard]] static constexpr bool fits_inline() noexcept {
+    return sizeof(Fn) <= kInlineCapacity && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  [[nodiscard]] Fn* inline_target() noexcept {
+    return std::launder(reinterpret_cast<Fn*>(buf_));
+  }
+
+  template <typename Fn>
+  static void inline_invoke(SmallFn* self) {
+    (*self->inline_target<Fn>())();
+  }
+  template <typename Fn>
+  static void inline_relocate(SmallFn* dst, SmallFn* src) noexcept {
+    ::new (static_cast<void*>(dst->buf_)) Fn(std::move(*src->inline_target<Fn>()));
+    src->inline_target<Fn>()->~Fn();
+  }
+  template <typename Fn>
+  static void inline_destroy(SmallFn* self) noexcept {
+    self->inline_target<Fn>()->~Fn();
+  }
+  template <typename Fn>
+  static void heap_invoke(SmallFn* self) {
+    (*static_cast<Fn*>(self->heap_))();
+  }
+  static void heap_relocate(SmallFn* dst, SmallFn* src) noexcept {
+    dst->heap_ = src->heap_;
+    src->heap_ = nullptr;
+  }
+  template <typename Fn>
+  static void heap_destroy(SmallFn* self) noexcept {
+    delete static_cast<Fn*>(self->heap_);
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {&inline_invoke<Fn>, &inline_relocate<Fn>,
+                                     &inline_destroy<Fn>};
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {&heap_invoke<Fn>, &heap_relocate,
+                                   &heap_destroy<Fn>};
+
+  void steal(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(this, &other);
+      other.ops_ = nullptr;
+    }
+  }
+
+  union {
+    alignas(std::max_align_t) unsigned char buf_[kInlineCapacity];
+    void* heap_;
+  };
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace mobidist::sim

@@ -13,6 +13,7 @@ namespace mobidist::sim {
 /// Severity of a trace record.
 enum class TraceLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
+/// Level name as rendered in formatted records: "DEBUG" / "INFO" / ...
 [[nodiscard]] std::string_view to_string(TraceLevel level) noexcept;
 
 /// One trace record: virtual timestamp, component tag, free-form text.
@@ -32,16 +33,30 @@ class Trace {
  public:
   explicit Trace(std::size_t capacity = 4096) : capacity_(capacity) {}
 
+  /// Drop records below `level` at the door (default: kInfo).
   void set_min_level(TraceLevel level) noexcept { min_level_ = level; }
+  /// Current acceptance threshold.
   [[nodiscard]] TraceLevel min_level() const noexcept { return min_level_; }
 
+  /// True when a record at `level` would be accepted. Callers that build
+  /// a record text with string concatenation should check this first so
+  /// that disabled levels cost nothing on the hot path.
+  [[nodiscard]] bool enabled(TraceLevel level) const noexcept { return level >= min_level_; }
+
+  /// Observer invoked for every accepted record as it arrives.
   using Sink = std::function<void(const TraceRecord&)>;
+  /// Install (or clear, with {}) the streaming sink.
   void set_sink(Sink sink) { sink_ = std::move(sink); }
 
+  /// Append one record (dropped silently when below min_level()). Hot
+  /// call sites should guard with enabled() before building `text`.
   void log(SimTime at, TraceLevel level, std::string_view component, std::string text);
 
+  /// Retained records, oldest first (bounded by the capacity).
   [[nodiscard]] const std::deque<TraceRecord>& records() const noexcept { return records_; }
+  /// Accepted records evicted to keep the buffer within capacity.
   [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
+  /// Forget all retained records and the dropped() count.
   void clear();
 
   /// Number of retained records whose text contains `needle` (test helper).

@@ -152,7 +152,7 @@ TEST(RelayEdge, DuplicateSequenceNumbersAreDropped) {
   Network net(small_config(3, 4));
   Harness h(net);
   net.start();
-  net::msg::Relay relay{mh_id(0), mh_id(1), kTestProto, std::any(41), 1, true};
+  net::msg::Relay relay{mh_id(0), mh_id(1), kTestProto, net::Body(41), 1, true};
   net.sched().schedule(1, [&] { net.relay_to_mh(mss_id(0), relay); });
   net.sched().schedule(50, [&] { net.relay_to_mh(mss_id(0), relay); });  // duplicate
   net.run();

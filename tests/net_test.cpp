@@ -53,7 +53,7 @@ TEST(WiredChannel, DeliversAndCharges) {
   h.mss[0]->do_send_fixed(mss_id(1), std::string("ping"));
   net.run();
   ASSERT_EQ(h.mss[1]->received.size(), 1u);
-  EXPECT_EQ(*std::any_cast<std::string>(&h.mss[1]->received[0].env.body), "ping");
+  EXPECT_EQ(*h.mss[1]->received[0].env.body.get<std::string>(), "ping");
   EXPECT_EQ(net.ledger().fixed_msgs(), 1u);
   EXPECT_EQ(net.ledger().wireless_msgs(), 0u);
   EXPECT_EQ(net.ledger().searches(), 0u);
@@ -80,7 +80,7 @@ TEST(WiredChannel, FifoUnderRandomLatency) {
   net.run();
   ASSERT_EQ(h.mss[1]->received.size(), 50u);
   for (int i = 0; i < 50; ++i) {
-    EXPECT_EQ(*std::any_cast<int>(&h.mss[1]->received[i].env.body), i);
+    EXPECT_EQ(*h.mss[1]->received[i].env.body.get<int>(), i);
   }
 }
 
@@ -408,7 +408,7 @@ TEST(Disconnect, NotifyPolicyReturnsBodyToSender) {
   net.run();
   ASSERT_EQ(h.mss[0]->unreachable.size(), 1u);
   EXPECT_EQ(h.mss[0]->unreachable[0].first, mh_id(1));
-  EXPECT_EQ(*std::any_cast<std::string>(&h.mss[0]->unreachable[0].second), "urgent");
+  EXPECT_EQ(*h.mss[0]->unreachable[0].second.get<std::string>(), "urgent");
   EXPECT_TRUE(h.mh[1]->received.empty());
   EXPECT_EQ(net.stats().unreachable_notices, 1u);
 }
@@ -424,7 +424,7 @@ TEST(Disconnect, EventualPolicyParksAndDeliversOnReconnect) {
   net.sched().schedule(100, [&] { net.mh(mh_id(1)).reconnect_at(mss_id(2), 10); });
   net.run();
   ASSERT_EQ(h.mh[1]->received.size(), 1u);
-  EXPECT_EQ(*std::any_cast<std::string>(&h.mh[1]->received[0].env.body), "stored");
+  EXPECT_EQ(*h.mh[1]->received[0].env.body.get<std::string>(), "stored");
   EXPECT_GE(h.mh[1]->received[0].at, 110u);
   EXPECT_EQ(net.stats().queued_for_reconnect, 1u);
   EXPECT_EQ(net.current_mss_of(mh_id(1)), mss_id(2));
@@ -470,7 +470,7 @@ TEST(Relay, DeliversWithTwoWirelessHopsAndOneSearch) {
   h.mh[0]->do_send_to_mh(mh_id(1), std::string("peer"));
   net.run();
   ASSERT_EQ(h.mh[1]->received.size(), 1u);
-  EXPECT_EQ(*std::any_cast<std::string>(&h.mh[1]->received[0].env.body), "peer");
+  EXPECT_EQ(*h.mh[1]->received[0].env.body.get<std::string>(), "peer");
   EXPECT_EQ(h.mh[1]->received[0].env.src.mh(), mh_id(0));
   // §2: MH-to-MH costs 2*c_wireless + c_search.
   EXPECT_EQ(net.ledger().wireless_msgs(), 2u);
@@ -537,7 +537,7 @@ TEST(Relay, FifoResequencesAcrossMoves) {
   net.run();
   ASSERT_EQ(h.mh[1]->received.size(), 20u);
   for (int i = 0; i < 20; ++i) {
-    EXPECT_EQ(*std::any_cast<int>(&h.mh[1]->received[i].env.body), i) << "position " << i;
+    EXPECT_EQ(*h.mh[1]->received[i].env.body.get<int>(), i) << "position " << i;
   }
 }
 
@@ -811,7 +811,7 @@ TEST(ChannelKey, FifoNonOvertakingPerChannelUnderJitter) {
   ASSERT_EQ(h.mss[4]->received.size(), static_cast<std::size_t>(kPerPair));
   int last1 = 0, last2 = 0;
   for (const auto& rec : h.mss[0]->received) {
-    const int value = *std::any_cast<int>(&rec.env.body);
+    const int value = *rec.env.body.get<int>();
     if (value < 2000) {
       EXPECT_GT(value, last1) << "stream 1->0 overtook itself";
       last1 = value;
@@ -821,7 +821,7 @@ TEST(ChannelKey, FifoNonOvertakingPerChannelUnderJitter) {
     }
   }
   for (int i = 0; i < kPerPair; ++i) {
-    EXPECT_EQ(*std::any_cast<int>(&h.mss[4]->received[i].env.body), 3000 + i);
+    EXPECT_EQ(*h.mss[4]->received[i].env.body.get<int>(), 3000 + i);
   }
 }
 
@@ -842,7 +842,7 @@ TEST(Search, SingleMssBroadcastParksForInTransitTarget) {
   net.sched().schedule(5, [&] { h.mss[0]->do_send_to_mh(mh_id(1), 42); });
   net.run();
   ASSERT_EQ(h.mh[1]->received.size(), 1u);
-  EXPECT_EQ(*std::any_cast<int>(&h.mh[1]->received[0].env.body), 42);
+  EXPECT_EQ(*h.mh[1]->received[0].env.body.get<int>(), 42);
   EXPECT_GE(h.mh[1]->received[0].at, 121u);  // delivered only after the join
   EXPECT_EQ(net.stats().searches_pended, 1u);
   EXPECT_EQ(net.stats().delivery_retries, 0u);  // no fail/retry spin

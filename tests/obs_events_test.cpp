@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include <deque>
+#include <vector>
 #include <string>
 
 #include "mutex/monitor.hpp"
@@ -162,7 +162,7 @@ TEST(EventJson, KindAndEntityNamesRoundTrip) {
 }
 
 TEST(ChromeTrace, EmitsTracksSpansAndInstants) {
-  std::deque<Event> events;
+  std::vector<Event> events;
   Event enter;
   enter.id = 1;
   enter.at = 100;
@@ -255,7 +255,7 @@ Event make(EventId id, sim::SimTime at, EventKind kind, Entity entity,
 }
 
 TEST(Checkers, TwoHostsInsideTheCriticalSection) {
-  std::deque<Event> events;
+  std::vector<Event> events;
   events.push_back(make(1, 10, EventKind::kCsEnter, Entity::mh(0), "L1"));
   events.push_back(make(2, 12, EventKind::kCsEnter, Entity::mh(1), "L1"));
   events.push_back(make(3, 14, EventKind::kCsExit, Entity::mh(1), "L1"));
@@ -275,7 +275,7 @@ TEST(Checkers, TwoHostsInsideTheCriticalSection) {
 
 TEST(Checkers, ReorderedFifoDelivery) {
   constexpr std::uint64_t kChannel = 77;
-  std::deque<Event> events;
+  std::vector<Event> events;
   auto send = [&](obs::EventId id) {
     Event ev = make(id, id, EventKind::kSend, Entity::mss(0));
     ev.peer = Entity::mss(1);
@@ -301,7 +301,7 @@ TEST(Checkers, ReorderedFifoDelivery) {
 
   // In-order consumption of the same sends is clean, and losses (sends
   // never consumed) are tolerated.
-  std::deque<Event> ok;
+  std::vector<Event> ok;
   ok.push_back(send(1));
   ok.push_back(send(2));
   ok.push_back(send(3));
@@ -311,7 +311,7 @@ TEST(Checkers, ReorderedFifoDelivery) {
 }
 
 TEST(Checkers, DuplicateToken) {
-  std::deque<Event> events;
+  std::vector<Event> events;
   events.push_back(make(1, 10, EventKind::kTokenArrive, Entity::mss(0), "R2"));
   events.push_back(make(2, 15, EventKind::kTokenArrive, Entity::mss(1), "R2"));
   const auto failures = obs::check_token_circulation(events);
@@ -322,7 +322,7 @@ TEST(Checkers, DuplicateToken) {
   EXPECT_NE(failures[0].diagnostic.find("already held by mss:0"), std::string::npos);
 
   // Departures from a non-holder are flagged too.
-  std::deque<Event> forged;
+  std::vector<Event> forged;
   forged.push_back(make(1, 10, EventKind::kTokenArrive, Entity::mss(0), "R1"));
   Event depart = make(2, 12, EventKind::kTokenDepart, Entity::mss(2), "R1");
   depart.peer = Entity::mss(3);
@@ -333,7 +333,7 @@ TEST(Checkers, DuplicateToken) {
 
   // The decorated variants share one family token with plain R2: a
   // legal depart/arrive alternation across tags is clean.
-  std::deque<Event> family;
+  std::vector<Event> family;
   family.push_back(make(1, 10, EventKind::kTokenArrive, Entity::mss(0), "R2"));
   Event hop = make(2, 12, EventKind::kTokenDepart, Entity::mss(0), "R2'");
   hop.peer = Entity::mh(4);
@@ -343,7 +343,7 @@ TEST(Checkers, DuplicateToken) {
 }
 
 TEST(Checkers, StaleAccessCountReplay) {
-  std::deque<Event> events;
+  std::vector<Event> events;
   auto grant = [&](obs::EventId id, std::uint64_t token_val, std::uint32_t mh) {
     Event ev = make(id, id, EventKind::kTokenDepart, Entity::mss(0), "R2'");
     ev.peer = Entity::mh(mh);
@@ -373,7 +373,7 @@ TEST(Checkers, StaleAccessCountReplay) {
 }
 
 TEST(Checkers, StuckLamportClockAcrossCausalEdge) {
-  std::deque<Event> events;
+  std::vector<Event> events;
   Event parent = make(1, 10, EventKind::kSend, Entity::mss(0));
   parent.seq = 1;
   parent.lamport = 5;
@@ -390,7 +390,7 @@ TEST(Checkers, StuckLamportClockAcrossCausalEdge) {
   EXPECT_NE(failures[0].diagnostic.find("clock did not advance"), std::string::npos);
 
   // Non-increasing per-entity seq is the other half of this checker.
-  std::deque<Event> seqs;
+  std::vector<Event> seqs;
   Event first = make(1, 10, EventKind::kSend, Entity::mh(0));
   first.seq = 2;
   first.lamport = 1;
@@ -406,7 +406,7 @@ TEST(Checkers, StuckLamportClockAcrossCausalEdge) {
 }
 
 TEST(Checkers, GhostDeliveryFromDroppedSend) {
-  std::deque<Event> events;
+  std::vector<Event> events;
   Event send = make(1, 10, EventKind::kSend, Entity::mss(0));
   send.peer = Entity::mh(0);
   send.channel = 9;
@@ -431,7 +431,7 @@ TEST(Checkers, GhostDeliveryFromDroppedSend) {
 }
 
 TEST(Checkers, CrashRecoverMustAlternatePerMss) {
-  std::deque<Event> events;
+  std::vector<Event> events;
   events.push_back(make(1, 100, EventKind::kMssCrash, Entity::mss(1)));
   events.push_back(make(2, 120, EventKind::kMssCrash, Entity::mss(1)));  // still down
   const auto failures = obs::check_fault_delivery(events);
@@ -439,7 +439,7 @@ TEST(Checkers, CrashRecoverMustAlternatePerMss) {
   EXPECT_EQ(failures[0].checker, "fault_delivery");
   EXPECT_NE(failures[0].diagnostic.find("while already down"), std::string::npos);
 
-  std::deque<Event> twice;
+  std::vector<Event> twice;
   twice.push_back(make(1, 100, EventKind::kMssCrash, Entity::mss(1)));
   twice.push_back(make(2, 150, EventKind::kMssRecover, Entity::mss(1)));
   twice.push_back(make(3, 160, EventKind::kMssRecover, Entity::mss(1)));
@@ -450,7 +450,7 @@ TEST(Checkers, CrashRecoverMustAlternatePerMss) {
   // Alternation over two windows — and crashes on distinct MSSs — pass;
   // a bare recover on an entity with no retained history is tolerated
   // (the stream may have evicted its crash).
-  std::deque<Event> ok;
+  std::vector<Event> ok;
   ok.push_back(make(1, 50, EventKind::kMssRecover, Entity::mss(2)));
   ok.push_back(make(2, 100, EventKind::kMssCrash, Entity::mss(1)));
   ok.push_back(make(3, 150, EventKind::kMssRecover, Entity::mss(1)));
@@ -460,7 +460,7 @@ TEST(Checkers, CrashRecoverMustAlternatePerMss) {
 }
 
 TEST(Checkers, CheckAllConcatenatesEveryChecker) {
-  std::deque<Event> events;
+  std::vector<Event> events;
   events.push_back(make(1, 10, EventKind::kCsEnter, Entity::mh(0), "L1"));
   events.push_back(make(2, 12, EventKind::kCsEnter, Entity::mh(1), "L1"));
   events.push_back(make(3, 14, EventKind::kTokenArrive, Entity::mss(0), "R1"));

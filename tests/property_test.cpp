@@ -98,7 +98,7 @@ TEST_P(ChannelFifoProperty, WiredAndRelayChannelsNeverReorder) {
                             auto filter) {
     int last = -1;
     for (const auto& rec : log) {
-      const int* value = std::any_cast<int>(&rec.env.body);
+      const int* value = rec.env.body.get<int>();
       if (value == nullptr || !filter(*value)) continue;
       ASSERT_LT(last, *value);
       last = *value;
@@ -109,7 +109,7 @@ TEST_P(ChannelFifoProperty, WiredAndRelayChannelsNeverReorder) {
   assert_monotone(h.mss[2]->received, [](int) { return true; });
   int last = -1;
   for (const auto& rec : h.mh[7]->received) {
-    const int* value = std::any_cast<int>(&rec.env.body);
+    const int* value = rec.env.body.get<int>();
     ASSERT_NE(value, nullptr);
     ASSERT_EQ(*value, last + 1) << "relay lost FIFO";
     last = *value;

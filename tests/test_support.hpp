@@ -55,27 +55,27 @@ class RecordingMssAgent : public MssAgent {
     last_handoff_in = state;
     if (forward_handoff) handoff_blob = state;  // re-export on the next handoff_out
   }
-  void on_mh_unreachable(MhId mh, const std::any& body) override {
+  void on_mh_unreachable(MhId mh, const Body& body) override {
     events.push_back("unreachable:" + to_string(mh));
     unreachable.emplace_back(mh, body);
   }
-  void on_local_send_failed(MhId mh, const std::any& body) override {
+  void on_local_send_failed(MhId mh, const Body& body) override {
     events.push_back("local_fail:" + to_string(mh));
     local_failures.emplace_back(mh, body);
   }
 
   // Public bridges to the protected send helpers.
-  void do_send_fixed(MssId to, std::any body) { send_fixed(to, std::move(body)); }
-  void do_send_local(MhId mh, std::any body) { send_local(mh, std::move(body)); }
-  void do_send_to_mh(MhId mh, std::any body,
+  void do_send_fixed(MssId to, Body body) { send_fixed(to, std::move(body)); }
+  void do_send_local(MhId mh, Body body) { send_local(mh, std::move(body)); }
+  void do_send_to_mh(MhId mh, Body body,
                      SendPolicy policy = SendPolicy::kEventualDelivery) {
     send_to_mh(mh, std::move(body), policy);
   }
 
   std::vector<Received> received;
   std::vector<std::string> events;
-  std::vector<std::pair<MhId, std::any>> unreachable;
-  std::vector<std::pair<MhId, std::any>> local_failures;
+  std::vector<std::pair<MhId, Body>> unreachable;
+  std::vector<std::pair<MhId, Body>> local_failures;
   std::any handoff_blob;
   std::any last_handoff_in;
   bool forward_handoff = false;
@@ -98,8 +98,8 @@ class RecordingMhAgent : public MhAgent {
   void on_joined_cell(MssId mss) override { events.push_back("joined:" + to_string(mss)); }
   void on_left_cell() override { events.push_back("left"); }
 
-  void do_send_uplink(std::any body) { send_uplink(std::move(body)); }
-  void do_send_to_mh(MhId dst, std::any body, bool fifo = true) {
+  void do_send_uplink(Body body) { send_uplink(std::move(body)); }
+  void do_send_to_mh(MhId dst, Body body, bool fifo = true) {
     send_to_mh(dst, std::move(body), fifo);
   }
 

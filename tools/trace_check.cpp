@@ -5,7 +5,7 @@
 // process that produced them.
 
 #include <cstdio>
-#include <deque>
+#include <vector>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
     std::cerr << "trace_check: cannot open " << argv[1] << '\n';
     return 2;
   }
-  std::deque<mobidist::obs::Event> events;
+  std::vector<mobidist::obs::Event> events;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
