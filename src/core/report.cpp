@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -128,12 +129,17 @@ std::string json_escape(std::string_view text) {
 
 namespace {
 
-/// Fixed-precision double rendering so identical values are always
-/// byte-identical text (no locale / shortest-round-trip variation).
+/// Shortest round-trip double rendering via std::to_chars: identical
+/// values are always byte-identical text, independent of the process
+/// locale (snprintf "%.6f" honoured LC_NUMERIC's decimal separator and
+/// truncated to six fractional digits). core cannot depend on exp, so
+/// this mirrors exp::json::format_double rather than calling it.
 std::string json_double(double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.6f", value);
-  return buf;
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec != std::errc{}) return "0";  // cannot happen with this buffer size
+  return std::string(buf, ptr);
 }
 
 std::string quoted(std::string_view text) { return '"' + json_escape(text) + '"'; }

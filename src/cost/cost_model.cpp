@@ -15,7 +15,8 @@ void CostLedger::charge_wireless(std::uint64_t mh_key, bool mh_transmitted) {
 }
 
 double CostLedger::total(const CostParams& p) const noexcept {
-  return static_cast<double>(fixed_msgs_) * p.c_fixed +
+  return static_cast<double>(wired_packets_) * p.c_fixed +
+         static_cast<double>(fixed_msgs_) * p.c_wired_msg +
          static_cast<double>(wireless_msgs_) * p.c_wireless +
          static_cast<double>(searches_) * p.c_search;
 }
@@ -41,6 +42,7 @@ std::uint64_t CostLedger::wireless_hops_at(std::uint64_t mh_key) const noexcept 
 CostLedger CostLedger::delta_since(const CostLedger& baseline) const {
   CostLedger d;
   d.fixed_msgs_ = fixed_msgs_ - baseline.fixed_msgs_;
+  d.wired_packets_ = wired_packets_ - baseline.wired_packets_;
   d.wireless_msgs_ = wireless_msgs_ - baseline.wireless_msgs_;
   d.searches_ = searches_ - baseline.searches_;
   d.wireless_tx_ = wireless_tx_ - baseline.wireless_tx_;

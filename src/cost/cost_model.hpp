@@ -8,7 +8,15 @@ namespace mobidist::cost {
 
 /// The paper's communication cost parameters (Section 2).
 ///
-/// - c_fixed:    one point-to-point message between two fixed hosts.
+/// - c_fixed:    one point-to-point *packet* between two fixed hosts.
+///               Without the formation layer every wired message is its
+///               own packet, so this is the paper's per-message C_fixed;
+///               with batching it becomes the per-packet overhead that
+///               coalescing amortizes across the packet's messages.
+/// - c_wired_msg: per-message marginal cost of a wired message riding a
+///               packet (header/payload bytes). Defaults to 0 so the
+///               unbatched total stays exactly fixed * c_fixed, matching
+///               the paper's single C_fixed term.
 /// - c_wireless: one message between a MH and its local MSS (either way).
 /// - c_search:   locating a MH and forwarding a message to its current
 ///               local MSS from a source MSS. The paper requires
@@ -20,6 +28,7 @@ namespace mobidist::cost {
 /// energy counts equal wireless-hop counts.
 struct CostParams {
   double c_fixed = 1.0;
+  double c_wired_msg = 0.0;
   double c_wireless = 10.0;
   double c_search = 4.0;
   double energy_tx = 1.0;  ///< MH battery cost per wireless transmission
@@ -53,8 +62,21 @@ enum class CostKind : int {
 /// checked per MH.
 class CostLedger {
  public:
-  /// Charge one wired MSS->MSS message.
-  void charge_fixed() noexcept { ++fixed_msgs_; }
+  /// Charge one unbatched wired MSS->MSS message: it is its own packet,
+  /// so both the message and the packet counters advance and the total
+  /// matches the paper's per-message C_fixed exactly.
+  void charge_fixed() noexcept {
+    ++fixed_msgs_;
+    ++wired_packets_;
+  }
+
+  /// Charge the per-message share of a wired message entering a
+  /// formation queue; its packet is charged separately at flush time.
+  void charge_wired_msg() noexcept { ++fixed_msgs_; }
+
+  /// Charge one formation packet entering the wire (the amortized
+  /// per-packet overhead shared by every message it coalesced).
+  void charge_wired_packet() noexcept { ++wired_packets_; }
 
   /// Charge one wireless hop; `mh_key` identifies the mobile endpoint
   /// and `mh_transmitted` says whether the MH was the sender (tx energy)
@@ -66,12 +88,17 @@ class CostLedger {
   void charge_search() noexcept { ++searches_; }
 
   [[nodiscard]] std::uint64_t fixed_msgs() const noexcept { return fixed_msgs_; }
+  /// Wired packets charged; equals fixed_msgs() when nothing batches.
+  [[nodiscard]] std::uint64_t wired_packets() const noexcept { return wired_packets_; }
   [[nodiscard]] std::uint64_t wireless_msgs() const noexcept { return wireless_msgs_; }
   [[nodiscard]] std::uint64_t searches() const noexcept { return searches_; }
   [[nodiscard]] std::uint64_t wireless_tx() const noexcept { return wireless_tx_; }
   [[nodiscard]] std::uint64_t wireless_rx() const noexcept { return wireless_rx_; }
 
   /// Total monetized cost under `p`:
+  ///   packets*c_fixed + fixed*c_wired_msg + wireless*c_wireless +
+  ///   searches*c_search. With no batching packets == fixed and the
+  ///   default c_wired_msg = 0 reduces this to the paper's
   ///   fixed*c_fixed + wireless*c_wireless + searches*c_search.
   [[nodiscard]] double total(const CostParams& p) const noexcept;
 
@@ -96,6 +123,7 @@ class CostLedger {
   };
 
   std::uint64_t fixed_msgs_ = 0;
+  std::uint64_t wired_packets_ = 0;
   std::uint64_t wireless_msgs_ = 0;
   std::uint64_t searches_ = 0;
   std::uint64_t wireless_tx_ = 0;

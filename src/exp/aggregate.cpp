@@ -1,6 +1,7 @@
 #include "exp/aggregate.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -11,14 +12,11 @@ namespace mobidist::exp {
 
 namespace {
 
-/// Fixed-precision double rendering, identical to the BenchReport
-/// convention, so artifact bytes do not depend on locale or platform
-/// shortest-round-trip formatting.
-std::string num(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.6f", v);
-  return buf;
-}
+/// Shortest round-trip double rendering (json::format_double): the
+/// snprintf "%.6f" it replaces honoured the process locale's decimal
+/// separator and truncated to six fractional digits, so artifact bytes
+/// could differ across environments and re-parsed values across runs.
+std::string num(double v) { return json::format_double(v); }
 
 std::string quote(std::string_view s) {
   std::string out = "\"";
@@ -235,10 +233,16 @@ const CellSummary* SweepReport::find_cell(std::string_view cell) const {
 }
 
 std::string Regression::to_string() const {
+  // Diagnostic text, but keep it locale-independent too: to_chars with
+  // fixed precision instead of snprintf "%+.2f".
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%+.2f%%", rel_delta * 100.0);
+  const double pct = rel_delta * 100.0;
+  buf[0] = pct >= 0 ? '+' : '-';
+  const auto [ptr, ec] =
+      std::to_chars(buf + 1, buf + sizeof buf - 1, std::abs(pct), std::chars_format::fixed, 2);
+  std::string delta = ec == std::errc{} ? std::string(buf, ptr) : std::string("?");
   return cell + " / " + metric + ": baseline " + num(baseline) + " -> current " +
-         num(current) + " (" + buf + ")";
+         num(current) + " (" + delta + "%)";
 }
 
 BaselineComparison compare_to_baseline(const SweepReport& current,

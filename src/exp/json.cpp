@@ -1,7 +1,9 @@
 #include "exp/json.hpp"
 
+#include <array>
 #include <cctype>
 #include <charconv>
+#include <cmath>
 
 namespace mobidist::exp::json {
 
@@ -195,5 +197,14 @@ class Parser {
 }  // namespace
 
 std::optional<Value> parse(std::string_view text) { return Parser(text).document(); }
+
+std::string format_double(double value) {
+  if (!std::isfinite(value)) return "null";
+  // Longest shortest-round-trip double is 24 chars ("-2.2250738585072014e-308").
+  std::array<char, 32> buf{};
+  const auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), value);
+  if (ec != std::errc{}) return "0";  // cannot happen with this buffer size
+  return std::string(buf.data(), ptr);
+}
 
 }  // namespace mobidist::exp::json

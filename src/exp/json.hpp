@@ -15,7 +15,8 @@ namespace mobidist::exp::json {
 /// null) — enough to load ScenarioSpec files and committed BENCH_*.json
 /// baselines without an external dependency. Numbers are kept as double;
 /// the artifacts only store integers that fit a double exactly plus
-/// %.6f-formatted reals, so nothing is lost.
+/// reals written by format_double (shortest round-trip form), so
+/// nothing is lost.
 class Value {
  public:
   enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
@@ -80,5 +81,13 @@ class Value {
 /// Parse one JSON document (surrounding whitespace allowed). Returns
 /// nullopt on any syntax error or trailing garbage.
 [[nodiscard]] std::optional<Value> parse(std::string_view text);
+
+/// Render a double for a JSON artifact: std::to_chars shortest
+/// round-trip form — locale-independent (always '.' as the decimal
+/// separator, unlike snprintf "%f" under e.g. a de_DE locale) and exact
+/// (parsing the text recovers the identical bits, where %.6f silently
+/// truncated to six fractional digits). Non-finite values, which JSON
+/// cannot represent, render as "null".
+[[nodiscard]] std::string format_double(double value);
 
 }  // namespace mobidist::exp::json

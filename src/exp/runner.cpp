@@ -648,6 +648,7 @@ void harvest(RunResult& result, const ScenarioSpec& spec, const net::Network& ne
   m["cost.total"] = ledger.total(spec.cost);
   m["cost.energy"] = ledger.total_energy(spec.cost);
   m["ledger.fixed_msgs"] = static_cast<double>(ledger.fixed_msgs());
+  m["ledger.wired_packets"] = static_cast<double>(ledger.wired_packets());
   m["ledger.wireless_msgs"] = static_cast<double>(ledger.wireless_msgs());
   m["ledger.searches"] = static_cast<double>(ledger.searches());
   m["ledger.wireless_tx"] = static_cast<double>(ledger.wireless_tx());

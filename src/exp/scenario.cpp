@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/report.hpp"
+#include "exp/json.hpp"
 
 namespace mobidist::exp {
 
@@ -92,11 +93,9 @@ const char* pattern_name(mobility::MovePattern pattern) {
   return "unknown";
 }
 
-std::string fixed6(double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.6f", value);
-  return buf;
-}
+/// Shortest round-trip double rendering for scenario re-serialization;
+/// locale-independent and exact, unlike the snprintf "%.6f" it replaces.
+std::string real(double value) { return json::format_double(value); }
 
 }  // namespace
 
@@ -153,6 +152,7 @@ void apply_override(ScenarioSpec& spec, std::string_view key, const json::Value&
   }
 
   if (key == "cost.c_fixed") { spec.cost.c_fixed = require_number(key, value); return; }
+  if (key == "cost.c_wired_msg") { spec.cost.c_wired_msg = require_number(key, value); return; }
   if (key == "cost.c_wireless") { spec.cost.c_wireless = require_number(key, value); return; }
   if (key == "cost.c_search") { spec.cost.c_search = require_number(key, value); return; }
   if (key == "cost.energy_tx") { spec.cost.energy_tx = require_number(key, value); return; }
@@ -170,6 +170,11 @@ void apply_override(ScenarioSpec& spec, std::string_view key, const json::Value&
   if (key == "fault.dup_first_wireless") { f.dup_first_wireless = require_u32(key, value); return; }
   if (key == "fault.rto_base") { f.rto_base = require_u64(key, value); return; }
   if (key == "fault.rto_cap") { f.rto_cap = require_u64(key, value); return; }
+
+  auto& fm = spec.net.formation;
+  if (key == "formation.max_packet_msgs") { fm.max_packet_msgs = require_u32(key, value); return; }
+  if (key == "formation.max_packet_bytes") { fm.max_packet_bytes = require_u32(key, value); return; }
+  if (key == "formation.flush_deadline") { fm.flush_deadline = require_u64(key, value); return; }
 
   auto& m = spec.mob;
   if (key == "mobility.enabled") { spec.mobility = require_bool(key, value); return; }
@@ -252,8 +257,8 @@ ScenarioSpec scenario_from_json(const json::Value& doc) {
       apply_override(spec, key, value);
       continue;
     }
-    if (key == "topology" || key == "latency" || key == "cost" || key == "fault" ||
-        key == "mobility" || key == "params") {
+    if (key == "topology" || key == "latency" || key == "cost" || key == "formation" ||
+        key == "fault" || key == "mobility" || key == "params") {
       apply_section(spec, key, value);
       continue;
     }
@@ -283,16 +288,22 @@ std::string to_json(const ScenarioSpec& spec) {
      << ",\"wireless_min\":" << lat.wireless_min << ",\"wireless_max\":" << lat.wireless_max
      << ",\"search_min\":" << lat.search_min << ",\"search_max\":" << lat.search_max
      << ",\"broadcast_retry\":" << lat.broadcast_retry
-     << "},\"cost\":{\"c_fixed\":" << fixed6(spec.cost.c_fixed)
-     << ",\"c_wireless\":" << fixed6(spec.cost.c_wireless)
-     << ",\"c_search\":" << fixed6(spec.cost.c_search)
-     << ",\"energy_tx\":" << fixed6(spec.cost.energy_tx)
-     << ",\"energy_rx\":" << fixed6(spec.cost.energy_rx) << "}";
+     << "},\"cost\":{\"c_fixed\":" << real(spec.cost.c_fixed)
+     << ",\"c_wired_msg\":" << real(spec.cost.c_wired_msg)
+     << ",\"c_wireless\":" << real(spec.cost.c_wireless)
+     << ",\"c_search\":" << real(spec.cost.c_search)
+     << ",\"energy_tx\":" << real(spec.cost.energy_tx)
+     << ",\"energy_rx\":" << real(spec.cost.energy_rx) << "}";
+  if (!spec.net.formation.passthrough()) {
+    os << ",\"formation\":{\"flush_deadline\":" << spec.net.formation.flush_deadline
+       << ",\"max_packet_bytes\":" << spec.net.formation.max_packet_bytes
+       << ",\"max_packet_msgs\":" << spec.net.formation.max_packet_msgs << '}';
+  }
   if (spec.has_faults()) {
-    os << ",\"fault\":{\"wireless_loss\":" << fixed6(f.wireless_loss)
-       << ",\"wireless_dup\":" << fixed6(f.wireless_dup)
-       << ",\"wireless_reorder\":" << fixed6(f.wireless_reorder)
-       << ",\"wired_spike\":" << fixed6(f.wired_spike) << ",\"crashes\":[";
+    os << ",\"fault\":{\"wireless_loss\":" << real(f.wireless_loss)
+       << ",\"wireless_dup\":" << real(f.wireless_dup)
+       << ",\"wireless_reorder\":" << real(f.wireless_reorder)
+       << ",\"wired_spike\":" << real(f.wired_spike) << ",\"crashes\":[";
     for (std::size_t i = 0; i < f.crashes.size(); ++i) {
       if (i != 0) os << ',';
       os << "{\"mss\":" << f.crashes[i].mss << ",\"at\":" << f.crashes[i].at
@@ -309,8 +320,8 @@ std::string to_json(const ScenarioSpec& spec) {
   }
   if (spec.mobility) {
     os << ",\"mobility\":{\"enabled\":true,\"pattern\":\"" << pattern_name(spec.mob.pattern)
-       << "\",\"mean_pause\":" << fixed6(spec.mob.mean_pause)
-       << ",\"mean_transit\":" << fixed6(spec.mob.mean_transit);
+       << "\",\"mean_pause\":" << real(spec.mob.mean_pause)
+       << ",\"mean_transit\":" << real(spec.mob.mean_transit);
     if (spec.mob.max_moves_per_host != UINT64_MAX) {
       os << ",\"max_moves_per_host\":" << spec.mob.max_moves_per_host;
     }
@@ -321,7 +332,7 @@ std::string to_json(const ScenarioSpec& spec) {
   for (const auto& [key, value] : spec.params) {
     if (!first) os << ',';
     first = false;
-    os << '"' << core::json_escape(key) << "\":" << fixed6(value);
+    os << '"' << core::json_escape(key) << "\":" << real(value);
   }
   os << "}}";
   return os.str();

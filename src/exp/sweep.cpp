@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "exp/json.hpp"
+
 namespace mobidist::exp {
 
 namespace {
@@ -39,9 +41,10 @@ std::string value_label(const json::Value& value) {
         std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(n));
         return buf;
       }
-      char buf[64];
-      std::snprintf(buf, sizeof buf, "%g", n);
-      return buf;
+      // Shortest round-trip form: locale-independent, and two distinct
+      // axis values can never collapse into one cell label the way
+      // "%g"'s six significant digits could.
+      return json::format_double(n);
     }
     default: return "?";
   }

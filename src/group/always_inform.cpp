@@ -110,7 +110,7 @@ class AlwaysInformGroup::StationAgent : public net::MssAgent {
     if (directed == nullptr) return;
     if (directed->dst_mss != self()) {
       // First leg: relay over the fixed network to the recorded MSS.
-      send_fixed(directed->dst_mss, *directed);
+      send_wired(directed->dst_mss, *directed);
       return;
     }
     // Final leg: one wireless hop. Stale entries fail over to a chase.

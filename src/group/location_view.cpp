@@ -115,7 +115,7 @@ class LocationViewGroup::StationAgent : public net::MssAgent {
     if (const auto* delta = net::body_as<LvDelta>(env)) return handle_delta(*delta);
     if (const auto* request = net::body_as<LvViewRequest>(env)) {
       // Coordinator: answer a view-less MSS with the latest copy.
-      send_fixed(request->from, LvFullView{version_, as_vector(master_)});
+      send_wired(request->from, LvFullView{version_, as_vector(master_)});
       return;
     }
   }
@@ -132,12 +132,12 @@ class LocationViewGroup::StationAgent : public net::MssAgent {
     if (was_empty) {
       // First member here: by ground truth this cell must be in LV(G).
       // (Idempotent at the coordinator if we are already listed.)
-      send_fixed(owner_.coordinator_, LvViewChange{self(), net::kInvalidMss, {}});
+      send_wired(owner_.coordinator_, LvViewChange{self(), net::kInvalidMss, {}});
     }
     if (prev != net::kInvalidMss && prev != self()) {
       // "M requests M' to notify the group coordinator": M' erases the
       // member and reports its own emptiness to the coordinator.
-      send_fixed(prev, LvMemberMoved{mh, self(), net().mh(mh).joins_completed()});
+      send_wired(prev, LvMemberMoved{mh, self(), net().mh(mh).joins_completed()});
     }
   }
 
@@ -177,13 +177,13 @@ class LocationViewGroup::StationAgent : public net::MssAgent {
       pending_.push_back(msg);
       if (!view_requested_) {
         view_requested_ = true;
-        send_fixed(owner_.coordinator_, LvViewRequest{self()});
+        send_wired(owner_.coordinator_, LvViewRequest{self()});
       }
       return;
     }
     for (const auto mss : view_) {
       if (mss == self()) continue;
-      send_fixed(mss, LvData{msg, version_seen_});
+      send_wired(mss, LvData{msg, version_seen_});
     }
     deliver_local(msg, version_seen_);
   }
@@ -246,7 +246,7 @@ class LocationViewGroup::StationAgent : public net::MssAgent {
       for (const auto& departure : departed_) {
         if (departure.confirmed_version == 0) change.after_adds.push_back(departure.new_mss);
       }
-      send_fixed(owner_.coordinator_, std::move(change));
+      send_wired(owner_.coordinator_, std::move(change));
     }
   }
 
@@ -291,7 +291,7 @@ class LocationViewGroup::StationAgent : public net::MssAgent {
     owner_.max_view_.set_max(static_cast<std::int64_t>(master_.size()));
     // Full copy to a newly added MSS, increments to everyone else.
     if (change.add != net::kInvalidMss) {
-      send_fixed(change.add, LvFullView{version_, as_vector(master_)});
+      send_wired(change.add, LvFullView{version_, as_vector(master_)});
     }
     for (const auto mss : master_) {
       if (mss == change.add) continue;
@@ -299,7 +299,7 @@ class LocationViewGroup::StationAgent : public net::MssAgent {
         apply(version_, change.add, change.del);
         continue;
       }
-      send_fixed(mss, LvDelta{version_, change.add, change.del});
+      send_wired(mss, LvDelta{version_, change.add, change.del});
     }
     // An applied add may release deferred deletes.
     if (change.add != net::kInvalidMss) {

@@ -41,7 +41,7 @@ class McastService::StationAgent : public net::MssAgent {
     for (std::uint32_t i = 0; i < net().num_mss(); ++i) {
       const auto dest = static_cast<MssId>(i);
       if (dest == self()) continue;
-      send_fixed(dest, data);
+      send_wired(dest, data);
     }
   }
 

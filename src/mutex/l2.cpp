@@ -18,7 +18,7 @@ class L2Mutex::StationAgent : public net::MssAgent {
   StationAgent(std::uint32_t self, std::uint32_t m, CsMonitor& monitor)
       : engine_(self, m), monitor_(monitor) {
     engine_.set_send([this](std::uint32_t peer, const LamportMsg& msg) {
-      send_fixed(static_cast<MssId>(peer), L2Wire{msg});
+      send_wired(static_cast<MssId>(peer), L2Wire{msg});
     });
     engine_.set_on_acquired([this](std::uint64_t req_id, std::uint64_t ts) {
       grant(req_id, ts);
@@ -43,7 +43,7 @@ class L2Mutex::StationAgent : public net::MssAgent {
         finish(release->req_id);
       } else {
         // Relay the MH's release-resource to its home MSS (c_fixed).
-        send_fixed(release->home, *release);
+        send_wired(release->home, *release);
       }
       return;
     }

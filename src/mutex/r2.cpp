@@ -36,7 +36,7 @@ class R2Mutex::StationAgent : public net::MssAgent {
       } else {
         // Relay the return from the MH's current cell to the token's
         // home MSS (the c_fixed leg of the 3*c_w + c_f + c_s request cost).
-        send_fixed(ret->home, *ret);
+        send_wired(ret->home, *ret);
       }
       return;
     }
@@ -160,7 +160,7 @@ class R2Mutex::StationAgent : public net::MssAgent {
                 .peer = net::entity_of(successor),
                 .arg = token_.token_val,
                 .detail = owner_.variant_label()});
-    send_fixed(successor, R2TokenPass{token_});
+    send_wired(successor, R2TokenPass{token_});
   }
 
   R2Mutex& owner_;

@@ -7,11 +7,11 @@
 
 namespace mobidist::net {
 
-void MssAgent::send_fixed(MssId to, Body body) {
+void MssAgent::send_wired(MssId to, Body body) {
   Envelope env;
   env.proto = proto_;
   env.body = std::move(body);
-  net().send_fixed(self_, to, std::move(env));
+  net().send_wired(self_, to, std::move(env));
 }
 
 void MssAgent::send_local(MhId mh, Body body) {

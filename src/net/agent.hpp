@@ -86,9 +86,11 @@ class MssAgent {
   /// The protocol id this agent registered under.
   [[nodiscard]] ProtocolId proto() const noexcept { return proto_; }
 
-  /// Send to another MSS over the wired network (FIFO, charged c_fixed;
-  /// a self-send dispatches locally free of charge).
-  void send_fixed(MssId to, Body body);
+  /// Send to another MSS over the wired network (FIFO, charged the wired
+  /// cost terms; a self-send dispatches locally free of charge). With
+  /// NetConfig::formation batching enabled the message may coalesce into
+  /// a packet with other wired traffic on the same (src,dst) pair.
+  void send_wired(MssId to, Body body);
 
   /// Send to a MH that must currently be local to this MSS (one
   /// wireless hop, charged c_wireless).

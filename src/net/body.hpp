@@ -91,6 +91,11 @@ class Body {
 
   /// True when a payload is held (a default-constructed Body is empty).
   [[nodiscard]] bool has_value() const noexcept { return ops_ != nullptr; }
+  /// Size in bytes of the held payload type (0 when empty). Used by the
+  /// formation layer to estimate on-wire packet sizes.
+  [[nodiscard]] std::size_t payload_size() const noexcept {
+    return ops_ == nullptr ? 0 : ops_->size;
+  }
   [[nodiscard]] explicit operator bool() const noexcept { return has_value(); }
 
   /// Typed access; nullptr when empty or holding a different type.
@@ -108,6 +113,7 @@ class Body {
     void (*relocate)(Body& dst, Body& src) noexcept;  // dst empty; src left empty
     void (*destroy)(Body& self) noexcept;
     const void* type;
+    std::size_t size;
     bool heap_stored;
   };
 
@@ -158,10 +164,11 @@ class Body {
   template <typename T>
   static constexpr Ops kInlineOps = {&inline_copy<T>, &inline_relocate<T>,
                                      &inline_destroy<T>, &detail::kBodyTypeTag<T>,
-                                     /*heap_stored=*/false};
+                                     sizeof(T), /*heap_stored=*/false};
   template <typename T>
   static constexpr Ops kHeapOps = {&heap_copy<T>, &heap_relocate, &heap_destroy<T>,
-                                   &detail::kBodyTypeTag<T>, /*heap_stored=*/true};
+                                   &detail::kBodyTypeTag<T>, sizeof(T),
+                                   /*heap_stored=*/true};
 
   void steal(Body& other) noexcept {
     ops_ = other.ops_;

@@ -1,0 +1,76 @@
+#include "net/formation.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace mobidist::net {
+
+void FormationLayer::enqueue(MssId from, MssId to, Item item) {
+  assert(cfg_.max_packet_msgs >= 1 && "FormationConfig.max_packet_msgs must be >= 1");
+  auto& queue = queues_[key_of(from, to)];
+  const bool was_empty = queue.items.empty();
+  queue.bytes += item.bytes;
+  queue.items.push_back(std::move(item));
+  ++msgs_enqueued_;
+  ++pending_msgs_;
+
+  if (queue.items.size() >= cfg_.max_packet_msgs) {
+    ++size_flushes_;
+    flush_queue(queue, from, to, "count");
+    return;
+  }
+  if (queue.bytes >= cfg_.max_packet_bytes) {
+    ++size_flushes_;
+    flush_queue(queue, from, to, "bytes");
+    return;
+  }
+  if (was_empty) {
+    // First message into an idle pair: arm the deadline for this epoch.
+    // A flush before the timer fires bumps the epoch and the timer
+    // becomes a no-op; there is nothing to cancel.
+    const auto key = key_of(from, to);
+    const auto epoch = queue.epoch;
+    sched_.schedule(cfg_.flush_deadline, [this, key, epoch, from, to] {
+      const auto it = queues_.find(key);
+      if (it == queues_.end() || it->second.epoch != epoch || it->second.items.empty()) {
+        return;  // already flushed (or never refilled): stale timer
+      }
+      ++deadline_flushes_;
+      flush_queue(it->second, from, to, "deadline");
+    });
+  }
+}
+
+void FormationLayer::flush_pair(MssId from, MssId to, const char* trigger) {
+  const auto it = queues_.find(key_of(from, to));
+  if (it == queues_.end() || it->second.items.empty()) return;
+  ++barrier_flushes_;
+  flush_queue(it->second, from, to, trigger);
+}
+
+void FormationLayer::flush_all(const char* trigger) {
+  for (auto& [key, queue] : queues_) {
+    if (queue.items.empty()) continue;
+    ++barrier_flushes_;
+    flush_queue(queue, static_cast<MssId>(static_cast<std::uint32_t>(key >> 32)),
+                static_cast<MssId>(static_cast<std::uint32_t>(key & 0xFFFFFFFFu)), trigger);
+  }
+}
+
+void FormationLayer::flush_queue(Queue& queue, MssId from, MssId to, const char* trigger) {
+  Packet packet;
+  packet.from = from;
+  packet.to = to;
+  packet.items = std::move(queue.items);
+  packet.bytes = queue.bytes;
+  packet.trigger = trigger;
+  queue.items.clear();
+  queue.bytes = 0;
+  ++queue.epoch;
+  assert(pending_msgs_ >= packet.items.size());
+  pending_msgs_ -= packet.items.size();
+  ++packets_formed_;
+  transmit_(std::move(packet));
+}
+
+}  // namespace mobidist::net

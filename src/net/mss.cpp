@@ -46,7 +46,7 @@ void Mss::dispatch(const Envelope& env) {
     }
     if (const auto* find = body_as<msg::FindDisconnect>(env)) {
       msg::FindDisconnectReply reply{find->mh, id_, disconnected_.contains(find->mh)};
-      net_.send_fixed(id_, find->origin, make_control(NodeRef(id_), NodeRef(find->origin), reply));
+      net_.send_wired(id_, find->origin, make_control(NodeRef(id_), NodeRef(find->origin), reply));
       return;
     }
     if (const auto* found = body_as<msg::FindDisconnectReply>(env)) {
@@ -60,7 +60,7 @@ void Mss::dispatch(const Envelope& env) {
                    .detail = "reconnect"});
         awaiting_handoff_in_.insert(found->mh);
         msg::HandoffRequest req{found->mh, id_, /*clears_disconnect=*/true};
-        net_.send_fixed(id_, found->from, make_control(NodeRef(id_), NodeRef(found->from), req));
+        net_.send_wired(id_, found->from, make_control(NodeRef(id_), NodeRef(found->from), req));
       }
       return;
     }
@@ -103,14 +103,14 @@ void Mss::handle_join(const msg::Join& join) {
     awaiting_handoff_in_.insert(join.mh);
     msg::HandoffRequest req{join.mh, id_, join.reconnect,
                             net_.mh(join.mh).joins_completed()};
-    net_.send_fixed(id_, join.prev_mss, make_control(NodeRef(id_), NodeRef(join.prev_mss), req));
+    net_.send_wired(id_, join.prev_mss, make_control(NodeRef(id_), NodeRef(join.prev_mss), req));
   } else if (join.reconnect && join.prev_mss == kInvalidMss) {
     // The MH could not supply its previous MSS: query every fixed host.
     for (std::uint32_t i = 0; i < net_.num_mss(); ++i) {
       const auto dest = static_cast<MssId>(i);
       if (dest == id_) continue;
       msg::FindDisconnect find{join.mh, id_};
-      net_.send_fixed(id_, dest, make_control(NodeRef(id_), NodeRef(dest), find));
+      net_.send_wired(id_, dest, make_control(NodeRef(id_), NodeRef(dest), find));
     }
   }
 
@@ -193,7 +193,7 @@ void Mss::send_handoff_state(MhId mh, MssId new_mss) {
     std::any blob = agent->on_handoff_out(mh);
     if (blob.has_value()) state.state.emplace(proto, std::move(blob));
   }
-  net_.send_fixed(id_, new_mss, make_control(NodeRef(id_), NodeRef(new_mss), std::move(state)));
+  net_.send_wired(id_, new_mss, make_control(NodeRef(id_), NodeRef(new_mss), std::move(state)));
 }
 
 void Mss::handle_handoff_state(const msg::HandoffState& state) {

@@ -41,7 +41,9 @@ std::string_view trace_component_of(obs::EventKind kind) {
   switch (kind) {
     case obs::EventKind::kSend:
     case obs::EventKind::kRecv:
-    case obs::EventKind::kDeliver: return "net";
+    case obs::EventKind::kDeliver:
+    case obs::EventKind::kPacketSend:
+    case obs::EventKind::kPacketFlush: return "net";
     case obs::EventKind::kHandoffBegin:
     case obs::EventKind::kHandoffEnd:
     case obs::EventKind::kDisconnect:
@@ -74,6 +76,14 @@ Network::Network(NetConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
   check_latency_range("wired", cfg_.latency.wired_min, cfg_.latency.wired_max);
   check_latency_range("wireless", cfg_.latency.wireless_min, cfg_.latency.wireless_max);
   check_latency_range("search", cfg_.latency.search_min, cfg_.latency.search_max);
+  if (!cfg_.formation.passthrough()) {
+    if (cfg_.formation.max_packet_msgs == 0) {
+      throw std::invalid_argument("Network: formation.max_packet_msgs must be >= 1");
+    }
+    formation_ = std::make_unique<FormationLayer>(
+        cfg_.formation, sched_,
+        [this](FormationLayer::Packet packet) { transmit_packet(std::move(packet)); });
+  }
   // The free-text trace is a rendering of the event stream: every
   // structured event that clears the trace's level filter is formatted
   // into it, so trace text and event records can never disagree.
@@ -218,7 +228,7 @@ sim::SimTime Network::fifo_arrival(ChannelState& ch, ChannelType type, sim::Dura
   return arrival;
 }
 
-void Network::send_fixed(MssId from, MssId to, Envelope env) {
+void Network::send_wired(MssId from, MssId to, Envelope env) {
   env.src = from;
   env.dst = to;
   if (from == to) {
@@ -232,6 +242,10 @@ void Network::send_fixed(MssId from, MssId to, Envelope env) {
     sched_.schedule(0, [this, from, to, send_id, env = std::move(env)]() mutable {
       arrive_wired(from, to, send_id, 0, std::move(env));
     });
+    return;
+  }
+  if (formation_) {
+    enqueue_wired(from, to, std::move(env));
     return;
   }
   if (!env.control) ledger_.charge_fixed();
@@ -309,6 +323,106 @@ void Network::deliver_wired(MssId to, Envelope env) {
   mss(to).dispatch(env);
 }
 
+// ---------------------------------------------------------------------------
+// Formation (wired batching)
+// ---------------------------------------------------------------------------
+
+void Network::enqueue_wired(MssId from, MssId to, Envelope env) {
+  // The message's identity is announced now: its kSend is emitted at
+  // enqueue (in program order, with the ambient cause), so per-message
+  // causality and channel-FIFO checking are unchanged by batching.
+  if (!env.control) ledger_.charge_wired_msg();
+  const auto channel = channel_key(ChannelType::kWired, index(from), index(to));
+  const auto send_id = emit({.kind = obs::EventKind::kSend,
+                             .entity = entity_of(from),
+                             .peer = entity_of(to),
+                             .channel = channel,
+                             .arg = env.proto});
+  const auto bytes = wire_size(env);
+  formation_->enqueue(from, to, FormationLayer::Item{std::move(env), send_id, bytes});
+}
+
+void Network::transmit_packet(FormationLayer::Packet packet) {
+  assert(!packet.items.empty());
+  // One packet = one per-packet charge (amortized across its messages)
+  // unless it carries control traffic only, which is never charged.
+  bool carries_charged = false;
+  for (const auto& item : packet.items) {
+    if (!item.env.control) {
+      carries_charged = true;
+      break;
+    }
+  }
+  if (carries_charged) ledger_.charge_wired_packet();
+  // One latency draw and one FIFO clamp for the whole packet: the wire
+  // sees a single transmission.
+  auto latency = sample(cfg_.latency.wired_min, cfg_.latency.wired_max);
+  if (fault_) latency += fault_->draw_wired_spike();
+  const auto channel =
+      channel_key(ChannelType::kWired, index(packet.from), index(packet.to));
+  const auto arrival =
+      fifo_arrival(ChannelType::kWired, index(packet.from), index(packet.to), latency);
+  const auto packet_id = emit({.kind = obs::EventKind::kPacketSend,
+                               .entity = entity_of(packet.from),
+                               .peer = entity_of(packet.to),
+                               .cause = packet.items.front().send_id,
+                               .channel = channel,
+                               .arg = packet.items.size(),
+                               .detail = packet.trigger});
+  packet_msgs_.record(packet.items.size());
+  const std::string_view trigger{packet.trigger};
+  if (trigger == "deadline") {
+    ++formation_deadline_flushes_;
+  } else if (trigger == "barrier") {
+    ++formation_barrier_flushes_;
+  } else {
+    ++formation_size_flushes_;
+  }
+  sched_.schedule_at(arrival, [this, packet = std::move(packet), packet_id,
+                               channel]() mutable {
+    arrive_packet(std::move(packet), packet_id, channel);
+  });
+}
+
+void Network::arrive_packet(FormationLayer::Packet packet, obs::EventId packet_id,
+                            std::uint64_t channel) {
+  if (fault_) {
+    // Same deferral rule as arrive_wired: a crashed or partitioned-off
+    // destination holds the whole packet at its interface.
+    const auto release =
+        fault_->wired_release_at(index(packet.from), index(packet.to), sched_.now());
+    if (release > sched_.now()) {
+      fault_->count_deferral();
+      sched_.schedule_at(release, [this, packet = std::move(packet), packet_id,
+                                   channel]() mutable {
+        arrive_packet(std::move(packet), packet_id, channel);
+      });
+      return;
+    }
+  }
+  emit({.kind = obs::EventKind::kPacketFlush,
+        .entity = entity_of(packet.to),
+        .peer = entity_of(packet.from),
+        .cause = packet_id,
+        .channel = channel,
+        .arg = packet.items.size(),
+        .detail = packet.trigger});
+  // Disgorge in send order; each message's recv consumes its own send,
+  // so the per-message FIFO history is indistinguishable from unbatched
+  // delivery at the same instant.
+  for (auto& item : packet.items) {
+    const auto recv_id = emit({.kind = obs::EventKind::kRecv,
+                               .entity = entity_of(packet.to),
+                               .peer = entity_of(packet.from),
+                               .cause = item.send_id,
+                               .channel = channel,
+                               .arg = item.env.proto,
+                               .detail = "packet"});
+    obs::CauseScope scope(events_, recv_id);
+    deliver_wired(packet.to, std::move(item.env));
+  }
+}
+
 bool Network::wireless_frame_lost(std::uint32_t cell, const char** why) {
   if (!fault_) return false;
   if (fault_->crashed(cell, sched_.now())) {
@@ -329,23 +443,44 @@ bool Network::wireless_frame_lost(std::uint32_t cell, const char** why) {
 sim::Duration Network::retransmit_backoff(std::uint32_t attempt) const {
   const auto& profile = fault_->profile();
   const sim::Duration base = profile.rto_base > 0 ? profile.rto_base : 1;
-  const sim::Duration rto = base << std::min<std::uint32_t>(attempt, 16);
-  return std::max<sim::Duration>(std::min(rto, profile.rto_cap), 1);
+  const sim::Duration cap = std::max<sim::Duration>(profile.rto_cap, 1);
+  const std::uint32_t shift = std::min<std::uint32_t>(attempt, 16);
+  // `base << shift` wraps for base >= 2^(64-shift), turning a huge
+  // configured RTO into a tiny (even zero) one and spamming retransmits;
+  // saturate against the cap before shifting instead.
+  if (base > (cap >> shift)) return cap;
+  return std::max<sim::Duration>(base << shift, 1);
+}
+
+bool WseqDedup::deliver(std::uint64_t wseq) {
+  if (wseq <= floor) return false;
+  if (wseq == floor + 1 && above.empty()) {
+    ++floor;  // in-order frame, nothing parked: no set traffic at all
+    return true;
+  }
+  if (above.contains(wseq)) return false;
+  above.insert(wseq);
+  while (above.contains(floor + 1)) {
+    above.erase(floor + 1);
+    ++floor;
+  }
+  // Bound the parked set: a gap older than the retransmit window can
+  // never fill (its sender abandoned the frame), so declare the oldest
+  // gap lost and jump the floor to the smallest parked wseq.
+  while (above.size() > kRetransmitWindow) {
+    floor = *above.begin();
+    above.erase(above.begin());
+    while (above.contains(floor + 1)) {
+      above.erase(floor + 1);
+      ++floor;
+    }
+  }
+  assert(above.size() <= kRetransmitWindow);
+  return true;
 }
 
 bool Network::dedup_deliver(ChannelState& ch, std::uint64_t wseq) {
-  if (wseq <= ch.floor) return false;
-  if (wseq == ch.floor + 1 && ch.above.empty()) {
-    ++ch.floor;  // in-order frame, nothing parked: no set traffic at all
-    return true;
-  }
-  if (ch.above.contains(wseq)) return false;
-  ch.above.insert(wseq);
-  while (ch.above.contains(ch.floor + 1)) {
-    ch.above.erase(ch.floor + 1);
-    ++ch.floor;
-  }
-  return true;
+  return ch.dedup.deliver(wseq);
 }
 
 void Network::send_wireless_downlink(MssId from, Envelope env, MhId to,
@@ -576,7 +711,7 @@ void Network::send_to_mh_attempt(MssId from, Envelope env, MhId to, SendPolicy p
         }
         ++stats_.unreachable_notices;
         msg::UnreachableNotice notice{to, env.proto, env.body};
-        send_fixed(at, from, make_control(NodeRef(at), NodeRef(from), std::move(notice)));
+        send_wired(at, from, make_control(NodeRef(at), NodeRef(from), std::move(notice)));
       } else {
         ++stats_.queued_for_reconnect;
         parked_[to].push_back(Parked{std::move(env)});
@@ -613,6 +748,11 @@ void Network::send_to_mh_attempt(MssId from, Envelope env, MhId to, SendPolicy p
     if (at == from) {
       deliver();
     } else {
+      // The forward leg bypasses the formation queue (it delivers via a
+      // closure, not dispatch), but shares the wired channel with it:
+      // flush the pending packet first so this send cannot overtake
+      // messages queued earlier on the same channel.
+      if (formation_) formation_->flush_pair(from, at, "barrier");
       auto latency = sample(cfg_.latency.wired_min, cfg_.latency.wired_max);
       if (fault_) latency += fault_->draw_wired_spike();
       const auto arrival = fifo_arrival(ChannelType::kWired, index(from), index(at), latency);
@@ -751,7 +891,7 @@ void Network::broadcast_round(std::uint64_t token) {
     Envelope env =
         make_envelope(protocol::kSystem, NodeRef(search.origin), NodeRef(dest),
                       msg::SearchQuery{search.target, search.origin, token, search.round});
-    send_fixed(search.origin, dest, std::move(env));
+    send_wired(search.origin, dest, std::move(env));
   }
 }
 
@@ -767,7 +907,7 @@ void Network::handle_search_query(MssId at, const msg::SearchQuery& query) {
   env.proto = protocol::kSystem;
   env.body = reply;
   env.control = !(reply.here || reply.disconnected);
-  send_fixed(at, query.origin, std::move(env));
+  send_wired(at, query.origin, std::move(env));
 }
 
 void Network::handle_search_reply(const msg::SearchReply& reply) {

@@ -12,6 +12,7 @@
 #include "cost/cost_model.hpp"
 #include "fault/fault_plane.hpp"
 #include "net/envelope.hpp"
+#include "net/formation.hpp"
 #include "net/ids.hpp"
 #include "net/messages.hpp"
 #include "net/mobile_host.hpp"
@@ -64,6 +65,36 @@ struct NetConfig {
   /// local to the sender, matching the paper's unconditional C_search
   /// terms. Disable for "location caching" ablations.
   bool charge_search_for_local = true;
+  /// Wired-backbone batching policy. The default is passthrough
+  /// (flush_deadline == 0): no formation layer, byte-identical traces to
+  /// the unbatched substrate.
+  FormationConfig formation;
+};
+
+/// Receiver-side duplicate suppression for reliable wireless channels.
+///
+/// Every wseq <= `floor` has been delivered; delivered wseqs above the
+/// floor park in `above` until the floor catches up. A frame abandoned
+/// mid-retry (its MH left the cell for good) leaves a permanent hole
+/// below later deliveries, so a plain high-water mark would mis-drop
+/// fresh frames — but an unbounded parked set leaks on every abandoned
+/// frame. The set is therefore bounded by the retransmit window: once it
+/// outgrows kRetransmitWindow, no hole that old can still fill (the
+/// sender would have abandoned it), so the oldest gap is declared lost
+/// and the floor jumps forward.
+struct WseqDedup {
+  /// Maximum parked (delivered-out-of-order) wseqs retained; generously
+  /// above any plausible in-flight retransmit depth.
+  static constexpr std::size_t kRetransmitWindow = 64;
+
+  /// Highest wseq below which everything is considered delivered.
+  std::uint64_t floor = 0;
+  /// Delivered wseqs above the floor, waiting for the gap to fill.
+  std::set<std::uint64_t> above;
+
+  /// Record one delivered wseq; false = duplicate, suppress the frame.
+  /// Postcondition: above.size() <= kRetransmitWindow.
+  [[nodiscard]] bool deliver(std::uint64_t wseq);
 };
 
 /// The §2 system model in one object: M MSSs on a reliable FIFO wired
@@ -164,9 +195,16 @@ class Network {
 
   // --- messaging (used by agents via the helpers in agent.hpp) ------------
 
-  /// Wired MSS -> MSS send. FIFO per ordered pair; charges c_fixed unless
-  /// control or self-addressed.
-  void send_fixed(MssId from, MssId to, Envelope env);
+  /// Wired MSS -> MSS send. FIFO per ordered pair; charges the wired
+  /// cost terms unless control or self-addressed. With batching enabled
+  /// (NetConfig::formation) the message parks in a formation queue and
+  /// rides a coalesced packet; in passthrough it goes straight to the
+  /// wire as its own packet.
+  void send_wired(MssId from, MssId to, Envelope env);
+
+  /// The formation (batching) layer; nullptr in passthrough mode.
+  [[nodiscard]] FormationLayer* formation() noexcept { return formation_.get(); }
+  [[nodiscard]] const FormationLayer* formation() const noexcept { return formation_.get(); }
 
   /// Failure callback for a wireless downlink: receives the undelivered
   /// envelope. Taking the envelope as an argument (instead of capturing
@@ -272,6 +310,20 @@ class Network {
 
   void deliver_wired(MssId to, Envelope env);
 
+  // --- formation (wired batching) -------------------------------------------
+
+  /// Batched wire path: emit the per-message kSend, charge the
+  /// per-message cost share, and park the message on the formation
+  /// queue for (from,to).
+  void enqueue_wired(MssId from, MssId to, Envelope env);
+  /// Transmit callback handed to the FormationLayer: charge the packet,
+  /// sample one latency for the whole packet and schedule its arrival.
+  void transmit_packet(FormationLayer::Packet packet);
+  /// Packet arrival: honour crash/partition deferral, emit kPacketFlush,
+  /// then deliver the coalesced messages in send order.
+  void arrive_packet(FormationLayer::Packet packet, obs::EventId packet_id,
+                     std::uint64_t channel);
+
   // --- reliable wireless hop (ack/retransmit + dedup) -----------------------
   //
   // Each logical frame gets a per-channel sequence number (wseq) at its
@@ -342,6 +394,14 @@ class Network {
       metrics_.histogram("net.search_rounds", obs::count_buckets());
   obs::Histogram& delivery_retry_depth_ =
       metrics_.histogram("net.delivery_retry_depth", obs::count_buckets());
+  // Formation-layer instrumentation (all zero in passthrough mode).
+  obs::Histogram& packet_msgs_ =
+      metrics_.histogram("net.formation.packet_msgs", obs::count_buckets());
+  obs::Counter& formation_size_flushes_ = metrics_.counter("net.formation.size_flushes");
+  obs::Counter& formation_deadline_flushes_ =
+      metrics_.counter("net.formation.deadline_flushes");
+  obs::Counter& formation_barrier_flushes_ =
+      metrics_.counter("net.formation.barrier_flushes");
 
   std::vector<std::unique_ptr<Mss>> mss_;
   std::vector<std::unique_ptr<MobileHost>> mh_;
@@ -358,21 +418,18 @@ class Network {
   bool started_ = false;
 
   std::unique_ptr<fault::FaultPlane> fault_;
+  /// Wired batching layer; null in passthrough mode so the unbatched
+  /// wire path never even consults it.
+  std::unique_ptr<FormationLayer> formation_;
   /// Everything keyed by channel lives in one map so the per-message
   /// hot path does a single hash lookup. `fifo_clock` clamps arrivals
   /// (never decrease per ordered channel); `next_wseq` is the
-  /// sender-side logical frame number for wireless channels; `floor` /
-  /// `above` are receiver-side duplicate suppression: every wseq <=
-  /// floor was delivered, and delivered wseqs above the floor wait in
-  /// `above` until the floor catches up. A frame abandoned mid-retry
-  /// (its MH left the cell for good) leaves a permanent hole below
-  /// later deliveries, so a plain high-water mark would mis-drop fresh
-  /// frames.
+  /// sender-side logical frame number for wireless channels; `dedup` is
+  /// the receiver-side duplicate suppression window (see WseqDedup).
   struct ChannelState {
     sim::SimTime fifo_clock = 0;
     std::uint64_t next_wseq = 0;
-    std::uint64_t floor = 0;
-    std::set<std::uint64_t> above;
+    WseqDedup dedup;
   };
   std::unordered_map<std::uint64_t, ChannelState> channels_;
 

@@ -299,6 +299,68 @@ std::vector<CheckFailure> check_fault_delivery(std::span<const Event> events) {
   return failures;
 }
 
+std::vector<CheckFailure> check_packet_fifo(std::span<const Event> events) {
+  std::vector<CheckFailure> failures;
+  // Mirror of check_channel_fifo at the packet granularity: packet sends
+  // get a per-channel position, packet flushes must consume them in
+  // strictly increasing position order with an intact message count.
+  struct PacketPos {
+    std::uint64_t channel = 0;
+    std::uint64_t position = 0;
+    std::uint64_t msgs = 0;
+  };
+  std::unordered_map<EventId, PacketPos> packet_positions;
+  std::unordered_map<std::uint64_t, std::uint64_t> packet_counts;
+  struct Consumed {
+    std::uint64_t position = 0;
+    EventId flush = 0;
+    EventId send = 0;
+  };
+  std::unordered_map<std::uint64_t, Consumed> last_consumed;
+  for (const auto& ev : events) {
+    if (ev.kind == EventKind::kPacketSend) {
+      if (ev.channel == 0) {
+        fail(failures, "packet_fifo", ev.id,
+             "packet send from " + to_string(ev.entity) + " carries no channel key");
+        continue;
+      }
+      packet_positions[ev.id] = PacketPos{ev.channel, ++packet_counts[ev.channel], ev.arg};
+    } else if (ev.kind == EventKind::kPacketFlush) {
+      const auto sent = packet_positions.find(ev.cause);
+      if (sent == packet_positions.end()) continue;  // send predates the suffix
+      if (sent->second.channel != ev.channel) {
+        std::ostringstream os;
+        os << "packet flush at " << to_string(ev.entity) << " on channel " << ev.channel
+           << " consumed packet send event " << ev.cause << " from channel "
+           << sent->second.channel;
+        fail(failures, "packet_fifo", ev.id, os.str());
+        continue;
+      }
+      if (sent->second.msgs != ev.arg) {
+        std::ostringstream os;
+        os << "packet flush event " << ev.id << " at " << to_string(ev.entity)
+           << " delivered " << ev.arg << " messages but packet send event " << ev.cause
+           << " carried " << sent->second.msgs << " -- messages lost or grown in flight";
+        fail(failures, "packet_fifo", ev.id, os.str());
+        continue;
+      }
+      auto& consumed = last_consumed[ev.channel];
+      if (consumed.flush != 0 && sent->second.position <= consumed.position) {
+        std::ostringstream os;
+        os << "packet FIFO violation on channel " << ev.channel << ": flush at "
+           << to_string(ev.entity) << " t=" << ev.at << " consumed packet send event "
+           << ev.cause << " (position " << sent->second.position << ") after flush event "
+           << consumed.flush << " already consumed packet send event " << consumed.send
+           << " (position " << consumed.position << ")";
+        fail(failures, "packet_fifo", ev.id, os.str());
+        continue;
+      }
+      consumed = Consumed{sent->second.position, ev.id, ev.cause};
+    }
+  }
+  return failures;
+}
+
 std::vector<CheckFailure> check_all(std::span<const Event> events) {
   std::vector<CheckFailure> failures = check_cs_exclusion(events);
   auto append = [&failures](std::vector<CheckFailure> more) {
@@ -310,6 +372,7 @@ std::vector<CheckFailure> check_all(std::span<const Event> events) {
   append(check_traversal_cap(events));
   append(check_causal_clocks(events));
   append(check_fault_delivery(events));
+  append(check_packet_fifo(events));
   return failures;
 }
 

@@ -62,6 +62,16 @@ struct CheckFailure {
 /// crash / recover events must alternate per MSS.
 [[nodiscard]] std::vector<CheckFailure> check_fault_delivery(std::span<const Event> events);
 
+/// Formation-layer FIFO preservation: per wired channel, packet flushes
+/// (kPacketFlush) must consume packet sends (kPacketSend) in emission
+/// order, each flush's cause must be a packet send on the same channel,
+/// and the message count (arg) must survive the flight unchanged — a
+/// packet may never reorder relative to its channel peers or lose /
+/// grow messages across a flush. Together with check_channel_fifo over
+/// the per-message send/recv events this guarantees no reorder across a
+/// flush boundary.
+[[nodiscard]] std::vector<CheckFailure> check_packet_fifo(std::span<const Event> events);
+
 /// Run every checker; failures are concatenated in the order above.
 [[nodiscard]] std::vector<CheckFailure> check_all(std::span<const Event> events);
 [[nodiscard]] std::vector<CheckFailure> check_all(const EventStream& stream);

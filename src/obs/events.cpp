@@ -15,7 +15,7 @@ struct KindName {
   std::string_view name;
 };
 
-constexpr std::array<KindName, 19> kKindNames{{
+constexpr std::array<KindName, 21> kKindNames{{
     {EventKind::kSend, "send"},
     {EventKind::kRecv, "recv"},
     {EventKind::kDeliver, "deliver"},
@@ -35,6 +35,8 @@ constexpr std::array<KindName, 19> kKindNames{{
     {EventKind::kMsgDuplicated, "msg_duplicated"},
     {EventKind::kMssCrash, "mss_crash"},
     {EventKind::kMssRecover, "mss_recover"},
+    {EventKind::kPacketSend, "packet_send"},
+    {EventKind::kPacketFlush, "packet_flush"},
 }};
 
 }  // namespace
@@ -148,6 +150,14 @@ std::string describe(const Event& event) {
       break;
     case EventKind::kMssRecover:
       os << "recover " << to_string(event.entity);
+      break;
+    case EventKind::kPacketSend:
+      os << "packet send " << to_string(event.entity) << " -> " << to_string(event.peer)
+         << " msgs=" << event.arg;
+      break;
+    case EventKind::kPacketFlush:
+      os << "packet flush " << to_string(event.entity) << " <- " << to_string(event.peer)
+         << " msgs=" << event.arg;
       break;
   }
   if (!event.detail.empty()) os << " [" << event.detail << "]";

@@ -35,6 +35,8 @@ enum class EventKind : std::uint8_t {
   kMsgDuplicated,   ///< the fault plane scheduled a link-layer copy (cause = the send)
   kMssCrash,        ///< an MSS crashed per the fault schedule; arg = down_for
   kMssRecover,      ///< a crashed MSS came back up
+  kPacketSend,      ///< a formation packet entered a wired channel; arg = msg count
+  kPacketFlush,     ///< a formation packet disgorged at the destination (cause = its send)
 };
 
 [[nodiscard]] std::string_view to_string(EventKind kind) noexcept;

@@ -50,7 +50,7 @@ class ProxyService::StationAgent : public net::MssAgent {
       if (proxy != self()) {
         // Not ours (the MH moved between uplink and processing, or the
         // local MSS is just a relay for a home-scoped MH): forward.
-        send_fixed(proxy, *up);
+        send_wired(proxy, *up);
         return;
       }
       if (owner_.proxy_handler_) owner_.proxy_handler_(self(), up->mh, up->body);
@@ -88,7 +88,7 @@ class ProxyService::StationAgent : public net::MssAgent {
       owner_.cached_loc_[net::index(mh)] = self();
       return;
     }
-    send_fixed(home, Inform{mh, self()});
+    send_wired(home, Inform{mh, self()});
   }
 
   /// A Down frame missed (stale cache / MH left this cell): chase.
@@ -108,7 +108,7 @@ class ProxyService::StationAgent : public net::MssAgent {
   }
 
   // Expose protected sends to the owning service.
-  void do_send_fixed(MssId to, net::Body body) { send_fixed(to, std::move(body)); }
+  void do_send_wired(MssId to, net::Body body) { send_wired(to, std::move(body)); }
   void do_send_local(MhId mh, net::Body body) { send_local(mh, std::move(body)); }
   void do_send_to_mh(MhId mh, net::Body body, net::SendPolicy policy) {
     send_to_mh(mh, std::move(body), policy);
@@ -205,11 +205,11 @@ void ProxyService::proxy_send(MssId proxy, MhId mh, std::any body, net::SendPoli
     station.do_send_local(mh, std::move(down));
     return;
   }
-  station.do_send_fixed(believed, std::move(down));
+  station.do_send_wired(believed, std::move(down));
 }
 
 void ProxyService::peer_send(MssId from, MssId to, std::any body) {
-  stations_[net::index(from)]->do_send_fixed(to, Peer{std::move(body)});
+  stations_[net::index(from)]->do_send_wired(to, Peer{std::move(body)});
 }
 
 }  // namespace mobidist::proxy

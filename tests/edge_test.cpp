@@ -102,9 +102,9 @@ TEST(NetworkLimits, EventLimitFlagSurfaces) {
   Harness h(net);
   net.start();
   // Self-perpetuating ping-pong between two stations.
-  h.mss[0]->on_msg = [&](const Envelope&) { h.mss[0]->do_send_fixed(mss_id(1), 0); };
-  h.mss[1]->on_msg = [&](const Envelope&) { h.mss[1]->do_send_fixed(mss_id(0), 0); };
-  h.mss[0]->do_send_fixed(mss_id(1), 0);
+  h.mss[0]->on_msg = [&](const Envelope&) { h.mss[0]->do_send_wired(mss_id(1), 0); };
+  h.mss[1]->on_msg = [&](const Envelope&) { h.mss[1]->do_send_wired(mss_id(0), 0); };
+  h.mss[0]->do_send_wired(mss_id(1), 0);
   net.run(/*event_limit=*/500);
   EXPECT_TRUE(net.sched().hit_event_limit());
 }
@@ -231,7 +231,7 @@ TEST(WiredEdge, SelfSendDoesNotReenterSynchronously) {
   bool sent = false;
   h.mss[0]->on_msg = [&](const Envelope&) { received_during_send = !sent; };
   net.sched().schedule(1, [&] {
-    h.mss[0]->do_send_fixed(mss_id(0), 1);
+    h.mss[0]->do_send_wired(mss_id(0), 1);
     sent = true;  // runs before the delivery event fires
   });
   net.run();
@@ -244,7 +244,7 @@ TEST(StatsEdge, ControlAndChargedTrafficSeparate) {
   Harness h(net);
   net.start();
   net.mh(mh_id(0)).move_to(mss_id(1), 3);   // control only
-  net.sched().schedule(50, [&] { h.mss[0]->do_send_fixed(mss_id(2), 1); });  // charged
+  net.sched().schedule(50, [&] { h.mss[0]->do_send_wired(mss_id(2), 1); });  // charged
   net.run();
   EXPECT_EQ(net.ledger().fixed_msgs(), 1u);
   EXPECT_GT(net.stats().control_msgs, 0u);

@@ -5,6 +5,7 @@
 // the `sweep` ctest label so the TSan preset can select them.
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,40 @@ TEST(ExpScenario, JsonRoundTripIsStable) {
   const auto text = exp::to_json(spec);
   const auto reparsed = exp::parse_scenario(text);
   EXPECT_EQ(exp::to_json(reparsed), text);
+}
+
+TEST(ExpScenario, FormationSectionRoundTrips) {
+  const auto spec = exp::parse_scenario(R"({
+    "name": "t", "workload": "mutex", "variant": "l2",
+    "formation": {"flush_deadline": 16, "max_packet_msgs": 8, "max_packet_bytes": 2048}
+  })");
+  EXPECT_EQ(spec.net.formation.flush_deadline, 16u);
+  EXPECT_EQ(spec.net.formation.max_packet_msgs, 8u);
+  EXPECT_EQ(spec.net.formation.max_packet_bytes, 2048u);
+  EXPECT_FALSE(spec.net.formation.passthrough());
+  const auto text = exp::to_json(spec);
+  const auto reparsed = exp::parse_scenario(text);
+  EXPECT_EQ(exp::to_json(reparsed), text);
+
+  // A passthrough config emits no formation section at all, keeping
+  // pre-formation scenario files byte-stable.
+  auto plain = small_mutex_spec();
+  EXPECT_TRUE(plain.net.formation.passthrough());
+  EXPECT_EQ(exp::to_json(plain).find("formation"), std::string::npos);
+}
+
+TEST(ExpJson, FormatDoubleIsRoundTripExact) {
+  // Shortest-round-trip formatting: parsing the text back must yield
+  // the exact bits, independent of locale, for awkward values that
+  // "%.6f" either truncated (1e-7 -> 0.000000) or bloated.
+  for (const double v : {0.1, 1.0 / 3.0, 1e-7, 6.02214076e23, -2.5, 0.0, 1234567.25}) {
+    const auto text = exp::json::format_double(v);
+    EXPECT_EQ(std::stod(text), v) << text;
+    EXPECT_EQ(text.find(','), std::string::npos) << "locale leaked into: " << text;
+  }
+  // Non-finite values are not valid JSON numbers; they serialize null.
+  EXPECT_EQ(exp::json::format_double(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(exp::json::format_double(std::numeric_limits<double>::quiet_NaN()), "null");
 }
 
 TEST(ExpScenario, UnknownFieldThrows) {

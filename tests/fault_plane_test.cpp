@@ -112,7 +112,7 @@ void run_workload(Network& net) {
   net.start();
   auto& sched = net.sched();
   sched.schedule_at(5, [&net, &agents] {
-    agents.mss[0]->do_send_fixed(static_cast<MssId>(1), std::string("wired"));
+    agents.mss[0]->do_send_wired(static_cast<MssId>(1), std::string("wired"));
     agents.mh[0]->do_send_uplink(std::string("uplink"));
   });
   sched.schedule_at(10, [&net] { net.mh(static_cast<MhId>(4)).move_to(static_cast<MssId>(0), 40); });
@@ -181,7 +181,7 @@ TEST(FaultPlane, WiredMessageIntoCrashedMssDefersToRecovery) {
   // Sent at t=110, natural arrival t=115 (fixed wired latency 5) lands
   // inside the outage; the interface holds it until recovery at t=200.
   net.sched().schedule_at(110, [&agents] {
-    agents.mss[0]->do_send_fixed(static_cast<MssId>(1), std::string("held"));
+    agents.mss[0]->do_send_wired(static_cast<MssId>(1), std::string("held"));
   });
   net.run();
   ASSERT_EQ(agents.mss[1]->received.size(), 1u);
@@ -199,8 +199,8 @@ TEST(FaultPlane, PartitionedLinkDefersUntilHeal) {
   Harness agents(net);
   net.start();
   net.sched().schedule_at(60, [&agents] {
-    agents.mss[0]->do_send_fixed(static_cast<MssId>(1), std::string("partitioned"));
-    agents.mss[0]->do_send_fixed(static_cast<MssId>(2), std::string("clear"));
+    agents.mss[0]->do_send_wired(static_cast<MssId>(1), std::string("partitioned"));
+    agents.mss[0]->do_send_wired(static_cast<MssId>(2), std::string("clear"));
   });
   net.run();
   ASSERT_EQ(agents.mss[1]->received.size(), 1u);

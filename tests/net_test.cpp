@@ -50,7 +50,7 @@ TEST(WiredChannel, DeliversAndCharges) {
   Network net(small_config());
   Harness h(net);
   net.start();
-  h.mss[0]->do_send_fixed(mss_id(1), std::string("ping"));
+  h.mss[0]->do_send_wired(mss_id(1), std::string("ping"));
   net.run();
   ASSERT_EQ(h.mss[1]->received.size(), 1u);
   EXPECT_EQ(*h.mss[1]->received[0].env.body.get<std::string>(), "ping");
@@ -63,7 +63,7 @@ TEST(WiredChannel, SelfSendIsFreeAndDelivered) {
   Network net(small_config());
   Harness h(net);
   net.start();
-  h.mss[0]->do_send_fixed(mss_id(0), 42);
+  h.mss[0]->do_send_wired(mss_id(0), 42);
   net.run();
   ASSERT_EQ(h.mss[0]->received.size(), 1u);
   EXPECT_EQ(net.ledger().fixed_msgs(), 0u);
@@ -76,7 +76,7 @@ TEST(WiredChannel, FifoUnderRandomLatency) {
   Network net(cfg);
   Harness h(net);
   net.start();
-  for (int i = 0; i < 50; ++i) h.mss[0]->do_send_fixed(mss_id(1), i);
+  for (int i = 0; i < 50; ++i) h.mss[0]->do_send_wired(mss_id(1), i);
   net.run();
   ASSERT_EQ(h.mss[1]->received.size(), 50u);
   for (int i = 0; i < 50; ++i) {
@@ -88,8 +88,8 @@ TEST(WiredChannel, IndependentPairsDoNotBlockEachOther) {
   Network net(small_config());
   Harness h(net);
   net.start();
-  h.mss[0]->do_send_fixed(mss_id(1), 1);
-  h.mss[2]->do_send_fixed(mss_id(1), 2);
+  h.mss[0]->do_send_wired(mss_id(1), 1);
+  h.mss[2]->do_send_wired(mss_id(1), 2);
   net.run();
   EXPECT_EQ(h.mss[1]->received.size(), 2u);
 }
@@ -801,9 +801,9 @@ TEST(ChannelKey, FifoNonOvertakingPerChannelUnderJitter) {
   constexpr int kPerPair = 25;
   for (int i = 0; i < kPerPair; ++i) {
     net.sched().schedule(1 + 2 * i, [&, i] {
-      h.mss[1]->do_send_fixed(mss_id(0), 1000 + i);  // stream 1 -> 0
-      h.mss[2]->do_send_fixed(mss_id(0), 2000 + i);  // stream 2 -> 0
-      h.mss[3]->do_send_fixed(mss_id(4), 3000 + i);  // stream 3 -> 4
+      h.mss[1]->do_send_wired(mss_id(0), 1000 + i);  // stream 1 -> 0
+      h.mss[2]->do_send_wired(mss_id(0), 2000 + i);  // stream 2 -> 0
+      h.mss[3]->do_send_wired(mss_id(4), 3000 + i);  // stream 3 -> 4
     });
   }
   net.run();

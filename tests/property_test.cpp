@@ -83,9 +83,9 @@ TEST_P(ChannelFifoProperty, WiredAndRelayChannelsNeverReorder) {
   // Wired: interleaved bursts on several ordered pairs.
   for (int round = 0; round < 10; ++round) {
     net.sched().schedule(static_cast<sim::Duration>(round) * 7, [&, round] {
-      h.mss[0]->do_send_fixed(mss_id(1), round);
-      h.mss[1]->do_send_fixed(mss_id(2), round);
-      h.mss[3]->do_send_fixed(mss_id(1), 100 + round);
+      h.mss[0]->do_send_wired(mss_id(1), round);
+      h.mss[1]->do_send_wired(mss_id(2), round);
+      h.mss[3]->do_send_wired(mss_id(1), 100 + round);
     });
   }
   // Relay: a numbered burst with the receiver moving mid-stream.

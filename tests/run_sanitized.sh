@@ -10,6 +10,12 @@
 #                                     # (the parallel-runner suites are
 #                                     # the interesting targets)
 #   tests/run_sanitized.sh --tsan -L sweep   # TSan on the exp suites only
+#   tests/run_sanitized.sh --ubsan    # UBSan alone at RelWithDebInfo:
+#                                     # catches optimizer-dependent UB
+#                                     # (shift overflow, wrap) that the
+#                                     # Debug asan preset can miss, and
+#                                     # runs fast enough for the full
+#                                     # suite on every change
 
 set -euo pipefail
 
@@ -17,10 +23,10 @@ repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$repo_root"
 
 preset=asan
-if [[ "${1:-}" == "--tsan" ]]; then
-  preset=tsan
-  shift
-fi
+case "${1:-}" in
+  --tsan) preset=tsan; shift ;;
+  --ubsan) preset=ubsan; shift ;;
+esac
 
 if [[ "${1:-}" == "--chaos" ]]; then
   shift

@@ -65,7 +65,7 @@ class RecordingMssAgent : public MssAgent {
   }
 
   // Public bridges to the protected send helpers.
-  void do_send_fixed(MssId to, Body body) { send_fixed(to, std::move(body)); }
+  void do_send_wired(MssId to, Body body) { send_wired(to, std::move(body)); }
   void do_send_local(MhId mh, Body body) { send_local(mh, std::move(body)); }
   void do_send_to_mh(MhId mh, Body body,
                      SendPolicy policy = SendPolicy::kEventualDelivery) {

@@ -47,11 +47,19 @@ int main(int argc, char** argv) {
   std::size_t drops = 0;
   std::size_t dups = 0;
   std::size_t crashes = 0;
+  std::size_t packet_sends = 0;
+  std::size_t packet_flushes = 0;
+  std::size_t packet_msgs = 0;
   for (const auto& event : events) {
     switch (event.kind) {
       case mobidist::obs::EventKind::kMsgDropped: ++drops; break;
       case mobidist::obs::EventKind::kMsgDuplicated: ++dups; break;
       case mobidist::obs::EventKind::kMssCrash: ++crashes; break;
+      case mobidist::obs::EventKind::kPacketSend:
+        ++packet_sends;
+        packet_msgs += event.arg;
+        break;
+      case mobidist::obs::EventKind::kPacketFlush: ++packet_flushes; break;
       default: break;
     }
   }
@@ -60,6 +68,10 @@ int main(int argc, char** argv) {
   if (drops + dups + crashes > 0) {
     std::cout << " (fault events: " << drops << " dropped, " << dups << " duplicated, "
               << crashes << " crashes)";
+  }
+  if (packet_sends > 0) {
+    std::cout << " (formation: " << packet_sends << " packets sent, " << packet_flushes
+              << " flushed, " << packet_msgs << " messages batched)";
   }
   std::cout << '\n';
   return 0;
