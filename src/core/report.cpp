@@ -11,6 +11,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/binlog.hpp"
 #include "obs/checkers.hpp"
 #include "obs/events.hpp"
 
@@ -93,6 +94,15 @@ std::string resolve_env_dir(const char* var, std::string_view fallback) {
                                                          : std::string(fallback);
   if (!dir.empty() && dir.back() != '/') dir += '/';
   return dir;
+}
+
+TraceFormat resolve_trace_format() {
+  const char* value = std::getenv("MOBIDIST_TRACE_FORMAT");
+  const std::string_view text = (value != nullptr) ? value : "";
+  if (text.empty() || text == "jsonl") return TraceFormat::kJsonl;
+  if (text == "binlog") return TraceFormat::kBinlog;
+  throw std::runtime_error("MOBIDIST_TRACE_FORMAT must be \"jsonl\" or \"binlog\", got \"" +
+                           std::string(text) + '"');
 }
 
 void write_text_file(const std::string& path, std::string_view content) {
@@ -258,12 +268,16 @@ void BenchReport::add_run(std::string label, const net::Network& net,
   }
 
   const auto& stream = net.events();
+  const auto binlog = obs::binlog_stats(stream);
+  binlog_emitted_ += binlog.emitted;
+  binlog_dropped_ += binlog.dropped;
+  binlog_bytes_ += binlog.bytes;
   std::ostringstream os;
   os << "{\"label\":" << quoted(label) << ",\"config\":" << config_json(net.config())
      << ",\"cost_params\":" << cost_params_json(params)
      << ",\"events\":" << net.sched().fired()
      << ",\"event_stream\":{\"emitted\":" << stream.emitted()
-     << ",\"retained\":" << stream.records().size() << ",\"dropped\":" << stream.dropped()
+     << ",\"retained\":" << stream.retained() << ",\"dropped\":" << stream.dropped()
      << "},\"text_trace\":{\"retained\":" << net.trace().records().size()
      << ",\"dropped\":" << net.trace().dropped() << "}"
      << ",\"ledger\":" << ledger_json(net.ledger(), params)
@@ -280,8 +294,14 @@ void BenchReport::add_run(std::string label, const net::Network& net,
     }
     const std::string base =
         trace_dir + "TRACE_" + name_ + "_" + std::to_string(runs_.size()) + "_" + slug;
-    write_text_file(base + ".jsonl", obs::to_jsonl(stream));
-    write_text_file(base + ".trace.json", obs::to_chrome_trace(stream));
+    if (resolve_trace_format() == TraceFormat::kBinlog) {
+      // Compact binary artifact; tools/trace_dump decodes it back to the
+      // exact JSONL (and Perfetto view) the branch below writes.
+      write_text_file(base + ".binlog", obs::serialize_binlog(stream));
+    } else {
+      write_text_file(base + ".jsonl", obs::to_jsonl(stream));
+      write_text_file(base + ".trace.json", obs::to_chrome_trace(stream));
+    }
   }
 
   runs_.push_back(os.str());
@@ -326,7 +346,9 @@ std::string BenchReport::json() const {
   std::ostringstream os;
   os << body_json() << ",\"timing\":{\"wall_clock_ms\":" << json_double(ms)
      << ",\"events_per_sec\":" << json_double(events_per_sec) << "}"
-     << ",\"provenance\":{\"git_sha\":" << quoted(sha != nullptr ? sha : "") << "}}";
+     << ",\"provenance\":{\"git_sha\":" << quoted(sha != nullptr ? sha : "")
+     << ",\"binlog\":{\"emitted\":" << binlog_emitted_ << ",\"dropped\":" << binlog_dropped_
+     << ",\"bytes\":" << binlog_bytes_ << "}}}";
   return os.str();
 }
 

@@ -61,6 +61,17 @@ inline constexpr int kBenchSchemaVersion = 2;
 /// MOBIDIST_TRACE_DIR so the two cannot drift semantically.
 [[nodiscard]] std::string resolve_env_dir(const char* var, std::string_view fallback);
 
+/// On-disk format for TRACE_* artifacts when MOBIDIST_TRACE_DIR is set.
+enum class TraceFormat {
+  kJsonl,   ///< TRACE_*.jsonl + Perfetto .trace.json (the default)
+  kBinlog,  ///< compact TRACE_*.binlog; decode with tools/trace_dump
+};
+
+/// Read MOBIDIST_TRACE_FORMAT: unset/"" / "jsonl" -> kJsonl, "binlog"
+/// -> kBinlog; anything else throws (a typo must not silently disable
+/// trace artifacts). Shared by BenchReport and the experiment runner.
+[[nodiscard]] TraceFormat resolve_trace_format();
+
 /// Write `content` to `path`, throwing std::runtime_error on any
 /// failure (missing directory, unwritable file) so misconfigured
 /// artifact dirs fail loudly instead of silently dropping output.
@@ -125,6 +136,10 @@ class BenchReport {
   std::vector<std::string> runs_;        // pre-serialized run objects
   std::vector<std::uint64_t> seeds_;     // cfg.seed of each run, in order
   std::uint64_t total_events_ = 0;
+  // Binary-telemetry sink totals across runs, surfaced in provenance.
+  std::uint64_t binlog_emitted_ = 0;
+  std::uint64_t binlog_dropped_ = 0;
+  std::uint64_t binlog_bytes_ = 0;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -8,6 +8,8 @@
 #include <set>
 #include <sstream>
 
+#include "obs/binlog.hpp"
+
 namespace mobidist::exp {
 
 namespace {
@@ -158,6 +160,16 @@ SweepReport aggregate(const std::string& name, const SweepGrid& grid,
       continue;
     }
     cell.seeds.push_back(result.seed);
+    // Sink-health provenance: binlog counters ride in the harvested
+    // events.* metrics; retained = emitted - dropped by construction.
+    const auto emitted = result.metrics.find("events.emitted");
+    const auto dropped = result.metrics.find("events.dropped");
+    if (emitted != result.metrics.end() && dropped != result.metrics.end()) {
+      report.binlog_emitted += static_cast<std::uint64_t>(emitted->second);
+      report.binlog_dropped += static_cast<std::uint64_t>(dropped->second);
+      report.binlog_bytes += static_cast<std::uint64_t>(emitted->second - dropped->second) *
+                             sizeof(obs::BinRecord);
+    }
   }
 
   // Second pass per cell: collect each metric's sample across ok runs.
@@ -203,7 +215,10 @@ std::string SweepReport::json() const {
   append_body(out, *this);
   out += ",\"provenance\":{\"git_sha\":" + quote(git_sha) +
          ",\"jobs\":" + std::to_string(jobs) +
-         ",\"wall_clock_sec\":" + num(wall_clock_sec);
+         ",\"wall_clock_sec\":" + num(wall_clock_sec) +
+         ",\"binlog\":{\"emitted\":" + std::to_string(binlog_emitted) +
+         ",\"dropped\":" + std::to_string(binlog_dropped) +
+         ",\"bytes\":" + std::to_string(binlog_bytes) + "}";
   // Per-cell host timing (wall seconds and scheduler events/sec). Kept
   // under provenance so the deterministic body — and therefore the
   // jobs-independence guarantee and the regression gate — never sees a

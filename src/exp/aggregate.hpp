@@ -60,6 +60,14 @@ struct SweepReport {
   unsigned jobs = 0;
   double wall_clock_sec = 0.0;
   std::string git_sha;
+  /// Telemetry-sink totals summed across ok runs (emitted/dropped from
+  /// the per-run events.* metrics, bytes = retained × record size):
+  /// lets artifact consumers spot a truncated event stream behind the
+  /// numbers. Deterministic, but kept in provenance with the other
+  /// sink-health facts rather than in the gated body.
+  std::uint64_t binlog_emitted = 0;
+  std::uint64_t binlog_dropped = 0;
+  std::uint64_t binlog_bytes = 0;
 
   [[nodiscard]] std::string deterministic_json() const;
   [[nodiscard]] std::string json() const;

@@ -660,10 +660,10 @@ void harvest(RunResult& result, const ScenarioSpec& spec, const net::Network& ne
 
   std::uint64_t crashes = 0;
   std::uint64_t recoveries = 0;
-  for (const auto& event : net.events().records()) {
+  net.events().for_each([&](const obs::Event& event) {
     if (event.kind == obs::EventKind::kMssCrash) ++crashes;
     if (event.kind == obs::EventKind::kMssRecover) ++recoveries;
-  }
+  });
   m["events.mss_crash"] = static_cast<double>(crashes);
   m["events.mss_recover"] = static_cast<double>(recoveries);
 
@@ -789,8 +789,12 @@ RunResult run_scenario(const RunPlan& plan, const WorkloadLibrary& workloads) {
     if (!trace_dir.empty()) {
       const std::string base = trace_dir + "TRACE_" + spec.name + "_" +
                                std::to_string(plan.index) + "_" + cell_slug(plan.cell);
-      core::write_text_file(base + ".jsonl", obs::to_jsonl(net.events()));
-      core::write_text_file(base + ".trace.json", obs::to_chrome_trace(net.events()));
+      if (core::resolve_trace_format() == core::TraceFormat::kBinlog) {
+        core::write_text_file(base + ".binlog", obs::serialize_binlog(net.events()));
+      } else {
+        core::write_text_file(base + ".jsonl", obs::to_jsonl(net.events()));
+        core::write_text_file(base + ".trace.json", obs::to_chrome_trace(net.events()));
+      }
     }
   } catch (const std::exception& err) {
     result.ok = false;

@@ -283,10 +283,12 @@ class LocationViewGroup::StationAgent : public net::MssAgent {
         if (!delta.empty()) delta += ' ';
         delta += "-" + net::to_string(change.del);
       }
+      // `delta` outlives the emit call (the stream interns a copy); the
+      // distinct-tag population here is bounded by the intern-table cap.
       net().emit({.kind = obs::EventKind::kViewChange,
                   .entity = net::entity_of(self()),
                   .arg = version_,
-                  .detail = std::move(delta)});
+                  .detail = delta});
     }
     owner_.max_view_.set_max(static_cast<std::int64_t>(master_.size()));
     // Full copy to a newly added MSS, increments to everyone else.

@@ -292,17 +292,15 @@ void Network::arrive_wired(MssId from, MssId to, obs::EventId send_id, std::uint
 }
 
 void Network::arrive_deferred(MssId from, MssId at, obs::EventId send_id,
-                              std::uint64_t channel, ProtocolId proto, std::string detail,
-                              std::function<void()> deliver) {
+                              std::uint64_t channel, ProtocolId proto,
+                              std::string_view detail, std::function<void()> deliver) {
   if (fault_) {
     const auto release = fault_->wired_release_at(index(from), index(at), sched_.now());
     if (release > sched_.now()) {
       fault_->count_deferral();
-      sched_.schedule_at(release, [this, from, at, send_id, channel, proto,
-                                   detail = std::move(detail),
+      sched_.schedule_at(release, [this, from, at, send_id, channel, proto, detail,
                                    deliver = std::move(deliver)]() mutable {
-        arrive_deferred(from, at, send_id, channel, proto, std::move(detail),
-                        std::move(deliver));
+        arrive_deferred(from, at, send_id, channel, proto, detail, std::move(deliver));
       });
       return;
     }
@@ -313,7 +311,7 @@ void Network::arrive_deferred(MssId from, MssId at, obs::EventId send_id,
                              .cause = send_id,
                              .channel = channel,
                              .arg = proto,
-                             .detail = std::move(detail)});
+                             .detail = detail});
   obs::CauseScope scope(events_, recv_id);
   deliver();
 }

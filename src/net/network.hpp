@@ -357,9 +357,11 @@ class Network {
   void arrive_wired(MssId from, MssId to, obs::EventId send_id, std::uint64_t channel,
                     Envelope env);
   /// Same deferral for the send_to_mh forward leg, which delivers via a
-  /// closure instead of dispatch.
+  /// closure instead of dispatch. `detail` must be a static-lifetime tag
+  /// (callers pass literals): the view is captured across deferrals.
   void arrive_deferred(MssId from, MssId at, obs::EventId send_id, std::uint64_t channel,
-                       ProtocolId proto, std::string detail, std::function<void()> deliver);
+                       ProtocolId proto, std::string_view detail,
+                       std::function<void()> deliver);
 
   void begin_crash(const fault::MssCrash& crash);
 

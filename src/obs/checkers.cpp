@@ -43,7 +43,7 @@ std::vector<CheckFailure> check_cs_exclusion(std::span<const Event> events) {
   std::map<std::string, Holder, std::less<>> holders;
   for (const auto& ev : events) {
     if (ev.kind == EventKind::kCsEnter) {
-      auto [it, inserted] = holders.try_emplace(ev.detail);
+      auto [it, inserted] = holders.try_emplace(std::string(ev.detail));
       if (!inserted && it->second.since != 0) {
         std::ostringstream os;
         os << to_string(ev.entity) << " entered the CS of instance \"" << ev.detail
@@ -199,7 +199,8 @@ std::vector<CheckFailure> check_traversal_cap(std::span<const Event> events) {
     if (ev.kind != EventKind::kTokenDepart) continue;
     if (ev.detail != "R2'" && ev.detail != "R2''") continue;
     if (ev.peer.kind != Entity::Kind::kMh) continue;  // ring forwarding, not a grant
-    const auto key = std::make_tuple(ev.detail, ev.arg, static_cast<std::uint64_t>(ev.peer.idx));
+    const auto key = std::make_tuple(std::string(ev.detail), ev.arg,
+                                     static_cast<std::uint64_t>(ev.peer.idx));
     const auto [it, inserted] = grants.try_emplace(key, ev.id);
     if (!inserted) {
       std::ostringstream os;
@@ -377,7 +378,10 @@ std::vector<CheckFailure> check_all(std::span<const Event> events) {
 }
 
 std::vector<CheckFailure> check_all(const EventStream& stream) {
-  return check_all(stream.records());
+  // Decode once: every checker walks the same materialized snapshot
+  // instead of re-decoding the ring seven times.
+  const auto events = stream.snapshot();
+  return check_all(events);
 }
 
 }  // namespace mobidist::obs

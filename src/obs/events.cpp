@@ -164,9 +164,13 @@ std::string describe(const Event& event) {
   return os.str();
 }
 
-EventId EventStream::emit(sim::SimTime at, Emit spec) {
+EventId EventStream::emit(sim::SimTime at, const Emit& spec) {
+  // Steady state (warm interner, grown counters): stack Event, one hash
+  // lookup, one 64-byte ring store — zero heap allocations.
+  const std::uint16_t detail_id = interner_.intern(spec.detail);
+
   Event ev;
-  ev.id = ++last_id_;
+  ev.id = binlog_.head() + 1;
   ev.at = at;
   ev.kind = spec.kind;
   ev.entity = spec.entity;
@@ -174,7 +178,7 @@ EventId EventStream::emit(sim::SimTime at, Emit spec) {
   ev.cause = spec.cause != 0 ? spec.cause : current_cause_;
   ev.channel = spec.channel;
   ev.arg = spec.arg;
-  ev.detail = std::move(spec.detail);
+  ev.detail = interner_.view(detail_id);
 
   auto& st = state_of(ev.entity);
   ev.seq = ++st.seq;
@@ -183,20 +187,22 @@ EventId EventStream::emit(sim::SimTime at, Emit spec) {
 
   if (sink_) sink_(ev);
 
-  records_.push_back(std::move(ev));
-  if (records_.size() - head_ > capacity_) {
-    ++head_;
-    ++dropped_;
-    if (head_ >= capacity_) {
-      // Compact the dead prefix away: amortized one extra move per
-      // event, and the vector's capacity stops growing at ~2x the
-      // retention limit.
-      records_.erase(records_.begin(),
-                     records_.begin() + static_cast<std::ptrdiff_t>(head_));
-      head_ = 0;
-    }
-  }
-  return last_id_;
+  binlog_.append(encode(ev, detail_id));
+  return ev.id;
+}
+
+std::vector<Event> EventStream::snapshot() const {
+  std::vector<Event> out;
+  const std::size_t n = retained();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(event_at(i));
+  return out;
+}
+
+Event EventStream::event_at(std::size_t pos) const noexcept {
+  const EventId id = binlog_.dropped() + pos + 1;
+  const BinRecord& rec = binlog_.record_of(id);
+  return decode(rec, id, interner_.view(rec.detail_id));
 }
 
 EventStream::EntityState& EventStream::state_of(Entity entity) {
@@ -213,20 +219,18 @@ EventStream::EntityState& EventStream::state_of(Entity entity) {
 }
 
 std::uint64_t EventStream::lamport_of(EventId id) const noexcept {
-  // Eviction is front-only, so retained ids form the contiguous range
-  // [dropped_ + 1, last_id_] and index straight into records_.
-  if (id == 0 || id <= dropped_ || id > last_id_) return 0;
-  return records_[head_ + (id - dropped_ - 1)].lamport;
+  // Eviction is oldest-first, so retained ids form the contiguous range
+  // [dropped() + 1, emitted()] and mask straight into the ring.
+  if (id == 0 || id <= binlog_.dropped() || id > binlog_.head()) return 0;
+  return binlog_.record_of(id).lamport;
 }
 
 void EventStream::clear() {
-  records_.clear();
-  head_ = 0;
+  binlog_.clear();
+  interner_.clear();
   mss_state_.clear();
   mh_state_.clear();
   none_state_ = EntityState{};
-  last_id_ = 0;
-  dropped_ = 0;
   current_cause_ = 0;
 }
 
@@ -347,7 +351,7 @@ std::string event_json(const Event& event) {
   return out;
 }
 
-std::optional<Event> event_from_json(std::string_view line) {
+std::optional<Event> event_from_json(std::string_view line, InternTable& strings) {
   while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
     line.remove_suffix(1);
   }
@@ -382,7 +386,9 @@ std::optional<Event> event_from_json(std::string_view line) {
   ev.cause = *cause;
   ev.channel = *channel;
   ev.arg = *arg;
-  ev.detail = std::move(*detail);
+  // The unescaped text is a temporary: intern it so the returned view
+  // outlives this call (backed by the caller's table).
+  ev.detail = strings.view(strings.intern(*detail));
   return ev;
 }
 
@@ -395,7 +401,14 @@ std::string to_jsonl(std::span<const Event> events) {
   return out;
 }
 
-std::string to_jsonl(const EventStream& stream) { return to_jsonl(stream.records()); }
+std::string to_jsonl(const EventStream& stream) {
+  std::string out;
+  stream.for_each([&out](const Event& ev) {
+    out += event_json(ev);
+    out += '\n';
+  });
+  return out;
+}
 
 namespace {
 
@@ -527,7 +540,8 @@ std::string to_chrome_trace(std::span<const Event> events) {
 }
 
 std::string to_chrome_trace(const EventStream& stream) {
-  return to_chrome_trace(stream.records());
+  const auto events = stream.snapshot();
+  return to_chrome_trace(events);
 }
 
 }  // namespace mobidist::obs

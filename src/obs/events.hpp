@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/binlog.hpp"
 #include "sim/time.hpp"
 
 namespace mobidist::obs {
@@ -39,6 +40,7 @@ enum class EventKind : std::uint8_t {
   kPacketFlush,     ///< a formation packet disgorged at the destination (cause = its send)
 };
 
+/// Stable wire name of a kind ("send", "cs_enter", ...).
 [[nodiscard]] std::string_view to_string(EventKind kind) noexcept;
 /// Inverse of to_string; nullopt on unknown text.
 [[nodiscard]] std::optional<EventKind> parse_kind(std::string_view text) noexcept;
@@ -47,18 +49,22 @@ enum class EventKind : std::uint8_t {
 /// without depending on the net layer, so obs stays below net in the
 /// dependency order.
 struct Entity {
+  /// Which of the two host classes (or none, for "no peer").
   enum class Kind : std::uint8_t { kNone, kMss, kMh };
 
   Kind kind = Kind::kNone;
   std::uint32_t idx = 0;
 
+  /// The idx-th mobile support station.
   [[nodiscard]] static constexpr Entity mss(std::uint32_t idx) noexcept {
     return Entity{Kind::kMss, idx};
   }
+  /// The idx-th mobile host.
   [[nodiscard]] static constexpr Entity mh(std::uint32_t idx) noexcept {
     return Entity{Kind::kMh, idx};
   }
 
+  /// False for the default-constructed "no entity".
   [[nodiscard]] constexpr bool valid() const noexcept { return kind != Kind::kNone; }
   /// Dense map key: kind in the top bits, index below.
   [[nodiscard]] constexpr std::uint64_t key() const noexcept {
@@ -78,6 +84,10 @@ using EventId = std::uint64_t;
 
 /// One structured event. Everything is a pure function of the
 /// simulation, so two same-seed runs produce byte-identical streams.
+/// `detail` is a non-owning view: for events decoded from a stream or a
+/// binlog it points into the owning InternTable, for hand-built events
+/// it is usually a string literal — either way the backing storage must
+/// outlive the Event.
 struct Event {
   EventId id = 0;          ///< dense, 1-based, assigned by EventStream
   sim::SimTime at = 0;     ///< virtual time of emission
@@ -89,7 +99,7 @@ struct Event {
   EventId cause = 0;       ///< causal parent (the send behind this recv, ...)
   std::uint64_t channel = 0; ///< FIFO channel key for send/recv; 0 = unordered
   std::uint64_t arg = 0;     ///< kind-specific payload (proto, token_val, round, ...)
-  std::string detail;      ///< kind-specific tag ("R2'", "broadcast", "L2", ...)
+  std::string_view detail;   ///< kind-specific tag ("R2'", "broadcast", "L2", ...)
 };
 
 /// Human-readable one-liner ("token depart mss:0 -> mh:3 val=2 [R2']");
@@ -100,19 +110,28 @@ struct Event {
 /// Bounded, append-only stream of structured events for one simulated
 /// system. Owns id assignment, per-entity sequence numbers, and the
 /// per-entity Lamport clocks (advanced past the causal parent's clock on
-/// every emission). The buffer keeps the most recent `capacity` events;
-/// evictions are counted in dropped() so artifact consumers can see
+/// every emission). Storage is a BinLog ring of 64-byte BinRecords plus
+/// an InternTable for detail tags, so the steady-state emit path — warm
+/// interner, per-entity counters grown — performs zero heap allocations
+/// with tracing on. The ring keeps the most recent `capacity` events;
+/// overwrites are counted in dropped() so artifact consumers can see
 /// truncation instead of silently trusting a partial stream.
 class EventStream {
  public:
-  /// ~26 MB of retained events at the default; big enough for every
-  /// bench scenario, small enough to stay always-on.
+  /// 16 MiB of retained telemetry at the default: kDefaultCapacity
+  /// (2^18) × sizeof(BinRecord) (64 B) — big enough for every bench
+  /// scenario, small enough to stay always-on. The arithmetic is pinned
+  /// by a test in tests/binlog_test.cpp.
   static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 18;
 
-  explicit EventStream(std::size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
+  /// `capacity` is rounded up to the next power of two (the ring masks
+  /// ids into slots).
+  explicit EventStream(std::size_t capacity = kDefaultCapacity) : binlog_(capacity) {}
 
   /// Emission spec: everything the emitter knows. `cause` 0 means "use
   /// the ambient CauseScope cause" (the message recv being dispatched).
+  /// `detail` is only read during emit (it is interned into the
+  /// stream's table), so any lifetime that survives the call is fine.
   struct Emit {
     EventKind kind = EventKind::kSend;
     Entity entity;
@@ -120,11 +139,11 @@ class EventStream {
     EventId cause = 0;
     std::uint64_t channel = 0;
     std::uint64_t arg = 0;
-    std::string detail{};
+    std::string_view detail{};
   };
 
   /// Append one event; returns its id (usable as a later cause).
-  EventId emit(sim::SimTime at, Emit spec);
+  EventId emit(sim::SimTime at, const Emit& spec);
 
   /// Ambient causal parent for emissions that do not pass one
   /// explicitly; managed by CauseScope.
@@ -132,23 +151,44 @@ class EventStream {
 
   /// Optional observer invoked for every emitted event before it is
   /// buffered (the Network uses this to render events into sim::Trace).
+  /// The Event&'s detail views the stream's intern table.
   using Sink = std::function<void(const Event&)>;
+  /// Install (or clear, with {}) the observer.
   void set_sink(Sink sink) { sink_ = std::move(sink); }
 
-  /// Retained events, oldest first. Ids are contiguous:
-  /// records().front().id == dropped() + 1. The view is invalidated by
-  /// the next emit()/clear().
-  [[nodiscard]] std::span<const Event> records() const noexcept {
-    return {records_.data() + head_, records_.size() - head_};
+  /// Decode all retained events, oldest first. Ids are contiguous:
+  /// snapshot().front().id == dropped() + 1. Detail views point into
+  /// the stream's intern table and stay valid until clear().
+  [[nodiscard]] std::vector<Event> snapshot() const;
+
+  /// Visit each retained event, oldest first, without materializing the
+  /// vector (one stack Event per call).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::size_t n = retained();
+    for (std::size_t i = 0; i < n; ++i) fn(event_at(i));
   }
+
+  /// Decode the pos-th retained event (0 = oldest).
+  [[nodiscard]] Event event_at(std::size_t pos) const noexcept;
+
   /// Total events ever emitted (== the id of the newest event).
-  [[nodiscard]] std::uint64_t emitted() const noexcept { return last_id_; }
-  /// Events evicted from the front of the buffer (truncation count).
-  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return binlog_.head(); }
+  /// Events evicted from the ring (truncation count).
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return binlog_.dropped(); }
+  /// Events currently held in the ring.
+  [[nodiscard]] std::size_t retained() const noexcept { return binlog_.retained(); }
 
   /// Lamport clock of a retained event; 0 if unknown (evicted / none).
   [[nodiscard]] std::uint64_t lamport_of(EventId id) const noexcept;
 
+  /// The binary ring behind the stream (serialization + stats).
+  [[nodiscard]] const BinLog& binlog() const noexcept { return binlog_; }
+  /// The detail-tag intern table (stable views, bounded growth).
+  [[nodiscard]] const InternTable& interner() const noexcept { return interner_; }
+
+  /// Forget all events, counters, and interned tags; invalidates every
+  /// previously handed-out detail view.
   void clear();
 
  private:
@@ -164,18 +204,11 @@ class EventStream {
   /// emit() is on the simulation hot path.
   [[nodiscard]] EntityState& state_of(Entity entity);
 
-  std::size_t capacity_;
-  /// Flat storage with a dead prefix of `head_` evicted events; the
-  /// prefix is compacted away once it reaches `capacity_`, so emit()
-  /// performs no per-event allocation at steady state (a deque would
-  /// allocate a block node every few events).
-  std::vector<Event> records_;
-  std::size_t head_ = 0;
+  BinLog binlog_;
+  InternTable interner_;
   std::vector<EntityState> mss_state_;
   std::vector<EntityState> mh_state_;
   EntityState none_state_;
-  std::uint64_t last_id_ = 0;
-  std::uint64_t dropped_ = 0;
   EventId current_cause_ = 0;
   Sink sink_;
 };
@@ -207,8 +240,11 @@ class CauseScope {
 [[nodiscard]] std::string event_json(const Event& event);
 
 /// Inverse of event_json (one line, optionally with trailing newline);
-/// nullopt on malformed input. Used by the offline trace_check tool.
-[[nodiscard]] std::optional<Event> event_from_json(std::string_view line);
+/// nullopt on malformed input. The detail text is interned into
+/// `strings`, which backs the returned Event's view — keep the table
+/// alive as long as the events. Used by the offline trace tools.
+[[nodiscard]] std::optional<Event> event_from_json(std::string_view line,
+                                                   InternTable& strings);
 
 /// Whole stream as JSON Lines (one event_json per line).
 [[nodiscard]] std::string to_jsonl(std::span<const Event> events);

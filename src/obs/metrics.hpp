@@ -25,8 +25,10 @@ class Counter {
     value_ += n;
     return *this;
   }
+  /// Add `n` (default 1).
   void inc(std::uint64_t n = 1) noexcept { value_ += n; }
 
+  /// Current count.
   [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
   operator std::uint64_t() const noexcept { return value_; }  // NOLINT(google-explicit-constructor)
 
@@ -44,13 +46,16 @@ class Gauge {
  public:
   constexpr Gauge() = default;
 
+  /// Replace the value.
   void set(std::int64_t v) noexcept { value_ = v; }
+  /// Adjust by a (possibly negative) delta.
   void add(std::int64_t d) noexcept { value_ += d; }
   /// set(max(current, v)) — for high-water marks.
   void set_max(std::int64_t v) noexcept {
     if (v > value_) value_ = v;
   }
 
+  /// Current value.
   [[nodiscard]] std::int64_t value() const noexcept { return value_; }
 
  private:
@@ -66,17 +71,23 @@ class Histogram {
  public:
   explicit Histogram(std::vector<std::uint64_t> upper_bounds);
 
+  /// Count one sample into its bucket and the summary stats.
   void record(std::uint64_t value) noexcept;
 
+  /// Samples recorded.
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  /// Sum of all recorded samples.
   [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
   /// Min/max over recorded samples; 0 when empty.
   [[nodiscard]] std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  /// Largest recorded sample; 0 when empty.
   [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  /// sum()/count(); 0 when empty.
   [[nodiscard]] double mean() const noexcept {
     return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
   }
 
+  /// The upper bounds fixed at construction.
   [[nodiscard]] const std::vector<std::uint64_t>& bounds() const noexcept { return bounds_; }
   /// bounds().size() + 1 entries; the last one is the overflow bucket.
   [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const noexcept {
@@ -109,17 +120,22 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
+  /// The counter named `name`, registered on first use.
   Counter& counter(std::string_view name);
+  /// The gauge named `name`, registered on first use.
   Gauge& gauge(std::string_view name);
   /// `bounds` are only consulted on first registration.
   Histogram& histogram(std::string_view name, std::vector<std::uint64_t> bounds);
 
+  /// All counters, in name order.
   [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters() const noexcept {
     return counters_;
   }
+  /// All gauges, in name order.
   [[nodiscard]] const std::map<std::string, Gauge, std::less<>>& gauges() const noexcept {
     return gauges_;
   }
+  /// All histograms, in name order.
   [[nodiscard]] const std::map<std::string, Histogram, std::less<>>& histograms()
       const noexcept {
     return histograms_;

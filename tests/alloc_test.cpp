@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "net/body.hpp"
+#include "obs/events.hpp"
 #include "sim/scheduler.hpp"
 
 namespace {
@@ -156,6 +157,72 @@ TEST(BodyAlloc, InlinePayloadsDoNotAllocate) {
     }
   });
   EXPECT_EQ(count, 0u) << "inline Body payloads allocated";
+}
+
+// The binary-telemetry claim: with tracing ON (the binlog ring is the
+// stream's storage and an observer sink is attached), steady-state
+// emission is allocation-free. Steady state = the interner has seen
+// every distinct detail tag once and the per-entity counter vectors
+// have grown to the entity working set; after that, emit() is a hash
+// lookup, a stack Event, and a 64-byte ring store — including across
+// ring wrap, whose eviction is a plain overwrite.
+TEST(EventStreamAlloc, SteadyStateEmitDoesNotAllocateWithTracingOn) {
+  obs::EventStream stream(256);  // small ring: the gate spans many wraps
+  std::uint64_t sink_calls = 0;
+  stream.set_sink([&sink_calls](const obs::Event&) { ++sink_calls; });
+
+  constexpr std::string_view kTags[] = {"R2'", "broadcast", "L1", ""};
+  auto emit_round = [&](sim::SimTime base) {
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      obs::EventStream::Emit spec;
+      spec.kind = i % 2 == 0 ? obs::EventKind::kSend : obs::EventKind::kRecv;
+      spec.entity = obs::Entity::mss(i % 8);
+      spec.peer = obs::Entity::mh(i % 16);
+      spec.channel = i % 4;
+      spec.arg = i;
+      spec.detail = kTags[i % 4];
+      spec.cause = stream.emitted();  // chain to the previous event
+      stream.emit(base + i, spec);
+    }
+  };
+
+  emit_round(0);  // warm-up: interns the tags, grows the counter vectors
+  const auto count = allocations_during([&] {
+    for (int round = 1; round <= 100; ++round) emit_round(round * 64);
+  });
+
+  EXPECT_EQ(count, 0u) << "steady-state emit allocated with tracing on";
+  EXPECT_EQ(sink_calls, 101u * 64u);
+  EXPECT_GT(stream.dropped(), 0u) << "gate must cover ring wrap";
+  EXPECT_EQ(stream.emitted(), 101u * 64u);
+}
+
+// The combined simulation hot loop: scheduler fire -> event emission,
+// the path every simulated message takes. Both halves warm, the whole
+// cycle must stay heap-free.
+TEST(EventStreamAlloc, SchedulerDrivenEmitDoesNotAllocateAfterWarmup) {
+  sim::Scheduler sched;
+  obs::EventStream stream(256);
+
+  auto one_round = [&](sim::Duration base) {
+    for (int i = 0; i < 64; ++i) {
+      sched.schedule(base + i, [&stream, i] {
+        obs::EventStream::Emit spec;
+        spec.kind = obs::EventKind::kSend;
+        spec.entity = obs::Entity::mss(static_cast<std::uint32_t>(i % 4));
+        spec.detail = "hot";
+        stream.emit(0, spec);
+      });
+    }
+    sched.run_until(sched.now() + base + 64);
+  };
+
+  one_round(1);  // warm-up for scheduler slots, interner, counters
+  const auto count = allocations_during([&] {
+    for (int round = 0; round < 100; ++round) one_round(1);
+  });
+  EXPECT_EQ(count, 0u) << "scheduler-driven emit hot path allocated";
+  EXPECT_EQ(stream.emitted(), 101u * 64u);
 }
 
 }  // namespace

@@ -1,0 +1,327 @@
+// Tests for the binary telemetry path (src/obs/binlog.*): BinRecord
+// layout + Event round trip across every kind at max field width,
+// InternTable bounds/overflow accounting, BinLog ring arithmetic under
+// wrap, the binlog file format (serialize -> decode -> byte-identical
+// JSONL), corrupt-input rejection, JSON escaping of hostile detail
+// tags, and MOBIDIST_TRACE_FORMAT resolution.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "obs/binlog.hpp"
+#include "obs/events.hpp"
+
+namespace mobidist::test {
+namespace {
+
+using obs::BinLog;
+using obs::BinRecord;
+using obs::Entity;
+using obs::Event;
+using obs::EventKind;
+using obs::EventStream;
+using obs::InternTable;
+
+constexpr EventKind kLastKind = EventKind::kPacketFlush;
+
+// --------------------------------------------------------------------------
+// Layout: the numbers quoted in the header comments must stay true.
+// --------------------------------------------------------------------------
+
+TEST(BinRecord, LayoutMatchesDocumentedArithmetic) {
+  EXPECT_EQ(sizeof(BinRecord), 64u);
+  // EventStream::kDefaultCapacity documents "16 MiB of retained
+  // telemetry"; pin the arithmetic so the comment cannot go stale again.
+  EXPECT_EQ(EventStream::kDefaultCapacity * sizeof(BinRecord), 16u * 1024u * 1024u);
+  // EventKind must fit the u8 slot in BinRecord.
+  EXPECT_LE(static_cast<unsigned>(kLastKind), 0xffu);
+}
+
+// --------------------------------------------------------------------------
+// Event <-> BinRecord at maximum field width, for every kind.
+// --------------------------------------------------------------------------
+
+TEST(BinRecord, RoundTripsEveryKindWithMaxWidthFields) {
+  constexpr std::uint64_t kMax64 = std::numeric_limits<std::uint64_t>::max();
+  constexpr std::uint32_t kMax32 = std::numeric_limits<std::uint32_t>::max();
+  const std::string detail(200, 'x');  // longer than any real tag
+  for (unsigned k = 0; k <= static_cast<unsigned>(kLastKind); ++k) {
+    Event ev;
+    ev.id = kMax64;
+    ev.at = kMax64 - 1;
+    ev.kind = static_cast<EventKind>(k);
+    ev.entity = Entity::mss(kMax32);
+    ev.peer = Entity::mh(kMax32 - 1);
+    ev.seq = kMax64 - 2;
+    ev.lamport = kMax64 - 3;
+    ev.cause = kMax64 - 4;
+    ev.channel = kMax64 - 5;
+    ev.arg = kMax64 - 6;
+    ev.detail = detail;
+
+    const BinRecord rec = obs::encode(ev, 7);
+    EXPECT_EQ(rec.detail_id, 7u);
+    const Event back = obs::decode(rec, ev.id, detail);
+    // Byte-identical JSONL is the contract the offline decoder relies
+    // on, so compare through the serializer rather than field by field.
+    EXPECT_EQ(obs::event_json(back), obs::event_json(ev)) << "kind " << k;
+  }
+}
+
+// --------------------------------------------------------------------------
+// InternTable: reserved ids, bounded growth, overflow visibility.
+// --------------------------------------------------------------------------
+
+TEST(InternTable, ReservedIdsAndStableLookups) {
+  InternTable table;
+  EXPECT_EQ(table.intern(""), InternTable::kEmptyId);
+  EXPECT_EQ(table.view(InternTable::kEmptyId), "");
+  EXPECT_EQ(table.view(InternTable::kOverflowId), InternTable::kOverflowText);
+  const auto a = table.intern("R2'");
+  const auto b = table.intern("broadcast");
+  EXPECT_NE(a, b);
+  EXPECT_GE(a, 2u);  // reserved ids are never handed out for real tags
+  EXPECT_EQ(table.intern("R2'"), a);  // idempotent
+  EXPECT_EQ(table.view(a), "R2'");
+  EXPECT_EQ(table.size(), 4u);  // "", overflow, and the two tags
+  EXPECT_EQ(table.overflows(), 0u);
+}
+
+TEST(InternTable, OverflowMapsToReservedIdAndIsCounted) {
+  InternTable table(4);  // room for the 2 reserved entries + 2 tags
+  EXPECT_EQ(table.capacity(), 4u);
+  const auto a = table.intern("a");
+  const auto b = table.intern("b");
+  EXPECT_EQ(table.size(), 4u);
+  // Table is full: a third distinct tag degrades to the overflow id.
+  EXPECT_EQ(table.intern("c"), InternTable::kOverflowId);
+  EXPECT_EQ(table.intern("d"), InternTable::kOverflowId);
+  EXPECT_EQ(table.overflows(), 2u);
+  // Known tags still resolve normally after overflow.
+  EXPECT_EQ(table.intern("a"), a);
+  EXPECT_EQ(table.intern("b"), b);
+  EXPECT_EQ(table.overflows(), 2u);
+  // Truncation is visible in exports, not silent.
+  EXPECT_EQ(table.view(InternTable::kOverflowId), "!intern-overflow");
+
+  table.clear();
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.overflows(), 0u);
+  EXPECT_EQ(table.intern("fresh"), 2u);
+}
+
+// --------------------------------------------------------------------------
+// BinLog ring arithmetic under wrap.
+// --------------------------------------------------------------------------
+
+TEST(BinLog, WrapKeepsIdsContiguousAndDroppedExact) {
+  BinLog ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    BinRecord rec;
+    rec.at = i * 100;  // distinguishable payload
+    ring.append(rec);
+    EXPECT_EQ(ring.head(), i);
+    EXPECT_EQ(ring.dropped(), i > 4 ? i - 4 : 0u);
+    EXPECT_EQ(ring.retained(), i > 4 ? 4u : static_cast<std::size_t>(i));
+  }
+  // Retained ids are exactly [dropped+1, head] and map to their records.
+  for (std::uint64_t id = ring.dropped() + 1; id <= ring.head(); ++id) {
+    EXPECT_EQ(ring.record_of(id).at, id * 100);
+  }
+  ring.clear();
+  EXPECT_EQ(ring.head(), 0u);
+  EXPECT_EQ(ring.retained(), 0u);
+}
+
+TEST(BinLog, NonPowerOfTwoCapacityRoundsUp) {
+  EXPECT_EQ(BinLog(5).capacity(), 8u);
+  EXPECT_EQ(BinLog(1).capacity(), 1u);
+  EXPECT_EQ(BinLog(64).capacity(), 64u);
+}
+
+TEST(EventStream, WrappedStreamSnapshotsContiguousTail) {
+  EventStream stream(8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    stream.emit(i, {.kind = EventKind::kSend, .entity = Entity::mss(0)});
+  }
+  EXPECT_EQ(stream.emitted(), 20u);
+  EXPECT_EQ(stream.dropped(), 12u);
+  const auto events = stream.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, 13u + i);  // contiguous, oldest first
+  }
+}
+
+// --------------------------------------------------------------------------
+// Binlog file format round trip.
+// --------------------------------------------------------------------------
+
+// Emit a deterministic pseudo-random mix of kinds/fields/details (a
+// fixed-seed LCG: test output must not vary run to run).
+void fill_stream(EventStream& stream, std::size_t count) {
+  const std::vector<std::string_view> details = {
+      "", "R2'", "broadcast", "L1", "R2' \"quoted\"\\", "tab\ttab",
+      "\x01ctrl", "\",\"arg\":", "newline\nnewline",
+  };
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 16;
+  };
+  for (std::size_t i = 0; i < count; ++i) {
+    EventStream::Emit spec;
+    spec.kind = static_cast<EventKind>(next() % (static_cast<unsigned>(kLastKind) + 1));
+    spec.entity = (next() % 2 == 0) ? Entity::mss(static_cast<std::uint32_t>(next() % 7))
+                                    : Entity::mh(static_cast<std::uint32_t>(next() % 7));
+    if (next() % 3 == 0) spec.peer = Entity::mh(static_cast<std::uint32_t>(next() % 7));
+    if (stream.emitted() > 0 && next() % 4 == 0) {
+      spec.cause = stream.dropped() + 1 + next() % stream.retained();
+    }
+    spec.channel = next() % 5;
+    spec.arg = next();
+    spec.detail = details[next() % details.size()];
+    stream.emit(i, spec);
+  }
+}
+
+TEST(BinlogFile, RoundTripsToByteIdenticalJsonl) {
+  EventStream stream;
+  fill_stream(stream, 300);
+  const std::string bytes = obs::serialize_binlog(stream);
+
+  const auto decoded = obs::decode_binlog(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->emitted, stream.emitted());
+  EXPECT_EQ(decoded->dropped, stream.dropped());
+  EXPECT_EQ(decoded->overflows, stream.interner().overflows());
+  ASSERT_EQ(decoded->events.size(), stream.retained());
+  // The decoded stream must serialize to exactly what the direct JSONL
+  // exporter writes — this is the trace_dump contract.
+  EXPECT_EQ(obs::to_jsonl(decoded->events), obs::to_jsonl(stream));
+}
+
+TEST(BinlogFile, RoundTripsAWrappedRingPreservingCounts) {
+  EventStream stream(16);
+  fill_stream(stream, 100);
+  EXPECT_EQ(stream.dropped(), 84u);
+  const auto decoded = obs::decode_binlog(obs::serialize_binlog(stream));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->emitted, 100u);
+  EXPECT_EQ(decoded->dropped, 84u);
+  ASSERT_EQ(decoded->events.size(), 16u);
+  EXPECT_EQ(decoded->events.front().id, 85u);
+  EXPECT_EQ(decoded->events.back().id, 100u);
+  EXPECT_EQ(obs::to_jsonl(decoded->events), obs::to_jsonl(stream));
+}
+
+TEST(BinlogFile, RoundTripsAnEmptyStream) {
+  EventStream stream;
+  const auto decoded = obs::decode_binlog(obs::serialize_binlog(stream));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->emitted, 0u);
+  EXPECT_TRUE(decoded->events.empty());
+}
+
+TEST(BinlogFile, RejectsCorruptInput) {
+  EventStream stream;
+  fill_stream(stream, 50);
+  const std::string good = obs::serialize_binlog(stream);
+  ASSERT_TRUE(obs::decode_binlog(good).has_value());
+
+  EXPECT_FALSE(obs::decode_binlog("").has_value());
+  EXPECT_FALSE(obs::decode_binlog(good.substr(0, 10)).has_value());  // truncated header
+  EXPECT_FALSE(obs::decode_binlog(good.substr(0, good.size() - 10)).has_value());
+  EXPECT_FALSE(obs::decode_binlog(good + "x").has_value());  // trailing garbage
+
+  std::string bad = good;
+  bad[0] = 'X';  // magic
+  EXPECT_FALSE(obs::decode_binlog(bad).has_value());
+  bad = good;
+  bad[4] = 99;  // version
+  EXPECT_FALSE(obs::decode_binlog(bad).has_value());
+  bad = good;
+  bad[8] = 63;  // record_size
+  EXPECT_FALSE(obs::decode_binlog(bad).has_value());
+  bad = good;
+  bad[12] = static_cast<char>(0xff);  // string_count inflated
+  bad[13] = static_cast<char>(0xff);
+  bad[14] = static_cast<char>(0xff);
+  EXPECT_FALSE(obs::decode_binlog(bad).has_value());
+}
+
+// --------------------------------------------------------------------------
+// JSON escaping of hostile detail tags (audit regression tests).
+// --------------------------------------------------------------------------
+
+TEST(JsonEscaping, HostileDetailsRoundTripThroughJsonl) {
+  const std::vector<std::string_view> hostile = {
+      "\"", "\\", "\\\"", "\n\r\t", std::string_view("\x01\x02\x1f", 3),
+      "\",\"arg\":0,\"detail\":\"",  // key-shaped: must not confuse the parser
+      "back\\slash and \"quote\"",
+  };
+  InternTable strings;
+  for (const auto detail : hostile) {
+    Event ev;
+    ev.id = 1;
+    ev.entity = Entity::mh(0);
+    ev.detail = detail;
+    const std::string line = obs::event_json(ev);
+    // A correctly escaped line contains no raw control characters.
+    for (const char c : line) {
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << "raw control char in: " << line;
+    }
+    const auto back = obs::event_from_json(line, strings);
+    ASSERT_TRUE(back.has_value()) << line;
+    EXPECT_EQ(back->detail, detail) << line;
+    // Numeric fields must not be shadowed by the key-shaped payload.
+    EXPECT_EQ(back->id, 1u) << line;
+    EXPECT_EQ(back->arg, 0u) << line;
+  }
+}
+
+TEST(JsonEscaping, ChromeTraceEscapesDetailInArgs) {
+  Event ev;
+  ev.id = 1;
+  ev.at = 10;
+  ev.kind = EventKind::kCsEnter;
+  ev.entity = Entity::mh(0);
+  ev.detail = "L1 \"quoted\"\\\n";
+  const std::vector<Event> events = {ev};
+  const std::string trace = obs::to_chrome_trace(events);
+  EXPECT_NE(trace.find("L1 \\\"quoted\\\"\\\\\\n"), std::string::npos);
+  for (const char c : trace) {
+    // \n between trace records is the only raw control char allowed.
+    if (c == '\n') continue;
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+// --------------------------------------------------------------------------
+// MOBIDIST_TRACE_FORMAT resolution.
+// --------------------------------------------------------------------------
+
+TEST(TraceFormat, EnvValuesResolveOrThrow) {
+  ::unsetenv("MOBIDIST_TRACE_FORMAT");
+  EXPECT_EQ(core::resolve_trace_format(), core::TraceFormat::kJsonl);
+  ::setenv("MOBIDIST_TRACE_FORMAT", "", 1);
+  EXPECT_EQ(core::resolve_trace_format(), core::TraceFormat::kJsonl);
+  ::setenv("MOBIDIST_TRACE_FORMAT", "jsonl", 1);
+  EXPECT_EQ(core::resolve_trace_format(), core::TraceFormat::kJsonl);
+  ::setenv("MOBIDIST_TRACE_FORMAT", "binlog", 1);
+  EXPECT_EQ(core::resolve_trace_format(), core::TraceFormat::kBinlog);
+  ::setenv("MOBIDIST_TRACE_FORMAT", "binary", 1);  // a typo must fail loudly
+  EXPECT_THROW(static_cast<void>(core::resolve_trace_format()), std::runtime_error);
+  ::unsetenv("MOBIDIST_TRACE_FORMAT");
+}
+
+}  // namespace
+}  // namespace mobidist::test

@@ -157,7 +157,7 @@ TEST(FaultPlane, CrashScheduleFiresAtExactSimTimes) {
   net.run();
 
   std::vector<std::tuple<sim::SimTime, obs::EventKind, std::uint32_t>> seen;
-  for (const auto& ev : net.events().records()) {
+  for (const auto& ev : net.events().snapshot()) {
     if (ev.kind == obs::EventKind::kMssCrash || ev.kind == obs::EventKind::kMssRecover) {
       seen.emplace_back(ev.at, ev.kind, ev.entity.idx);
     }

@@ -31,7 +31,7 @@ NetConfig batching_config(std::uint32_t deadline, std::uint32_t max_msgs = 16,
 
 std::size_t count_kind(const Network& net, obs::EventKind kind) {
   std::size_t n = 0;
-  for (const auto& ev : net.events().records()) {
+  for (const auto& ev : net.events().snapshot()) {
     if (ev.kind == kind) ++n;
   }
   return n;
@@ -235,7 +235,7 @@ TEST(Formation, ForwardLegBarrierPreservesChannelFifo) {
   EXPECT_EQ(h.mh[1]->received.size(), 1u);
   EXPECT_GE(net.formation()->barrier_flushes(), 1u);
   bool saw_barrier_packet = false;
-  for (const auto& ev : net.events().records()) {
+  for (const auto& ev : net.events().snapshot()) {
     if (ev.kind == obs::EventKind::kPacketSend && ev.detail == "barrier") {
       saw_barrier_packet = true;
     }

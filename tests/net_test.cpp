@@ -622,7 +622,7 @@ TEST(Determinism, IdenticalSeedsGiveIdenticalRuns) {
 
 std::size_t count_kind(const Network& net, obs::EventKind kind) {
   std::size_t n = 0;
-  for (const auto& ev : net.events().records()) {
+  for (const auto& ev : net.events().snapshot()) {
     if (ev.kind == kind) ++n;
   }
   return n;
@@ -684,7 +684,7 @@ TEST(ReliableWireless, DuplicatedDownlinkIsSuppressedExactlyOnce) {
   EXPECT_EQ(net.ledger().wireless_rx(), 1u);
   EXPECT_EQ(count_kind(net, obs::EventKind::kMsgDuplicated), 1u);
   std::size_t recvs_at_mh = 0;
-  for (const auto& ev : net.events().records()) {
+  for (const auto& ev : net.events().snapshot()) {
     if (ev.kind == obs::EventKind::kRecv && ev.entity == obs::Entity::mh(1)) ++recvs_at_mh;
   }
   EXPECT_EQ(recvs_at_mh, 1u);  // the suppressed copy emits no recv

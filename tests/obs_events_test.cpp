@@ -41,9 +41,9 @@ TEST(EventStream, AssignsDenseIdsAndPerEntitySequences) {
   EXPECT_EQ(a, 1u);
   EXPECT_EQ(b, 2u);
   EXPECT_EQ(c, 3u);
-  EXPECT_EQ(stream.records()[0].seq, 1u);
-  EXPECT_EQ(stream.records()[1].seq, 2u);
-  EXPECT_EQ(stream.records()[2].seq, 1u);  // per-entity, not global
+  EXPECT_EQ(stream.event_at(0).seq, 1u);
+  EXPECT_EQ(stream.event_at(1).seq, 2u);
+  EXPECT_EQ(stream.event_at(2).seq, 1u);  // per-entity, not global
   EXPECT_EQ(stream.emitted(), 3u);
   EXPECT_EQ(stream.dropped(), 0u);
 }
@@ -73,10 +73,10 @@ TEST(EventStream, CauseScopeSuppliesAmbientCause) {
     obs::CauseScope scope(stream, root);
     EXPECT_EQ(stream.current_cause(), root);
     const auto child = stream.emit(1, {.kind = EventKind::kCsEnter, .entity = Entity::mh(0)});
-    EXPECT_EQ(stream.records().back().cause, root);
+    EXPECT_EQ(stream.snapshot().back().cause, root);
     // An explicit cause wins over the ambient one.
     stream.emit(1, {.kind = EventKind::kCsExit, .entity = Entity::mh(0), .cause = child});
-    EXPECT_EQ(stream.records().back().cause, child);
+    EXPECT_EQ(stream.snapshot().back().cause, child);
   }
   EXPECT_EQ(stream.current_cause(), 0u);
 }
@@ -88,9 +88,9 @@ TEST(EventStream, EvictsFromTheFrontAndCountsDrops) {
   }
   EXPECT_EQ(stream.emitted(), 10u);
   EXPECT_EQ(stream.dropped(), 6u);
-  ASSERT_EQ(stream.records().size(), 4u);
-  EXPECT_EQ(stream.records().front().id, 7u);  // ids stay contiguous
-  EXPECT_EQ(stream.records().back().id, 10u);
+  ASSERT_EQ(stream.retained(), 4u);
+  EXPECT_EQ(stream.event_at(0).id, 7u);  // ids stay contiguous
+  EXPECT_EQ(stream.event_at(3).id, 10u);
   EXPECT_EQ(stream.lamport_of(3), 0u);   // evicted -> unknown
   EXPECT_EQ(stream.lamport_of(10), 10u);
 }
@@ -113,7 +113,8 @@ TEST(EventJson, RoundTripsEveryField) {
   ev.arg = 5;
   ev.detail = "R2' \"quoted\"\\\n\ttab";
   const std::string line = obs::event_json(ev);
-  const auto back = obs::event_from_json(line);
+  obs::InternTable strings;
+  const auto back = obs::event_from_json(line, strings);
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->id, ev.id);
   EXPECT_EQ(back->at, ev.at);
@@ -127,13 +128,14 @@ TEST(EventJson, RoundTripsEveryField) {
   EXPECT_EQ(back->arg, ev.arg);
   EXPECT_EQ(back->detail, ev.detail);
   // Accepts a trailing newline (the JSONL line form).
-  EXPECT_TRUE(obs::event_from_json(line + "\n").has_value());
+  EXPECT_TRUE(obs::event_from_json(line + "\n", strings).has_value());
 }
 
 TEST(EventJson, RejectsMalformedLines) {
-  EXPECT_FALSE(obs::event_from_json("").has_value());
-  EXPECT_FALSE(obs::event_from_json("not json").has_value());
-  EXPECT_FALSE(obs::event_from_json("{\"id\":1}").has_value());  // missing fields
+  obs::InternTable strings;
+  EXPECT_FALSE(obs::event_from_json("", strings).has_value());
+  EXPECT_FALSE(obs::event_from_json("not json", strings).has_value());
+  EXPECT_FALSE(obs::event_from_json("{\"id\":1}", strings).has_value());  // missing fields
   Event ev;
   ev.id = 1;
   ev.entity = Entity::mh(0);
@@ -141,7 +143,7 @@ TEST(EventJson, RejectsMalformedLines) {
   const auto pos = line.find("\"send\"");
   ASSERT_NE(pos, std::string::npos);
   line.replace(pos, 6, "\"nope\"");
-  EXPECT_FALSE(obs::event_from_json(line).has_value());
+  EXPECT_FALSE(obs::event_from_json(line, strings).has_value());
 }
 
 TEST(EventJson, KindAndEntityNamesRoundTrip) {
@@ -244,13 +246,14 @@ TEST(Trace, RendersEventStreamIntoTextTrace) {
 // --------------------------------------------------------------------------
 
 Event make(EventId id, sim::SimTime at, EventKind kind, Entity entity,
-           std::string detail = {}) {
+           std::string_view detail = {}) {
+  // Callers pass string literals, so the view's storage outlives the test.
   Event ev;
   ev.id = id;
   ev.at = at;
   ev.kind = kind;
   ev.entity = entity;
-  ev.detail = std::move(detail);
+  ev.detail = detail;
   return ev;
 }
 

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Binlog round-trip gate, registered with ctest as `binlog_roundtrip`.
+# Runs the deterministic scale_smoke and mutex_smoke sweeps twice — once
+# with the default JSONL exporter, once with MOBIDIST_TRACE_FORMAT=binlog
+# — then decodes every TRACE_*.binlog with tools/trace_dump and requires
+# the output to be byte-identical to the directly exported .jsonl. This
+# is the contract that makes the compact binary path safe to use for
+# artifact capture: nothing is lost, reordered, or re-rendered.
+# Also sanity-checks trace_dump --perfetto and its corrupt-input exit.
+set -euo pipefail
+
+build_dir=${1:?usage: run_binlog_roundtrip.sh <build-dir> <source-dir>}
+source_dir=${2:?usage: run_binlog_roundtrip.sh <build-dir> <source-dir>}
+cli="$build_dir/tools/mobidist_sweep"
+dump="$build_dir/tools/trace_dump"
+for bin in "$cli" "$dump"; do
+  if [ ! -x "$bin" ]; then
+    echo "run_binlog_roundtrip: missing binary $bin (build first)" >&2
+    exit 1
+  fi
+done
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+mkdir "$tmp/jsonl" "$tmp/binlog"
+
+for scenario in scale_smoke mutex_smoke; do
+  spec="$source_dir/scenarios/$scenario.json"
+  MOBIDIST_TRACE_DIR="$tmp/jsonl/" "$cli" --scenario "$spec" \
+    --jobs 2 --deterministic --out "$tmp/jsonl/ARTIFACT_$scenario.json" > /dev/null
+  MOBIDIST_TRACE_DIR="$tmp/binlog/" MOBIDIST_TRACE_FORMAT=binlog "$cli" --scenario "$spec" \
+    --jobs 2 --deterministic --out "$tmp/binlog/ARTIFACT_$scenario.json" > /dev/null
+done
+
+shopt -s nullglob
+binlogs=("$tmp"/binlog/TRACE_*.binlog)
+if [ "${#binlogs[@]}" -eq 0 ]; then
+  echo "run_binlog_roundtrip: binlog run produced no TRACE_*.binlog" >&2
+  exit 1
+fi
+# The binlog run must not ALSO write jsonl (the formats are exclusive).
+leaked=("$tmp"/binlog/TRACE_*.jsonl)
+if [ "${#leaked[@]}" -ne 0 ]; then
+  echo "run_binlog_roundtrip: binlog mode leaked jsonl artifacts: ${leaked[*]}" >&2
+  exit 1
+fi
+
+status=0
+for binlog in "${binlogs[@]}"; do
+  name=$(basename "$binlog" .binlog)
+  direct="$tmp/jsonl/$name.jsonl"
+  if [ ! -f "$direct" ]; then
+    echo "run_binlog_roundtrip: jsonl run produced no $name.jsonl" >&2
+    status=1
+    continue
+  fi
+  if ! "$dump" "$binlog" > "$tmp/decoded.jsonl"; then
+    echo "run_binlog_roundtrip: trace_dump failed on $binlog" >&2
+    status=1
+    continue
+  fi
+  if ! cmp -s "$direct" "$tmp/decoded.jsonl"; then
+    echo "run_binlog_roundtrip: $name: decoded binlog differs from direct jsonl:" >&2
+    diff "$direct" "$tmp/decoded.jsonl" | head -5 >&2 || true
+    status=1
+  fi
+done
+if [ "$status" -ne 0 ]; then
+  echo "run_binlog_roundtrip: binary path is not lossless" >&2
+  exit "$status"
+fi
+
+# Perfetto mode decodes the same records through to_chrome_trace.
+"$dump" --perfetto "${binlogs[0]}" > "$tmp/decoded.trace.json"
+grep -q '"traceEvents":\[' "$tmp/decoded.trace.json"
+
+# Corrupt input must fail loudly with exit 2, not decode garbage.
+head -c 16 "${binlogs[0]}" > "$tmp/truncated.binlog"
+if "$dump" "$tmp/truncated.binlog" > /dev/null 2>&1; then
+  echo "run_binlog_roundtrip: trace_dump accepted a truncated binlog" >&2
+  exit 1
+fi
+
+echo "run_binlog_roundtrip: ${#binlogs[@]} binlogs decoded byte-identical to direct jsonl"

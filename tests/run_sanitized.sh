@@ -16,6 +16,10 @@
 #                                     # Debug asan preset can miss, and
 #                                     # runs fast enough for the full
 #                                     # suite on every change
+#
+# Every preset runs the full registered suite, which includes the
+# binlog_roundtrip gate (binary telemetry serialize/decode under the
+# sanitizer) alongside the unit/chaos/sweep tests.
 
 set -euo pipefail
 

@@ -24,12 +24,16 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::vector<mobidist::obs::Event> events;
+  // Owns the storage behind every Event::detail view parsed below; must
+  // outlive `events` (max capacity: a trace may carry more distinct tags
+  // than the producer-side default).
+  mobidist::obs::InternTable strings(mobidist::obs::InternTable::kMaxCapacity);
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    auto event = mobidist::obs::event_from_json(line);
+    auto event = mobidist::obs::event_from_json(line, strings);
     if (!event) {
       std::cerr << "trace_check: " << argv[1] << ":" << line_no << ": malformed event\n";
       return 2;

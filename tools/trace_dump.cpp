@@ -1,0 +1,64 @@
+// Offline decoder for binary TRACE_*.binlog artifacts (written when
+// MOBIDIST_TRACE_FORMAT=binlog): reconstructs the event stream and
+// prints it to stdout as JSON Lines — byte-identical to what the
+// direct JSONL exporter would have written for the same run — or, with
+// --perfetto, as a Perfetto/chrome://tracing-loadable trace. Exits 2
+// on an unreadable or malformed file. Used by
+// tests/run_binlog_roundtrip.sh to prove the binary path is lossless.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "obs/binlog.hpp"
+#include "obs/events.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: trace_dump [--perfetto] <trace.binlog>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool perfetto = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--perfetto") {
+      perfetto = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      return usage();
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path == nullptr) return usage();
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "trace_dump: cannot open " << path << '\n';
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+
+  auto decoded = mobidist::obs::decode_binlog(bytes);
+  if (!decoded) {
+    std::cerr << "trace_dump: " << path << ": malformed binlog\n";
+    return 2;
+  }
+  if (perfetto) {
+    std::cout << mobidist::obs::to_chrome_trace(decoded->events);
+  } else {
+    std::cout << mobidist::obs::to_jsonl(decoded->events);
+  }
+  return 0;
+}
