@@ -106,6 +106,10 @@ class Sections {
 
   [[nodiscard]] const exp::SweepReport& report() const noexcept { return report_; }
 
+  /// Mutable access for provenance fields the bench sets after run()
+  /// (e.g. SweepReport::shards for sharded-engine cells).
+  [[nodiscard]] exp::SweepReport& report() noexcept { return report_; }
+
   /// Write BENCH_<name>.json to $MOBIDIST_BENCH_DIR (cwd if unset).
   std::string write() const {
     const std::string path =

@@ -57,6 +57,20 @@ CostLedger CostLedger::delta_since(const CostLedger& baseline) const {
   return d;
 }
 
+void CostLedger::merge_from(const CostLedger& other) {
+  fixed_msgs_ += other.fixed_msgs_;
+  wired_packets_ += other.wired_packets_;
+  wireless_msgs_ += other.wireless_msgs_;
+  searches_ += other.searches_;
+  wireless_tx_ += other.wireless_tx_;
+  wireless_rx_ += other.wireless_rx_;
+  for (const auto& [key, counts] : other.per_mh_) {
+    auto& mine = per_mh_[key];
+    mine.tx += counts.tx;
+    mine.rx += counts.rx;
+  }
+}
+
 void CostLedger::reset() { *this = CostLedger{}; }
 
 }  // namespace mobidist::cost

@@ -114,6 +114,11 @@ class CostLedger {
   /// Snapshot subtraction: `*this - baseline`, used to meter one phase.
   [[nodiscard]] CostLedger delta_since(const CostLedger& baseline) const;
 
+  /// Fold another ledger's charges into this one (counters sum, per-MH
+  /// energy counts merge). The sharded engine keeps one ledger per shard
+  /// and folds them at harvest time.
+  void merge_from(const CostLedger& other);
+
   void reset();
 
  private:

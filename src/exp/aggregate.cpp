@@ -215,6 +215,7 @@ std::string SweepReport::json() const {
   append_body(out, *this);
   out += ",\"provenance\":{\"git_sha\":" + quote(git_sha) +
          ",\"jobs\":" + std::to_string(jobs) +
+         ",\"shards\":" + std::to_string(shards) +
          ",\"wall_clock_sec\":" + num(wall_clock_sec) +
          ",\"binlog\":{\"emitted\":" + std::to_string(binlog_emitted) +
          ",\"dropped\":" + std::to_string(binlog_dropped) +

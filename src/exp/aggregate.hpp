@@ -60,6 +60,11 @@ struct SweepReport {
   unsigned jobs = 0;
   double wall_clock_sec = 0.0;
   std::string git_sha;
+  /// Shard count requested for the sweep (mobidist_sweep --shards); 0 =
+  /// legacy engine. Provenance because the deterministic body is
+  /// guaranteed identical across shard counts — recording which count
+  /// produced an artifact must not change its gated bytes.
+  std::uint32_t shards = 0;
   /// Telemetry-sink totals summed across ok runs (emitted/dropped from
   /// the per-run events.* metrics, bytes = retained × record size):
   /// lets artifact consumers spot a truncated event stream behind the

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <span>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -547,22 +548,26 @@ class EchoHost : public net::MhAgent {
 /// Timer-churn driver: every tick cancels the previous batch of
 /// far-future timers and schedules a fresh one — the schedule-then-regret
 /// pattern whose cancelled events linger in the queue until their distant
-/// firing time unless the scheduler reclaims them eagerly.
+/// firing time unless the scheduler reclaims them eagerly. Resolves its
+/// scheduler through the Network at tick time (not a captured reference):
+/// on the sharded engine sched() is the executing shard's queue, so each
+/// churner's timers and handles stay on the lane that runs it.
 class TimerChurn {
  public:
-  explicit TimerChurn(sim::Scheduler& sched) : sched_(sched) {}
+  explicit TimerChurn(net::Network& net) : net_(net) {}
 
   void tick(std::uint64_t remaining, std::uint64_t churn, sim::Duration gap) {
+    auto& sched = net_.sched();
     for (const auto handle : parked_) {
-      if (sched_.cancel(handle)) ++cancelled_;
+      if (sched.cancel(handle)) ++cancelled_;
     }
     parked_.clear();
     if (remaining == 0) return;
     constexpr sim::Duration kFarFuture = 1'000'000'000;
     for (std::uint64_t k = 0; k < churn; ++k) {
-      parked_.push_back(sched_.schedule(kFarFuture + k, [] {}));
+      parked_.push_back(sched.schedule(kFarFuture + k, [] {}));
     }
-    sched_.schedule(gap, [this, remaining, churn, gap] {
+    sched.schedule(gap, [this, remaining, churn, gap] {
       tick(remaining - 1, churn, gap);
     });
   }
@@ -570,7 +575,7 @@ class TimerChurn {
   [[nodiscard]] std::uint64_t cancelled() const noexcept { return cancelled_; }
 
  private:
-  sim::Scheduler& sched_;
+  net::Network& net_;
   std::vector<sim::EventHandle> parked_;
   std::uint64_t cancelled_ = 0;
 };
@@ -596,11 +601,11 @@ void build_scale(ScenarioContext& ctx) {
       net.mh(static_cast<MhId>(h)).register_agent(net::protocol::kUserBase, host);
       hosts.push_back(host);
       // Stagger start instants across the gap so uplinks don't all land
-      // on the same tick.
+      // on the same tick. Primed on the lane owning the host's cell so
+      // the sharded engine starts each loop on its own shard.
       auto* driver = host.get();
-      net.sched().schedule_at(1 + h % gap, [driver, pings, gap] {
-        driver->ping(pings, gap);
-      });
+      net.schedule_on_lane(net.lane_of(obs::Entity::mh(h)), 1 + h % gap,
+                           [driver, pings, gap] { driver->ping(pings, gap); });
     }
     ctx.metric("sent", [&hosts] {
       std::uint64_t total = 0;
@@ -622,12 +627,13 @@ void build_scale(ScenarioContext& ctx) {
     const auto churn = spec.param_u64("churn", 16);
     auto& drivers = ctx.emplace<std::vector<std::shared_ptr<TimerChurn>>>();
     for (std::uint32_t h = 0; h < n; ++h) {
-      auto driver = std::make_shared<TimerChurn>(net.sched());
+      auto driver = std::make_shared<TimerChurn>(net);
       drivers.push_back(driver);
       auto* churner = driver.get();
-      net.sched().schedule_at(1 + h % gap, [churner, ticks, churn, gap] {
-        churner->tick(ticks, churn, gap);
-      });
+      net.schedule_on_lane(net.lane_of(obs::Entity::mh(h)), 1 + h % gap,
+                           [churner, ticks, churn, gap] {
+                             churner->tick(ticks, churn, gap);
+                           });
     }
     ctx.metric("cancelled", [&drivers] {
       std::uint64_t total = 0;
@@ -641,8 +647,10 @@ void build_scale(ScenarioContext& ctx) {
 
 // --- harvest ---------------------------------------------------------------
 
+/// `merged` is the canonical merged trace when the run used the sharded
+/// engine (whose per-shard streams it supersedes), nullptr for legacy.
 void harvest(RunResult& result, const ScenarioSpec& spec, const net::Network& net,
-             ScenarioContext& ctx) {
+             ScenarioContext& ctx, const std::vector<obs::Event>* merged) {
   auto& m = result.metrics;
   const auto& ledger = net.ledger();
   m["cost.total"] = ledger.total(spec.cost);
@@ -653,17 +661,22 @@ void harvest(RunResult& result, const ScenarioSpec& spec, const net::Network& ne
   m["ledger.searches"] = static_cast<double>(ledger.searches());
   m["ledger.wireless_tx"] = static_cast<double>(ledger.wireless_tx());
   m["ledger.wireless_rx"] = static_cast<double>(ledger.wireless_rx());
-  m["sched.fired"] = static_cast<double>(net.sched().fired());
-  m["sched.hit_event_limit"] = net.sched().hit_event_limit() ? 1.0 : 0.0;
-  m["events.emitted"] = static_cast<double>(net.events().emitted());
-  m["events.dropped"] = static_cast<double>(net.events().dropped());
+  m["sched.fired"] = static_cast<double>(net.total_fired());
+  m["sched.hit_event_limit"] = net.hit_event_limit() ? 1.0 : 0.0;
+  m["events.emitted"] = static_cast<double>(net.events_emitted());
+  m["events.dropped"] = static_cast<double>(net.events_dropped());
 
   std::uint64_t crashes = 0;
   std::uint64_t recoveries = 0;
-  net.events().for_each([&](const obs::Event& event) {
+  const auto count_event = [&](const obs::Event& event) {
     if (event.kind == obs::EventKind::kMssCrash) ++crashes;
     if (event.kind == obs::EventKind::kMssRecover) ++recoveries;
-  });
+  };
+  if (merged != nullptr) {
+    for (const auto& event : *merged) count_event(event);
+  } else {
+    net.events().for_each(count_event);
+  }
   m["events.mss_crash"] = static_cast<double>(crashes);
   m["events.mss_recover"] = static_cast<double>(recoveries);
 
@@ -706,19 +719,27 @@ const WorkloadLibrary& WorkloadLibrary::builtin() {
     lib.add("multicast", build_multicast);
     lib.add("group", build_group);
     lib.add("proxy_mutex", build_proxy_mutex);
-    lib.add("scale", build_scale);
+    // scale is the one workload whose traffic is entirely lane-local
+    // (in-cell echo loops, per-lane timer churn) — the sharded engine's
+    // target shape. Everything above moves hosts or chases them.
+    lib.add("scale", build_scale, /*shard_safe=*/true);
     return lib;
   }();
   return library;
 }
 
-void WorkloadLibrary::add(std::string name, Builder builder) {
-  builders_.insert_or_assign(std::move(name), std::move(builder));
+void WorkloadLibrary::add(std::string name, Builder builder, bool shard_safe) {
+  builders_.insert_or_assign(std::move(name), Entry{std::move(builder), shard_safe});
 }
 
 const WorkloadLibrary::Builder* WorkloadLibrary::find(std::string_view name) const {
   const auto it = builders_.find(name);
-  return it == builders_.end() ? nullptr : &it->second;
+  return it == builders_.end() ? nullptr : &it->second.builder;
+}
+
+bool WorkloadLibrary::shard_safe(std::string_view name) const {
+  const auto it = builders_.find(name);
+  return it != builders_.end() && it->second.shard_safe;
 }
 
 std::vector<std::string> WorkloadLibrary::names() const {
@@ -736,10 +757,21 @@ RunResult run_scenario(const RunPlan& plan, const WorkloadLibrary& workloads) {
   result.cell = plan.cell;
   result.seed = plan.seed;
   try {
-    const ScenarioSpec& spec = plan.spec;
+    ScenarioSpec spec = plan.spec;
     const auto* builder = workloads.find(spec.workload);
     if (builder == nullptr) {
       throw std::runtime_error("unknown workload '" + spec.workload + "'");
+    }
+
+    // Shards axis classification: the sharded engine supports static
+    // topologies only, so a requested shard count is honoured only for
+    // shard-safe workloads without mobility or faults. Everything else
+    // collapses to the legacy engine — identically for EVERY requested
+    // count, which is what lets the shard-independence gate sweep the
+    // whole scenario matrix.
+    if (spec.net.shards != 0 &&
+        !(workloads.shard_safe(spec.workload) && !spec.mobility && !spec.has_faults())) {
+      spec.net.shards = 0;
     }
 
     net::Network net(spec.net);
@@ -755,6 +787,13 @@ RunResult run_scenario(const RunPlan& plan, const WorkloadLibrary& workloads) {
       ctx.after_start([driver_ptr] { driver_ptr->start(); });
     }
 
+    if (ctx.run_until_ != 0 && net.sharded()) {
+      // run_until drives one scheduler directly, bypassing the window
+      // protocol; no current shard-safe workload requests it, so reject
+      // rather than silently run a partial system.
+      throw std::runtime_error("run_until is not supported on the sharded engine");
+    }
+
     const auto sim_begin = std::chrono::steady_clock::now();
     net.start();
     for (const auto& hook : ctx.after_start_) hook();
@@ -768,8 +807,14 @@ RunResult run_scenario(const RunPlan& plan, const WorkloadLibrary& workloads) {
             .count();
 
     // Every run is a correctness oracle: the paper's safety properties
-    // must hold on the event stream it just produced.
-    const auto failures = obs::check_all(net.events());
+    // must hold on the event stream it just produced. The sharded engine
+    // is checked on its canonical merged trace (per-shard streams are
+    // partial views with cross-stream cause refs).
+    std::vector<obs::Event> merged;
+    if (net.sharded()) merged = net.merged_events();
+    const auto failures = net.sharded()
+                              ? obs::check_all(std::span<const obs::Event>(merged))
+                              : obs::check_all(net.events());
     if (!failures.empty()) {
       result.error = "trace checkers failed:";
       const std::size_t shown = std::min<std::size_t>(failures.size(), 5);
@@ -782,14 +827,22 @@ RunResult run_scenario(const RunPlan& plan, const WorkloadLibrary& workloads) {
       return result;
     }
 
-    harvest(result, spec, net, ctx);
+    harvest(result, spec, net, ctx, net.sharded() ? &merged : nullptr);
     result.ok = true;
 
     const std::string trace_dir = core::resolve_env_dir("MOBIDIST_TRACE_DIR", "");
     if (!trace_dir.empty()) {
       const std::string base = trace_dir + "TRACE_" + spec.name + "_" +
                                std::to_string(plan.index) + "_" + cell_slug(plan.cell);
-      if (core::resolve_trace_format() == core::TraceFormat::kBinlog) {
+      if (net.sharded()) {
+        // The canonical merged trace is the sharded engine's exported
+        // record — identical bytes for every shard count. The binlog
+        // format is a single-ring serialization, so sharded runs fall
+        // back to JSONL even under MOBIDIST_TRACE_FORMAT=binlog.
+        const std::span<const obs::Event> view(merged);
+        core::write_text_file(base + ".jsonl", obs::to_jsonl(view));
+        core::write_text_file(base + ".trace.json", obs::to_chrome_trace(view));
+      } else if (core::resolve_trace_format() == core::TraceFormat::kBinlog) {
         core::write_text_file(base + ".binlog", obs::serialize_binlog(net.events()));
       } else {
         core::write_text_file(base + ".jsonl", obs::to_jsonl(net.events()));

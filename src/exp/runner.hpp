@@ -99,12 +99,23 @@ class WorkloadLibrary {
   /// "scale" (echo|timers).
   [[nodiscard]] static const WorkloadLibrary& builtin();
 
-  void add(std::string name, Builder builder);
+  /// `shard_safe` marks a workload that drives only static-topology,
+  /// lane-local traffic and may therefore run on the sharded engine.
+  /// run_scenario() collapses NetConfig::shards to 0 (legacy) for every
+  /// other workload — and for shard-safe ones combined with mobility or
+  /// a fault profile — so the shards axis is a pure no-op there.
+  void add(std::string name, Builder builder, bool shard_safe = false);
   [[nodiscard]] const Builder* find(std::string_view name) const;
+  /// True when `name` was registered shard-safe (false for unknown names).
+  [[nodiscard]] bool shard_safe(std::string_view name) const;
   [[nodiscard]] std::vector<std::string> names() const;
 
  private:
-  std::map<std::string, Builder, std::less<>> builders_;
+  struct Entry {
+    Builder builder;
+    bool shard_safe = false;
+  };
+  std::map<std::string, Entry, std::less<>> builders_;
 };
 
 /// Execute one plan end to end: build the Network (per-run instance —

@@ -127,6 +127,7 @@ void apply_override(ScenarioSpec& spec, std::string_view key, const json::Value&
     spec.net.charge_search_for_local = require_bool(key, value);
     return;
   }
+  if (key == "topology.shards") { spec.net.shards = require_u32(key, value); return; }
 
   auto& lat = spec.net.latency;
   if (key == "latency.wired_min") { lat.wired_min = require_u64(key, value); return; }
@@ -283,8 +284,11 @@ std::string to_json(const ScenarioSpec& spec) {
      << spec.net.num_mss << ",\"num_mh\":" << spec.net.num_mh << ",\"search\":\""
      << search_name(spec.net.search) << "\",\"placement\":\""
      << placement_name(spec.net.placement) << "\",\"charge_search_for_local\":"
-     << (spec.net.charge_search_for_local ? "true" : "false")
-     << "},\"latency\":{\"wired_min\":" << lat.wired_min << ",\"wired_max\":" << lat.wired_max
+     << (spec.net.charge_search_for_local ? "true" : "false");
+  // Emitted only when set so pre-sharding artifact bodies stay
+  // byte-identical.
+  if (spec.net.shards != 0) os << ",\"shards\":" << spec.net.shards;
+  os << "},\"latency\":{\"wired_min\":" << lat.wired_min << ",\"wired_max\":" << lat.wired_max
      << ",\"wireless_min\":" << lat.wireless_min << ",\"wireless_max\":" << lat.wireless_max
      << ",\"search_min\":" << lat.search_min << ",\"search_max\":" << lat.search_max
      << ",\"broadcast_retry\":" << lat.broadcast_retry

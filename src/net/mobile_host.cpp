@@ -28,6 +28,9 @@ void MobileHost::start_agents() {
 }
 
 void MobileHost::move_to(MssId target, sim::Duration transit) {
+  // Mobility re-homes the MH's lane mid-run; the sharded engine's lane
+  // partition is fixed at construction, so moves are legacy-only.
+  net_.require_legacy("MobileHost::move_to()");
   if (state_ != MhState::kConnected) {
     throw std::logic_error("MobileHost::move_to: " + to_string(id_) + " is not in a cell");
   }
@@ -46,6 +49,7 @@ void MobileHost::move_to(MssId target, sim::Duration transit) {
 }
 
 void MobileHost::disconnect() {
+  net_.require_legacy("MobileHost::disconnect()");
   if (state_ != MhState::kConnected) {
     throw std::logic_error("MobileHost::disconnect: " + to_string(id_) + " is not in a cell");
   }

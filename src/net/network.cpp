@@ -7,6 +7,8 @@
 
 namespace mobidist::net {
 
+thread_local std::uint32_t Network::tls_shard_ = 0;
+
 namespace {
 
 /// A misconfigured range must fail loudly at construction: sample()
@@ -18,6 +20,14 @@ void check_latency_range(const char* name, sim::Duration lo, sim::Duration hi) {
                                 " has min > max (" + std::to_string(lo) + " > " +
                                 std::to_string(hi) + ")");
   }
+}
+
+/// Per-lane RNG stream seed: the run seed spread by the golden-ratio
+/// increment (splitmix64's gamma), one stream per lane so the draw
+/// sequence of each lane is a pure function of (seed, lane) — the
+/// grouping-independence keystone of the sharded engine.
+[[nodiscard]] std::uint64_t lane_stream_seed(std::uint64_t seed, std::uint32_t lane) {
+  return seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(lane) + 1);
 }
 
 }  // namespace
@@ -76,22 +86,47 @@ Network::Network(NetConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
   check_latency_range("wired", cfg_.latency.wired_min, cfg_.latency.wired_max);
   check_latency_range("wireless", cfg_.latency.wireless_min, cfg_.latency.wireless_max);
   check_latency_range("search", cfg_.latency.search_min, cfg_.latency.search_max);
+  if (sharded() && cfg_.latency.wired_min < 1) {
+    // The wired-latency lower bound IS the conservative lookahead; a
+    // zero-latency wire would leave no safe window to run in parallel.
+    throw std::invalid_argument("Network: sharded engine requires latency.wired_min >= 1");
+  }
+  const std::uint32_t slice_count = sharded() ? std::min(cfg_.shards, cfg_.num_mss) : 1;
+  slices_.reserve(slice_count);
+  for (std::uint32_t i = 0; i < slice_count; ++i) {
+    slices_.push_back(std::make_unique<ShardSlice>());
+  }
   if (!cfg_.formation.passthrough()) {
     if (cfg_.formation.max_packet_msgs == 0) {
       throw std::invalid_argument("Network: formation.max_packet_msgs must be >= 1");
     }
-    formation_ = std::make_unique<FormationLayer>(
-        cfg_.formation, sched_,
-        [this](FormationLayer::Packet packet) { transmit_packet(std::move(packet)); });
+    // One formation layer per slice, bound to that slice's scheduler:
+    // a queue for (from,to) lives on from's shard, so enqueue, deadline
+    // timers, and flush all run on the thread that owns the sender.
+    for (auto& slice : slices_) {
+      slice->formation = std::make_unique<FormationLayer>(
+          cfg_.formation, slice->sched,
+          [this](FormationLayer::Packet packet) { transmit_packet(std::move(packet)); });
+    }
   }
-  // The free-text trace is a rendering of the event stream: every
-  // structured event that clears the trace's level filter is formatted
-  // into it, so trace text and event records can never disagree.
-  events_.set_sink([this](const obs::Event& ev) {
-    const auto level = trace_level_of(ev.kind);
-    if (level < trace_.min_level()) return;  // skip the formatting work
-    trace_.log(ev.at, level, trace_component_of(ev.kind), obs::describe(ev));
-  });
+  if (!sharded()) {
+    // The free-text trace is a rendering of the event stream: every
+    // structured event that clears the trace's level filter is formatted
+    // into it, so trace text and event records can never disagree. The
+    // sharded engine skips the sink (a shared text buffer would race
+    // across shard threads); its canonical record is merged_events().
+    slices_[0]->events.set_sink([this](const obs::Event& ev) {
+      const auto level = trace_level_of(ev.kind);
+      if (level < trace_.min_level()) return;  // skip the formatting work
+      trace_.log(ev.at, level, trace_component_of(ev.kind), obs::describe(ev));
+    });
+  } else {
+    lane_rngs_.reserve(cfg_.num_mss);
+    for (std::uint32_t lane = 0; lane < cfg_.num_mss; ++lane) {
+      lane_rngs_.emplace_back(lane_stream_seed(cfg_.seed, lane));
+    }
+    lane_mail_seq_.assign(cfg_.num_mss, 0);
+  }
   mss_.reserve(cfg_.num_mss);
   for (std::uint32_t i = 0; i < cfg_.num_mss; ++i) {
     mss_.push_back(std::make_unique<Mss>(*this, static_cast<MssId>(i)));
@@ -101,7 +136,10 @@ Network::Network(NetConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
     mh_.push_back(std::make_unique<MobileHost>(*this, static_cast<MhId>(i)));
   }
   // Initial placement: direct, no protocol traffic. Agents observe it in
-  // on_start via Mss::local_mhs().
+  // on_start via Mss::local_mhs(). Placement draws from the global
+  // stream even when sharded — it happens before the run, on one
+  // thread, and must not depend on the shard count.
+  mh_lane_.reserve(cfg_.num_mh);
   for (std::uint32_t i = 0; i < cfg_.num_mh; ++i) {
     std::uint32_t cell = 0;
     switch (cfg_.placement) {
@@ -114,6 +152,7 @@ Network::Network(NetConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
     mh_[i]->mss_ = static_cast<MssId>(cell);
     mh_[i]->state_ = MhState::kConnected;
     mss_[cell]->place_local(static_cast<MhId>(i));
+    mh_lane_.push_back(cell);
   }
 }
 
@@ -136,7 +175,56 @@ const MobileHost& Network::mh(MhId id) const {
   return *mh_[index(id)];
 }
 
+void Network::require_legacy(const char* what) const {
+  if (sharded()) {
+    throw std::logic_error(std::string("Network: ") + what +
+                           " is not supported on the sharded engine (cfg.shards >= 1); "
+                           "sharded runs are static-topology only");
+  }
+}
+
+std::uint32_t Network::lane_of(obs::Entity entity) const noexcept {
+  switch (entity.kind) {
+    case obs::Entity::Kind::kMss: return entity.idx;
+    case obs::Entity::Kind::kMh:
+      return entity.idx < mh_lane_.size() ? mh_lane_[entity.idx] : 0;
+    case obs::Entity::Kind::kNone: break;
+  }
+  return 0;
+}
+
+std::uint64_t Network::total_fired() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& slice : slices_) total += slice->sched.fired();
+  return total;
+}
+
+bool Network::hit_event_limit() const noexcept {
+  if (sharded()) return group_ != nullptr && group_->hit_event_limit();
+  return slices_[0]->sched.hit_event_limit();
+}
+
+std::uint64_t Network::events_emitted() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& slice : slices_) total += slice->events.emitted();
+  return total;
+}
+
+std::uint64_t Network::events_dropped() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& slice : slices_) total += slice->events.dropped();
+  return total;
+}
+
+std::vector<obs::Event> Network::merged_events() const {
+  std::vector<const obs::EventStream*> streams;
+  streams.reserve(slices_.size());
+  for (const auto& slice : slices_) streams.push_back(&slice->events);
+  return obs::merge_canonical(streams, [this](obs::Entity e) { return lane_of(e); });
+}
+
 fault::FaultPlane& Network::install_fault_plane(fault::FaultProfile profile) {
+  require_legacy("install_fault_plane()");
   if (fault_) throw std::logic_error("Network: fault plane already installed");
   for (const auto& crash : profile.crashes) {
     if (crash.mss >= cfg_.num_mss) {
@@ -149,10 +237,10 @@ fault::FaultPlane& Network::install_fault_plane(fault::FaultProfile profile) {
   // whether or not a plane is installed.
   fault_ = std::make_unique<fault::FaultPlane>(fault::fault_stream_seed(cfg_.seed),
                                                std::move(profile));
-  fault_->bind_metrics(metrics_);
+  fault_->bind_metrics(slices_[0]->metrics);
   for (const auto& crash : fault_->profile().crashes) {
-    sched_.schedule_at(crash.at, [this, crash]() { begin_crash(crash); });
-    sched_.schedule_at(crash.at + crash.down_for, [this, mss = crash.mss]() {
+    slices_[0]->sched.schedule_at(crash.at, [this, crash]() { begin_crash(crash); });
+    slices_[0]->sched.schedule_at(crash.at + crash.down_for, [this, mss = crash.mss]() {
       emit({.kind = obs::EventKind::kMssRecover, .entity = obs::Entity::mss(mss)});
     });
   }
@@ -188,8 +276,35 @@ void Network::start() {
 
 std::uint64_t Network::run(std::uint64_t event_limit) {
   if (!started_) start();
-  sched_.set_event_limit(event_limit);
-  return sched_.run();
+  if (sharded()) return run_sharded(event_limit);
+  auto& sched = slices_[0]->sched;
+  sched.set_event_limit(event_limit);
+  return sched.run();
+}
+
+std::uint64_t Network::run_sharded(std::uint64_t event_limit) {
+  if (group_) {
+    // Folding the per-shard measurement state below is a one-shot move;
+    // re-running would double-count it.
+    throw std::logic_error("Network: a sharded run() may only be invoked once");
+  }
+  std::vector<sim::Scheduler*> scheds;
+  scheds.reserve(slices_.size());
+  for (auto& slice : slices_) scheds.push_back(&slice->sched);
+  group_ = std::make_unique<sim::ShardGroup>(
+      std::move(scheds), lookahead(),
+      [](std::uint32_t shard) { tls_shard_ = shard; });
+  const auto fired = group_->run(event_limit);
+  tls_shard_ = 0;  // the single-shard inline run reassigned the caller's slot
+  // Fold every shard's measurement state into slice 0, so the ordinary
+  // accessors (metrics(), ledger(), stats()) read group-wide totals
+  // from the main thread after the run. Event streams stay per-shard:
+  // their canonical view is merged_events().
+  for (std::size_t i = 1; i < slices_.size(); ++i) {
+    slices_[0]->metrics.merge_from(slices_[i]->metrics);
+    slices_[0]->ledger.merge_from(slices_[i]->ledger);
+  }
+  return fired;
 }
 
 MssId Network::current_mss_of(MhId id) const { return mh(id).current_mss(); }
@@ -204,26 +319,27 @@ bool Network::is_in_transit(MhId id) const {
 // Channels
 // ---------------------------------------------------------------------------
 
-sim::Duration Network::sample(sim::Duration lo, sim::Duration hi) {
+sim::Duration Network::sample(std::uint32_t lane, sim::Duration lo, sim::Duration hi) {
   assert(lo <= hi);  // inverted ranges are rejected at construction
   if (hi == lo) return lo;
-  return lo + rng_.below(hi - lo + 1);
+  return lo + run_rng(lane).below(hi - lo + 1);
 }
 
 sim::SimTime Network::fifo_arrival(ChannelType type, std::uint32_t a, std::uint32_t b,
                                    sim::Duration latency) {
-  return fifo_arrival(channels_[channel_key(type, a, b)], type, latency);
+  return fifo_arrival(sl().channels[channel_key(type, a, b)], type, latency);
 }
 
 sim::SimTime Network::fifo_arrival(ChannelState& ch, ChannelType type, sim::Duration latency) {
-  const sim::SimTime natural = sched_.now() + latency;
+  auto& slice = sl();
+  const sim::SimTime natural = slice.sched.now() + latency;
   sim::SimTime arrival = natural;
   if (arrival < ch.fifo_clock) arrival = ch.fifo_clock;  // never overtake an earlier message
   ch.fifo_clock = arrival;
   switch (type) {
-    case ChannelType::kWired: queue_delay_wired_.record(arrival - natural); break;
-    case ChannelType::kDownlink: queue_delay_downlink_.record(arrival - natural); break;
-    case ChannelType::kUplink: queue_delay_uplink_.record(arrival - natural); break;
+    case ChannelType::kWired: slice.queue_delay_wired.record(arrival - natural); break;
+    case ChannelType::kDownlink: slice.queue_delay_downlink.record(arrival - natural); break;
+    case ChannelType::kUplink: slice.queue_delay_uplink.record(arrival - natural); break;
   }
   return arrival;
 }
@@ -239,17 +355,17 @@ void Network::send_wired(MssId from, MssId to, Envelope env) {
                                .entity = entity_of(from),
                                .peer = entity_of(to),
                                .arg = env.proto});
-    sched_.schedule(0, [this, from, to, send_id, env = std::move(env)]() mutable {
+    sl().sched.schedule(0, [this, from, to, send_id, env = std::move(env)]() mutable {
       arrive_wired(from, to, send_id, 0, std::move(env));
     });
     return;
   }
-  if (formation_) {
+  if (sl().formation) {
     enqueue_wired(from, to, std::move(env));
     return;
   }
-  if (!env.control) ledger_.charge_fixed();
-  auto latency = sample(cfg_.latency.wired_min, cfg_.latency.wired_max);
+  if (!env.control) sl().ledger.charge_fixed();
+  auto latency = sample(index(from), cfg_.latency.wired_min, cfg_.latency.wired_max);
   if (fault_) latency += fault_->draw_wired_spike();
   const auto arrival = fifo_arrival(ChannelType::kWired, index(from), index(to), latency);
   const auto channel = channel_key(ChannelType::kWired, index(from), index(to));
@@ -258,25 +374,40 @@ void Network::send_wired(MssId from, MssId to, Envelope env) {
                              .peer = entity_of(to),
                              .channel = channel,
                              .arg = env.proto});
-  sched_.schedule_at(arrival, [this, from, to, send_id, channel, env = std::move(env)]() mutable {
+  if (sharded()) {
+    // Every cross-MSS hop rides the window mailbox — even when both
+    // lanes share a shard — so the injection order (and with it the
+    // receiver's event sequence) is a pure function of the mail set,
+    // not of the grouping. The cause crosses streams as an encoded ref
+    // plus the sender's Lamport clock (see obs/merge.hpp).
+    const auto cross_cause = obs::make_cross_ref(tls_shard_, send_id);
+    const auto send_clock = sl().events.lamport_of(send_id);
+    post_mail(index(from), index(to), arrival,
+              [this, from, to, cross_cause, channel, send_clock,
+               env = std::move(env)]() mutable {
+                arrive_wired(from, to, cross_cause, channel, std::move(env), send_clock);
+              });
+    return;
+  }
+  sl().sched.schedule_at(arrival, [this, from, to, send_id, channel, env = std::move(env)]() mutable {
     arrive_wired(from, to, send_id, channel, std::move(env));
   });
 }
 
 void Network::arrive_wired(MssId from, MssId to, obs::EventId send_id, std::uint64_t channel,
-                           Envelope env) {
+                           Envelope env, std::uint64_t send_clock) {
   if (fault_) {
     // A crashed (or partitioned-off) destination leaves the message
     // waiting at its network interface; re-offer it when the outage
     // window closes. Deferrals preserve per-channel FIFO order: every
     // arrival during one window reschedules to the same release instant,
     // and the scheduler breaks same-instant ties in scheduling order.
-    const auto release = fault_->wired_release_at(index(from), index(to), sched_.now());
-    if (release > sched_.now()) {
+    const auto release = fault_->wired_release_at(index(from), index(to), sl().sched.now());
+    if (release > sl().sched.now()) {
       fault_->count_deferral();
-      sched_.schedule_at(release, [this, from, to, send_id, channel,
-                                   env = std::move(env)]() mutable {
-        arrive_wired(from, to, send_id, channel, std::move(env));
+      sl().sched.schedule_at(release, [this, from, to, send_id, channel, send_clock,
+                                       env = std::move(env)]() mutable {
+        arrive_wired(from, to, send_id, channel, std::move(env), send_clock);
       });
       return;
     }
@@ -286,8 +417,9 @@ void Network::arrive_wired(MssId from, MssId to, obs::EventId send_id, std::uint
                              .peer = entity_of(from),
                              .cause = send_id,
                              .channel = channel,
-                             .arg = env.proto});
-  obs::CauseScope scope(events_, recv_id);
+                             .arg = env.proto,
+                             .cause_clock = send_clock});
+  obs::CauseScope scope(sl().events, recv_id);
   deliver_wired(to, std::move(env));
 }
 
@@ -295,11 +427,11 @@ void Network::arrive_deferred(MssId from, MssId at, obs::EventId send_id,
                               std::uint64_t channel, ProtocolId proto,
                               std::string_view detail, std::function<void()> deliver) {
   if (fault_) {
-    const auto release = fault_->wired_release_at(index(from), index(at), sched_.now());
-    if (release > sched_.now()) {
+    const auto release = fault_->wired_release_at(index(from), index(at), sl().sched.now());
+    if (release > sl().sched.now()) {
       fault_->count_deferral();
-      sched_.schedule_at(release, [this, from, at, send_id, channel, proto, detail,
-                                   deliver = std::move(deliver)]() mutable {
+      sl().sched.schedule_at(release, [this, from, at, send_id, channel, proto, detail,
+                                       deliver = std::move(deliver)]() mutable {
         arrive_deferred(from, at, send_id, channel, proto, detail, std::move(deliver));
       });
       return;
@@ -312,12 +444,12 @@ void Network::arrive_deferred(MssId from, MssId at, obs::EventId send_id,
                              .channel = channel,
                              .arg = proto,
                              .detail = detail});
-  obs::CauseScope scope(events_, recv_id);
+  obs::CauseScope scope(sl().events, recv_id);
   deliver();
 }
 
 void Network::deliver_wired(MssId to, Envelope env) {
-  if (env.control) ++stats_.control_msgs;
+  if (env.control) ++sl().stats.control_msgs;
   mss(to).dispatch(env);
 }
 
@@ -329,7 +461,7 @@ void Network::enqueue_wired(MssId from, MssId to, Envelope env) {
   // The message's identity is announced now: its kSend is emitted at
   // enqueue (in program order, with the ambient cause), so per-message
   // causality and channel-FIFO checking are unchanged by batching.
-  if (!env.control) ledger_.charge_wired_msg();
+  if (!env.control) sl().ledger.charge_wired_msg();
   const auto channel = channel_key(ChannelType::kWired, index(from), index(to));
   const auto send_id = emit({.kind = obs::EventKind::kSend,
                              .entity = entity_of(from),
@@ -337,11 +469,12 @@ void Network::enqueue_wired(MssId from, MssId to, Envelope env) {
                              .channel = channel,
                              .arg = env.proto});
   const auto bytes = wire_size(env);
-  formation_->enqueue(from, to, FormationLayer::Item{std::move(env), send_id, bytes});
+  sl().formation->enqueue(from, to, FormationLayer::Item{std::move(env), send_id, bytes});
 }
 
 void Network::transmit_packet(FormationLayer::Packet packet) {
   assert(!packet.items.empty());
+  auto& slice = sl();
   // One packet = one per-packet charge (amortized across its messages)
   // unless it carries control traffic only, which is never charged.
   bool carries_charged = false;
@@ -351,10 +484,10 @@ void Network::transmit_packet(FormationLayer::Packet packet) {
       break;
     }
   }
-  if (carries_charged) ledger_.charge_wired_packet();
+  if (carries_charged) slice.ledger.charge_wired_packet();
   // One latency draw and one FIFO clamp for the whole packet: the wire
   // sees a single transmission.
-  auto latency = sample(cfg_.latency.wired_min, cfg_.latency.wired_max);
+  auto latency = sample(index(packet.from), cfg_.latency.wired_min, cfg_.latency.wired_max);
   if (fault_) latency += fault_->draw_wired_spike();
   const auto channel =
       channel_key(ChannelType::kWired, index(packet.from), index(packet.to));
@@ -367,33 +500,58 @@ void Network::transmit_packet(FormationLayer::Packet packet) {
                                .channel = channel,
                                .arg = packet.items.size(),
                                .detail = packet.trigger});
-  packet_msgs_.record(packet.items.size());
+  slice.packet_msgs.record(packet.items.size());
   const std::string_view trigger{packet.trigger};
   if (trigger == "deadline") {
-    ++formation_deadline_flushes_;
+    ++slice.formation_deadline_flushes;
   } else if (trigger == "barrier") {
-    ++formation_barrier_flushes_;
+    ++slice.formation_barrier_flushes;
   } else {
-    ++formation_size_flushes_;
+    ++slice.formation_size_flushes;
   }
-  sched_.schedule_at(arrival, [this, packet = std::move(packet), packet_id,
-                               channel]() mutable {
+  if (sharded()) {
+    // The packet and each coalesced message crosses streams: rewrite
+    // their ids to cross refs and carry the senders' Lamport clocks so
+    // the receiving stream's clocks advance identically in every
+    // grouping.
+    const auto stream = tls_shard_;
+    const auto packet_clock = slice.events.lamport_of(packet_id);
+    std::vector<std::uint64_t> item_clocks;
+    item_clocks.reserve(packet.items.size());
+    for (auto& item : packet.items) {
+      item_clocks.push_back(slice.events.lamport_of(item.send_id));
+      item.send_id = obs::make_cross_ref(stream, item.send_id);
+    }
+    post_mail(index(packet.from), index(packet.to), arrival,
+              [this, packet = std::move(packet),
+               cross_id = obs::make_cross_ref(stream, packet_id), channel, packet_clock,
+               item_clocks = std::move(item_clocks)]() mutable {
+                arrive_packet(std::move(packet), cross_id, channel, packet_clock,
+                              std::move(item_clocks));
+              });
+    return;
+  }
+  slice.sched.schedule_at(arrival, [this, packet = std::move(packet), packet_id,
+                                    channel]() mutable {
     arrive_packet(std::move(packet), packet_id, channel);
   });
 }
 
 void Network::arrive_packet(FormationLayer::Packet packet, obs::EventId packet_id,
-                            std::uint64_t channel) {
+                            std::uint64_t channel, std::uint64_t packet_clock,
+                            std::vector<std::uint64_t> item_clocks) {
   if (fault_) {
     // Same deferral rule as arrive_wired: a crashed or partitioned-off
     // destination holds the whole packet at its interface.
     const auto release =
-        fault_->wired_release_at(index(packet.from), index(packet.to), sched_.now());
-    if (release > sched_.now()) {
+        fault_->wired_release_at(index(packet.from), index(packet.to), sl().sched.now());
+    if (release > sl().sched.now()) {
       fault_->count_deferral();
-      sched_.schedule_at(release, [this, packet = std::move(packet), packet_id,
-                                   channel]() mutable {
-        arrive_packet(std::move(packet), packet_id, channel);
+      sl().sched.schedule_at(release, [this, packet = std::move(packet), packet_id, channel,
+                                       packet_clock,
+                                       item_clocks = std::move(item_clocks)]() mutable {
+        arrive_packet(std::move(packet), packet_id, channel, packet_clock,
+                      std::move(item_clocks));
       });
       return;
     }
@@ -404,26 +562,29 @@ void Network::arrive_packet(FormationLayer::Packet packet, obs::EventId packet_i
         .cause = packet_id,
         .channel = channel,
         .arg = packet.items.size(),
-        .detail = packet.trigger});
+        .detail = packet.trigger,
+        .cause_clock = packet_clock});
   // Disgorge in send order; each message's recv consumes its own send,
   // so the per-message FIFO history is indistinguishable from unbatched
   // delivery at the same instant.
-  for (auto& item : packet.items) {
+  for (std::size_t i = 0; i < packet.items.size(); ++i) {
+    auto& item = packet.items[i];
     const auto recv_id = emit({.kind = obs::EventKind::kRecv,
                                .entity = entity_of(packet.to),
                                .peer = entity_of(packet.from),
                                .cause = item.send_id,
                                .channel = channel,
                                .arg = item.env.proto,
-                               .detail = "packet"});
-    obs::CauseScope scope(events_, recv_id);
+                               .detail = "packet",
+                               .cause_clock = i < item_clocks.size() ? item_clocks[i] : 0});
+    obs::CauseScope scope(sl().events, recv_id);
     deliver_wired(packet.to, std::move(item.env));
   }
 }
 
 bool Network::wireless_frame_lost(std::uint32_t cell, const char** why) {
   if (!fault_) return false;
-  if (fault_->crashed(cell, sched_.now())) {
+  if (fault_->crashed(cell, sl().sched.now())) {
     // A dead station neither transmits nor hears anything: deterministic
     // loss, no randomness consumed.
     *why = "crash";
@@ -495,14 +656,14 @@ void Network::downlink_attempt(MssId from, Envelope env, MhId to, FailCallback o
     // promises delivery while the MH stays in this cell; the send_to_mh
     // chase re-searches from scratch.
     if (on_fail) {
-      sched_.schedule(0, [on_fail = std::move(on_fail), env = std::move(env)]() {
+      sl().sched.schedule(0, [on_fail = std::move(on_fail), env = std::move(env)]() {
         on_fail(env);
       });
     }
     return;
   }
   const auto channel = channel_key(ChannelType::kDownlink, index(from), index(to));
-  auto& chan = channels_[channel];
+  auto& chan = sl().channels[channel];
   if (attempt == 0) wseq = ++chan.next_wseq;
   const auto send_id = emit({.kind = obs::EventKind::kSend,
                              .entity = entity_of(from),
@@ -519,18 +680,20 @@ void Network::downlink_attempt(MssId from, Envelope env, MhId to, FailCallback o
                                .channel = channel,
                                .arg = env.proto,
                                .detail = why});
-    ++stats_.retransmissions;
-    delivery_retry_depth_.record(attempt + 1);
-    sched_.schedule(retransmit_backoff(attempt),
-                    [this, from, to, attempt, wseq, cause = drop_id, env = std::move(env),
-                     on_fail = std::move(on_fail)]() mutable {
-                      obs::CauseScope scope(events_, cause);
-                      downlink_attempt(from, std::move(env), to, std::move(on_fail),
-                                       attempt + 1, wseq);
-                    });
+    ++sl().stats.retransmissions;
+    sl().delivery_retry_depth.record(attempt + 1);
+    sl().sched.schedule(retransmit_backoff(attempt),
+                        [this, from, to, attempt, wseq, cause = drop_id, env = std::move(env),
+                         on_fail = std::move(on_fail)]() mutable {
+                          obs::CauseScope scope(sl().events, cause);
+                          downlink_attempt(from, std::move(env), to, std::move(on_fail),
+                                           attempt + 1, wseq);
+                        });
     return;
   }
-  auto latency = sample(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
+  // The downlink is in-cell traffic: the MH's lane is its cell, so the
+  // draw belongs to the sender MSS's lane either way.
+  auto latency = sample(index(from), cfg_.latency.wireless_min, cfg_.latency.wireless_max);
   const bool duplicated = fault_ && fault_->draw_wireless_dup();
   if (fault_) latency += fault_->draw_wireless_spike();
   if (duplicated) {
@@ -546,8 +709,8 @@ void Network::downlink_attempt(MssId from, Envelope env, MhId to, FailCallback o
           .arg = env.proto});
   }
   const auto arrival = fifo_arrival(chan, ChannelType::kDownlink, latency);
-  sched_.schedule_at(arrival, [this, from, to, send_id, channel, wseq, env,
-                               on_fail = std::move(on_fail)]() mutable {
+  sl().sched.schedule_at(arrival, [this, from, to, send_id, channel, wseq, env,
+                                   on_fail = std::move(on_fail)]() mutable {
     deliver_downlink_frame(from, to, send_id, channel, wseq, std::move(env),
                            std::move(on_fail));
   });
@@ -557,8 +720,8 @@ void Network::downlink_attempt(MssId from, Envelope env, MhId to, FailCallback o
     const auto copy_arrival = fifo_arrival(chan, ChannelType::kDownlink, copy_latency);
     // No on_fail on the copy: it is link-layer noise, and resurrecting an
     // already-delivered frame through the retry path would ghost-deliver.
-    sched_.schedule_at(copy_arrival, [this, from, to, send_id, channel, wseq,
-                                      env = std::move(env)]() mutable {
+    sl().sched.schedule_at(copy_arrival, [this, from, to, send_id, channel, wseq,
+                                          env = std::move(env)]() mutable {
       deliver_downlink_frame(from, to, send_id, channel, wseq, std::move(env), {});
     });
   }
@@ -575,22 +738,22 @@ void Network::deliver_downlink_frame(MssId from, MhId to, obs::EventId send_id,
     if (on_fail) on_fail(env);
     return;
   }
-  if (!dedup_deliver(channels_[channel], wseq)) {
+  if (!dedup_deliver(sl().channels[channel], wseq)) {
     // A link-layer copy of a frame this MH already consumed: silently
     // suppressed, its send stays unconsumed in the stream.
-    ++stats_.dup_suppressed;
+    ++sl().stats.dup_suppressed;
     return;
   }
-  if (!env.control) ledger_.charge_wireless(index(to), /*mh_transmitted=*/false);
-  if (env.control) ++stats_.control_msgs;
-  if (dest.dozing()) ++stats_.doze_interruptions;
+  if (!env.control) sl().ledger.charge_wireless(index(to), /*mh_transmitted=*/false);
+  if (env.control) ++sl().stats.control_msgs;
+  if (dest.dozing()) ++sl().stats.doze_interruptions;
   const auto recv_id = emit({.kind = obs::EventKind::kRecv,
                              .entity = entity_of(to),
                              .peer = entity_of(from),
                              .cause = send_id,
                              .channel = channel,
                              .arg = env.proto});
-  obs::CauseScope scope(events_, recv_id);
+  obs::CauseScope scope(sl().events, recv_id);
   dest.deliver(env);
 }
 
@@ -601,9 +764,9 @@ void Network::send_wireless_uplink(MhId from, Envelope env) {
   }
   const MssId target = host.current_mss();
   if (!env.control) {
-    ledger_.charge_wireless(index(from), /*mh_transmitted=*/true);
+    sl().ledger.charge_wireless(index(from), /*mh_transmitted=*/true);
   } else {
-    ++stats_.control_msgs;
+    ++sl().stats.control_msgs;
   }
   uplink_attempt(from, target, std::move(env), host.joins_completed(), 0, 0);
 }
@@ -611,7 +774,7 @@ void Network::send_wireless_uplink(MhId from, Envelope env) {
 void Network::uplink_attempt(MhId from, MssId target, Envelope env, std::uint64_t epoch,
                              std::uint32_t attempt, std::uint64_t wseq) {
   const auto channel = channel_key(ChannelType::kUplink, index(from), index(target));
-  auto& chan = channels_[channel];
+  auto& chan = sl().channels[channel];
   if (attempt == 0) wseq = ++chan.next_wseq;
   const auto send_id = emit({.kind = obs::EventKind::kSend,
                              .entity = entity_of(from),
@@ -628,28 +791,30 @@ void Network::uplink_attempt(MhId from, MssId target, Envelope env, std::uint64_
                                .channel = channel,
                                .arg = env.proto,
                                .detail = why});
-    ++stats_.retransmissions;
-    delivery_retry_depth_.record(attempt + 1);
-    sched_.schedule(retransmit_backoff(attempt),
-                    [this, from, target, epoch, attempt, wseq, cause = drop_id,
-                     env = std::move(env)]() mutable {
-                      obs::CauseScope scope(events_, cause);
-                      // Leave/Disconnect frames describe a departure the
-                      // §2 join/handoff protocol has already superseded
-                      // once the MH completed another join; delivering a
-                      // stale copy now could only evict a live member.
-                      // Every other uplink keeps retrying: the link layer
-                      // owes eventual delivery to the cell the frame was
-                      // sent in, no matter where the MH went since.
-                      if (env.proto == protocol::kSystem &&
-                          mh(from).joins_completed() != epoch) {
-                        return;
-                      }
-                      uplink_attempt(from, target, std::move(env), epoch, attempt + 1, wseq);
-                    });
+    ++sl().stats.retransmissions;
+    sl().delivery_retry_depth.record(attempt + 1);
+    sl().sched.schedule(retransmit_backoff(attempt),
+                        [this, from, target, epoch, attempt, wseq, cause = drop_id,
+                         env = std::move(env)]() mutable {
+                          obs::CauseScope scope(sl().events, cause);
+                          // Leave/Disconnect frames describe a departure the
+                          // §2 join/handoff protocol has already superseded
+                          // once the MH completed another join; delivering a
+                          // stale copy now could only evict a live member.
+                          // Every other uplink keeps retrying: the link layer
+                          // owes eventual delivery to the cell the frame was
+                          // sent in, no matter where the MH went since.
+                          if (env.proto == protocol::kSystem &&
+                              mh(from).joins_completed() != epoch) {
+                            return;
+                          }
+                          uplink_attempt(from, target, std::move(env), epoch, attempt + 1, wseq);
+                        });
     return;
   }
-  auto latency = sample(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
+  // The uplink stays inside the cell too: the target MSS's lane is the
+  // MH's lane, so this is a same-lane draw in the sharded engine.
+  auto latency = sample(index(target), cfg_.latency.wireless_min, cfg_.latency.wireless_max);
   const bool duplicated = fault_ && fault_->draw_wireless_dup();
   if (fault_) latency += fault_->draw_wireless_spike();
   if (duplicated) {
@@ -663,8 +828,8 @@ void Network::uplink_attempt(MhId from, MssId target, Envelope env, std::uint64_
   }
   const auto arrival = fifo_arrival(chan, ChannelType::kUplink, latency);
   auto deliver = [this, from, target, send_id, channel, wseq](Envelope frame) {
-    if (!dedup_deliver(channels_[channel], wseq)) {
-      ++stats_.dup_suppressed;
+    if (!dedup_deliver(sl().channels[channel], wseq)) {
+      ++sl().stats.dup_suppressed;
       return;
     }
     const auto recv_id = emit({.kind = obs::EventKind::kRecv,
@@ -673,16 +838,16 @@ void Network::uplink_attempt(MhId from, MssId target, Envelope env, std::uint64_
                                .cause = send_id,
                                .channel = channel,
                                .arg = frame.proto});
-    obs::CauseScope scope(events_, recv_id);
+    obs::CauseScope scope(sl().events, recv_id);
     mss(target).dispatch(frame);
   };
-  sched_.schedule_at(arrival, [deliver, env]() mutable { deliver(std::move(env)); });
+  sl().sched.schedule_at(arrival, [deliver, env]() mutable { deliver(std::move(env)); });
   if (duplicated) {
     const auto copy_latency =
         fault_->draw_latency(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
     const auto copy_arrival = fifo_arrival(chan, ChannelType::kUplink, copy_latency);
-    sched_.schedule_at(copy_arrival,
-                       [deliver, env = std::move(env)]() mutable { deliver(std::move(env)); });
+    sl().sched.schedule_at(copy_arrival,
+                           [deliver, env = std::move(env)]() mutable { deliver(std::move(env)); });
   }
 }
 
@@ -691,6 +856,7 @@ void Network::uplink_attempt(MhId from, MssId target, Envelope env, std::uint64_
 // ---------------------------------------------------------------------------
 
 void Network::send_to_mh(MssId from, Envelope env, MhId to, SendPolicy policy) {
+  require_legacy("send_to_mh()");
   send_to_mh_attempt(from, std::move(env), to, policy, 0);
 }
 
@@ -707,11 +873,11 @@ void Network::send_to_mh_attempt(MssId from, Envelope env, MhId to, SendPolicy p
           log(sim::TraceLevel::kInfo, "search",
               to_string(to) + " unreachable (disconnected at " + to_string(at) + ")");
         }
-        ++stats_.unreachable_notices;
+        ++sl().stats.unreachable_notices;
         msg::UnreachableNotice notice{to, env.proto, env.body};
         send_wired(at, from, make_control(NodeRef(at), NodeRef(from), std::move(notice)));
       } else {
-        ++stats_.queued_for_reconnect;
+        ++sl().stats.queued_for_reconnect;
         parked_[to].push_back(Parked{std::move(env)});
       }
       return;
@@ -719,17 +885,17 @@ void Network::send_to_mh_attempt(MssId from, Envelope env, MhId to, SendPolicy p
     // Forward to the located MSS. In oracle mode the forward leg is part
     // of the single c_search charge; in broadcast mode it is a real
     // wired message.
-    if (cfg_.search == SearchMode::kBroadcast && at != from) ledger_.charge_fixed();
+    if (cfg_.search == SearchMode::kBroadcast && at != from) sl().ledger.charge_fixed();
     // The retry path re-launches from a scheduled lambda where no
     // dispatch scope is active; carry the locate resolution's cause into
     // it so retries stay on the causal chain.
     auto deliver = [this, at, env = std::move(env), to, policy, attempt,
-                    cause = events_.current_cause()]() mutable {
+                    cause = sl().events.current_cause()]() mutable {
       send_wireless_downlink(
           at, std::move(env), to,
           [this, at, to, policy, attempt, cause](const Envelope& failed) {
-            ++stats_.delivery_retries;
-            delivery_retry_depth_.record(attempt + 1);
+            ++sl().stats.delivery_retries;
+            sl().delivery_retry_depth.record(attempt + 1);
             // Re-launch from the cell that noticed the miss: its MSS
             // searches again, as the paper's footnote 1 describes. The
             // backoff is essential: a just-departed MH can still sit in the
@@ -737,8 +903,8 @@ void Network::send_to_mh_attempt(MssId from, Envelope env, MhId to, SendPolicy p
             // re-resolve to the same cell in the same virtual instant,
             // spinning forever without advancing time.
             const auto backoff = cfg_.latency.wireless_max + 1;
-            sched_.schedule(backoff, [this, at, env = failed, to, policy, attempt, cause]() {
-              obs::CauseScope scope(events_, cause);
+            sl().sched.schedule(backoff, [this, at, env = failed, to, policy, attempt, cause]() {
+              obs::CauseScope scope(sl().events, cause);
               send_to_mh_attempt(at, env, to, policy, attempt + 1);
             });
           });
@@ -750,8 +916,8 @@ void Network::send_to_mh_attempt(MssId from, Envelope env, MhId to, SendPolicy p
       // closure, not dispatch), but shares the wired channel with it:
       // flush the pending packet first so this send cannot overtake
       // messages queued earlier on the same channel.
-      if (formation_) formation_->flush_pair(from, at, "barrier");
-      auto latency = sample(cfg_.latency.wired_min, cfg_.latency.wired_max);
+      if (sl().formation) sl().formation->flush_pair(from, at, "barrier");
+      auto latency = sample(index(from), cfg_.latency.wired_min, cfg_.latency.wired_max);
       if (fault_) latency += fault_->draw_wired_spike();
       const auto arrival = fifo_arrival(ChannelType::kWired, index(from), index(at), latency);
       const auto channel = channel_key(ChannelType::kWired, index(from), index(at));
@@ -761,8 +927,8 @@ void Network::send_to_mh_attempt(MssId from, Envelope env, MhId to, SendPolicy p
                                 .channel = channel,
                                 .arg = env.proto,
                                 .detail = "forward"});
-      sched_.schedule_at(arrival, [this, from, at, fwd_id, channel, proto = env.proto,
-                                   deliver = std::move(deliver)]() mutable {
+      sl().sched.schedule_at(arrival, [this, from, at, fwd_id, channel, proto = env.proto,
+                                       deliver = std::move(deliver)]() mutable {
         arrive_deferred(from, at, fwd_id, channel, proto, "forward", std::move(deliver));
       });
     }
@@ -770,7 +936,7 @@ void Network::send_to_mh_attempt(MssId from, Envelope env, MhId to, SendPolicy p
 }
 
 void Network::relay_to_mh(MssId via, const msg::Relay& relay) {
-  ++stats_.relay_msgs;
+  ++sl().stats.relay_msgs;
   Envelope env;
   env.proto = protocol::kRelay;
   env.src = relay.src_mh;
@@ -783,7 +949,8 @@ void Network::relay_to_mh(MssId via, const msg::Relay& relay) {
 }
 
 void Network::locate(MssId from, MhId target, LocateCallback cb) {
-  ++stats_.searches_started;
+  require_legacy("locate()");
+  ++sl().stats.searches_started;
   switch (cfg_.search) {
     case SearchMode::kOracle: oracle_locate(from, target, std::move(cb)); return;
     case SearchMode::kBroadcast: broadcast_locate(from, target, std::move(cb)); return;
@@ -792,30 +959,30 @@ void Network::locate(MssId from, MhId target, LocateCallback cb) {
 
 void Network::oracle_locate(MssId from, MhId target, LocateCallback cb) {
   const bool local_hit = mh(target).current_mss() == from;
-  if (cfg_.charge_search_for_local || !local_hit) ledger_.charge_search();
+  if (cfg_.charge_search_for_local || !local_hit) sl().ledger.charge_search();
   emit({.kind = obs::EventKind::kSearchRound,
         .entity = entity_of(from),
         .peer = entity_of(target),
         .arg = 1,
         .detail = "oracle"});
-  const auto delay = sample(cfg_.latency.search_min, cfg_.latency.search_max);
-  sched_.schedule(delay, [this, from, target, cause = events_.current_cause(),
-                          cb = std::move(cb)]() mutable {
-    obs::CauseScope scope(events_, cause);
+  const auto delay = sample(index(from), cfg_.latency.search_min, cfg_.latency.search_max);
+  sl().sched.schedule(delay, [this, from, target, cause = sl().events.current_cause(),
+                              cb = std::move(cb)]() mutable {
+    obs::CauseScope scope(sl().events, cause);
     auto& host = mh(target);
     switch (host.state()) {
       case MhState::kConnected:
-        search_rounds_.record(1);
+        sl().search_rounds.record(1);
         cb(host.current_mss(), false);
         return;
       case MhState::kDisconnected:
-        search_rounds_.record(1);
+        sl().search_rounds.record(1);
         cb(host.last_mss(), true);
         return;
       case MhState::kInTransit:
         // The model guarantees eventual delivery across moves: park the
         // resolution until the MH joins its next cell.
-        ++stats_.searches_pended;
+        ++sl().stats.searches_pended;
         pending_locates_[target].push_back(PendingLocate{from, std::move(cb)});
         return;
     }
@@ -833,21 +1000,21 @@ void Network::broadcast_locate(MssId from, MhId target, LocateCallback cb) {
           .peer = entity_of(target),
           .arg = 1,
           .detail = "broadcast"});
-    sched_.schedule(0, [this, from, target, cause = events_.current_cause(),
-                        cb = std::move(cb)]() mutable {
-      obs::CauseScope scope(events_, cause);
+    sl().sched.schedule(0, [this, from, target, cause = sl().events.current_cause(),
+                            cb = std::move(cb)]() mutable {
+      obs::CauseScope scope(sl().events, cause);
       auto& host = mh(target);
       switch (host.state()) {
         case MhState::kConnected:
-          search_rounds_.record(1);
+          sl().search_rounds.record(1);
           cb(from, false);
           return;
         case MhState::kDisconnected:
-          search_rounds_.record(1);
+          sl().search_rounds.record(1);
           cb(host.last_mss(), true);
           return;
         case MhState::kInTransit:
-          ++stats_.searches_pended;
+          ++sl().stats.searches_pended;
           pending_locates_[target].push_back(PendingLocate{from, std::move(cb)});
           return;
       }
@@ -876,7 +1043,7 @@ void Network::broadcast_round(std::uint64_t token) {
   if (mss(search.origin).is_local(search.target)) {
     auto cb = std::move(search.cb);
     const MssId origin = search.origin;
-    search_rounds_.record(search.round);
+    sl().search_rounds.record(search.round);
     broadcast_.erase(it);
     cb(origin, false);
     return;
@@ -920,7 +1087,7 @@ void Network::handle_search_reply(const msg::SearchReply& reply) {
   if (reply.here) {
     auto cb = std::move(search.cb);
     const MssId at = reply.from;
-    search_rounds_.record(search.round);
+    sl().search_rounds.record(search.round);
     broadcast_.erase(it);
     cb(at, false);
     return;
@@ -933,7 +1100,7 @@ void Network::handle_search_reply(const msg::SearchReply& reply) {
     if (search.saw_disconnected) {
       auto cb = std::move(search.cb);
       const MssId at = search.disconnected_at;
-      search_rounds_.record(search.round);
+      sl().search_rounds.record(search.round);
       broadcast_.erase(it);
       cb(at, true);
       return;
@@ -943,23 +1110,24 @@ void Network::handle_search_reply(const msg::SearchReply& reply) {
     // on every round).
     const std::uint64_t token = reply.token;
     const auto jitter = rng_.below(cfg_.latency.broadcast_retry / 2 + 1);
-    sched_.schedule(cfg_.latency.broadcast_retry + jitter,
-                    [this, token, cause = events_.current_cause()]() {
-                      obs::CauseScope scope(events_, cause);
-                      broadcast_round(token);
-                    });
+    sl().sched.schedule(cfg_.latency.broadcast_retry + jitter,
+                        [this, token, cause = sl().events.current_cause()]() {
+                          obs::CauseScope scope(sl().events, cause);
+                          broadcast_round(token);
+                        });
   }
 }
 
 void Network::submit_join(MhId from, MssId target, msg::Join join) {
-  ++stats_.control_msgs;
+  require_legacy("submit_join()");
+  ++sl().stats.control_msgs;
   join_attempt(from, target, join, 0, 0);
 }
 
 void Network::join_attempt(MhId from, MssId target, msg::Join join, std::uint32_t attempt,
                            std::uint64_t wseq) {
   const auto channel = channel_key(ChannelType::kUplink, index(from), index(target));
-  auto& chan = channels_[channel];
+  auto& chan = sl().channels[channel];
   if (attempt == 0) wseq = ++chan.next_wseq;
   const auto send_id = emit({.kind = obs::EventKind::kSend,
                              .entity = entity_of(from),
@@ -976,20 +1144,20 @@ void Network::join_attempt(MhId from, MssId target, msg::Join join, std::uint32_
                                .channel = channel,
                                .arg = protocol::kSystem,
                                .detail = why});
-    ++stats_.retransmissions;
-    delivery_retry_depth_.record(attempt + 1);
-    sched_.schedule(retransmit_backoff(attempt),
-                    [this, from, target, join, attempt, wseq, cause = drop_id]() {
-                      obs::CauseScope scope(events_, cause);
-                      // Joining is the one state a MH cannot leave on its
-                      // own (move_to/disconnect require connectivity), so
-                      // retry until the join lands.
-                      if (mh(from).connected()) return;
-                      join_attempt(from, target, join, attempt + 1, wseq);
-                    });
+    ++sl().stats.retransmissions;
+    sl().delivery_retry_depth.record(attempt + 1);
+    sl().sched.schedule(retransmit_backoff(attempt),
+                        [this, from, target, join, attempt, wseq, cause = drop_id]() {
+                          obs::CauseScope scope(sl().events, cause);
+                          // Joining is the one state a MH cannot leave on its
+                          // own (move_to/disconnect require connectivity), so
+                          // retry until the join lands.
+                          if (mh(from).connected()) return;
+                          join_attempt(from, target, join, attempt + 1, wseq);
+                        });
     return;
   }
-  auto latency = sample(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
+  auto latency = sample(index(target), cfg_.latency.wireless_min, cfg_.latency.wireless_max);
   const bool duplicated = fault_ && fault_->draw_wireless_dup();
   if (fault_) latency += fault_->draw_wireless_spike();
   if (duplicated) {
@@ -1003,8 +1171,8 @@ void Network::join_attempt(MhId from, MssId target, msg::Join join, std::uint32_
   }
   const auto arrival = fifo_arrival(chan, ChannelType::kUplink, latency);
   auto deliver = [this, from, target, send_id, channel, wseq, join]() {
-    if (!dedup_deliver(channels_[channel], wseq)) {
-      ++stats_.dup_suppressed;
+    if (!dedup_deliver(sl().channels[channel], wseq)) {
+      ++sl().stats.dup_suppressed;
       return;
     }
     const auto recv_id = emit({.kind = obs::EventKind::kRecv,
@@ -1014,15 +1182,15 @@ void Network::join_attempt(MhId from, MssId target, msg::Join join, std::uint32_
                                .channel = channel,
                                .arg = protocol::kSystem,
                                .detail = "join"});
-    obs::CauseScope scope(events_, recv_id);
+    obs::CauseScope scope(sl().events, recv_id);
     mss(target).dispatch(make_control(NodeRef(join.mh), NodeRef(target), join));
   };
-  sched_.schedule_at(arrival, deliver);
+  sl().sched.schedule_at(arrival, deliver);
   if (duplicated) {
     const auto copy_latency =
         fault_->draw_latency(cfg_.latency.wireless_min, cfg_.latency.wireless_max);
     const auto copy_arrival = fifo_arrival(chan, ChannelType::kUplink, copy_latency);
-    sched_.schedule_at(copy_arrival, deliver);
+    sl().sched.schedule_at(copy_arrival, deliver);
   }
 }
 
@@ -1041,10 +1209,10 @@ void Network::on_mh_rejoined(MhId mh_id, MssId at) {
       Envelope env = std::move(parked.env);
       send_wireless_downlink(at, std::move(env), mh_id,
                              [this, at, mh_id](const Envelope& failed) {
-                               ++stats_.delivery_retries;
-                               delivery_retry_depth_.record(1);
+                               ++sl().stats.delivery_retries;
+                               sl().delivery_retry_depth.record(1);
                                const auto backoff = cfg_.latency.wireless_max + 1;
-                               sched_.schedule(backoff, [this, at, env = failed, mh_id]() {
+                               sl().sched.schedule(backoff, [this, at, env = failed, mh_id]() {
                                  send_to_mh(at, env, mh_id, SendPolicy::kEventualDelivery);
                                });
                              });
@@ -1053,7 +1221,8 @@ void Network::on_mh_rejoined(MhId mh_id, MssId at) {
 }
 
 void Network::log(sim::TraceLevel level, std::string_view component, std::string text) {
-  trace_.log(sched_.now(), level, component, std::move(text));
+  if (sharded()) return;  // the shared text buffer is not thread-safe
+  trace_.log(sl().sched.now(), level, component, std::move(text));
 }
 
 }  // namespace mobidist::net

@@ -20,9 +20,11 @@
 #include "net/search.hpp"
 #include "net/stats.hpp"
 #include "obs/events.hpp"
+#include "obs/merge.hpp"
 #include "obs/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/shard.hpp"
 #include "sim/trace.hpp"
 
 namespace mobidist::net {
@@ -69,6 +71,18 @@ struct NetConfig {
   /// (flush_deadline == 0): no formation layer, byte-identical traces to
   /// the unbatched substrate.
   FormationConfig formation;
+  /// Shard count for the sharded parallel engine. 0 (the default) is
+  /// the legacy single-threaded engine: one global event queue and one
+  /// global RNG stream, byte-identical to every pre-sharding trace.
+  /// Any value >= 1 selects the sharded engine, which partitions the
+  /// MSS topology into min(shards, num_mss) localities synchronized by
+  /// conservative time windows (see sim::ShardGroup). The sharded
+  /// engine's per-seed results are identical for EVERY shard count —
+  /// only wall-clock time changes — but differ from the legacy
+  /// engine's, because each lane draws from its own RNG stream. It
+  /// supports static topologies only (no mobility, no faults); the
+  /// mutating entry points throw std::logic_error when sharded.
+  std::uint32_t shards = 0;
 };
 
 /// Receiver-side duplicate suppression for reliable wireless channels.
@@ -102,8 +116,12 @@ struct WseqDedup {
 /// join/leave/handoff/disconnect/reconnect protocol, the search
 /// substrate, and the cost ledger metering it all.
 ///
-/// Single-threaded and deterministic: every run is a pure function of
-/// (NetConfig, registered agents, workload).
+/// Deterministic: every run is a pure function of (NetConfig,
+/// registered agents, workload). The legacy engine (cfg.shards == 0) is
+/// single-threaded; the sharded engine (cfg.shards >= 1) executes each
+/// locality's events single-threaded on its own shard, synchronized by
+/// conservative windows, and its canonical merged trace
+/// (merged_events()) is byte-identical for every shard count.
 class Network {
  public:
   explicit Network(NetConfig cfg);
@@ -128,39 +146,99 @@ class Network {
   [[nodiscard]] MobileHost& mh(MhId id);
   [[nodiscard]] const MobileHost& mh(MhId id) const;
 
-  /// The simulation kernel driving this system.
-  [[nodiscard]] sim::Scheduler& sched() noexcept { return sched_; }
-  [[nodiscard]] const sim::Scheduler& sched() const noexcept { return sched_; }
-  /// The system's root deterministic RNG stream.
+  /// The simulation kernel driving this system. In the sharded engine
+  /// this resolves to the calling shard's scheduler (the main thread
+  /// sees shard 0); setup code priming per-entity events should prefer
+  /// schedule_on_lane().
+  [[nodiscard]] sim::Scheduler& sched() noexcept { return sl().sched; }
+  [[nodiscard]] const sim::Scheduler& sched() const noexcept { return sl().sched; }
+  /// The system's root deterministic RNG stream (legacy engine; the
+  /// sharded engine draws from per-lane streams internally).
   [[nodiscard]] sim::Rng& rng() noexcept { return rng_; }
-  /// Free-text trace (a rendering of the structured event stream).
+  /// Free-text trace (a rendering of the structured event stream);
+  /// empty in the sharded engine, whose canonical record is the merged
+  /// event stream.
   [[nodiscard]] sim::Trace& trace() noexcept { return trace_; }
   [[nodiscard]] const sim::Trace& trace() const noexcept { return trace_; }
   /// Guard for log() call sites that build their text with string
   /// concatenation: skip the formatting entirely when `level` is muted.
   [[nodiscard]] bool trace_enabled(sim::TraceLevel level) const noexcept {
-    return trace_.enabled(level);
+    return !sharded() && trace_.enabled(level);
   }
   /// The cost ledger metering every charged hop (the paper's C_* terms).
-  [[nodiscard]] cost::CostLedger& ledger() noexcept { return ledger_; }
-  [[nodiscard]] const cost::CostLedger& ledger() const noexcept { return ledger_; }
+  /// Shard-local while a sharded run is in flight; after run() returns,
+  /// every shard's charges are folded into the slice this returns.
+  [[nodiscard]] cost::CostLedger& ledger() noexcept { return sl().ledger; }
+  [[nodiscard]] const cost::CostLedger& ledger() const noexcept { return sl().ledger; }
   /// Substrate protocol-event counters (joins, handoffs, retries, ...).
-  [[nodiscard]] NetStats& stats() noexcept { return stats_; }
-  [[nodiscard]] const NetStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] NetStats& stats() noexcept { return sl().stats; }
+  [[nodiscard]] const NetStats& stats() const noexcept { return sl().stats; }
   /// Per-system metric registry: every NetStats counter plus the latency
   /// histograms recorded by the substrate and the algorithm layers.
-  [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
-  [[nodiscard]] const obs::Registry& metrics() const noexcept { return metrics_; }
+  /// Shard-local during a sharded run, folded on completion (like
+  /// ledger()).
+  [[nodiscard]] obs::Registry& metrics() noexcept { return sl().metrics; }
+  [[nodiscard]] const obs::Registry& metrics() const noexcept { return sl().metrics; }
   /// Structured causal event stream: every message hop, mobility event,
   /// CS transition, and token movement, with Lamport clocks and causal
-  /// parent ids. sim::Trace renders a free-text view of the same stream.
-  [[nodiscard]] obs::EventStream& events() noexcept { return events_; }
-  [[nodiscard]] const obs::EventStream& events() const noexcept { return events_; }
+  /// parent ids. The calling shard's stream; merged_events() is the
+  /// canonical whole-system view.
+  [[nodiscard]] obs::EventStream& events() noexcept { return sl().events; }
+  [[nodiscard]] const obs::EventStream& events() const noexcept { return sl().events; }
   /// Emit an event stamped with the current sim time; cause defaults to
   /// the recv being dispatched (see obs::CauseScope).
   obs::EventId emit(obs::EventStream::Emit spec) {
-    return events_.emit(sched_.now(), std::move(spec));
+    auto& s = sl();
+    return s.events.emit(s.sched.now(), std::move(spec));
   }
+
+  // --- sharded engine -------------------------------------------------------
+
+  /// True when this system runs on the sharded engine (cfg.shards >= 1).
+  [[nodiscard]] bool sharded() const noexcept { return cfg_.shards > 0; }
+  /// Localities actually created: min(cfg.shards, num_mss) when
+  /// sharded, 1 for the legacy engine.
+  [[nodiscard]] std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(slices_.size());
+  }
+  /// The conservative window width the sharded engine synchronizes
+  /// with: the wired-latency lower bound, the cheapest any cross-shard
+  /// message can travel.
+  [[nodiscard]] sim::Duration lookahead() const noexcept { return cfg_.latency.wired_min; }
+  /// The lane (unit of single-threaded execution) owning an entity: an
+  /// MSS's own index, a MH's (initial) cell. Lane 0 for the empty
+  /// entity.
+  [[nodiscard]] std::uint32_t lane_of(obs::Entity entity) const noexcept;
+  /// Which shard executes a lane.
+  [[nodiscard]] std::uint32_t shard_of(std::uint32_t lane) const noexcept {
+    return lane % shard_count();
+  }
+  /// Schedule setup work on the scheduler owning `lane`. Workloads
+  /// priming per-entity events before run() must use this instead of
+  /// sched(): in the legacy engine it is the global scheduler either
+  /// way, in the sharded engine each event lands on the shard that owns
+  /// its entity.
+  template <typename Fn>
+  void schedule_on_lane(std::uint32_t lane, sim::SimTime at, Fn&& fn) {
+    slices_[shard_of(lane)]->sched.schedule_at(at, std::forward<Fn>(fn));
+  }
+  /// Events fired across all shards (== sched().fired() in legacy).
+  [[nodiscard]] std::uint64_t total_fired() const noexcept;
+  /// True if the last run() stopped on the safety event limit.
+  [[nodiscard]] bool hit_event_limit() const noexcept;
+  /// Structured events emitted, summed across shards.
+  [[nodiscard]] std::uint64_t events_emitted() const noexcept;
+  /// Structured events evicted by ring wraparound, summed across shards.
+  [[nodiscard]] std::uint64_t events_dropped() const noexcept;
+  /// The canonical whole-system trace: all shards' streams merged into
+  /// the shard-count-independent order (see obs::merge_canonical).
+  /// Byte-identical across shard counts only while events_dropped() is
+  /// zero — ring eviction is per-slice, so once any ring wraps the
+  /// retained prefix depends on how emits were grouped.
+  /// Detail views point into the shard streams' intern tables — they
+  /// stay valid for the Network's lifetime. In the legacy engine this
+  /// is simply a renumbered snapshot of the single stream.
+  [[nodiscard]] std::vector<obs::Event> merged_events() const;
 
   // --- fault injection ------------------------------------------------------
 
@@ -169,7 +247,7 @@ class Network {
   /// partitions. Call once, before running the scheduler. The plane
   /// draws from its own RNG stream (fault::fault_stream_seed(cfg.seed)),
   /// never from rng_, so a zero-probability profile leaves the run
-  /// byte-identical to one without a plane.
+  /// byte-identical to one without a plane. Legacy engine only.
   fault::FaultPlane& install_fault_plane(fault::FaultProfile profile);
   /// The installed fault plane; nullptr when the run has none.
   [[nodiscard]] fault::FaultPlane* fault_plane() noexcept { return fault_.get(); }
@@ -181,7 +259,9 @@ class Network {
   void start();
 
   /// Convenience: run the scheduler until it drains (with a safety event
-  /// limit) and return events fired.
+  /// limit) and return events fired. A sharded run may be invoked only
+  /// once per Network (its measurement state folds into shard 0 on
+  /// completion).
   std::uint64_t run(std::uint64_t event_limit = 50'000'000);
 
   // --- ground truth (setup & verification; does not charge costs) ---------
@@ -199,12 +279,16 @@ class Network {
   /// cost terms unless control or self-addressed. With batching enabled
   /// (NetConfig::formation) the message parks in a formation queue and
   /// rides a coalesced packet; in passthrough it goes straight to the
-  /// wire as its own packet.
+  /// wire as its own packet. In the sharded engine cross-MSS sends ride
+  /// the conservative-window mailbox.
   void send_wired(MssId from, MssId to, Envelope env);
 
-  /// The formation (batching) layer; nullptr in passthrough mode.
-  [[nodiscard]] FormationLayer* formation() noexcept { return formation_.get(); }
-  [[nodiscard]] const FormationLayer* formation() const noexcept { return formation_.get(); }
+  /// The calling shard's formation (batching) layer; nullptr in
+  /// passthrough mode.
+  [[nodiscard]] FormationLayer* formation() noexcept { return sl().formation.get(); }
+  [[nodiscard]] const FormationLayer* formation() const noexcept {
+    return sl().formation.get();
+  }
 
   /// Failure callback for a wireless downlink: receives the undelivered
   /// envelope. Taking the envelope as an argument (instead of capturing
@@ -226,7 +310,7 @@ class Network {
 
   /// Locate a MH (oracle or broadcast per config) and deliver `env` over
   /// the final wireless hop, retrying across moves. See SendPolicy for
-  /// disconnect behaviour. `env.dst` must be the MH.
+  /// disconnect behaviour. `env.dst` must be the MH. Legacy engine only.
   void send_to_mh(MssId from, Envelope env, MhId to, SendPolicy policy);
 
   /// MH-to-MH relay entry point (wireless uplink leg is charged by the
@@ -240,10 +324,12 @@ class Network {
   using LocateCallback = std::function<void(MssId, bool disconnected)>;
   /// Start a location search from `from` for `target` (mode chosen by
   /// NetConfig::search_mode); `cb` fires when the search resolves.
+  /// Legacy engine only.
   void locate(MssId from, MhId target, LocateCallback cb);
 
   /// MH -> MSS join/reconnect transmission in the *new* cell (the MH is
   /// not yet local there, so this cannot ride the normal uplink).
+  /// Legacy engine only.
   void submit_join(MhId from, MssId target, msg::Join join);
 
   /// Broadcast-search protocol handlers (invoked by Mss::dispatch).
@@ -291,17 +377,100 @@ class Network {
     MssId disconnected_at = kInvalidMss;
   };
 
+  /// Everything keyed by channel lives in one map so the per-message
+  /// hot path does a single hash lookup. `fifo_clock` clamps arrivals
+  /// (never decrease per ordered channel); `next_wseq` is the
+  /// sender-side logical frame number for wireless channels; `dedup` is
+  /// the receiver-side duplicate suppression window (see WseqDedup).
+  struct ChannelState {
+    sim::SimTime fifo_clock = 0;
+    std::uint64_t next_wseq = 0;
+    WseqDedup dedup;
+  };
+
+  /// Everything one shard owns and touches from its own thread during a
+  /// run: event queue, measurement state (ledger / metrics / stats /
+  /// event ring), FIFO channel clocks, and the formation queues of the
+  /// MSSs it hosts. The legacy engine is exactly one slice driven by
+  /// the calling thread; the sharded engine is min(shards, num_mss)
+  /// slices driven by sim::ShardGroup. Per-slice ownership is what
+  /// makes emit and every cost charge allocation- and contention-free
+  /// under parallel execution.
+  struct ShardSlice {
+    sim::Scheduler sched;
+    cost::CostLedger ledger;
+    obs::Registry metrics;  ///< must precede every member referencing it
+    NetStats stats{metrics};
+    obs::EventStream events;
+    // Always-on substrate histograms (virtual-time units; zero-cost when
+    // nothing records). Queue delay is the FIFO clamp each channel kind
+    // added on top of the sampled latency.
+    obs::Histogram& queue_delay_wired =
+        metrics.histogram("net.queue_delay.wired", obs::latency_buckets());
+    obs::Histogram& queue_delay_downlink =
+        metrics.histogram("net.queue_delay.downlink", obs::latency_buckets());
+    obs::Histogram& queue_delay_uplink =
+        metrics.histogram("net.queue_delay.uplink", obs::latency_buckets());
+    obs::Histogram& search_rounds =
+        metrics.histogram("net.search_rounds", obs::count_buckets());
+    obs::Histogram& delivery_retry_depth =
+        metrics.histogram("net.delivery_retry_depth", obs::count_buckets());
+    // Formation-layer instrumentation (all zero in passthrough mode).
+    obs::Histogram& packet_msgs =
+        metrics.histogram("net.formation.packet_msgs", obs::count_buckets());
+    obs::Counter& formation_size_flushes = metrics.counter("net.formation.size_flushes");
+    obs::Counter& formation_deadline_flushes =
+        metrics.counter("net.formation.deadline_flushes");
+    obs::Counter& formation_barrier_flushes =
+        metrics.counter("net.formation.barrier_flushes");
+    std::unordered_map<std::uint64_t, ChannelState> channels;
+    /// Wired batching queues of this slice's MSSs; null in passthrough
+    /// mode so the unbatched wire path never even consults it.
+    std::unique_ptr<FormationLayer> formation;
+  };
+
+  /// The calling thread's slice. Worker threads of a sharded run bind
+  /// their shard index here (via ShardGroup's on_worker hook); every
+  /// other thread — including the legacy engine's only thread — reads
+  /// slice 0.
+  [[nodiscard]] ShardSlice& sl() noexcept { return *slices_[tls_shard_]; }
+  [[nodiscard]] const ShardSlice& sl() const noexcept { return *slices_[tls_shard_]; }
+
+  /// Throw std::logic_error unless on the legacy engine: `what` names
+  /// the unsupported entry point.
+  void require_legacy(const char* what) const;
+
+  /// The RNG stream for work owned by `lane`: the lane's own stream in
+  /// the sharded engine, the global stream in the legacy engine — which
+  /// is what keeps every legacy draw sequence byte-identical.
+  [[nodiscard]] sim::Rng& run_rng(std::uint32_t lane) noexcept {
+    return sharded() ? lane_rngs_[lane] : rng_;
+  }
+
+  /// Post a cross-lane action into the conservative-window mailbox
+  /// (sharded engine only). `at` must be >= the current window horizon,
+  /// which every wired arrival satisfies (latency >= lookahead()).
+  template <typename Fn>
+  void post_mail(std::uint32_t src_lane, std::uint32_t dst_lane, sim::SimTime at, Fn&& fn) {
+    group_->post(shard_of(src_lane),
+                 sim::ShardGroup::Mail{at, shard_of(dst_lane), src_lane,
+                                       ++lane_mail_seq_[src_lane],
+                                       sim::SmallFn(std::forward<Fn>(fn))});
+  }
+
+  std::uint64_t run_sharded(std::uint64_t event_limit);
+
   // FIFO clamping: per ordered channel, arrivals never decrease.
   [[nodiscard]] sim::SimTime fifo_arrival(ChannelType type, std::uint32_t a, std::uint32_t b,
                                           sim::Duration latency);
-  struct ChannelState;
   /// Same, against an already-looked-up channel state (one hash lookup
   /// per message instead of one per bookkeeping field).
   [[nodiscard]] sim::SimTime fifo_arrival(ChannelState& ch, ChannelType type,
                                           sim::Duration latency);
 
-
-  [[nodiscard]] sim::Duration sample(sim::Duration lo, sim::Duration hi);
+  /// One latency draw from the stream owned by `lane` (the sender's
+  /// lane, so the draw sequence is a per-lane pure function).
+  [[nodiscard]] sim::Duration sample(std::uint32_t lane, sim::Duration lo, sim::Duration hi);
 
   /// send_to_mh with the retry depth threaded through, so the retry
   /// histogram sees how deep each delivery's chase went.
@@ -317,12 +486,16 @@ class Network {
   /// queue for (from,to).
   void enqueue_wired(MssId from, MssId to, Envelope env);
   /// Transmit callback handed to the FormationLayer: charge the packet,
-  /// sample one latency for the whole packet and schedule its arrival.
+  /// sample one latency for the whole packet and schedule its arrival
+  /// (via the window mailbox when sharded).
   void transmit_packet(FormationLayer::Packet packet);
   /// Packet arrival: honour crash/partition deferral, emit kPacketFlush,
-  /// then deliver the coalesced messages in send order.
+  /// then deliver the coalesced messages in send order. In the sharded
+  /// engine `packet_id` and every item's send_id arrive as cross-stream
+  /// refs, with the senders' Lamport clocks carried alongside.
   void arrive_packet(FormationLayer::Packet packet, obs::EventId packet_id,
-                     std::uint64_t channel);
+                     std::uint64_t channel, std::uint64_t packet_clock = 0,
+                     std::vector<std::uint64_t> item_clocks = {});
 
   // --- reliable wireless hop (ack/retransmit + dedup) -----------------------
   //
@@ -348,14 +521,14 @@ class Network {
   /// set to "crash" (dead cell) or "loss" (random drop).
   [[nodiscard]] bool wireless_frame_lost(std::uint32_t cell, const char** why);
   [[nodiscard]] sim::Duration retransmit_backoff(std::uint32_t attempt) const;
-  /// Record one delivered wseq; false = duplicate, suppress the frame.
 
   /// Wired arrival with crash/partition deferral: a message reaching a
   /// crashed (or partitioned-off) MSS waits at its interface and is
   /// re-offered when the outage window closes; the recv event fires only
-  /// at actual delivery.
+  /// at actual delivery. `send_clock` carries the sender's Lamport clock
+  /// when `send_id` is a cross-stream ref (sharded engine).
   void arrive_wired(MssId from, MssId to, obs::EventId send_id, std::uint64_t channel,
-                    Envelope env);
+                    Envelope env, std::uint64_t send_clock = 0);
   /// Same deferral for the send_to_mh forward leg, which delivers via a
   /// closure instead of dispatch. `detail` must be a static-lifetime tag
   /// (callers pass literals): the view is captured across deferrals.
@@ -376,34 +549,26 @@ class Network {
   void log(sim::TraceLevel level, std::string_view component, std::string text);
 
   NetConfig cfg_;
-  sim::Scheduler sched_;
   sim::Rng rng_;
   sim::Trace trace_;
-  cost::CostLedger ledger_;
-  obs::Registry metrics_;  ///< must precede every member referencing it
-  NetStats stats_{metrics_};
-  obs::EventStream events_;
-  // Always-on substrate histograms (virtual-time units; zero-cost when
-  // nothing records). Queue delay is the FIFO clamp each channel kind
-  // added on top of the sampled latency.
-  obs::Histogram& queue_delay_wired_ =
-      metrics_.histogram("net.queue_delay.wired", obs::latency_buckets());
-  obs::Histogram& queue_delay_downlink_ =
-      metrics_.histogram("net.queue_delay.downlink", obs::latency_buckets());
-  obs::Histogram& queue_delay_uplink_ =
-      metrics_.histogram("net.queue_delay.uplink", obs::latency_buckets());
-  obs::Histogram& search_rounds_ =
-      metrics_.histogram("net.search_rounds", obs::count_buckets());
-  obs::Histogram& delivery_retry_depth_ =
-      metrics_.histogram("net.delivery_retry_depth", obs::count_buckets());
-  // Formation-layer instrumentation (all zero in passthrough mode).
-  obs::Histogram& packet_msgs_ =
-      metrics_.histogram("net.formation.packet_msgs", obs::count_buckets());
-  obs::Counter& formation_size_flushes_ = metrics_.counter("net.formation.size_flushes");
-  obs::Counter& formation_deadline_flushes_ =
-      metrics_.counter("net.formation.deadline_flushes");
-  obs::Counter& formation_barrier_flushes_ =
-      metrics_.counter("net.formation.barrier_flushes");
+  /// One slice for the legacy engine, min(shards, num_mss) for the
+  /// sharded one. unique_ptr so slice addresses (and the Counter&/
+  /// Histogram& members inside) never move.
+  std::vector<std::unique_ptr<ShardSlice>> slices_;
+  /// The calling thread's shard index (0 everywhere except inside a
+  /// sharded run's worker threads). static: a thread belongs to at most
+  /// one running Network at a time.
+  static thread_local std::uint32_t tls_shard_;
+  /// Conservative-window coordinator; created by run_sharded().
+  std::unique_ptr<sim::ShardGroup> group_;
+  /// Sharded engine: one RNG stream per lane, seeded as a pure function
+  /// of (cfg.seed, lane) so draw sequences are grouping-independent.
+  std::vector<sim::Rng> lane_rngs_;
+  /// Sharded engine: per-lane mailbox sequence for the canonical
+  /// injection order (each lane is written by exactly one thread).
+  std::vector<std::uint64_t> lane_mail_seq_;
+  /// Lane of each MH: its (initial) cell.
+  std::vector<std::uint32_t> mh_lane_;
 
   std::vector<std::unique_ptr<Mss>> mss_;
   std::vector<std::unique_ptr<MobileHost>> mh_;
@@ -420,22 +585,8 @@ class Network {
   bool started_ = false;
 
   std::unique_ptr<fault::FaultPlane> fault_;
-  /// Wired batching layer; null in passthrough mode so the unbatched
-  /// wire path never even consults it.
-  std::unique_ptr<FormationLayer> formation_;
-  /// Everything keyed by channel lives in one map so the per-message
-  /// hot path does a single hash lookup. `fifo_clock` clamps arrivals
-  /// (never decrease per ordered channel); `next_wseq` is the
-  /// sender-side logical frame number for wireless channels; `dedup` is
-  /// the receiver-side duplicate suppression window (see WseqDedup).
-  struct ChannelState {
-    sim::SimTime fifo_clock = 0;
-    std::uint64_t next_wseq = 0;
-    WseqDedup dedup;
-  };
-  std::unordered_map<std::uint64_t, ChannelState> channels_;
 
-  [[nodiscard]] ChannelState& channel_state(std::uint64_t key) { return channels_[key]; }
+  [[nodiscard]] ChannelState& channel_state(std::uint64_t key) { return sl().channels[key]; }
   /// Receiver-side duplicate suppression; true = first delivery of wseq.
   [[nodiscard]] static bool dedup_deliver(ChannelState& ch, std::uint64_t wseq);
 };

@@ -182,7 +182,9 @@ EventId EventStream::emit(sim::SimTime at, const Emit& spec) {
 
   auto& st = state_of(ev.entity);
   ev.seq = ++st.seq;
-  st.clock = std::max(st.clock, lamport_of(ev.cause)) + 1;
+  const std::uint64_t cause_clock =
+      spec.cause_clock != 0 ? spec.cause_clock : lamport_of(ev.cause);
+  st.clock = std::max(st.clock, cause_clock) + 1;
   ev.lamport = st.clock;
 
   if (sink_) sink_(ev);

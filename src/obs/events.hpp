@@ -140,6 +140,12 @@ class EventStream {
     std::uint64_t channel = 0;
     std::uint64_t arg = 0;
     std::string_view detail{};
+    /// Lamport clock of the causal parent, for causes that live in
+    /// *another* stream (cross-shard sends, see obs/merge.hpp): the
+    /// receiver's clock must advance past the sender's, but lamport_of()
+    /// can only resolve local ids. 0 (the default) means "look the cause
+    /// up locally", which is the single-stream behaviour.
+    std::uint64_t cause_clock = 0;
   };
 
   /// Append one event; returns its id (usable as a later cause).

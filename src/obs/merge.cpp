@@ -1,0 +1,70 @@
+#include "obs/merge.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mobidist::obs {
+
+std::vector<Event> merge_canonical(std::span<const EventStream* const> streams,
+                                   const LaneOf& lane_of) {
+  struct Rec {
+    Event ev;
+    std::uint32_t stream = 0;
+    std::uint32_t lane = 0;
+    std::uint64_t lane_pos = 0;
+  };
+  std::vector<Rec> recs;
+  std::size_t total = 0;
+  for (const auto* stream : streams) total += stream->retained();
+  recs.reserve(total);
+
+  // Per-lane positions continue across streams (scanned in stream order):
+  // a lane's events normally live in exactly one stream, and any stray
+  // same-(at, lane) pair still gets a unique, deterministic key.
+  std::vector<std::uint64_t> lane_pos;
+  for (std::uint32_t s = 0; s < streams.size(); ++s) {
+    streams[s]->for_each([&](const Event& ev) {
+      const std::uint32_t lane = lane_of(ev.entity);
+      if (lane >= lane_pos.size()) lane_pos.resize(lane + 1, 0);
+      recs.push_back(Rec{ev, s, lane, lane_pos[lane]++});
+    });
+  }
+
+  // (at, lane, lane_pos) is a total order with unique keys, so std::sort
+  // is deterministic; restricted to one lane it preserves emission order.
+  std::sort(recs.begin(), recs.end(), [](const Rec& a, const Rec& b) {
+    if (a.ev.at != b.ev.at) return a.ev.at < b.ev.at;
+    if (a.lane != b.lane) return a.lane < b.lane;
+    return a.lane_pos < b.lane_pos;
+  });
+
+  // Old id -> merged id, per source stream.
+  std::vector<std::unordered_map<EventId, EventId>> remap(streams.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    remap[recs[i].stream].emplace(recs[i].ev.id, static_cast<EventId>(i + 1));
+  }
+
+  const auto resolve = [&](std::uint32_t stream, EventId cause) -> EventId {
+    if (cause == 0) return 0;
+    if (is_cross_ref(cause)) {
+      const auto src = cross_ref_stream(cause);
+      if (src >= remap.size()) return 0;
+      stream = src;
+      cause = cross_ref_id(cause);
+    }
+    const auto it = remap[stream].find(cause);
+    return it == remap[stream].end() ? 0 : it->second;
+  };
+
+  std::vector<Event> merged;
+  merged.reserve(recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    Event ev = recs[i].ev;
+    ev.id = static_cast<EventId>(i + 1);
+    ev.cause = resolve(recs[i].stream, ev.cause);
+    merged.push_back(ev);
+  }
+  return merged;
+}
+
+}  // namespace mobidist::obs

@@ -26,6 +26,19 @@ void Histogram::record(std::uint64_t value) noexcept {
   sum_ += value;
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument("Histogram::merge_from: bucket bounds differ");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (other.count_ != 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 std::vector<std::uint64_t> latency_buckets() {
   return {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384};
 }
@@ -48,6 +61,14 @@ Histogram& Registry::histogram(std::string_view name, std::vector<std::uint64_t>
   if (const auto it = histograms_.find(name); it != histograms_.end()) return it->second;
   check_unique_kind(name, "histogram");
   return histograms_.emplace(std::string(name), Histogram(std::move(bounds))).first->second;
+}
+
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) counter(name) += c.value();
+  for (const auto& [name, g] : other.gauges_) gauge(name).add(g.value());
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h.bounds()).merge_from(h);
+  }
 }
 
 void Registry::check_unique_kind(std::string_view name, std::string_view kind) const {

@@ -87,6 +87,11 @@ class Histogram {
     return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
   }
 
+  /// Fold another histogram's samples into this one, bucket by bucket.
+  /// The bounds must match (both sides register with the same fixed
+  /// bucket layout); throws std::invalid_argument otherwise.
+  void merge_from(const Histogram& other);
+
   /// The upper bounds fixed at construction.
   [[nodiscard]] const std::vector<std::uint64_t>& bounds() const noexcept { return bounds_; }
   /// bounds().size() + 1 entries; the last one is the overflow bucket.
@@ -126,6 +131,13 @@ class Registry {
   Gauge& gauge(std::string_view name);
   /// `bounds` are only consulted on first registration.
   Histogram& histogram(std::string_view name, std::vector<std::uint64_t> bounds);
+
+  /// Fold another registry into this one: counters and gauges add by
+  /// name, histograms merge bucket-wise (their bounds must match).
+  /// Metrics unknown here are registered first, so the merged registry
+  /// is a superset. The sharded engine keeps one Registry per shard for
+  /// contention-free recording and folds them at snapshot time.
+  void merge_from(const Registry& other);
 
   /// All counters, in name order.
   [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters() const noexcept {

@@ -130,6 +130,15 @@ void Scheduler::compact() {
   }
 }
 
+std::optional<SimTime> Scheduler::next_time() {
+  while (!heap_.empty()) {
+    if (slots_[heap_.front().slot].scheduled) return heap_.front().at;
+    release_slot(pop_entry().slot);
+    --corpses_;
+  }
+  return std::nullopt;
+}
+
 bool Scheduler::pop_live(Entry& out) {
   while (!heap_.empty()) {
     const Entry e = pop_entry();

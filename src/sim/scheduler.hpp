@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "sim/small_fn.hpp"
@@ -73,6 +74,14 @@ class Scheduler {
 
   /// Fire at most one event. Returns false if the queue is empty.
   bool step();
+
+  /// Firing time of the earliest live event without executing it;
+  /// nullopt when the queue is drained. Corpses surfacing at the front
+  /// are reclaimed as a side effect (same cleanup as run_until's peek),
+  /// which is why this is not const. The conservative-window coordinator
+  /// (sim::ShardGroup) uses this to compute the global minimum next-event
+  /// time across shards.
+  [[nodiscard]] std::optional<SimTime> next_time();
 
   /// Events currently pending (scheduled, not fired, not cancelled).
   [[nodiscard]] std::size_t pending() const noexcept { return live_; }

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -195,6 +196,42 @@ TEST(EventStreamAlloc, SteadyStateEmitDoesNotAllocateWithTracingOn) {
   EXPECT_EQ(sink_calls, 101u * 64u);
   EXPECT_GT(stream.dropped(), 0u) << "gate must cover ring wrap";
   EXPECT_EQ(stream.emitted(), 101u * 64u);
+}
+
+// The sharded-engine claim: telemetry is shard-local (one ring, one
+// interner, one counter set per shard slice, merged only at snapshot),
+// so steady-state emission stays allocation-free on EVERY shard's
+// stream simultaneously — there is no shared sink, lock, or queue whose
+// growth could reintroduce heap traffic as shards are added.
+TEST(EventStreamAlloc, PerShardSteadyStateEmitDoesNotAllocate) {
+  constexpr std::uint32_t kShards = 4;
+  std::vector<obs::EventStream> streams;
+  streams.reserve(kShards);
+  for (std::uint32_t s = 0; s < kShards; ++s) streams.emplace_back(256);
+
+  auto emit_round = [&](sim::SimTime base) {
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      // Lane -> shard exactly as the network maps them: lane % kShards.
+      auto& stream = streams[i % kShards];
+      obs::EventStream::Emit spec;
+      spec.kind = i % 2 == 0 ? obs::EventKind::kSend : obs::EventKind::kRecv;
+      spec.entity = obs::Entity::mss(i % 8);
+      spec.peer = obs::Entity::mh(i % 16);
+      spec.channel = i % 4;
+      spec.detail = "shard";
+      stream.emit(base + i, spec);
+    }
+  };
+
+  emit_round(0);  // warm-up: per-shard interners and counter vectors
+  const auto count = allocations_during([&] {
+    for (int round = 1; round <= 100; ++round) emit_round(round * 64);
+  });
+  EXPECT_EQ(count, 0u) << "per-shard steady-state emit allocated";
+  for (const auto& stream : streams) {
+    EXPECT_EQ(stream.emitted(), 101u * 16u);
+    EXPECT_GT(stream.dropped(), 0u) << "gate must cover ring wrap on every shard";
+  }
 }
 
 // The combined simulation hot loop: scheduler fire -> event emission,

@@ -56,6 +56,30 @@ TEST(CostLedger, EnergySeparatesTxAndRx) {
   EXPECT_EQ(ledger.wireless_hops_at(7), 3u);
 }
 
+// Cost accounting is shard-local on the sharded engine and folded into
+// slice 0 after the run; the fold must sum every category and combine
+// the per-host energy maps.
+TEST(CostLedger, MergeFromSumsCategoriesAndPerHostEnergy) {
+  CostLedger a;
+  CostLedger b;
+  a.charge_fixed();
+  b.charge_fixed();
+  b.charge_fixed();
+  a.charge_search();
+  a.charge_wireless(1, /*mh_transmitted=*/true);
+  b.charge_wireless(1, /*mh_transmitted=*/false);
+  b.charge_wireless(2, /*mh_transmitted=*/true);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.fixed_msgs(), 3u);
+  EXPECT_EQ(a.searches(), 1u);
+  EXPECT_EQ(a.wireless_msgs(), 3u);
+  EXPECT_EQ(a.wireless_hops_at(1), 2u);
+  EXPECT_EQ(a.wireless_hops_at(2), 1u);
+  const CostParams p;  // unit energy
+  EXPECT_DOUBLE_EQ(a.total_energy(p), 3.0);
+}
+
 TEST(CostLedger, EnergyIsPerHost) {
   CostLedger ledger;
   ledger.charge_wireless(1, true);

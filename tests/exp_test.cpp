@@ -212,6 +212,70 @@ TEST(ExpRunner, BackToBackRunsAreIsolated) {
   EXPECT_EQ(first.metrics, second.metrics);
 }
 
+// --- sharded-engine classification -----------------------------------------
+
+ScenarioSpec small_scale_spec() {
+  ScenarioSpec spec;
+  spec.name = "exp_test_scale";
+  spec.workload = "scale";
+  spec.variant = "echo";
+  spec.net.num_mss = 4;
+  spec.net.num_mh = 8;
+  spec.net.seed = 42;
+  spec.params["pings"] = 6;
+  spec.params["gap"] = 5;
+  return spec;
+}
+
+TEST(ExpRunner, OnlyScaleIsShardSafe) {
+  const auto& lib = exp::WorkloadLibrary::builtin();
+  EXPECT_TRUE(lib.shard_safe("scale"));
+  for (const auto& name : lib.names()) {
+    if (name != "scale") {
+      EXPECT_FALSE(lib.shard_safe(name)) << name << " marked shard-safe";
+    }
+  }
+  EXPECT_FALSE(lib.shard_safe("no_such_workload"));
+}
+
+// A non-shard-safe workload must collapse --shards to the legacy engine:
+// metrics identical to a shards=0 run, not an error and not a sharded
+// run that would throw on the first move_to().
+TEST(ExpRunner, ShardsCollapseToLegacyForUnsafeWorkloads) {
+  RunPlan legacy;
+  legacy.spec = small_mutex_spec();
+  legacy.cell = "base";
+  legacy.seed = legacy.spec.net.seed;
+  const auto base = exp::run_scenario(legacy);
+  ASSERT_TRUE(base.ok) << base.error;
+
+  RunPlan sharded = legacy;
+  sharded.spec.net.shards = 4;
+  const auto collapsed = exp::run_scenario(sharded);
+  ASSERT_TRUE(collapsed.ok) << collapsed.error;
+  EXPECT_EQ(collapsed.metrics, base.metrics);
+}
+
+// The shard-safe workload really runs sharded — and its metrics are
+// the same for every shard count (the per-plan statement of the
+// shard_independence gate).
+TEST(ExpRunner, ScaleMetricsIdenticalForEveryShardCount) {
+  RunPlan plan;
+  plan.spec = small_scale_spec();
+  plan.cell = "base";
+  plan.seed = plan.spec.net.seed;
+  plan.spec.net.shards = 1;
+  const auto s1 = exp::run_scenario(plan);
+  ASSERT_TRUE(s1.ok) << s1.error;
+  ASSERT_GT(s1.metrics.at("events.emitted"), 0.0);
+  for (std::uint32_t shards : {2u, 4u, 8u}) {
+    plan.spec.net.shards = shards;
+    const auto sn = exp::run_scenario(plan);
+    ASSERT_TRUE(sn.ok) << sn.error;
+    EXPECT_EQ(sn.metrics, s1.metrics) << "shards=" << shards;
+  }
+}
+
 TEST(ExpRunner, UnknownWorkloadFailsLoudly) {
   RunPlan plan;
   plan.spec = small_mutex_spec();

@@ -126,6 +126,46 @@ void sweep(Algo algo, const fault::FaultProfile& profile) {
   EXPECT_EQ(crashes, static_cast<double>(profile.crashes.size() * kSeeds));
 }
 
+// Sharded-engine chaos: 64 seeds of the scale workload on the sharded
+// core at shards=4, each run's merged trace validated by every checker
+// (result.ok), and each seed's metrics pinned equal to its shards=1 run
+// — the shard-count-independence guarantee under seed diversity. Under
+// `run_sanitized.sh --tsan` this is the suite that drives the window
+// barriers, the cross-shard mailbox, and the per-slice telemetry from
+// real worker threads.
+TEST(ChaosSharded, ScaleAtFourShardsMatchesOneShardAcross64Seeds) {
+  exp::ScenarioSpec spec;
+  spec.name = "shard_chaos";
+  spec.workload = "scale";
+  spec.variant = "echo";
+  spec.net.num_mss = 8;  // default randomized latencies
+  spec.net.num_mh = 32;
+  spec.params["pings"] = 25;
+  spec.params["gap"] = 7;
+
+  exp::SweepGrid grid;
+  for (std::uint64_t i = 0; i < kSeeds; ++i) grid.seeds.push_back(kSeedBase + i);
+  spec.net.shards = 1;
+  const auto base = exp::ParallelRunner().run(grid.expand(spec));
+  spec.net.shards = 4;
+  const auto sharded = exp::ParallelRunner().run(grid.expand(spec));
+
+  ASSERT_EQ(base.size(), kSeeds);
+  ASSERT_EQ(sharded.size(), kSeeds);
+  for (std::size_t i = 0; i < kSeeds; ++i) {
+    SCOPED_TRACE("seed=" + std::to_string(sharded[i].seed));
+    // ok covers every obs trace checker, run over the merged stream.
+    ASSERT_TRUE(base[i].ok) << base[i].error;
+    ASSERT_TRUE(sharded[i].ok) << sharded[i].error;
+    EXPECT_EQ(metric_or_zero(sharded[i], "sched.hit_event_limit"), 0.0);
+    EXPECT_GT(metric_or_zero(sharded[i], "events.emitted"), 0.0);
+    EXPECT_EQ(sharded[i].metrics, base[i].metrics);
+    if (::testing::Test::HasFatalFailure() || ::testing::Test::HasNonfatalFailure()) {
+      return;  // one seed's diagnosis is enough; don't spam 63 more
+    }
+  }
+}
+
 TEST(ChaosL2, SurvivesWirelessLoss) { sweep(Algo::kL2, loss_profile()); }
 TEST(ChaosL2, SurvivesMssCrash) { sweep(Algo::kL2, crash_profile()); }
 TEST(ChaosL2, SurvivesCombinedProfile) { sweep(Algo::kL2, combined_profile()); }

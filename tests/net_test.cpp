@@ -4,9 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <stdexcept>
 #include <string>
 
 #include "fault/fault_plane.hpp"
+#include "obs/events.hpp"
 #include "test_support.hpp"
 
 namespace mobidist::test {
@@ -864,6 +867,138 @@ TEST(Search, SingleMssBroadcastStillResolvesConnectedAndDisconnected) {
   EXPECT_EQ(h.mh[2]->received.size(), 0u);
   ASSERT_EQ(h.mss[0]->unreachable.size(), 1u);  // disconnected flag honoured
   EXPECT_EQ(net.stats().searches_pended, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Sharded engine
+// --------------------------------------------------------------------------
+
+// Regression: the conservative window width is exactly the wired-latency
+// lower bound — the network's only cross-shard channel — and a sharded
+// network refuses a zero lower bound (lookahead must be >= 1).
+TEST(ShardedEngine, LookaheadIsTheWiredLatencyLowerBound) {
+  auto cfg = small_config();  // wired_min = 5
+  cfg.shards = 2;
+  Network net(cfg);
+  EXPECT_TRUE(net.sharded());
+  EXPECT_EQ(net.lookahead(), cfg.latency.wired_min);
+
+  cfg.latency.wired_min = 0;
+  cfg.latency.wired_max = 4;
+  EXPECT_THROW(Network bad(cfg), std::invalid_argument);
+  cfg.shards = 0;  // the legacy engine has no lookahead constraint
+  Network legacy(cfg);
+  EXPECT_FALSE(legacy.sharded());
+}
+
+TEST(ShardedEngine, MutatingEntryPointsThrow) {
+  auto cfg = small_config();
+  cfg.shards = 2;
+  Network net(cfg);
+  Harness h(net);
+  net.start();
+  EXPECT_THROW(net.mh(mh_id(1)).move_to(mss_id(0), 10), std::logic_error);
+  EXPECT_THROW(net.mh(mh_id(1)).disconnect(), std::logic_error);
+  EXPECT_THROW(h.mss[0]->do_send_to_mh(mh_id(4), 1), std::logic_error);
+}
+
+namespace sharded {
+
+struct ChainTotals {
+  std::string jsonl;          ///< canonical merged stream
+  std::uint64_t fixed_msgs = 0;
+  std::uint64_t wired_packets = 0;
+  std::uint64_t fired = 0;
+  std::size_t received = 0;   ///< messages seen by all recording agents
+};
+
+/// A wired ring chain: every MSS starts a message that hops around the
+/// ring `kHops` times. Static topology, cross-shard wired traffic only —
+/// the workload the sharded engine exists for. Latencies keep their
+/// jittered defaults so per-lane RNG draws are load-bearing.
+ChainTotals run_wired_chain(std::uint32_t shards, FormationConfig formation = {}) {
+  constexpr std::uint32_t kMss = 4;
+  constexpr int kHops = 12;
+  NetConfig cfg;
+  cfg.num_mss = kMss;
+  cfg.num_mh = 8;
+  cfg.seed = 77;
+  cfg.shards = shards;
+  cfg.formation = formation;
+  Network net(cfg);
+  Harness h(net);
+  for (std::uint32_t i = 0; i < kMss; ++i) {
+    // Each bounce runs on the receiving MSS's own shard, so replying
+    // through that MSS's agent is shard-local by construction.
+    h.mss[i]->on_msg = [&h, i](const Envelope& env) {
+      const int v = *env.body.get<int>();
+      if (v > 0) h.mss[i]->do_send_wired(mss_id((i + 1) % kMss), v - 1);
+    };
+  }
+  net.start();
+  for (std::uint32_t i = 0; i < kMss; ++i) {
+    net.schedule_on_lane(i, 1 + i, [&h, i] {
+      h.mss[i]->do_send_wired(mss_id((i + 1) % kMss), int{kHops});
+    });
+  }
+  net.run();
+
+  ChainTotals totals;
+  const auto merged = net.merged_events();
+  for (const auto& failure : obs::check_all(std::span<const obs::Event>(merged))) {
+    ADD_FAILURE() << "checker failed (shards=" << shards
+                  << "): " << obs::to_string(failure);
+  }
+  totals.jsonl = obs::to_jsonl(std::span<const obs::Event>(merged));
+  totals.fixed_msgs = net.ledger().fixed_msgs();
+  totals.wired_packets = net.ledger().wired_packets();
+  totals.fired = net.total_fired();
+  for (const auto* agent : h.mss) totals.received += agent->received.size();
+  return totals;
+}
+
+}  // namespace sharded
+
+// The headline guarantee at the unit level: the canonical merged stream,
+// the folded cost ledger, and the fired-event total are identical no
+// matter how the four lanes are grouped — and the single-shard sharded
+// run differs from the legacy engine (per-lane RNG streams), which is
+// why the sharded engine keeps its own goldens.
+TEST(ShardedEngine, WiredChainIdenticalForEveryShardCount) {
+  const auto s1 = sharded::run_wired_chain(1);
+  ASSERT_GT(s1.received, 0u);
+  ASSERT_NE(s1.jsonl.find("\"kind\":\"recv\""), std::string::npos);
+  for (std::uint32_t shards : {2u, 4u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    const auto sn = sharded::run_wired_chain(shards);
+    EXPECT_EQ(sn.jsonl, s1.jsonl);
+    EXPECT_EQ(sn.fixed_msgs, s1.fixed_msgs);
+    EXPECT_EQ(sn.wired_packets, s1.wired_packets);
+    EXPECT_EQ(sn.fired, s1.fired);
+    EXPECT_EQ(sn.received, s1.received);
+  }
+  const auto legacy = sharded::run_wired_chain(0);
+  EXPECT_EQ(legacy.received, s1.received);   // same messages delivered...
+  EXPECT_NE(legacy.jsonl, s1.jsonl);         // ...on different sampled timings
+}
+
+// Same invariance with the formation (packet-batching) layer enabled:
+// formation queues are per-slice but keyed per (src,dst) pair, so
+// batching decisions are a pure function of each pair's traffic and
+// must not depend on the grouping either.
+TEST(ShardedEngine, FormationBatchingIdenticalForEveryShardCount) {
+  FormationConfig formation;
+  formation.max_packet_msgs = 3;
+  formation.flush_deadline = 4;
+  const auto s1 = sharded::run_wired_chain(1, formation);
+  ASSERT_NE(s1.jsonl.find("\"kind\":\"packet_send\""), std::string::npos)
+      << "formation layer never formed a packet";
+  for (std::uint32_t shards : {2u, 4u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    const auto sn = sharded::run_wired_chain(shards, formation);
+    EXPECT_EQ(sn.jsonl, s1.jsonl);
+    EXPECT_EQ(sn.wired_packets, s1.wired_packets);
+  }
 }
 
 }  // namespace

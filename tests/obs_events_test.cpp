@@ -5,13 +5,15 @@
 
 #include <gtest/gtest.h>
 
-#include <vector>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "mutex/monitor.hpp"
 #include "mutex/r2.hpp"
 #include "obs/checkers.hpp"
 #include "obs/events.hpp"
+#include "obs/merge.hpp"
 #include "test_support.hpp"
 
 namespace mobidist::test {
@@ -98,6 +100,83 @@ TEST(EventStream, EvictsFromTheFrontAndCountsDrops) {
 // --------------------------------------------------------------------------
 // Exporters
 // --------------------------------------------------------------------------
+
+// --------------------------------------------------------------------------
+// Canonical merge (the sharded engine's trace spine)
+// --------------------------------------------------------------------------
+
+TEST(MergeCanonical, CrossRefEncodingRoundTrips) {
+  const auto ref = obs::make_cross_ref(5, 1234);
+  EXPECT_TRUE(obs::is_cross_ref(ref));
+  EXPECT_EQ(obs::cross_ref_stream(ref), 5u);
+  EXPECT_EQ(obs::cross_ref_id(ref), 1234u);
+  EXPECT_FALSE(obs::is_cross_ref(1234));
+}
+
+TEST(MergeCanonical, OrdersByTimeThenLaneAndRewritesCauses) {
+  // Two shard streams; lane = the mss index. Stream 1's recv at t=7
+  // references stream 0's send (id 1) through an encoded cross ref.
+  obs::EventStream s0;
+  obs::EventStream s1;
+  const auto send_id = s0.emit(3, {.kind = obs::EventKind::kSend,
+                                   .entity = obs::Entity::mss(0),
+                                   .peer = obs::Entity::mss(1)});
+  s0.emit(9, {.kind = obs::EventKind::kDisconnect, .entity = obs::Entity::mss(0)});
+  s1.emit(7, {.kind = obs::EventKind::kRecv,
+              .entity = obs::Entity::mss(1),
+              .peer = obs::Entity::mss(0),
+              .cause = obs::make_cross_ref(0, send_id),
+              .cause_clock = s0.lamport_of(send_id)});
+
+  const obs::EventStream* streams[] = {&s0, &s1};
+  const auto merged = obs::merge_canonical(
+      streams, [](obs::Entity e) { return e.idx; });
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].at, 3u);
+  EXPECT_EQ(merged[1].at, 7u);
+  EXPECT_EQ(merged[2].at, 9u);
+  // Dense renumbering in merge order, causes resolved across streams.
+  EXPECT_EQ(merged[0].id, 1u);
+  EXPECT_EQ(merged[1].id, 2u);
+  EXPECT_EQ(merged[1].cause, 1u);
+  // The cross-edge Lamport relation survived the merge: recv > send.
+  EXPECT_GT(merged[1].lamport, merged[0].lamport);
+}
+
+TEST(MergeCanonical, SameInstantTieBreaksByLaneThenLanePosition) {
+  // One stream holding two lanes vs. the same events split across two
+  // streams: identical bytes — the grouping-invariance property the
+  // shard_independence gate relies on.
+  const auto run = [](bool split) {
+    obs::EventStream a;
+    obs::EventStream b;
+    obs::EventStream& lane1 = split ? b : a;
+    a.emit(5, {.kind = obs::EventKind::kDisconnect, .entity = obs::Entity::mss(0)});
+    lane1.emit(5, {.kind = obs::EventKind::kDisconnect, .entity = obs::Entity::mss(1)});
+    lane1.emit(5, {.kind = obs::EventKind::kSend, .entity = obs::Entity::mss(1)});
+    a.emit(5, {.kind = obs::EventKind::kSend, .entity = obs::Entity::mss(0)});
+    std::vector<const obs::EventStream*> streams{&a};
+    if (split) streams.push_back(&b);
+    return obs::to_jsonl(std::span<const obs::Event>(obs::merge_canonical(
+        streams, [](obs::Entity e) { return e.idx; })));
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(MergeCanonical, EvictedCauseResolvesToZero) {
+  obs::EventStream tiny(2);  // ring keeps only the 2 most recent events
+  const auto first = tiny.emit(1, {.kind = obs::EventKind::kSend,
+                                   .entity = obs::Entity::mss(0)});
+  tiny.emit(2, {.kind = obs::EventKind::kDisconnect, .entity = obs::Entity::mss(0)});
+  tiny.emit(3, {.kind = obs::EventKind::kRecv,
+                .entity = obs::Entity::mss(0),
+                .cause = first});  // parent now evicted
+  const obs::EventStream* streams[] = {&tiny};
+  const auto merged = obs::merge_canonical(
+      streams, [](obs::Entity) { return 0u; });
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.back().cause, 0u);
+}
 
 TEST(EventJson, RoundTripsEveryField) {
   Event ev;

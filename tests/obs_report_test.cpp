@@ -215,6 +215,38 @@ TEST(Registry, CrossKindNameCollisionThrows) {
   EXPECT_THROW(registry.histogram("dual", {1}), std::invalid_argument);
 }
 
+// Shard-local telemetry is folded into slice 0 after a sharded run;
+// merge_from is the whole mechanism, so the fold must be a plain sum
+// per metric kind (and must not care which side registered a name).
+TEST(Registry, MergeFromFoldsEveryMetricKind) {
+  obs::Registry a;
+  obs::Registry b;
+  a.counter("msgs") += 3;
+  b.counter("msgs") += 4;
+  b.counter("only_b") += 2;
+  a.gauge("depth").add(5);
+  b.gauge("depth").add(7);
+  a.histogram("lat", {1, 4}).record(1);
+  b.histogram("lat", {1, 4}).record(3);
+  b.histogram("lat", {1, 4}).record(99);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("msgs").value(), 7u);
+  EXPECT_EQ(a.counter("only_b").value(), 2u);
+  EXPECT_EQ(a.gauge("depth").value(), 12);
+  const auto& hist = a.histogram("lat", {1, 4});
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.sum(), 103u);
+  EXPECT_EQ(hist.min(), 1u);
+  EXPECT_EQ(hist.max(), 99u);
+}
+
+TEST(Histogram, MergeFromRequiresMatchingBounds) {
+  obs::Histogram a({1, 4});
+  obs::Histogram b({1, 8});
+  EXPECT_THROW(a.merge_from(b), std::invalid_argument);
+}
+
 // --------------------------------------------------------------------------
 // JSON serialization
 // --------------------------------------------------------------------------

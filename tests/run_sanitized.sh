@@ -4,11 +4,14 @@
 #
 #   tests/run_sanitized.sh            # full suite under ASan+UBSan
 #   tests/run_sanitized.sh -R Fifo    # forward extra args to ctest
-#   tests/run_sanitized.sh --chaos    # only the fault-injection chaos
-#                                     # sweeps (ctest -L chaos)
+#   tests/run_sanitized.sh --chaos    # only the chaos sweeps (ctest -L
+#                                     # chaos): fault injection plus the
+#                                     # 64-seed sharded-engine cell
 #   tests/run_sanitized.sh --tsan     # full suite under ThreadSanitizer
-#                                     # (the parallel-runner suites are
-#                                     # the interesting targets)
+#                                     # (the parallel-runner suites and
+#                                     # the sharded engine's window
+#                                     # barriers / cross-shard mailbox
+#                                     # are the interesting targets)
 #   tests/run_sanitized.sh --tsan -L sweep   # TSan on the exp suites only
 #   tests/run_sanitized.sh --ubsan    # UBSan alone at RelWithDebInfo:
 #                                     # catches optimizer-dependent UB

@@ -25,6 +25,15 @@ trap 'rm -rf "$tmp"' EXIT
 "$cli" --scenario "$scenario" --jobs 4 --deterministic --out "$tmp/jobs4.json" > /dev/null
 cmp "$tmp/jobs1.json" "$tmp/jobs4.json"
 
+# Shard-count independence on the same artifact: the --shards axis must
+# never change the deterministic body (the full trace-level sweep over
+# every scenario lives in run_shard_independence.sh).
+for shards in 1 2 4 8; do
+  "$cli" --scenario "$scenario" --jobs 2 --deterministic --shards "$shards" \
+    --out "$tmp/shards$shards.json" > /dev/null
+  cmp "$tmp/jobs1.json" "$tmp/shards$shards.json"
+done
+
 "$cli" --scenario "$scenario" --jobs 2 --deterministic --out "$tmp/gated.json" \
   --baseline "$tmp/jobs1.json" > /dev/null
 
@@ -45,4 +54,4 @@ if ! grep -qi "regression" "$tmp/gate.log"; then
   exit 1
 fi
 
-echo "run_sweep_smoke: jobs-independent artifacts byte-identical; gate passes clean baseline and rejects tampered one"
+echo "run_sweep_smoke: jobs- and shard-independent artifacts byte-identical; gate passes clean baseline and rejects tampered one"

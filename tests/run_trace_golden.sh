@@ -29,17 +29,31 @@ MOBIDIST_TRACE_DIR="$tmp/" "$cli" --scenario "$source_dir/scenarios/scale_smoke.
 MOBIDIST_TRACE_DIR="$tmp/" "$cli" --scenario "$source_dir/scenarios/mutex_smoke.json" \
   --jobs 2 --deterministic --out "$tmp/ARTIFACT_mutex_smoke.json" > /dev/null
 
+# Sharded-engine leg: the canonical merged stream at shards=1 has its
+# own goldens under tests/goldens/shard1/ (per-lane RNG streams make it
+# intentionally distinct from the legacy stream above). shard=1 pins
+# the merge order; run_shard_independence.sh pins {1,2,4,8} equality.
+mkdir -p "$tmp/shard1"
+MOBIDIST_TRACE_DIR="$tmp/shard1/" "$cli" --scenario "$source_dir/scenarios/scale_smoke.json" \
+  --jobs 2 --deterministic --shards 1 \
+  --out "$tmp/shard1/ARTIFACT_scale_smoke.json" > /dev/null
+
 status=0
-for golden in "$goldens"/TRACE_*.jsonl "$goldens"/ARTIFACT_*.json; do
+for golden in "$goldens"/TRACE_*.jsonl "$goldens"/ARTIFACT_*.json \
+              "$goldens"/shard1/TRACE_*.jsonl "$goldens"/shard1/ARTIFACT_*.json; do
   name=$(basename "$golden")
-  if [ ! -f "$tmp/$name" ]; then
+  case "$golden" in
+    */shard1/*) candidate="$tmp/shard1/$name" ;;
+    *) candidate="$tmp/$name" ;;
+  esac
+  if [ ! -f "$candidate" ]; then
     echo "run_trace_golden: run produced no $name" >&2
     status=1
     continue
   fi
-  if ! cmp -s "$golden" "$tmp/$name"; then
+  if ! cmp -s "$golden" "$candidate"; then
     echo "run_trace_golden: $name differs from committed golden:" >&2
-    diff "$golden" "$tmp/$name" | head -5 >&2 || true
+    diff "$golden" "$candidate" | head -5 >&2 || true
     status=1
   fi
 done

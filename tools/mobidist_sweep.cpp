@@ -4,7 +4,13 @@
 //
 //   mobidist_sweep --scenario scenarios/mutex_smoke.json --jobs 4
 //       [--out BENCH_sweep.json] [--baseline old.json] [--tolerance 0.01]
-//       [--deterministic] [--list-workloads]
+//       [--deterministic] [--shards N] [--list-workloads]
+//
+// --shards N requests the sharded engine for every run (honoured only by
+// shard-safe workloads; the rest collapse to the legacy engine, see
+// exp::run_scenario). The deterministic artifact body is identical for
+// every N on the same scenario — the shard_independence test gate pins
+// exactly that.
 //
 // Exit codes: 0 ok, 1 usage/setup error, 2 run failures, 3 regression
 // gate failed (or incompatible baseline).
@@ -28,7 +34,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --scenario FILE [--jobs N] [--out FILE]\n"
                "          [--baseline FILE] [--tolerance REL] [--deterministic]\n"
-               "          [--list-workloads]\n",
+               "          [--shards N] [--list-workloads]\n",
                argv0);
   return 1;
 }
@@ -70,6 +76,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   double tolerance = 0.01;
   unsigned jobs = 0;
+  unsigned shards = 0;
   bool deterministic = false;
   bool list_workloads = false;
 
@@ -87,6 +94,7 @@ int main(int argc, char** argv) {
     else if (arg == "--baseline") baseline_path = next();
     else if (arg == "--tolerance") tolerance = std::atof(next());
     else if (arg == "--jobs") jobs = static_cast<unsigned>(std::atoi(next()));
+    else if (arg == "--shards") shards = static_cast<unsigned>(std::atoi(next()));
     else if (arg == "--deterministic") deterministic = true;
     else if (arg == "--list-workloads") list_workloads = true;
     else if (arg == "--help" || arg == "-h") return usage(argv[0]);
@@ -126,6 +134,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Applied before expansion so every cell of the grid carries the
+  // requested count; run_scenario collapses it per-workload.
+  if (shards != 0) spec.net.shards = shards;
+
   const auto plans = grid.expand(spec);
   const exp::ParallelRunner runner(jobs);
   std::fprintf(stderr, "%s: %zu runs (%zu seeds), %u jobs\n", spec.name.c_str(),
@@ -146,6 +158,7 @@ int main(int argc, char** argv) {
 
   auto report = exp::aggregate(spec.name, grid, plans, results);
   report.jobs = runner.jobs();
+  report.shards = shards;
   report.wall_clock_sec = std::chrono::duration<double>(t1 - t0).count();
   report.git_sha = resolve_git_sha();
 
@@ -154,7 +167,12 @@ int main(int argc, char** argv) {
     const std::string dir = core::resolve_env_dir("MOBIDIST_BENCH_DIR", "");
     out_path = dir + "BENCH_" + spec.name + ".json";
   }
-  core::write_text_file(out_path, body + "\n");
+  try {
+    core::write_text_file(out_path, body + "\n");
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "error: %s\n", err.what());
+    return 1;
+  }
   std::fprintf(stderr, "wrote %s (%zu cells, %.2fs)\n", out_path.c_str(),
                report.cells.size(), report.wall_clock_sec);
 
