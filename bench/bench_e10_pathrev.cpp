@@ -1,0 +1,167 @@
+// E10 (ROADMAP "grow the mutex family").
+//
+// Path-reversal (Naimi–Trehel) token mutex on the MSS tier versus the
+// paper's own families, swept over backbone size M. The ring token
+// burns traversals * M wired hops whether or not anyone wants the CS,
+// and L2 broadcasts its request/release chatter to all M-1 peers; the
+// path-reversal tree instead forwards each claim along ever-collapsing
+// father pointers, so the wired bill per CS entry tracks Lavault's
+// H_M + 1 average — O(log M) — instead of O(M). The bench pins a
+// sparse request trickle (the regime the ring is worst at), computes
+// just enough token fuel for the ring cells to stay live through the
+// request window, and gates three claims in-binary: every cell serves
+// all K requests; the pathrev wired bill grows sub-linearly in M; and
+// at M=64 pathrev beats the best ring variant on wired messages.
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "core/mobidist.hpp"
+
+namespace {
+
+using namespace mobidist;
+
+const std::vector<std::uint64_t> kSeeds = {31, 32, 33};
+const std::vector<std::uint32_t> kBackbones = {4, 16, 64};
+constexpr std::uint64_t kRequests = 16;
+constexpr std::uint64_t kGap = 40;
+// The request window: last request fires at 1 + (K-1)*gap, returns
+// trail a few wireless hops behind.
+constexpr std::uint64_t kWindow = kRequests * kGap;
+constexpr std::uint64_t kWiredLatency = 5;
+
+exp::ScenarioSpec base_spec(const std::string& workload, const std::string& variant,
+                            std::uint32_t m) {
+  exp::ScenarioSpec spec;
+  spec.name = "e10_pathrev";
+  spec.workload = workload;
+  spec.variant = variant;
+  spec.net.num_mss = m;
+  spec.net.num_mh = m;  // one host per cell; requests round-robin
+  spec.net.latency.wired_min = spec.net.latency.wired_max = kWiredLatency;
+  spec.net.latency.wireless_min = spec.net.latency.wireless_max = 2;
+  spec.net.latency.search_min = spec.net.latency.search_max = 4;
+  spec.net.latency.broadcast_retry = 1000;
+  spec.params["requests"] = static_cast<double>(kRequests);
+  spec.params["request_start"] = 1;
+  spec.params["request_gap"] = static_cast<double>(kGap);
+  return spec;
+}
+
+exp::ScenarioSpec ring_spec(const std::string& variant, std::uint32_t m) {
+  auto spec = base_spec("ring", variant, m);
+  // Just enough token fuel to outlive the request window (one traversal
+  // is M wired hops of kWiredLatency each), plus slack for the grants
+  // themselves. Absorbing the token when idle would kill it mid-trickle
+  // — the sparse regime is exactly where the ring pays full freight.
+  spec.params["token_at"] = 1;
+  spec.params["traversals"] =
+      static_cast<double>(kWindow / (kWiredLatency * m) + 4);
+  return spec;
+}
+
+std::string cell(const std::string& family, std::uint32_t m) {
+  return family + "_m" + std::to_string(m);
+}
+
+const std::vector<std::string> kRingFamilies = {"r2", "r2p", "r2pp"};
+
+}  // namespace
+
+int main() {
+  const cost::CostParams p;
+
+  bench::Sections sweep("pathrev");
+  for (const std::uint32_t m : kBackbones) {
+    sweep.add(cell("pathrev", m), base_spec("mutex", "pathrev", m), kSeeds);
+    sweep.add(cell("l2", m), base_spec("mutex", "l2", m), kSeeds);
+    for (const auto& family : kRingFamilies) {
+      sweep.add(cell(family, m), ring_spec(family, m), kSeeds);
+    }
+  }
+  sweep.run();
+
+  std::cout << "E10: path-reversal (Naimi-Trehel) vs L2 / ring families\n"
+            << "(K=" << kRequests << " requests, gap=" << kGap
+            << " ticks, N=M hosts; wired msgs from the CostLedger;\n"
+            << " formula: K*(H_M + 1) — Lavault's average claim path plus the"
+            << " token transfer)\n\n";
+
+  bool ok = true;
+  std::vector<double> pathrev_wired;
+  std::vector<double> best_ring_wired;
+  for (const std::uint32_t m : kBackbones) {
+    std::cout << "M=" << m << " (mean over " << kSeeds.size() << " seeds)\n";
+    core::Table table({"variant", "wired msgs", "wired/CS", "completed", "grants",
+                       "violations"});
+    double best_ring = 0.0;
+    std::vector<std::string> families = {"pathrev", "l2"};
+    families.insert(families.end(), kRingFamilies.begin(), kRingFamilies.end());
+    for (const std::string& family : families) {
+      const auto name = cell(family, m);
+      const double wired = sweep.metric(name, "ledger.fixed_msgs");
+      const double completed = sweep.metric(name, "workload.completed");
+      const double grants = sweep.metric(name, "workload.grants");
+      const double violations = sweep.metric(name, "workload.violations");
+      table.row({family, core::num(wired),
+                 core::num(wired / static_cast<double>(kRequests)), core::num(completed),
+                 core::num(grants), core::num(violations)});
+      if (completed != static_cast<double>(kRequests) || violations != 0.0) {
+        std::cerr << "e10_pathrev: " << name << " served " << completed << "/"
+                  << kRequests << " with " << violations << " violations\n";
+        ok = false;
+      }
+      if (family == "pathrev") pathrev_wired.push_back(wired);
+      const bool is_ring =
+          std::find(kRingFamilies.begin(), kRingFamilies.end(), family) !=
+          kRingFamilies.end();
+      if (is_ring && (best_ring == 0.0 || wired < best_ring)) best_ring = wired;
+    }
+    best_ring_wired.push_back(best_ring);
+    table.print(std::cout);
+    const double formula = static_cast<double>(kRequests) * analysis::pathrev_avg_messages(m);
+    std::cout << "formula K*(H_M+1) = " << formula
+              << "  entry cost bound = " << analysis::pathrev_entry_cost_bound(m, p)
+              << "\n\n";
+  }
+
+  // Gate 1: sub-linear growth in M. Each step quadruples M; the wired
+  // bill must grow by strictly less than 4x (H_M growth is ~log).
+  for (std::size_t i = 1; i < kBackbones.size(); ++i) {
+    if (pathrev_wired[i] >= 4.0 * pathrev_wired[i - 1]) {
+      std::cerr << "e10_pathrev: wired msgs not sub-linear in M ("
+                << pathrev_wired[i] << " at M=" << kBackbones[i] << " vs "
+                << pathrev_wired[i - 1] << " at M=" << kBackbones[i - 1] << ")\n";
+      ok = false;
+    }
+  }
+  // Gate 2: at the largest backbone, pathrev beats the best ring variant
+  // on wired messages.
+  if (pathrev_wired.back() >= best_ring_wired.back()) {
+    std::cerr << "e10_pathrev: pathrev wired bill (" << pathrev_wired.back()
+              << ") does not beat the best ring variant (" << best_ring_wired.back()
+              << ") at M=" << kBackbones.back() << "\n";
+    ok = false;
+  }
+  if (!ok) return 1;
+
+  std::cout << "pathrev wired msgs by M:";
+  for (std::size_t i = 0; i < kBackbones.size(); ++i) {
+    std::cout << " M" << kBackbones[i] << "=" << pathrev_wired[i];
+  }
+  std::cout << " (sub-linear; best ring at M=" << kBackbones.back() << " is "
+            << best_ring_wired.back() << ")\n\n";
+
+  std::cout << "Reading: the ring pays traversals * M wired hops regardless of\n"
+               "demand and L2 broadcasts to all peers, so both families scale\n"
+               "linearly in M under a sparse trickle; the path-reversal tree\n"
+               "collapses toward recent requesters and its per-entry wired bill\n"
+               "stays near H_M + 1.\n"
+            << "\nwrote " << sweep.write() << "\n";
+  return 0;
+}

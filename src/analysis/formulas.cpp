@@ -23,6 +23,18 @@ double r2_cost(std::uint64_t k, std::uint32_t m, const cost::CostParams& p) {
          static_cast<double>(m) * p.c_fixed;
 }
 
+double harmonic(std::uint32_t m) {
+  double h = 0.0;
+  for (std::uint32_t k = 1; k <= m; ++k) h += 1.0 / k;
+  return h;
+}
+
+double pathrev_avg_messages(std::uint32_t m) { return harmonic(m) + 1.0; }
+
+double pathrev_entry_cost_bound(std::uint32_t m, const cost::CostParams& p) {
+  return pathrev_avg_messages(m) * p.c_fixed + 3.0 * p.c_wireless + p.c_search;
+}
+
 double pure_search_msg_cost(std::size_t g, const cost::CostParams& p) {
   return static_cast<double>(g - 1) * (2 * p.c_wireless + p.c_search);
 }

@@ -50,6 +50,24 @@ namespace mobidist::analysis {
   return n;
 }
 
+// --- Naimi–Trehel path reversal on the MSS tier (bench e10) ---------------
+
+/// The m-th harmonic number H_m = sum_{k=1..m} 1/k (H_0 = 0).
+[[nodiscard]] double harmonic(std::uint32_t m);
+
+/// Average wired messages per CS entry under random requests across M
+/// MSS nodes: H_M claim-forward hops on the dynamic father tree plus
+/// one token transfer (Lavault's average-case analysis of Naimi–Trehel,
+/// O(log M); see arxiv cs/0611098). Worst case is M-1 + 1.
+[[nodiscard]] double pathrev_avg_messages(std::uint32_t m);
+
+/// Average-cost upper bound for one full CS entry through an MSS
+/// attachment point: (H_M + 1) wired messages plus the L2-style
+/// wireless envelope (request up, grant down, return up) and one
+/// search for the grant's last wireless hop:
+/// (H_M + 1)*c_fixed + 3*c_wireless + c_search.
+[[nodiscard]] double pathrev_entry_cost_bound(std::uint32_t m, const cost::CostParams& p);
+
 // --- §4 group location management -------------------------------------
 
 /// §4.1 pure search, one group message: (|G|-1)*(2*c_wireless + c_search).

@@ -18,6 +18,8 @@
 #include "mutex/l1.hpp"
 #include "mutex/l2.hpp"
 #include "mutex/monitor.hpp"
+#include "mutex/options.hpp"
+#include "mutex/path_reversal.hpp"
 #include "mutex/r1.hpp"
 #include "mutex/r2.hpp"
 #include "net/agent.hpp"
@@ -38,8 +40,17 @@ using net::MssId;
   throw std::runtime_error("workload '" + spec.workload + "': " + what);
 }
 
-[[noreturn]] void bad_variant(const ScenarioSpec& spec) {
-  bad_workload(spec, "unknown variant '" + spec.variant + "'");
+/// Unknown-variant failure that enumerates the names the workload DOES
+/// accept, so a typo in scenario JSON is a one-glance fix.
+[[noreturn]] void bad_variant(const ScenarioSpec& spec,
+                              std::span<const std::string_view> valid) {
+  std::string what = "unknown variant '" + spec.variant + "' (valid: ";
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    if (i != 0) what += ", ";
+    what += valid[i];
+  }
+  what += ")";
+  bad_workload(spec, what);
 }
 
 void require_topology(const ScenarioSpec& spec, std::uint32_t min_mss, std::uint32_t min_mh) {
@@ -73,12 +84,25 @@ void monitor_metrics(ScenarioContext& ctx, mutex::CsMonitor& monitor) {
   ctx.metric("grants", [mon] { return static_cast<double>(mon->grants()); });
 }
 
-// --- mutex: L1 / L2 (benches e1, e2, e7; chaos) ----------------------------
+// --- mutex: L1 / L2 / ring family / pathrev (benches e1, e2, e7, e10) ------
+
+void build_ring(ScenarioContext& ctx);
 
 void build_mutex(ScenarioContext& ctx) {
   const auto& spec = ctx.spec();
   auto& net = ctx.net();
   const std::uint32_t n = net.num_mh();
+
+  // The ring family keeps its own fixtures (token fuel, chase script);
+  // accept its names here too so one scenario axis can sweep the whole
+  // mutex menagerie.
+  for (const auto ring_name : mutex::kRingVariantNames) {
+    if (spec.variant == ring_name) {
+      build_ring(ctx);
+      return;
+    }
+  }
+
   auto& monitor = ctx.emplace<mutex::CsMonitor>();
 
   std::function<void(MhId)> request;
@@ -91,8 +115,17 @@ void build_mutex(ScenarioContext& ctx) {
     request = [l2](MhId mh) { l2->request(mh); };
     ctx.metric("completed", [l2] { return static_cast<double>(l2->completed()); });
     ctx.metric("aborted", [l2] { return static_cast<double>(l2->aborted()); });
+  } else if (spec.variant == "pathrev") {
+    auto* nt = &ctx.emplace<mutex::PathRevMutex>(net, monitor);
+    request = [nt](MhId mh) { nt->request(mh); };
+    ctx.metric("completed", [nt] { return static_cast<double>(nt->completed()); });
+    ctx.metric("skipped_disconnected",
+               [nt] { return static_cast<double>(nt->skipped_disconnected()); });
+    ctx.metric("bounced_grants",
+               [nt] { return static_cast<double>(nt->bounced_grants()); });
+    ctx.metric("rehomed", [nt] { return static_cast<double>(nt->rehomed()); });
   } else {
-    bad_variant(spec);
+    bad_variant(spec, mutex::kMutexVariantNames);
   }
   monitor_metrics(ctx, monitor);
   auto* netp = &net;
@@ -156,11 +189,12 @@ void build_ring(ScenarioContext& ctx) {
     if (spec.variant == "r2") variant = mutex::RingVariant::kBasic;
     else if (spec.variant == "r2p") variant = mutex::RingVariant::kCounter;
     else if (spec.variant == "r2pp") variant = mutex::RingVariant::kTokenList;
-    else bad_variant(spec);
+    else bad_variant(spec, mutex::kRingVariantNames);
     r2 = &ctx.emplace<mutex::R2Mutex>(net, monitor, variant);
     request = [r2](MhId mh) { r2->request(mh); };
     ctx.metric("completed", [r2] { return static_cast<double>(r2->completed()); });
     if (spec.param_u64("malicious", 0) != 0) r2->set_malicious(MhId(0), true);
+    if (spec.param_u64("absorb_idle", 0) != 0) r2->set_absorb_when_idle(true);
     const auto token_at = spec.param_u64("token_at", 5);
     net.sched().schedule_at(token_at, [r2, traversals] { r2->start_token(traversals); });
   }
@@ -253,9 +287,10 @@ void build_relay_burst(ScenarioContext& ctx) {
   const auto& spec = ctx.spec();
   auto& net = ctx.net();
   require_topology(spec, 4, 2);
+  static constexpr std::string_view kNames[] = {"raw", "fifo"};
   bool fifo = false;
   if (spec.variant == "fifo") fifo = true;
-  else if (spec.variant != "raw") bad_variant(spec);
+  else if (spec.variant != "raw") bad_variant(spec, kNames);
 
   auto sender = std::make_shared<BurstSender>();
   auto receiver = std::make_shared<BurstReceiver>();
@@ -395,7 +430,8 @@ void build_multicast(ScenarioContext& ctx) {
       return mon->exactly_once(recipients) ? 1.0 : 0.0;
     });
   } else {
-    bad_variant(spec);
+    static constexpr std::string_view kNames[] = {"flood", "search"};
+    bad_variant(spec, kNames);
   }
 }
 
@@ -442,7 +478,9 @@ void build_group(ScenarioContext& ctx) {
     ctx.metric("significant_moves",
                [comm] { return static_cast<double>(comm->significant_moves()); });
   } else {
-    bad_variant(spec);
+    static constexpr std::string_view kNames[] = {"pure_search", "always_inform",
+                                                  "location_view"};
+    bad_variant(spec, kNames);
   }
 
   auto& driver = ctx.emplace<workload::MobMsgDriver>(
@@ -466,15 +504,32 @@ void build_proxy_mutex(ScenarioContext& ctx) {
   require_topology(spec, 2, 1);
 
   proxy::ProxyOptions opts;
+  static constexpr std::string_view kNames[] = {"local_mss", "fixed_home", "lazy_home"};
   if (spec.variant == "local_mss") opts.scope = proxy::ProxyScope::kLocalMss;
   else if (spec.variant == "fixed_home") opts.scope = proxy::ProxyScope::kFixedHome;
   else if (spec.variant == "lazy_home") opts.scope = proxy::ProxyScope::kLazyHome;
-  else bad_variant(spec);
+  else bad_variant(spec, kNames);
   opts.inform_every = static_cast<std::uint32_t>(spec.param_u64("inform_every", 3));
 
   auto& proxies = ctx.emplace<proxy::ProxyService>(net, opts);
   auto& monitor = ctx.emplace<mutex::CsMonitor>();
-  auto& algorithm = ctx.emplace<proxy::ProxiedLamport>(net, proxies, monitor);
+
+  // Which static-host algorithm runs behind the proxies: Lamport by
+  // default, the Naimi–Trehel path-reversal engine when the numeric
+  // `pathrev` param is non-zero (scenario params are numbers, so the
+  // variant string stays the proxy scope).
+  std::function<void(MhId)> algo_request;
+  std::function<double()> algo_completed;
+  if (spec.param_u64("pathrev", 0) != 0) {
+    auto* nt = &ctx.emplace<proxy::ProxiedPathRev>(net, proxies, monitor);
+    algo_request = [nt](MhId mh) { nt->request(mh); };
+    algo_completed = [nt] { return static_cast<double>(nt->completed()); };
+    ctx.metric("aborted", [nt] { return static_cast<double>(nt->aborted()); });
+  } else {
+    auto* lamport = &ctx.emplace<proxy::ProxiedLamport>(net, proxies, monitor);
+    algo_request = [lamport](MhId mh) { lamport->request(mh); };
+    algo_completed = [lamport] { return static_cast<double>(lamport->completed()); };
+  }
 
   const auto requests = spec.param_u64("requests", 8);
   const auto moves_per_request = spec.param_u64("moves_per_request", 0);
@@ -488,16 +543,16 @@ void build_proxy_mutex(ScenarioContext& ctx) {
       mobile.move_to(next, 4);
     });
   }
-  auto* alg = &algorithm;
   const sim::SimTime request_start = 10 + 25 * total_moves;
   for (std::uint64_t i = 0; i < requests; ++i) {
     const auto mh = static_cast<MhId>(i % n);
-    net.sched().schedule_at(request_start + 60 * i, [alg, mh] { alg->request(mh); });
+    net.sched().schedule_at(request_start + 60 * i,
+                            [algo_request, mh] { algo_request(mh); });
   }
 
   auto* service = &proxies;
   ctx.metric("informs", [service] { return static_cast<double>(service->informs()); });
-  ctx.metric("completed", [alg] { return static_cast<double>(alg->completed()); });
+  ctx.metric("completed", algo_completed);
   monitor_metrics(ctx, monitor);
 }
 
@@ -641,7 +696,8 @@ void build_scale(ScenarioContext& ctx) {
       return static_cast<double>(total);
     });
   } else {
-    bad_variant(spec);
+    static constexpr std::string_view kNames[] = {"echo", "timers"};
+    bad_variant(spec, kNames);
   }
 }
 

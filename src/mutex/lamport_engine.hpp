@@ -12,6 +12,7 @@ namespace mobidist::mutex {
 
 /// One message of Lamport's 1978 mutual-exclusion algorithm.
 struct LamportMsg {
+  /// Message kind: REQUEST / REPLY / RELEASE per the 1978 paper.
   enum class Kind : std::uint8_t { kRequest, kReply, kRelease };
   Kind kind = Kind::kRequest;
   std::uint64_t clock = 0;   ///< sender's logical clock at send time
@@ -41,7 +42,9 @@ class LamportEngine {
 
   LamportEngine(std::uint32_t self, std::uint32_t n);
 
+  /// Install the transport callback used for every outgoing message.
   void set_send(SendFn send) { send_ = std::move(send); }
+  /// Install the callback fired when a local request acquires the lock.
   void set_on_acquired(AcquireFn fn) { on_acquired_ = std::move(fn); }
 
   /// Submit a local request. Returns the Lamport timestamp assigned —
@@ -56,14 +59,19 @@ class LamportEngine {
   /// Deliver a peer's message.
   void on_message(std::uint32_t from, const LamportMsg& msg);
 
+  /// Current Lamport logical clock value.
   [[nodiscard]] std::uint64_t clock() const noexcept { return clock_; }
+  /// Entries in the local view of the global request queue.
   [[nodiscard]] std::size_t queue_size() const noexcept { return queue_.size(); }
+  /// True while this participant's request `req_id` is still queued.
   [[nodiscard]] bool has_local_request(std::uint64_t req_id) const noexcept {
     return index_.contains({self_, req_id});
   }
-  /// Messages sent by this participant, by kind (cost cross-checks).
+  /// REQUEST messages sent by this participant (cost cross-checks).
   [[nodiscard]] std::uint64_t sent_requests() const noexcept { return sent_requests_; }
+  /// REPLY messages sent by this participant (cost cross-checks).
   [[nodiscard]] std::uint64_t sent_replies() const noexcept { return sent_replies_; }
+  /// RELEASE messages sent by this participant (cost cross-checks).
   [[nodiscard]] std::uint64_t sent_releases() const noexcept { return sent_releases_; }
 
  private:

@@ -23,6 +23,7 @@ namespace mobidist::mutex {
 /// tests assert violations() == 0.
 class CsMonitor {
  public:
+  /// One recorded CS visit: who entered, when, and in what order.
   struct Grant {
     net::MhId mh = net::kInvalidMh;
     /// Algorithm-supplied ordering key (e.g. the Lamport timestamp of
@@ -66,10 +67,12 @@ class CsMonitor {
 
   /// Number of completed or in-progress grants.
   [[nodiscard]] std::size_t grants() const noexcept { return history_.size(); }
+  /// Every grant recorded so far, in entry order.
   [[nodiscard]] const std::vector<Grant>& history() const noexcept { return history_; }
 
   /// True while some MH is inside the critical section.
   [[nodiscard]] bool busy() const noexcept { return holder_.has_value(); }
+  /// The MH currently inside the CS, if any.
   [[nodiscard]] std::optional<net::MhId> holder() const noexcept { return holder_; }
 
   /// Mutual-exclusion violations observed (overlapping holders, exits

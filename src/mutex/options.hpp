@@ -1,5 +1,8 @@
 #pragma once
 
+#include <span>
+#include <string_view>
+
 #include "sim/time.hpp"
 
 namespace mobidist::mutex {
@@ -8,6 +11,21 @@ namespace mobidist::mutex {
 struct MutexOptions {
   /// Virtual time a MH spends inside the critical section per grant.
   sim::Duration cs_hold = 5;
+};
+
+/// The variant strings the scenario runner's "mutex" workload accepts
+/// (exp::run_scenario dispatches on these; unknown strings fail with
+/// this list). l1/l2 are the Lamport family, r1/r2/r2p/r2pp the ring
+/// family (r1 runs on the MH ring; the ring workload shares these
+/// names), pathrev the Naimi–Trehel path-reversal tree.
+inline constexpr std::string_view kMutexVariantNames[] = {
+    "l1", "l2", "r1", "r2", "r2p", "r2pp", "pathrev",
+};
+
+/// The variant strings the "ring" workload accepts (the ring family
+/// subset of kMutexVariantNames, with its chase/malicious fixtures).
+inline constexpr std::string_view kRingVariantNames[] = {
+    "r1", "r2", "r2p", "r2pp",
 };
 
 }  // namespace mobidist::mutex

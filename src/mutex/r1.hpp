@@ -37,9 +37,11 @@ class R1Mutex {
   /// Mark `mh` as wanting the CS on the token's next visit.
   void request(net::MhId mh);
 
+  /// CS executions completed so far.
   [[nodiscard]] std::uint64_t completed() const noexcept;
   /// Loops finished so far.
   [[nodiscard]] std::uint64_t traversals_done() const noexcept;
+  /// True once the token finished its last traversal and was retired.
   [[nodiscard]] bool token_absorbed() const noexcept { return absorbed_; }
 
  private:

@@ -80,8 +80,11 @@ class R2Mutex {
   /// R2' attack fixture: `mh` always reports access_count = 0.
   void set_malicious(net::MhId mh, bool value);
 
+  /// CS executions completed so far.
   [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  /// Ring loops finished so far.
   [[nodiscard]] std::uint64_t traversals_done() const noexcept { return traversals_done_; }
+  /// True once the token was retired (fuel spent or absorbed idle).
   [[nodiscard]] bool token_absorbed() const noexcept { return absorbed_; }
   /// Requests skipped because the MH had disconnected at grant time.
   [[nodiscard]] std::uint64_t skipped_disconnected() const noexcept {

@@ -24,6 +24,7 @@ inline constexpr ProtocolId kMutexL1 = 10;
 inline constexpr ProtocolId kMutexL2 = 11;
 inline constexpr ProtocolId kMutexR1 = 12;
 inline constexpr ProtocolId kMutexR2 = 13;
+inline constexpr ProtocolId kMutexPathRev = 14;
 
 inline constexpr ProtocolId kGroupLocation = 20;
 inline constexpr ProtocolId kGroupData = 21;

@@ -15,7 +15,7 @@ struct KindName {
   std::string_view name;
 };
 
-constexpr std::array<KindName, 21> kKindNames{{
+constexpr std::array<KindName, 23> kKindNames{{
     {EventKind::kSend, "send"},
     {EventKind::kRecv, "recv"},
     {EventKind::kDeliver, "deliver"},
@@ -37,6 +37,8 @@ constexpr std::array<KindName, 21> kKindNames{{
     {EventKind::kMssRecover, "mss_recover"},
     {EventKind::kPacketSend, "packet_send"},
     {EventKind::kPacketFlush, "packet_flush"},
+    {EventKind::kReqForward, "req_forward"},
+    {EventKind::kPathReversal, "path_reversal"},
 }};
 
 }  // namespace
@@ -158,6 +160,14 @@ std::string describe(const Event& event) {
     case EventKind::kPacketFlush:
       os << "packet flush " << to_string(event.entity) << " <- " << to_string(event.peer)
          << " msgs=" << event.arg;
+      break;
+    case EventKind::kReqForward:
+      os << "claim forward " << to_string(event.entity) << " -> " << to_string(event.peer)
+         << " origin=mss:" << event.arg;
+      break;
+    case EventKind::kPathReversal:
+      os << "path reversal " << to_string(event.entity) << " father -> "
+         << to_string(event.peer);
       break;
   }
   if (!event.detail.empty()) os << " [" << event.detail << "]";

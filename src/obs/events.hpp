@@ -38,6 +38,8 @@ enum class EventKind : std::uint8_t {
   kMssRecover,      ///< a crashed MSS came back up
   kPacketSend,      ///< a formation packet entered a wired channel; arg = msg count
   kPacketFlush,     ///< a formation packet disgorged at the destination (cause = its send)
+  kReqForward,      ///< a CS claim hopped from `entity` to `peer`; arg = origin MSS
+  kPathReversal,    ///< `entity` re-pointed its probable-tail pointer at `peer`
 };
 
 /// Stable wire name of a kind ("send", "cs_enter", ...).

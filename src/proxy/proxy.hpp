@@ -26,6 +26,7 @@ enum class ProxyScope : std::uint8_t {
   kLazyHome,
 };
 
+/// Tuning knobs for the proxy layer (scope policy + inform rate).
 struct ProxyOptions {
   ProxyScope scope = ProxyScope::kFixedHome;
   /// kLazyHome: inform the proxy on every k-th completed move.
@@ -63,9 +64,13 @@ class ProxyService {
   ProxyService(net::Network& net, ProxyOptions opts,
                net::ProtocolId proto = net::protocol::kProxy);
 
+  /// Install the MH-to-proxy upcall handler.
   void set_proxy_handler(ProxyHandler handler) { proxy_handler_ = std::move(handler); }
+  /// Install the proxy-to-MH downcall handler.
   void set_client_handler(ClientHandler handler) { client_handler_ = std::move(handler); }
+  /// Install the proxy-to-proxy wire handler.
   void set_peer_handler(PeerHandler handler) { peer_handler_ = std::move(handler); }
+  /// Install the handler for proxy_sends that found the MH unreachable.
   void set_unreachable_handler(UnreachableHandler handler) {
     unreachable_handler_ = std::move(handler);
   }

@@ -8,6 +8,7 @@
 #include "mutex/lamport_engine.hpp"
 #include "mutex/monitor.hpp"
 #include "mutex/options.hpp"
+#include "mutex/path_reversal.hpp"
 #include "proxy/proxy.hpp"
 
 namespace mobidist::proxy {
@@ -31,6 +32,7 @@ class ProxiedLamport {
   /// Ask for one CS execution on behalf of `mh`.
   void request(net::MhId mh);
 
+  /// CS executions completed (granted, held, released).
   [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
   /// Requests dropped because the MH was disconnected at grant time.
   [[nodiscard]] std::uint64_t aborted() const noexcept { return aborted_; }
@@ -68,6 +70,78 @@ class ProxiedLamport {
   std::vector<std::uint64_t> next_req_;                         // per MSS
   std::uint64_t completed_ = 0;
   std::uint64_t aborted_ = 0;
+};
+
+/// The Naimi–Trehel path-reversal engine running unchanged at the
+/// proxies — the same mutex::PathRevEngine state machine PathRevMutex
+/// wires directly onto the MSS tier, here driven purely through the §5
+/// channels (client_send / proxy_send / peer_send). Every mobility
+/// concern is the ProxyService's: under kFixedHome requests queue at a
+/// stable home and never need re-homing, under kLocalMss/kLazyHome the
+/// grant chases the MH through the proxy layer's cached-location /
+/// search machinery. Like ProxiedLamport, a grant that finds its MH
+/// disconnected is aborted at the proxy (the token returns to the
+/// engine; the request is dropped, counted in aborted()).
+///
+/// Token events carry the "NTx" tag so the token-uniqueness checker
+/// tracks this instance separately from a direct "NT" run.
+class ProxiedPathRev {
+ public:
+  ProxiedPathRev(net::Network& net, ProxyService& proxies, mutex::CsMonitor& monitor,
+                 mutex::MutexOptions opts = {});
+
+  /// Ask for one CS execution on behalf of `mh`.
+  void request(net::MhId mh);
+
+  /// CS executions completed (granted, held, token returned).
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  /// Grants dropped because the MH was disconnected at grant time.
+  [[nodiscard]] std::uint64_t aborted() const noexcept { return aborted_; }
+
+  /// Event-stream tag for the proxied wiring.
+  [[nodiscard]] static constexpr const char* label() noexcept { return "NTx"; }
+
+ private:
+  // Client -> proxy bodies.
+  struct ReqUp {};
+  struct ReturnUp {
+    net::MssId home = net::kInvalidMss;
+    std::uint64_t serial = 0;
+  };
+  // Proxy -> client body.
+  struct GrantDown {
+    net::MssId home = net::kInvalidMss;
+    std::uint64_t serial = 0;
+  };
+  // Peer bodies.
+  struct ClaimWire {
+    std::uint32_t origin = 0;
+  };
+  struct TokenWire {
+    std::uint64_t serial = 0;
+  };
+  struct ReturnWire {
+    net::MssId home = net::kInvalidMss;
+    std::uint64_t serial = 0;
+  };
+
+  void on_client_message(net::MssId proxy, net::MhId from, const std::any& body);
+  void on_down_message(net::MhId self, const std::any& body);
+  void on_peer_message(net::MssId self, net::MssId from, const std::any& body);
+  void on_unreachable(net::MssId proxy, net::MhId mh, const std::any& body);
+  void token_arrived_at(net::MssId node, std::uint64_t serial);
+
+  net::Network& net_;
+  ProxyService& proxies_;
+  mutex::CsMonitor& monitor_;
+  mutex::MutexOptions opts_;
+  std::vector<std::unique_ptr<mutex::PathRevEngine>> engines_;  // one per MSS
+  std::vector<std::uint64_t> pending_;                          // per MH
+  std::uint64_t completed_ = 0;
+  std::uint64_t aborted_ = 0;
+  std::uint64_t transfers_ = 0;
+  obs::Counter& claim_hops_counter_;
+  obs::Counter& token_passes_counter_;
 };
 
 }  // namespace mobidist::proxy

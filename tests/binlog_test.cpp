@@ -29,7 +29,7 @@ using obs::EventKind;
 using obs::EventStream;
 using obs::InternTable;
 
-constexpr EventKind kLastKind = EventKind::kPacketFlush;
+constexpr EventKind kLastKind = EventKind::kPathReversal;
 
 // --------------------------------------------------------------------------
 // Layout: the numbers quoted in the header comments must stay true.

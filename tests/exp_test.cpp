@@ -481,5 +481,74 @@ TEST(ExpFormulasProperty, RingTraversalCostMatchesClosedForm) {
   }
 }
 
+/// The Lavault average is an *expectation over random request orders*;
+/// a deterministic round-robin trickle concentrates well below it (the
+/// tree collapses toward the rotating requesters). The property checked
+/// against the swept empirical means is therefore two-sided where it
+/// can be: the closed form bounds the measurement from above at every
+/// M, and the measurement inherits the formula's sub-linear shape.
+TEST(ExpFormulasProperty, PathRevWiredMessagesBoundedByClosedForm) {
+  const cost::CostParams p;
+  std::vector<double> empirical;
+  const std::vector<std::uint32_t> backbones = {4, 8, 16, 32};
+  for (const std::uint32_t m : backbones) {
+    ScenarioSpec spec;
+    spec.name = "prop";
+    spec.workload = "mutex";
+    spec.variant = "pathrev";
+    spec.net.num_mss = m;
+    spec.net.num_mh = m;
+    spec.net.latency.wired_min = spec.net.latency.wired_max = 5;
+    spec.net.latency.wireless_min = spec.net.latency.wireless_max = 2;
+    spec.net.latency.search_min = spec.net.latency.search_max = 4;
+    spec.params["requests"] = 16;
+    spec.params["request_start"] = 1;
+    spec.params["request_gap"] = 40;
+
+    SweepGrid grid;
+    grid.seeds = exp::derive_seeds(17, 5);
+    const auto plans = grid.expand(spec);
+    const auto results = ParallelRunner(0).run(plans);
+    const auto report = exp::aggregate("prop", grid, plans, results);
+    ASSERT_EQ(report.cells.size(), 1u);
+    const auto& metrics = report.cells[0].metrics;
+    EXPECT_DOUBLE_EQ(metrics.at("workload.completed").mean, 16.0);
+    EXPECT_DOUBLE_EQ(metrics.at("mutex.cs_violations").mean, 0.0);
+    const double per_entry = metrics.at("ledger.fixed_msgs").mean / 16.0;
+    empirical.push_back(per_entry);
+    // Pinned latencies + deterministic schedule: counts are seed-free.
+    EXPECT_DOUBLE_EQ(metrics.at("ledger.fixed_msgs").stddev, 0.0);
+    // The average-case closed form upper-bounds the trickle regime,
+    // with slack for the concentration argument above.
+    EXPECT_LE(per_entry, 2.5 * analysis::pathrev_avg_messages(m))
+        << "per-entry wired messages above the Lavault bound at M=" << m;
+    EXPECT_GT(per_entry, 0.0);
+  }
+  // Sub-linear shape: M grew 8x across the sweep; the per-entry wired
+  // bill must grow by well under that (H_32/H_4 is ~1.9).
+  EXPECT_LT(empirical.back(), 3.0 * empirical.front());
+
+  // The formula itself: exact harmonic arithmetic.
+  EXPECT_DOUBLE_EQ(analysis::harmonic(1), 1.0);
+  EXPECT_DOUBLE_EQ(analysis::harmonic(4), 1.0 + 0.5 + 1.0 / 3 + 0.25);
+  EXPECT_DOUBLE_EQ(analysis::pathrev_avg_messages(4), analysis::harmonic(4) + 1.0);
+  EXPECT_DOUBLE_EQ(
+      analysis::pathrev_entry_cost_bound(4, p),
+      analysis::pathrev_avg_messages(4) * p.c_fixed + 3.0 * p.c_wireless + p.c_search);
+}
+
+TEST(ExpRunner, UnknownVariantEnumeratesTheValidNames) {
+  RunPlan plan;
+  plan.spec = small_mutex_spec();
+  plan.spec.variant = "no_such_variant";
+  plan.cell = "base";
+  const auto result = exp::run_scenario(plan);
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("no_such_variant"), std::string::npos);
+  // The error must list what the workload does accept.
+  EXPECT_NE(result.error.find("l1"), std::string::npos) << result.error;
+  EXPECT_NE(result.error.find("pathrev"), std::string::npos) << result.error;
+}
+
 }  // namespace
 }  // namespace mobidist::test

@@ -31,7 +31,7 @@ constexpr int kRequests = 8;
 constexpr std::uint64_t kSeeds = 64;
 constexpr std::uint64_t kSeedBase = 1000;
 
-enum class Algo : std::uint8_t { kL2, kR2, kR2Prime, kR2DoublePrime };
+enum class Algo : std::uint8_t { kL2, kR2, kR2Prime, kR2DoublePrime, kPathRev };
 
 /// 5% loss + 2% duplication on every wireless frame.
 fault::FaultProfile loss_profile() {
@@ -74,6 +74,12 @@ exp::ScenarioSpec chaos_spec(Algo algo, const fault::FaultProfile& profile) {
   if (algo == Algo::kL2) {
     spec.workload = "mutex";
     spec.variant = "l2";
+  } else if (algo == Algo::kPathRev) {
+    // The path-reversal tree needs no token fuel: the token parks at
+    // the last server until the next claim. Requests queued at the
+    // crashed MSS must re-home with their evacuating hosts.
+    spec.workload = "mutex";
+    spec.variant = "pathrev";
   } else {
     spec.workload = "ring";
     spec.variant = algo == Algo::kR2        ? "r2"
@@ -183,6 +189,10 @@ TEST(ChaosR2DoublePrime, SurvivesMssCrash) { sweep(Algo::kR2DoublePrime, crash_p
 TEST(ChaosR2DoublePrime, SurvivesCombinedProfile) {
   sweep(Algo::kR2DoublePrime, combined_profile());
 }
+
+TEST(ChaosPathRev, SurvivesWirelessLoss) { sweep(Algo::kPathRev, loss_profile()); }
+TEST(ChaosPathRev, SurvivesMssCrash) { sweep(Algo::kPathRev, crash_profile()); }
+TEST(ChaosPathRev, SurvivesCombinedProfile) { sweep(Algo::kPathRev, combined_profile()); }
 
 }  // namespace
 }  // namespace mobidist::test

@@ -1,5 +1,7 @@
-// Unit tests for the reusable Lamport mutual-exclusion engine and the
-// critical-section monitor, independent of the network substrate.
+// Unit tests for the reusable mutual-exclusion engines (Lamport,
+// Naimi-Trehel path reversal) and the critical-section monitor, plus
+// the trace-driven token-holder-conservation regression for the
+// network-wired path-reversal mutex.
 
 #include <gtest/gtest.h>
 
@@ -9,6 +11,8 @@
 
 #include "mutex/lamport_engine.hpp"
 #include "mutex/monitor.hpp"
+#include "mutex/path_reversal.hpp"
+#include "test_support.hpp"
 
 namespace mobidist::mutex {
 namespace {
@@ -237,6 +241,267 @@ TEST(LamportEngine, ReleaseBeforeGrantAbortsPendingRequest) {
   EXPECT_EQ(net.grants.size(), 2u);  // the aborted request never granted
   EXPECT_EQ(net.at(0).queue_size(), 0u);
   EXPECT_EQ(net.at(1).queue_size(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// PathRevEngine
+// --------------------------------------------------------------------------
+
+/// Synchronous fabric wiring m path-reversal engines. Claims and token
+/// transfers queue in one FIFO; grants are recorded and the test
+/// completes them explicitly with grant_done().
+class PathRevNet {
+ public:
+  explicit PathRevNet(std::uint32_t m) {
+    for (std::uint32_t i = 0; i < m; ++i) {
+      engines_.push_back(std::make_unique<PathRevEngine>(
+          i, /*has_token=*/i == 0,
+          i == 0 ? PathRevEngine::kNoNode : 0,
+          PathRevEngine::Hooks{
+              [this, i](std::uint32_t to, std::uint32_t origin) {
+                ++claim_hops;
+                queue_.push_back({Op::kClaim, to, origin});
+              },
+              [this, i](std::uint32_t to) {
+                ++token_passes;
+                queue_.push_back({Op::kToken, to, i});
+              },
+              [this, i](net::MhId mh) { grants.push_back({i, mh}); },
+              [this, i](std::uint32_t to) { reversals.push_back({i, to}); },
+          }));
+    }
+  }
+
+  PathRevEngine& at(std::uint32_t i) { return *engines_[i]; }
+
+  /// Deliver queued messages until quiescent, asserting token
+  /// conservation at every step: the token is at exactly one node or in
+  /// exactly one in-flight transfer, never both, never neither.
+  void pump() {
+    while (!queue_.empty()) {
+      check_conservation();
+      const auto [op, to, arg] = queue_.front();
+      queue_.pop_front();
+      if (op == Op::kClaim) engines_[to]->on_claim(arg);
+      else engines_[to]->on_token();
+    }
+    check_conservation();
+  }
+
+  void check_conservation() {
+    std::size_t holders = 0;
+    for (const auto& engine : engines_) holders += engine->token_here() ? 1 : 0;
+    std::size_t in_flight = 0;
+    for (const auto& msg : queue_) in_flight += msg.op == Op::kToken ? 1 : 0;
+    ASSERT_EQ(holders + in_flight, 1u)
+        << holders << " holders, " << in_flight << " transfers in flight";
+  }
+
+  struct Grant {
+    std::uint32_t node;
+    net::MhId mh;
+  };
+  std::vector<Grant> grants;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> reversals;
+  std::uint64_t claim_hops = 0;
+  std::uint64_t token_passes = 0;
+
+ private:
+  enum class Op { kClaim, kToken };
+  struct InFlight {
+    Op op;
+    std::uint32_t to;
+    std::uint32_t arg;  // claim origin; token sender (unused)
+  };
+  std::vector<std::unique_ptr<PathRevEngine>> engines_;
+  std::deque<InFlight> queue_;
+};
+
+net::MhId pr_mh(std::uint32_t i) { return static_cast<net::MhId>(i); }
+net::MssId pr_mss(std::uint32_t i) { return static_cast<net::MssId>(i); }
+
+TEST(PathRevEngine, RootGrantsLocalRequestWithoutMessages) {
+  PathRevNet net(4);
+  net.at(0).local_request(pr_mh(0));
+  ASSERT_EQ(net.grants.size(), 1u);
+  EXPECT_EQ(net.grants[0].node, 0u);
+  EXPECT_EQ(net.claim_hops, 0u);
+  EXPECT_EQ(net.token_passes, 0u);
+}
+
+TEST(PathRevEngine, ClaimReachesRootInOneHopAndTokenTransfers) {
+  PathRevNet net(4);
+  net.at(2).local_request(pr_mh(2));
+  EXPECT_EQ(net.at(2).father(), PathRevEngine::kNoNode);  // claim in flight
+  net.pump();
+  ASSERT_EQ(net.grants.size(), 1u);
+  EXPECT_EQ(net.grants[0].node, 2u);
+  EXPECT_EQ(net.claim_hops, 1u);   // 2 -> 0
+  EXPECT_EQ(net.token_passes, 1u);  // 0 -> 2
+  EXPECT_TRUE(net.at(2).token_here());
+  // Path reversal: the old root's father now points at the claimant.
+  EXPECT_EQ(net.at(0).father(), 2u);
+}
+
+TEST(PathRevEngine, BusyTailRecordsNextAndHandsOffOnGrantDone) {
+  PathRevNet net(3);
+  net.at(0).local_request(pr_mh(0));  // token busy at node 0
+  net.at(1).local_request(pr_mh(1));
+  net.pump();
+  ASSERT_EQ(net.grants.size(), 1u);         // node 1 blocked behind node 0
+  EXPECT_EQ(net.at(0).next_node(), 1u);     // recorded successor
+  net.at(0).grant_done();
+  net.pump();
+  ASSERT_EQ(net.grants.size(), 2u);
+  EXPECT_EQ(net.grants[1].node, 1u);
+  net.at(1).grant_done();
+  net.pump();
+}
+
+TEST(PathRevEngine, SequentialClaimsChaseTheMovingTail) {
+  // After node 1's claim, node 1 is the probable tail: node 2's claim
+  // must route 2 -> 0 -> 1 (two hops, crossing the stale father), and
+  // every crossed node reverses onto the origin.
+  PathRevNet net(3);
+  net.at(1).local_request(pr_mh(1));
+  net.pump();
+  net.at(1).grant_done();
+  net.pump();
+  EXPECT_EQ(net.at(0).father(), 1u);  // reversed by node 1's claim
+  const auto hops_before = net.claim_hops;
+  net.at(2).local_request(pr_mh(2));
+  net.pump();
+  EXPECT_EQ(net.claim_hops - hops_before, 2u);  // 2 -> 0, 0 -> 1
+  EXPECT_EQ(net.at(0).father(), 2u);            // reversed again
+  ASSERT_EQ(net.grants.size(), 2u);
+  EXPECT_EQ(net.grants[1].node, 2u);
+  net.at(2).grant_done();
+  net.pump();
+}
+
+TEST(PathRevEngine, RepeatRequesterPaysNoWiredMessages) {
+  // The tree collapses toward the last requester: once node 3 holds the
+  // token, its further entries are free of claim/transfer traffic.
+  PathRevNet net(8);
+  net.at(3).local_request(pr_mh(3));
+  net.pump();
+  net.at(3).grant_done();
+  net.pump();
+  const auto hops = net.claim_hops;
+  const auto passes = net.token_passes;
+  for (int round = 0; round < 5; ++round) {
+    net.at(3).local_request(pr_mh(3));
+    net.pump();
+    net.at(3).grant_done();
+    net.pump();
+  }
+  EXPECT_EQ(net.claim_hops, hops);
+  EXPECT_EQ(net.token_passes, passes);
+  EXPECT_EQ(net.grants.size(), 6u);
+}
+
+TEST(PathRevEngine, AllNodesRequestingAllGetServed) {
+  constexpr std::uint32_t kM = 6;
+  PathRevNet net(kM);
+  for (std::uint32_t i = 0; i < kM; ++i) net.at(i).local_request(pr_mh(i));
+  net.pump();
+  std::size_t done = 0;
+  while (net.grants.size() > done) {
+    net.at(net.grants[done].node).grant_done();
+    ++done;
+    net.pump();
+  }
+  EXPECT_EQ(net.grants.size(), kM);
+  // Exactly one distinct grant per node.
+  std::vector<bool> seen(kM, false);
+  for (const auto& grant : net.grants) {
+    EXPECT_FALSE(seen[grant.node]);
+    seen[grant.node] = true;
+  }
+}
+
+TEST(PathRevEngine, WithdrawDropsQueuedRequests) {
+  PathRevNet net(2);
+  net.at(0).local_request(pr_mh(0));  // granted immediately (token here)
+  net.at(0).local_request(pr_mh(1));
+  net.at(0).local_request(pr_mh(1));
+  EXPECT_EQ(net.at(0).queued(), 2u);
+  EXPECT_EQ(net.at(0).withdraw(pr_mh(1)), 2u);
+  EXPECT_EQ(net.at(0).queued(), 0u);
+  EXPECT_EQ(net.at(0).withdraw(pr_mh(1)), 0u);
+  net.at(0).grant_done();
+  net.pump();
+  EXPECT_EQ(net.grants.size(), 1u);  // the withdrawn requests never grant
+}
+
+// --------------------------------------------------------------------------
+// PathRevMutex: trace-driven token-holder conservation
+// --------------------------------------------------------------------------
+
+/// Regression gate for the network wiring: replay the "NT" token events
+/// from the trace stream and require that arrivals and departures
+/// strictly alternate (one holder at a time) and that the run ends with
+/// every departure matched or exactly one transfer in flight.
+void ExpectTokenHolderConservation(const net::Network& net) {
+  std::uint64_t arrivals = 0;
+  std::uint64_t departures = 0;
+  bool held = false;  // true between an arrive and the next depart
+  for (const auto& event : net.events().snapshot()) {
+    if (event.detail != mutex::PathRevMutex::label()) continue;
+    if (event.kind == obs::EventKind::kTokenArrive) {
+      EXPECT_FALSE(held) << "two token arrivals without a departure at event "
+                         << event.id;
+      held = true;
+      ++arrivals;
+    } else if (event.kind == obs::EventKind::kTokenDepart) {
+      EXPECT_TRUE(held) << "token departed while not held at event " << event.id;
+      held = false;
+      ++departures;
+    }
+  }
+  EXPECT_GE(arrivals, 1u) << "no NT token events in the trace";
+  // Exactly one holder at rest, or one in-flight transfer at cutoff.
+  EXPECT_TRUE(arrivals - departures == 1 || arrivals == departures)
+      << arrivals << " arrivals vs " << departures << " departures";
+}
+
+TEST(PathRevMutex, ServesContendersAndConservesTheToken) {
+  net::Network net(test::small_config(4, 8));
+  CsMonitor monitor;
+  PathRevMutex mutex(net, monitor);
+  net.start();
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    net.sched().schedule_at(1 + 5 * i, [&mutex, i] { mutex.request(pr_mh(i)); });
+  }
+  net.run();
+  test::ExpectCleanEventStream(net);
+  ExpectTokenHolderConservation(net);
+  EXPECT_EQ(mutex.completed(), 8u);
+  EXPECT_EQ(monitor.grants(), 8u);
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_EQ(mutex.queued_total(), 0u);
+  EXPECT_EQ(mutex.bounced_grants(), 0u);
+  EXPECT_EQ(mutex.skipped_disconnected(), 0u);
+}
+
+TEST(PathRevMutex, MovingRequesterRehomesItsRequest) {
+  // mh0 requests at cell 0 while the token is busy elsewhere, then
+  // moves to cell 2 mid-wait: the old cell withdraws the request, the
+  // new cell re-files it, and the entry still happens exactly once.
+  net::Network net(test::small_config(4, 8));
+  CsMonitor monitor;
+  PathRevMutex mutex(net, monitor);
+  net.start();
+  net.sched().schedule_at(1, [&] { mutex.request(pr_mh(4)); });  // cell 0 busy
+  net.sched().schedule_at(2, [&] { mutex.request(pr_mh(0)); });  // queued behind
+  net.sched().schedule_at(3, [&] { net.mh(pr_mh(0)).move_to(pr_mss(2), 4); });
+  net.run();
+  test::ExpectCleanEventStream(net);
+  ExpectTokenHolderConservation(net);
+  EXPECT_EQ(mutex.completed(), 2u);
+  EXPECT_EQ(monitor.violations(), 0u);
+  EXPECT_GE(mutex.rehomed(), 1u);
+  EXPECT_EQ(mutex.queued_total(), 0u);
 }
 
 // --------------------------------------------------------------------------

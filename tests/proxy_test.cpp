@@ -259,5 +259,59 @@ TEST(ProxiedLamport, InformSearchTradeoffAcrossScopes) {
   EXPECT_GT(informs_lazy, 0u);
 }
 
+// --------------------------------------------------------------------------
+// ProxiedPathRev: the path-reversal engine over the proxy layer
+// --------------------------------------------------------------------------
+
+TEST(ProxiedPathRev, SingleRequestCompletes) {
+  Network net(small_config(4, 8));
+  ProxyService proxies(net, scoped(ProxyScope::kFixedHome));
+  CsMonitor monitor;
+  proxy::ProxiedPathRev mutex(net, proxies, monitor);
+  net.start();
+  net.sched().schedule(1, [&] { mutex.request(mh_id(0)); });
+  net.run();
+  ExpectCleanEventStream(net);
+  EXPECT_EQ(mutex.completed(), 1u);
+  EXPECT_EQ(mutex.aborted(), 0u);
+  EXPECT_EQ(monitor.grants(), 1u);
+  EXPECT_EQ(monitor.violations(), 0u);
+}
+
+TEST(ProxiedPathRev, ManyRequestersSafeUnderEveryScope) {
+  for (const auto scope :
+       {ProxyScope::kLocalMss, ProxyScope::kFixedHome, ProxyScope::kLazyHome}) {
+    Network net(small_config(4, 12));
+    ProxyService proxies(net, scoped(scope));
+    CsMonitor monitor;
+    proxy::ProxiedPathRev mutex(net, proxies, monitor);
+    net.start();
+    for (std::uint32_t i = 0; i < 12; ++i) {
+      net.sched().schedule(1 + 5 * i, [&, i] { mutex.request(mh_id(i)); });
+    }
+    net.run();
+    ExpectCleanEventStream(net);
+    EXPECT_EQ(mutex.completed(), 12u) << "scope " << static_cast<int>(scope);
+    EXPECT_EQ(mutex.aborted(), 0u);
+    EXPECT_EQ(monitor.violations(), 0u);
+  }
+}
+
+TEST(ProxiedPathRev, DisconnectAtGrantAborts) {
+  Network net(small_config(4, 8));
+  ProxyService proxies(net, scoped(ProxyScope::kFixedHome));
+  CsMonitor monitor;
+  proxy::ProxiedPathRev mutex(net, proxies, monitor);
+  net.start();
+  net.sched().schedule(1, [&] { mutex.request(mh_id(0)); });
+  net.sched().schedule(2, [&] { mutex.request(mh_id(1)); });
+  net.sched().schedule(3, [&] { net.mh(mh_id(0)).disconnect(); });
+  net.run();
+  ExpectCleanEventStream(net);
+  EXPECT_EQ(mutex.aborted(), 1u);
+  EXPECT_EQ(mutex.completed(), 1u);
+  EXPECT_EQ(monitor.violations(), 0u);
+}
+
 }  // namespace
 }  // namespace mobidist::test
