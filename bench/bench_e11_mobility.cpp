@@ -1,0 +1,258 @@
+// E11 (ROADMAP "mobility model library").
+//
+// The paper's §4 cost analysis hangs on one parameter: f, the fraction
+// of moves that are *significant* (cross a location-view region).
+// The mobility model library makes f an emergent property of a movement
+// pattern instead of a scripted constant — and skewed patterns make it
+// vary by region. This bench runs the §4 strategies (pure search,
+// always inform, location view) over a group whose members move under
+// a uniform control and two skewed families (commuter day/night flows,
+// flash-crowd churn), then runs the proxy scopes (local_mss /
+// fixed_home / lazy_home) behind Lamport under the commuter flow.
+//
+// In-binary gates: every group cell delivers exactly-once and every
+// proxy cell serves all requests with zero violations; location view
+// undercuts always inform by >=10% on total cost under BOTH skewed
+// families; the proxy scopes separate by >=10% under commuter motion;
+// the commuter family's per-region f spread (max/min) is >=1.3x; and
+// the uniform control's measured f agrees with the closed form
+// analysis::uniform_region_f(M, R) to +-0.1.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "core/mobidist.hpp"
+
+namespace {
+
+using namespace mobidist;
+
+const std::vector<std::uint64_t> kSeeds = {41, 42, 43};
+constexpr std::uint32_t kMss = 16;
+constexpr std::uint32_t kRegions = 4;
+constexpr std::uint32_t kGroupSize = 8;
+constexpr std::uint64_t kMessages = 12;
+constexpr std::uint64_t kRequests = 12;
+
+const std::vector<std::string> kFamilies = {"uniform", "commuter", "flashcrowd"};
+const std::vector<std::string> kStrategies = {"pure_search", "always_inform",
+                                              "location_view"};
+const std::vector<std::string> kScopes = {"local_mss", "fixed_home", "lazy_home"};
+
+/// Mobility block shared by both halves: six moves per host inside the
+/// message window, four regions, phase cycles short enough that the
+/// commuter day/night flip and at least one flash-crowd window land
+/// inside the run.
+void configure_mobility(exp::ScenarioSpec& spec, const std::string& family) {
+  spec.mob.pattern = *mobility::pattern_from_name(family);
+  spec.mob.regions = kRegions;
+  spec.mob.max_moves_per_host = 6;
+  spec.mob.mean_pause = 80.0;
+  spec.mob.mean_transit = 6.0;
+  spec.mob.phase_period = 400;
+  spec.mob.crowd_period = 450;
+  spec.mob.crowd_dwell = 150;
+  spec.mob.crowd_fraction = 0.5;
+}
+
+exp::ScenarioSpec group_spec(const std::string& family, const std::string& strategy) {
+  exp::ScenarioSpec spec;
+  spec.name = "e11_mobility";
+  spec.workload = "group_mobility";
+  spec.variant = strategy;
+  spec.net.num_mss = kMss;
+  spec.net.num_mh = 2 * kGroupSize;  // members plus uninvolved bystanders
+  spec.params["group_size"] = kGroupSize;
+  spec.params["messages"] = static_cast<double>(kMessages);
+  spec.params["message_gap"] = 60;
+  spec.params["message_start"] = 25;
+  configure_mobility(spec, family);
+  return spec;
+}
+
+exp::ScenarioSpec proxy_spec(const std::string& scope) {
+  exp::ScenarioSpec spec;
+  spec.name = "e11_mobility";
+  spec.workload = "proxy_mutex";
+  spec.variant = scope;
+  spec.net.num_mss = kMss;
+  spec.net.num_mh = kMss;
+  spec.params["requests"] = static_cast<double>(kRequests);
+  spec.params["moves_per_request"] = 0;  // the model supplies the motion
+  spec.mobility = true;                  // whole-population driver
+  configure_mobility(spec, "commuter");
+  return spec;
+}
+
+std::string gcell(const std::string& family, const std::string& strategy) {
+  return family + "_" + strategy;
+}
+
+}  // namespace
+
+int main() {
+  bench::Sections sweep("mobility");
+  for (const auto& family : kFamilies) {
+    for (const auto& strategy : kStrategies) {
+      sweep.add(gcell(family, strategy), group_spec(family, strategy), kSeeds);
+    }
+  }
+  for (const auto& scope : kScopes) {
+    sweep.add("proxy_" + scope, proxy_spec(scope), kSeeds);
+  }
+  sweep.run();
+
+  std::cout << "E11: section-4 strategies and proxy scopes under model-driven"
+               " mobility\n"
+            << "(M=" << kMss << " cells, R=" << kRegions << " regions, |G|="
+            << kGroupSize << ", " << kMessages << " messages, 6 moves/host;\n"
+            << " mean over " << kSeeds.size() << " seeds; f = significant-move"
+            << " fraction per departure region)\n\n";
+
+  bool ok = true;
+
+  // --- group half: strategy costs and the per-region f profile ------------
+  double lv_commuter = 0.0;
+  double ai_commuter = 0.0;
+  double lv_flash = 0.0;
+  double ai_flash = 0.0;
+  for (const auto& family : kFamilies) {
+    std::cout << "family=" << family << "\n";
+    core::Table table({"strategy", "cost.total", "searches", "wired", "f", "moves",
+                       "exactly_once"});
+    for (const auto& strategy : kStrategies) {
+      const auto name = gcell(family, strategy);
+      const double total = sweep.metric(name, "cost.total");
+      const double exactly_once = sweep.metric(name, "workload.exactly_once");
+      table.row({strategy, core::num(total),
+                 core::num(sweep.metric(name, "ledger.searches")),
+                 core::num(sweep.metric(name, "ledger.fixed_msgs")),
+                 core::num(sweep.metric(name, "workload.mob.f")),
+                 core::num(sweep.metric(name, "workload.mob.moves")),
+                 core::num(exactly_once)});
+      if (exactly_once != 1.0) {
+        std::cerr << "e11_mobility: " << name << " lost or duplicated a group"
+                  << " message (exactly_once=" << exactly_once << ")\n";
+        ok = false;
+      }
+      if (family == "commuter" && strategy == "location_view") lv_commuter = total;
+      if (family == "commuter" && strategy == "always_inform") ai_commuter = total;
+      if (family == "flashcrowd" && strategy == "location_view") lv_flash = total;
+      if (family == "flashcrowd" && strategy == "always_inform") ai_flash = total;
+    }
+    table.print(std::cout);
+
+    // The per-region f profile is strategy-independent (same seeds, same
+    // model); read it from the pure_search cell.
+    const auto fname = gcell(family, "pure_search");
+    std::cout << "f by region:";
+    for (std::uint32_t r = 0; r < kRegions; ++r) {
+      std::cout << " r" << r << "="
+                << core::num(sweep.metric(fname, "workload.mob.f_region_" +
+                                                     std::to_string(r)));
+    }
+    std::cout << "\n\n";
+  }
+
+  // Gate 1: location view undercuts always inform by >=10% under both
+  // skewed families (observed margin is ~5x; 1.10 guards the claim, not
+  // the noise floor).
+  if (ai_commuter < 1.10 * lv_commuter) {
+    std::cerr << "e11_mobility: location_view (" << lv_commuter
+              << ") does not undercut always_inform (" << ai_commuter
+              << ") by >=10% under commuter mobility\n";
+    ok = false;
+  }
+  if (ai_flash < 1.10 * lv_flash) {
+    std::cerr << "e11_mobility: location_view (" << lv_flash
+              << ") does not undercut always_inform (" << ai_flash
+              << ") by >=10% under flashcrowd mobility\n";
+    ok = false;
+  }
+
+  // Gate 2: the commuter family is genuinely skewed — its per-region f
+  // spread is at least 1.3x (home regions cross less than work regions).
+  {
+    const auto fname = gcell("commuter", "pure_search");
+    double fmin = 2.0;
+    double fmax = 0.0;
+    for (std::uint32_t r = 0; r < kRegions; ++r) {
+      const double f =
+          sweep.metric(fname, "workload.mob.f_region_" + std::to_string(r));
+      fmin = std::min(fmin, f);
+      fmax = std::max(fmax, f);
+    }
+    if (fmin <= 0.0 || fmax / fmin < 1.3) {
+      std::cerr << "e11_mobility: commuter per-region f spread " << fmax << "/"
+                << fmin << " is under 1.3x — family is not skewed\n";
+      ok = false;
+    }
+  }
+
+  // Gate 3: the uniform control's measured f matches the closed form.
+  {
+    const double measured =
+        sweep.metric(gcell("uniform", "pure_search"), "workload.mob.f");
+    const double expected = analysis::uniform_region_f(kMss, kRegions);
+    if (std::abs(measured - expected) > 0.1) {
+      std::cerr << "e11_mobility: uniform f=" << measured
+                << " disagrees with closed form " << expected << "\n";
+      ok = false;
+    }
+    std::cout << "uniform control: measured f=" << core::num(measured)
+              << " vs closed form (M - M/R)/(M - 1) = " << core::num(expected)
+              << "\n\n";
+  }
+
+  // --- proxy half: scopes under commuter motion ---------------------------
+  std::cout << "proxy scopes under commuter mobility (" << kRequests
+            << " Lamport requests)\n";
+  core::Table ptable({"scope", "cost.total", "searches", "wired", "informs",
+                      "completed", "violations"});
+  double pmin = 0.0;
+  double pmax = 0.0;
+  for (const auto& scope : kScopes) {
+    const auto name = "proxy_" + scope;
+    const double total = sweep.metric(name, "cost.total");
+    const double completed = sweep.metric(name, "workload.completed");
+    const double violations = sweep.metric(name, "workload.violations");
+    ptable.row({scope, core::num(total), core::num(sweep.metric(name, "ledger.searches")),
+                core::num(sweep.metric(name, "ledger.fixed_msgs")),
+                core::num(sweep.metric(name, "workload.informs")), core::num(completed),
+                core::num(violations)});
+    if (completed != static_cast<double>(kRequests) || violations != 0.0) {
+      std::cerr << "e11_mobility: " << name << " served " << completed << "/"
+                << kRequests << " with " << violations << " violations\n";
+      ok = false;
+    }
+    if (pmin == 0.0 || total < pmin) pmin = total;
+    pmax = std::max(pmax, total);
+  }
+  ptable.print(std::cout);
+
+  // Gate 4: scope choice matters under model-driven motion — >=10%
+  // separation between the cheapest and dearest scope.
+  if (pmax < 1.10 * pmin) {
+    std::cerr << "e11_mobility: proxy scopes separate by only " << pmax << "/"
+              << pmin << " — under the 1.10x gate\n";
+    ok = false;
+  }
+
+  if (!ok) return 1;
+
+  std::cout << "\nReading: skewed families depress f below uniform's"
+               " (M - M/R)/(M - 1)\n"
+               "and spread it across regions; location view pays wired view"
+               " updates only\n"
+               "for the significant fraction, so its margin over always-inform"
+               " widens as\n"
+               "f falls, while pure search trades that wired bill for"
+               " searches.\n"
+            << "\nwrote " << sweep.write() << "\n";
+  return 0;
+}

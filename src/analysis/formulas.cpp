@@ -35,6 +35,15 @@ double pathrev_entry_cost_bound(std::uint32_t m, const cost::CostParams& p) {
   return pathrev_avg_messages(m) * p.c_fixed + 3.0 * p.c_wireless + p.c_search;
 }
 
+double uniform_region_f(std::uint32_t m, std::uint32_t r) {
+  const double cells_per_region = static_cast<double>(m) / r;
+  return (static_cast<double>(m) - cells_per_region) / (static_cast<double>(m) - 1.0);
+}
+
+double neighbor_region_f(std::uint32_t m, std::uint32_t r) {
+  return static_cast<double>(r) / static_cast<double>(m);
+}
+
 double pure_search_msg_cost(std::size_t g, const cost::CostParams& p) {
   return static_cast<double>(g - 1) * (2 * p.c_wireless + p.c_search);
 }

@@ -68,6 +68,20 @@ namespace mobidist::analysis {
 /// (H_M + 1)*c_fixed + 3*c_wireless + c_search.
 [[nodiscard]] double pathrev_entry_cost_bound(std::uint32_t m, const cost::CostParams& p);
 
+// --- mobility models: expected significant-move fraction f (E11) ----------
+
+/// Uniform pattern over M cells split into R contiguous regions (R
+/// divides M): a move departs anywhere and lands uniformly on one of
+/// the other M-1 cells, M/R - 1 of which share the region, so
+/// f = (M - M/R) / (M - 1).
+[[nodiscard]] double uniform_region_f(std::uint32_t m, std::uint32_t r);
+
+/// Neighbor (ring) pattern over M cells in R regions (R divides M, at
+/// least two cells per region... R == M degenerates to f = 1): each
+/// region has two boundary cells and each crosses with probability 1/2,
+/// so under the uniform stationary cell distribution f = R / M.
+[[nodiscard]] double neighbor_region_f(std::uint32_t m, std::uint32_t r);
+
 // --- §4 group location management -------------------------------------
 
 /// §4.1 pure search, one group message: (|G|-1)*(2*c_wireless + c_search).

@@ -84,6 +84,22 @@ void monitor_metrics(ScenarioContext& ctx, mutex::CsMonitor& monitor) {
   ctx.metric("grants", [mon] { return static_cast<double>(mon->grants()); });
 }
 
+/// Expose a mobility driver's move counters and per-region
+/// significant-move fraction f in the artifact (as workload.mob.*) —
+/// the empirical counterpart of the paper's §4 f parameter, reported
+/// per departure region so skewed models are visible in the sweep.
+void mobility_metrics(ScenarioContext& ctx, const mobility::MobilityDriver& driver) {
+  const auto* d = &driver;
+  ctx.metric("mob.moves", [d] { return static_cast<double>(d->moves()); });
+  ctx.metric("mob.disconnects", [d] { return static_cast<double>(d->disconnects()); });
+  ctx.metric("mob.f", [d] { return d->f_overall(); });
+  for (std::uint32_t r = 0; r < driver.regions(); ++r) {
+    ctx.metric("mob.f_region_" + std::to_string(r), [d, r] { return d->f_region(r); });
+    ctx.metric("mob.moves_region_" + std::to_string(r),
+               [d, r] { return static_cast<double>(d->moves_in_region(r)); });
+  }
+}
+
 // --- mutex: L1 / L2 / ring family / pathrev (benches e1, e2, e7, e10) ------
 
 void build_ring(ScenarioContext& ctx);
@@ -437,6 +453,41 @@ void build_multicast(ScenarioContext& ctx) {
 
 // --- group: the three §4 location strategies (bench e5) --------------------
 
+/// Variant names shared by the `group` and `group_mobility` workloads.
+constexpr std::string_view kGroupVariantNames[] = {"pure_search", "always_inform",
+                                                   "location_view"};
+
+/// Construct the §4 strategy named by spec.variant over `group`, wire
+/// its exactly-once (and LV bookkeeping) metrics, and hand back the
+/// send-one-group-message closure the message schedule drives.
+std::function<void(MhId)> build_group_strategy(ScenarioContext& ctx,
+                                               const group::Group& group) {
+  const auto& spec = ctx.spec();
+  auto& net = ctx.net();
+  if (spec.variant == "pure_search") {
+    auto* comm = &ctx.emplace<group::PureSearchGroup>(net, group);
+    ctx.metric("exactly_once",
+               [comm, group] { return comm->monitor().exactly_once(group) ? 1.0 : 0.0; });
+    return [comm](MhId sender) { comm->send_group_message(sender); };
+  }
+  if (spec.variant == "always_inform") {
+    auto* comm = &ctx.emplace<group::AlwaysInformGroup>(net, group);
+    ctx.metric("exactly_once",
+               [comm, group] { return comm->monitor().exactly_once(group) ? 1.0 : 0.0; });
+    return [comm](MhId sender) { comm->send_group_message(sender); };
+  }
+  if (spec.variant == "location_view") {
+    auto* comm = &ctx.emplace<group::LocationViewGroup>(net, group);
+    ctx.metric("exactly_once",
+               [comm, group] { return comm->monitor().exactly_once(group) ? 1.0 : 0.0; });
+    ctx.metric("lv_max", [comm] { return static_cast<double>(comm->max_view_size()); });
+    ctx.metric("significant_moves",
+               [comm] { return static_cast<double>(comm->significant_moves()); });
+    return [comm](MhId sender) { comm->send_group_message(sender); };
+  }
+  bad_variant(spec, kGroupVariantNames);
+}
+
 workload::MobMsgDriver::Config group_driver_config(const ScenarioSpec& spec) {
   workload::MobMsgDriver::Config cfg;
   cfg.messages = spec.param_u64("messages", 40);
@@ -458,30 +509,10 @@ void build_group(ScenarioContext& ctx) {
   const std::vector<MssId> fresh{MssId(5), MssId(6), MssId(7)};
   const auto rover = MhId(16);
 
-  std::function<void(std::uint64_t)> send_fn;
-  if (spec.variant == "pure_search") {
-    auto* comm = &ctx.emplace<group::PureSearchGroup>(net, group);
-    send_fn = [comm](std::uint64_t) { comm->send_group_message(MhId(0)); };
-    ctx.metric("exactly_once",
-               [comm, group] { return comm->monitor().exactly_once(group) ? 1.0 : 0.0; });
-  } else if (spec.variant == "always_inform") {
-    auto* comm = &ctx.emplace<group::AlwaysInformGroup>(net, group);
-    send_fn = [comm](std::uint64_t) { comm->send_group_message(MhId(0)); };
-    ctx.metric("exactly_once",
-               [comm, group] { return comm->monitor().exactly_once(group) ? 1.0 : 0.0; });
-  } else if (spec.variant == "location_view") {
-    auto* comm = &ctx.emplace<group::LocationViewGroup>(net, group);
-    send_fn = [comm](std::uint64_t) { comm->send_group_message(MhId(0)); };
-    ctx.metric("exactly_once",
-               [comm, group] { return comm->monitor().exactly_once(group) ? 1.0 : 0.0; });
-    ctx.metric("lv_max", [comm] { return static_cast<double>(comm->max_view_size()); });
-    ctx.metric("significant_moves",
-               [comm] { return static_cast<double>(comm->significant_moves()); });
-  } else {
-    static constexpr std::string_view kNames[] = {"pure_search", "always_inform",
-                                                  "location_view"};
-    bad_variant(spec, kNames);
-  }
+  auto strategy_send = build_group_strategy(ctx, group);
+  std::function<void(std::uint64_t)> send_fn = [strategy_send](std::uint64_t) {
+    strategy_send(MhId(0));
+  };
 
   auto& driver = ctx.emplace<workload::MobMsgDriver>(
       net, group_driver_config(spec), anchored, fresh, rover, std::move(send_fn));
@@ -492,6 +523,50 @@ void build_group(ScenarioContext& ctx) {
   ctx.metric("significant_scheduled", [driver_ptr] {
     return static_cast<double>(driver_ptr->significant_scheduled());
   });
+}
+
+// --- group_mobility: §4 strategies under model-driven mobility (bench e11) -
+
+/// E11's group half: a group of `group_size` members (round-robin over
+/// the cells) exchanges `messages` paced group messages while a
+/// MobilityModel moves them in the background. Unlike `group` (whose
+/// MobMsgDriver scripts an exact significant fraction), the move stream
+/// here IS the model under test — skew shows up in workload.mob.f_region_*
+/// and the strategies' cost.total splits on it.
+void build_group_mobility(ScenarioContext& ctx) {
+  const auto& spec = ctx.spec();
+  auto& net = ctx.net();
+  const auto group_size = static_cast<std::uint32_t>(spec.param_u64("group_size", 8));
+  if (group_size < 2) bad_workload(spec, "group_size must be at least 2");
+  require_topology(spec, 2, group_size);
+  std::vector<MhId> members;
+  members.reserve(group_size);
+  for (std::uint32_t i = 0; i < group_size; ++i) members.push_back(static_cast<MhId>(i));
+  const auto group = group::Group::of(members);
+
+  auto strategy_send = build_group_strategy(ctx, group);
+
+  // Background mobility over the members from the spec's mobility block.
+  // When spec.mobility is on, the generic whole-population driver in
+  // run_scenario moves them (and everyone else) instead — million-MH
+  // generated scenarios use that path.
+  if (!spec.mobility) {
+    auto& driver = ctx.emplace<mobility::MobilityDriver>(net, spec.mob, members);
+    auto* driver_ptr = &driver;
+    ctx.after_start([driver_ptr] { driver_ptr->start(); });
+    mobility_metrics(ctx, driver);
+  }
+
+  const auto messages = spec.param_u64("messages", 24);
+  const auto gap = spec.param_u64("message_gap", 60);
+  const auto start = spec.param_u64("message_start", 25);
+  auto counter = std::make_shared<std::uint64_t>(0);
+  workload::paced_calls(net, messages, gap, start,
+                        [strategy_send, members, group_size, counter](std::uint64_t seq) {
+                          strategy_send(members[seq % group_size]);
+                          ++*counter;
+                        });
+  ctx.metric("messages_sent", [counter] { return static_cast<double>(*counter); });
 }
 
 // --- proxy_mutex: Lamport over the three proxy scopes (bench e6) -----------
@@ -774,6 +849,7 @@ const WorkloadLibrary& WorkloadLibrary::builtin() {
     lib.add("lazy_proxy", build_lazy_proxy);
     lib.add("multicast", build_multicast);
     lib.add("group", build_group);
+    lib.add("group_mobility", build_group_mobility);
     lib.add("proxy_mutex", build_proxy_mutex);
     // scale is the one workload whose traffic is entirely lane-local
     // (in-cell echo loops, per-lane timer churn) — the sharded engine's
@@ -841,6 +917,7 @@ RunResult run_scenario(const RunPlan& plan, const WorkloadLibrary& workloads) {
       auto& driver = ctx.emplace<mobility::MobilityDriver>(net, spec.mob);
       auto* driver_ptr = &driver;
       ctx.after_start([driver_ptr] { driver_ptr->start(); });
+      mobility_metrics(ctx, driver);
     }
 
     if (ctx.run_until_ != 0 && net.sharded()) {

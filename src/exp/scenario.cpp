@@ -63,12 +63,18 @@ net::InitialPlacement parse_placement(std::string_view key, const json::Value& v
   fail("unknown placement '" + text + "' (round_robin|random|all_in_cell0)");
 }
 
+/// Pattern names come from mobility::kMovePatternNames — one source of
+/// truth shared with the model factory and the generator CLI, so a new
+/// model is automatically parseable and enumerated in this error.
 mobility::MovePattern parse_pattern(std::string_view key, const json::Value& value) {
   const auto text = require_string(key, value);
-  if (text == "uniform") return mobility::MovePattern::kUniform;
-  if (text == "neighbor") return mobility::MovePattern::kNeighbor;
-  if (text == "hotspot") return mobility::MovePattern::kHotspot;
-  fail("unknown mobility pattern '" + text + "' (uniform|neighbor|hotspot)");
+  if (const auto pattern = mobility::pattern_from_name(text)) return *pattern;
+  std::string valid;
+  for (const auto name : mobility::kMovePatternNames) {
+    if (!valid.empty()) valid += '|';
+    valid += name;
+  }
+  fail("unknown mobility pattern '" + text + "' (" + valid + ")");
 }
 
 const char* search_name(net::SearchMode mode) {
@@ -80,15 +86,6 @@ const char* placement_name(net::InitialPlacement placement) {
     case net::InitialPlacement::kRoundRobin: return "round_robin";
     case net::InitialPlacement::kRandom: return "random";
     case net::InitialPlacement::kAllInCell0: return "all_in_cell0";
-  }
-  return "unknown";
-}
-
-const char* pattern_name(mobility::MovePattern pattern) {
-  switch (pattern) {
-    case mobility::MovePattern::kUniform: return "uniform";
-    case mobility::MovePattern::kNeighbor: return "neighbor";
-    case mobility::MovePattern::kHotspot: return "hotspot";
   }
   return "unknown";
 }
@@ -187,6 +184,13 @@ void apply_override(ScenarioSpec& spec, std::string_view key, const json::Value&
   if (key == "mobility.stop_at") { m.stop_at = require_u64(key, value); return; }
   if (key == "mobility.disconnect_prob") { m.disconnect_prob = require_number(key, value); return; }
   if (key == "mobility.mean_disconnect") { m.mean_disconnect = require_number(key, value); return; }
+  if (key == "mobility.regions") { m.regions = require_u32(key, value); return; }
+  if (key == "mobility.grid_width") { m.grid_width = require_u32(key, value); return; }
+  if (key == "mobility.phase_period") { m.phase_period = require_u64(key, value); return; }
+  if (key == "mobility.day_fraction") { m.day_fraction = require_number(key, value); return; }
+  if (key == "mobility.crowd_fraction") { m.crowd_fraction = require_number(key, value); return; }
+  if (key == "mobility.crowd_period") { m.crowd_period = require_u64(key, value); return; }
+  if (key == "mobility.crowd_dwell") { m.crowd_dwell = require_u64(key, value); return; }
 
   if (key.substr(0, 7) == "params.") {
     const auto name = key.substr(7);
@@ -323,12 +327,40 @@ std::string to_json(const ScenarioSpec& spec) {
     os << "]}";
   }
   if (spec.mobility) {
-    os << ",\"mobility\":{\"enabled\":true,\"pattern\":\"" << pattern_name(spec.mob.pattern)
-       << "\",\"mean_pause\":" << real(spec.mob.mean_pause)
-       << ",\"mean_transit\":" << real(spec.mob.mean_transit);
-    if (spec.mob.max_moves_per_host != UINT64_MAX) {
-      os << ",\"max_moves_per_host\":" << spec.mob.max_moves_per_host;
+    // Fields beyond the original trio are emitted only when non-default,
+    // keeping pre-library scenario bodies (and golden artifacts)
+    // byte-identical.
+    const mobility::MobilityConfig defaults;
+    const auto& mob = spec.mob;
+    os << ",\"mobility\":{\"enabled\":true,\"pattern\":\"" << pattern_name(mob.pattern)
+       << "\",\"mean_pause\":" << real(mob.mean_pause)
+       << ",\"mean_transit\":" << real(mob.mean_transit);
+    if (mob.zipf_s != defaults.zipf_s) os << ",\"zipf_s\":" << real(mob.zipf_s);
+    if (mob.max_moves_per_host != UINT64_MAX) {
+      os << ",\"max_moves_per_host\":" << mob.max_moves_per_host;
     }
+    if (mob.stop_at != sim::kTimeNever) os << ",\"stop_at\":" << mob.stop_at;
+    if (mob.disconnect_prob != defaults.disconnect_prob) {
+      os << ",\"disconnect_prob\":" << real(mob.disconnect_prob);
+    }
+    if (mob.mean_disconnect != defaults.mean_disconnect) {
+      os << ",\"mean_disconnect\":" << real(mob.mean_disconnect);
+    }
+    if (mob.regions != defaults.regions) os << ",\"regions\":" << mob.regions;
+    if (mob.grid_width != defaults.grid_width) os << ",\"grid_width\":" << mob.grid_width;
+    if (mob.phase_period != defaults.phase_period) {
+      os << ",\"phase_period\":" << mob.phase_period;
+    }
+    if (mob.day_fraction != defaults.day_fraction) {
+      os << ",\"day_fraction\":" << real(mob.day_fraction);
+    }
+    if (mob.crowd_fraction != defaults.crowd_fraction) {
+      os << ",\"crowd_fraction\":" << real(mob.crowd_fraction);
+    }
+    if (mob.crowd_period != defaults.crowd_period) {
+      os << ",\"crowd_period\":" << mob.crowd_period;
+    }
+    if (mob.crowd_dwell != defaults.crowd_dwell) os << ",\"crowd_dwell\":" << mob.crowd_dwell;
     os << '}';
   }
   os << ",\"params\":{";

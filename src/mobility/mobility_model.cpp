@@ -23,12 +23,36 @@ MobilityDriver::MobilityDriver(net::Network& net, MobilityConfig cfg)
 MobilityDriver::MobilityDriver(net::Network& net, MobilityConfig cfg,
                                std::vector<net::MhId> hosts)
     : net_(net), cfg_(cfg), hosts_(std::move(hosts)) {
-  if (net_.num_mss() < 2 && !hosts_.empty() && cfg_.disconnect_prob < 1.0) {
-    throw std::invalid_argument("MobilityDriver: moving needs at least two cells");
+  if (net_.num_mss() < 2) {
+    if (!hosts_.empty() && cfg_.disconnect_prob < 1.0) {
+      throw std::invalid_argument("MobilityDriver: moving needs at least two cells");
+    }
+  } else {
+    model_ = make_model(cfg_, net_.num_mss(), net_.num_mh(), net_.config().seed);
   }
   std::uint32_t max_index = 0;
   for (const auto host : hosts_) max_index = std::max(max_index, net::index(host));
   moves_per_host_.assign(max_index + 1, 0);
+  regions_ = std::clamp<std::uint32_t>(cfg_.regions, 1, std::max(1u, net_.num_mss()));
+  moves_by_region_.assign(regions_, 0);
+  significant_by_region_.assign(regions_, 0);
+}
+
+double MobilityDriver::f_region(std::uint32_t r) const {
+  const auto total = moves_by_region_.at(r);
+  if (total == 0) return 0.0;
+  return static_cast<double>(significant_by_region_[r]) / static_cast<double>(total);
+}
+
+double MobilityDriver::f_overall() const {
+  std::uint64_t total = 0;
+  std::uint64_t significant = 0;
+  for (std::uint32_t r = 0; r < regions_; ++r) {
+    total += moves_by_region_[r];
+    significant += significant_by_region_[r];
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(significant) / static_cast<double>(total);
 }
 
 void MobilityDriver::start() {
@@ -73,6 +97,12 @@ void MobilityDriver::depart(MhId host) {
   ++moves_;
   const MssId current = mobile.current_mss();
   const MssId target = pick_target(host, current);
+  const std::uint32_t m = net_.num_mss();
+  const auto from_region = region_of(net::index(current), m, regions_);
+  ++moves_by_region_[from_region];
+  if (region_of(net::index(target), m, regions_) != from_region) {
+    ++significant_by_region_[from_region];
+  }
   const auto transit =
       static_cast<sim::Duration>(net_.rng().exponential(cfg_.mean_transit)) + 1;
   mobile.move_to(target, transit);
@@ -87,26 +117,10 @@ MssId MobilityDriver::pick_target(MhId host, MssId current) {
     }
     return chosen;
   }
-  const std::uint32_t m = net_.num_mss();
-  switch (cfg_.pattern) {
-    case MovePattern::kUniform: {
-      // Uniform over the other M-1 cells.
-      const auto offset = 1 + net_.rng().below(m - 1);
-      return static_cast<MssId>((net::index(current) + offset) % m);
-    }
-    case MovePattern::kNeighbor: {
-      const bool up = net_.rng().chance(0.5);
-      const std::uint32_t cur = net::index(current);
-      return static_cast<MssId>(up ? (cur + 1) % m : (cur + m - 1) % m);
-    }
-    case MovePattern::kHotspot: {
-      for (;;) {
-        const auto cell = static_cast<std::uint32_t>(net_.rng().zipf(m, cfg_.zipf_s));
-        if (cell != net::index(current)) return static_cast<MssId>(cell);
-      }
-    }
+  if (!model_) {
+    throw std::logic_error("MobilityDriver: no model (single-cell topology)");
   }
-  throw std::logic_error("MobilityDriver: unknown pattern");
+  return model_->pick_target({net_.rng(), net_.sched().now(), host, current});
 }
 
 }  // namespace mobidist::mobility

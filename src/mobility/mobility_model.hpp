@@ -2,45 +2,27 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "mobility/models.hpp"
 #include "net/ids.hpp"
 #include "net/network.hpp"
 #include "sim/time.hpp"
 
 namespace mobidist::mobility {
 
-/// Built-in target-cell distributions.
-enum class MovePattern : std::uint8_t {
-  kUniform,   ///< any other cell, uniformly
-  kNeighbor,  ///< +-1 on a ring of cells (local mobility)
-  kHotspot,   ///< Zipf-weighted cells (crowded downtown cell 0)
-};
-
-/// Parameters of the background mobility process. Pauses and transits
-/// are exponentially distributed; a MH alternates pause -> move ->
-/// pause ... until its move budget or the stop time runs out.
-struct MobilityConfig {
-  MovePattern pattern = MovePattern::kUniform;
-  double mean_pause = 200.0;    ///< ticks between arriving and next departure
-  double mean_transit = 10.0;   ///< ticks spent between cells
-  double zipf_s = 1.0;          ///< skew for kHotspot
-  std::uint64_t max_moves_per_host = UINT64_MAX;
-  sim::SimTime stop_at = sim::kTimeNever;  ///< no departures after this instant
-  /// Probability that a scheduled departure becomes a disconnect
-  /// instead; the host reconnects after mean_disconnect ticks.
-  double disconnect_prob = 0.0;
-  double mean_disconnect = 500.0;
-};
-
-/// Drives moves for a set of MHs. Plays nicely with algorithms: a host
-/// that is not connected when its departure timer fires simply
-/// reschedules. Deterministic given the network's RNG state.
+/// Drives moves for a set of MHs through a MobilityModel. Plays nicely
+/// with algorithms: a host that is not connected when its departure
+/// timer fires simply reschedules. Deterministic given the network's
+/// RNG state. Counts moves per region of the *departure* cell and how
+/// many crossed a region boundary — the empirical per-region
+/// significant-move fraction f of the paper's §4 cost analysis.
 class MobilityDriver {
  public:
   /// Custom target picker; returns the destination cell for a host's
-  /// next move (must differ from the current cell). Overrides `pattern`
-  /// when set.
+  /// next move (must differ from the current cell). Overrides the
+  /// configured pattern/model when set.
   using TargetPicker = std::function<net::MssId(net::MhId, net::MssId current)>;
 
   /// Drive all hosts in the network.
@@ -48,6 +30,7 @@ class MobilityDriver {
   /// Drive a subset.
   MobilityDriver(net::Network& net, MobilityConfig cfg, std::vector<net::MhId> hosts);
 
+  /// Install a custom picker (wins over the configured model).
   void set_target_picker(TargetPicker picker) { picker_ = std::move(picker); }
 
   /// Schedule the first departure for every driven host.
@@ -55,7 +38,25 @@ class MobilityDriver {
 
   /// Moves completed so far (departures that actually happened).
   [[nodiscard]] std::uint64_t moves() const noexcept { return moves_; }
+  /// Disconnect cycles taken instead of moves.
   [[nodiscard]] std::uint64_t disconnects() const noexcept { return disconnects_; }
+
+  /// Region count f is reported over (cfg.regions clamped to the
+  /// topology).
+  [[nodiscard]] std::uint32_t regions() const noexcept { return regions_; }
+  /// Moves that departed from region r.
+  [[nodiscard]] std::uint64_t moves_in_region(std::uint32_t r) const {
+    return moves_by_region_.at(r);
+  }
+  /// Moves that departed from region r and crossed a region boundary.
+  [[nodiscard]] std::uint64_t significant_in_region(std::uint32_t r) const {
+    return significant_by_region_.at(r);
+  }
+  /// Empirical f for region r: significant / total departures (0 when
+  /// the region saw none).
+  [[nodiscard]] double f_region(std::uint32_t r) const;
+  /// Empirical f over all regions.
+  [[nodiscard]] double f_overall() const;
 
   /// Stop scheduling new departures (in-flight transits still land).
   void stop() noexcept { stopped_ = true; }
@@ -69,7 +70,11 @@ class MobilityDriver {
   MobilityConfig cfg_;
   std::vector<net::MhId> hosts_;
   std::vector<std::uint64_t> moves_per_host_;
+  std::unique_ptr<MobilityModel> model_;
   TargetPicker picker_;
+  std::uint32_t regions_ = 1;
+  std::vector<std::uint64_t> moves_by_region_;
+  std::vector<std::uint64_t> significant_by_region_;
   std::uint64_t moves_ = 0;
   std::uint64_t disconnects_ = 0;
   bool stopped_ = false;

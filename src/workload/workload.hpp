@@ -25,6 +25,8 @@ void paced_calls(net::Network& net, std::uint64_t count, sim::Duration gap,
 class RoundRobin {
  public:
   explicit RoundRobin(std::vector<net::MhId> hosts) : hosts_(std::move(hosts)) {}
+
+  /// The next host in rotation (wraps around the set).
   net::MhId next() { return hosts_[counter_++ % hosts_.size()]; }
 
  private:
@@ -42,6 +44,8 @@ class RoundRobin {
 /// to (or back from) a fresh, unanchored cell.
 class MobMsgDriver {
  public:
+  /// Shape of the interleaved schedule: the MOB/MSG ratio, the scripted
+  /// significant fraction f, and the pacing between events.
   struct Config {
     std::uint64_t messages = 50;       ///< MSG
     double mob_per_msg = 1.0;          ///< MOB/MSG ratio
@@ -57,8 +61,11 @@ class MobMsgDriver {
   /// Lay out the whole schedule (moves interleaved with sends).
   void start();
 
+  /// Moves laid out by start() (MOB).
   [[nodiscard]] std::uint64_t moves_scheduled() const noexcept { return moves_; }
+  /// Message sends laid out by start() (MSG).
   [[nodiscard]] std::uint64_t messages_scheduled() const noexcept { return messages_; }
+  /// Scheduled moves that were significant (left the anchored cells).
   [[nodiscard]] std::uint64_t significant_scheduled() const noexcept {
     return significant_;
   }

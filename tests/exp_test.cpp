@@ -98,6 +98,66 @@ TEST(ExpScenario, FormationSectionRoundTrips) {
   EXPECT_EQ(exp::to_json(plain).find("formation"), std::string::npos);
 }
 
+TEST(ExpScenario, MobilityModelSectionRoundTrips) {
+  const auto spec = exp::parse_scenario(R"({
+    "name": "t", "workload": "group_mobility", "variant": "location_view",
+    "topology": {"num_mss": 8, "num_mh": 16},
+    "mobility": {"enabled": 1, "pattern": "commuter", "regions": 8,
+                 "phase_period": 400, "day_fraction": 0.25,
+                 "crowd_fraction": 0.5, "crowd_period": 600, "crowd_dwell": 120,
+                 "grid_width": 4}
+  })");
+  EXPECT_EQ(spec.mob.pattern, mobility::MovePattern::kCommuter);
+  EXPECT_EQ(spec.mob.regions, 8u);
+  EXPECT_EQ(spec.mob.phase_period, 400u);
+  EXPECT_DOUBLE_EQ(spec.mob.day_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(spec.mob.crowd_fraction, 0.5);
+  EXPECT_EQ(spec.mob.crowd_period, 600u);
+  EXPECT_EQ(spec.mob.crowd_dwell, 120u);
+  EXPECT_EQ(spec.mob.grid_width, 4u);
+  const auto text = exp::to_json(spec);
+  const auto reparsed = exp::parse_scenario(text);
+  EXPECT_EQ(exp::to_json(reparsed), text);
+
+  // Default model knobs emit nothing, keeping pre-library scenario
+  // renderings byte-stable.
+  auto plain = small_mutex_spec();
+  plain.mobility = true;
+  const auto plain_text = exp::to_json(plain);
+  for (const char* key : {"phase_period", "crowd_fraction", "grid_width", "regions"}) {
+    EXPECT_EQ(plain_text.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ExpScenario, EveryPatternNameRoundTripsThroughJson) {
+  for (const auto name : mobility::kMovePatternNames) {
+    auto spec = small_mutex_spec();
+    spec.mobility = true;
+    spec.mob.pattern = *mobility::pattern_from_name(name);
+    const auto reparsed = exp::parse_scenario(exp::to_json(spec));
+    EXPECT_EQ(reparsed.mob.pattern, spec.mob.pattern) << name;
+  }
+}
+
+TEST(ExpScenario, UnknownMobilityPatternEnumeratesTheValidNames) {
+  try {
+    exp::parse_scenario(R"({
+      "name": "t", "workload": "mutex", "variant": "l2",
+      "mobility": {"pattern": "teleport"}
+    })");
+    FAIL() << "unknown pattern was accepted";
+  } catch (const std::runtime_error& err) {
+    const std::string message = err.what();
+    EXPECT_NE(message.find("teleport"), std::string::npos) << message;
+    // The error must list every pattern the library accepts — pinned so
+    // the message can never drift out of sync with kMovePatternNames.
+    for (const auto name : mobility::kMovePatternNames) {
+      EXPECT_NE(message.find(name), std::string::npos)
+          << "missing '" << name << "' in: " << message;
+    }
+  }
+}
+
 TEST(ExpJson, FormatDoubleIsRoundTripExact) {
   // Shortest-round-trip formatting: parsing the text back must yield
   // the exact bits, independent of locale, for awkward values that

@@ -1,9 +1,13 @@
-// Tests for the mobility driver and workload generators.
+// Tests for the mobility model library, the driver, and the workload
+// generators.
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <map>
 #include <set>
 
+#include "analysis/formulas.hpp"
 #include "mobility/mobility_model.hpp"
 #include "test_support.hpp"
 #include "workload/workload.hpp"
@@ -136,6 +140,362 @@ TEST(MobilityDriver, DeterministicForFixedSeed) {
     return cells;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+// --------------------------------------------------------------------------
+// Mobility model library (models.hpp): direct unit tests
+// --------------------------------------------------------------------------
+
+/// A stateful model's fixed target for (now, host): query from three
+/// distinct cells — at most one query sits on the target (ring-step
+/// noise), so the majority answer is the target itself.
+std::uint32_t stable_target(mobility::MobilityModel& model, sim::Rng& rng,
+                            sim::SimTime now, std::uint32_t host, std::uint32_t m) {
+  std::map<std::uint32_t, int> votes;
+  for (std::uint32_t cur = 0; cur < 3 && cur < m; ++cur) {
+    const mobility::MoveContext ctx{rng, now, mh_id(host), mss_id(cur)};
+    ++votes[index(model.pick_target(ctx))];
+  }
+  std::uint32_t best = 0;
+  int best_votes = 0;
+  for (const auto& [cell, count] : votes) {
+    if (count > best_votes) {
+      best = cell;
+      best_votes = count;
+    }
+  }
+  return best;
+}
+
+TEST(MobilityModels, PatternNamesRoundTrip) {
+  for (std::size_t i = 0; i < std::size(mobility::kMovePatternNames); ++i) {
+    const auto pattern = static_cast<MovePattern>(i);
+    const auto name = mobility::pattern_name(pattern);
+    const auto parsed = mobility::pattern_from_name(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, pattern) << name;
+  }
+  EXPECT_FALSE(mobility::pattern_from_name("teleport").has_value());
+  EXPECT_FALSE(mobility::pattern_from_name("").has_value());
+}
+
+TEST(MobilityModels, RegionOfSplitsCellsContiguously) {
+  EXPECT_EQ(mobility::region_of(0, 16, 4), 0u);
+  EXPECT_EQ(mobility::region_of(3, 16, 4), 0u);
+  EXPECT_EQ(mobility::region_of(4, 16, 4), 1u);
+  EXPECT_EQ(mobility::region_of(15, 16, 4), 3u);
+  EXPECT_EQ(mobility::region_of(15, 16, 1), 0u);
+  EXPECT_EQ(mobility::region_of(7, 8, 8), 7u);
+}
+
+TEST(MobilityModels, MakeModelValidatesParameters) {
+  MobilityConfig cfg;
+  EXPECT_THROW(mobility::make_model(cfg, 1, 4, 1), std::invalid_argument);
+
+  cfg.pattern = MovePattern::kWaypoint;
+  cfg.grid_width = 5;  // does not divide 16
+  EXPECT_THROW(mobility::make_model(cfg, 16, 4, 1), std::invalid_argument);
+  cfg.grid_width = 4;
+  EXPECT_NE(mobility::make_model(cfg, 16, 4, 1), nullptr);
+
+  cfg = MobilityConfig{};
+  cfg.pattern = MovePattern::kCommuter;
+  cfg.phase_period = 0;
+  EXPECT_THROW(mobility::make_model(cfg, 8, 4, 1), std::invalid_argument);
+  cfg.phase_period = 100;
+  cfg.day_fraction = 1.5;
+  EXPECT_THROW(mobility::make_model(cfg, 8, 4, 1), std::invalid_argument);
+
+  cfg = MobilityConfig{};
+  cfg.pattern = MovePattern::kFlashCrowd;
+  cfg.crowd_period = 0;
+  EXPECT_THROW(mobility::make_model(cfg, 8, 4, 1), std::invalid_argument);
+  cfg.crowd_period = 100;
+  cfg.crowd_dwell = 200;
+  EXPECT_THROW(mobility::make_model(cfg, 8, 4, 1), std::invalid_argument);
+}
+
+TEST(MobilityModels, WaypointMovesAreLatticeAdjacent) {
+  MobilityConfig cfg;
+  cfg.pattern = MovePattern::kWaypoint;
+  cfg.grid_width = 4;
+  const std::uint32_t m = 16;
+  const auto model = mobility::make_model(cfg, m, 2, 77);
+  sim::Rng rng(123);
+  std::uint32_t cur = 5;
+  for (int step = 0; step < 200; ++step) {
+    const mobility::MoveContext ctx{rng, static_cast<sim::SimTime>(step), mh_id(0),
+                                    mss_id(cur)};
+    const auto target = index(model->pick_target(ctx));
+    ASSERT_LT(target, m);
+    ASSERT_NE(target, cur);
+    const auto diff = static_cast<std::uint32_t>(
+        std::abs(static_cast<int>(target) - static_cast<int>(cur)));
+    EXPECT_TRUE(diff == 1 || diff == cfg.grid_width)
+        << "non-adjacent hop " << cur << " -> " << target;
+    cur = target;
+  }
+}
+
+TEST(MobilityModels, CommuterAlternatesWorkAndHomeWithThePhase) {
+  MobilityConfig cfg;
+  cfg.pattern = MovePattern::kCommuter;
+  cfg.phase_period = 100;
+  cfg.day_fraction = 0.5;
+  const std::uint32_t m = 8;
+  const auto model = mobility::make_model(cfg, m, 4, 2024);
+  sim::Rng rng(9);
+  for (std::uint32_t host = 0; host < 4; ++host) {
+    const auto work = stable_target(*model, rng, 10, host, m);    // day phase
+    const auto night = stable_target(*model, rng, 60, host, m);   // night phase
+    EXPECT_NE(work, night) << "host " << host;
+    // The phase targets are stable across cycles.
+    EXPECT_EQ(stable_target(*model, rng, 110, host, m), work);
+    EXPECT_EQ(stable_target(*model, rng, 160, host, m), night);
+  }
+}
+
+TEST(MobilityModels, FlashCrowdCohortConvergesOnOneEventCell) {
+  MobilityConfig cfg;
+  cfg.pattern = MovePattern::kFlashCrowd;
+  cfg.crowd_period = 100;
+  cfg.crowd_dwell = 100;     // window always open
+  cfg.crowd_fraction = 1.0;  // everyone is in every cohort
+  const std::uint32_t m = 8;
+  const std::uint32_t hosts = 6;
+  const auto model = mobility::make_model(cfg, m, hosts, 5150);
+  sim::Rng rng(3);
+  // Inside a window, every host heads to the same event cell.
+  const auto event0 = stable_target(*model, rng, 10, 0, m);
+  for (std::uint32_t host = 1; host < hosts; ++host) {
+    EXPECT_EQ(stable_target(*model, rng, 10, host, m), event0) << "host " << host;
+  }
+  // Consecutive windows pick fresh event cells (not all identical).
+  std::set<std::uint32_t> event_cells;
+  for (std::uint64_t window = 0; window < 6; ++window) {
+    event_cells.insert(stable_target(*model, rng, 10 + 100 * window, 0, m));
+  }
+  EXPECT_GT(event_cells.size(), 1u);
+}
+
+TEST(MobilityModels, FlashCrowdOutsideCohortHeadsHome) {
+  MobilityConfig cfg;
+  cfg.pattern = MovePattern::kFlashCrowd;
+  cfg.crowd_period = 100;
+  cfg.crowd_dwell = 100;
+  cfg.crowd_fraction = 0.0;  // nobody joins any cohort
+  const std::uint32_t m = 8;
+  const std::uint32_t hosts = 8;
+  const auto model = mobility::make_model(cfg, m, hosts, 5150);
+  sim::Rng rng(3);
+  // With no cohort the targets are the per-host homes: stable over time
+  // and not all the same cell.
+  std::set<std::uint32_t> homes;
+  for (std::uint32_t host = 0; host < hosts; ++host) {
+    const auto home = stable_target(*model, rng, 10, host, m);
+    EXPECT_EQ(stable_target(*model, rng, 310, host, m), home) << "host " << host;
+    homes.insert(home);
+  }
+  EXPECT_GT(homes.size(), 1u);
+}
+
+TEST(MobilityModels, SeedDerivedStateIsDeterministic) {
+  for (const auto pattern :
+       {MovePattern::kWaypoint, MovePattern::kCommuter, MovePattern::kFlashCrowd}) {
+    MobilityConfig cfg;
+    cfg.pattern = pattern;
+    cfg.phase_period = 100;
+    cfg.crowd_period = 100;
+    cfg.crowd_dwell = 50;
+    auto a = mobility::make_model(cfg, 8, 8, 42);
+    auto b = mobility::make_model(cfg, 8, 8, 42);
+    sim::Rng rng_a(1);
+    sim::Rng rng_b(1);
+    for (int step = 0; step < 50; ++step) {
+      const auto host = static_cast<std::uint32_t>(step % 8);
+      const mobility::MoveContext ctx_a{rng_a, static_cast<sim::SimTime>(step * 7),
+                                        mh_id(host), mss_id(host % 8)};
+      const mobility::MoveContext ctx_b{rng_b, static_cast<sim::SimTime>(step * 7),
+                                        mh_id(host), mss_id(host % 8)};
+      ASSERT_EQ(a->pick_target(ctx_a), b->pick_target(ctx_b))
+          << "pattern " << mobility::pattern_name(pattern) << " step " << step;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Empirical f and move-rate properties (>= 16 seeds each)
+// --------------------------------------------------------------------------
+
+/// Run the driver over `seeds` seeds and accumulate (moves, significant)
+/// per region plus the overall totals.
+struct FProfile {
+  std::vector<std::uint64_t> moves;
+  std::vector<std::uint64_t> significant;
+
+  [[nodiscard]] double f_overall() const {
+    std::uint64_t m = 0;
+    std::uint64_t s = 0;
+    for (std::size_t r = 0; r < moves.size(); ++r) {
+      m += moves[r];
+      s += significant[r];
+    }
+    return m == 0 ? 0.0 : static_cast<double>(s) / static_cast<double>(m);
+  }
+  [[nodiscard]] double f_region(std::uint32_t r) const {
+    return moves[r] == 0 ? 0.0
+                         : static_cast<double>(significant[r]) /
+                               static_cast<double>(moves[r]);
+  }
+};
+
+FProfile accumulate_f(const MobilityConfig& cfg, std::uint32_t num_mss,
+                      std::uint32_t num_mh, std::uint32_t num_seeds) {
+  FProfile acc;
+  acc.moves.assign(cfg.regions, 0);
+  acc.significant.assign(cfg.regions, 0);
+  for (std::uint32_t s = 0; s < num_seeds; ++s) {
+    auto net_cfg = small_config(num_mss, num_mh);
+    net_cfg.seed = 1000 + s;
+    Network net(net_cfg);
+    MobilityDriver driver(net, cfg);
+    net.start();
+    driver.start();
+    net.run();
+    for (std::uint32_t r = 0; r < cfg.regions; ++r) {
+      acc.moves[r] += driver.moves_in_region(r);
+      acc.significant[r] += driver.significant_in_region(r);
+    }
+  }
+  return acc;
+}
+
+TEST(MobilityModels, UniformEmpiricalFMatchesClosedForm) {
+  MobilityConfig cfg;
+  cfg.mean_pause = 20;
+  cfg.mean_transit = 3;
+  cfg.max_moves_per_host = 4;
+  cfg.regions = 4;
+  const auto acc = accumulate_f(cfg, 16, 32, 16);  // 2048 moves
+  EXPECT_NEAR(acc.f_overall(), analysis::uniform_region_f(16, 4), 0.05);
+}
+
+TEST(MobilityModels, NeighborEmpiricalFMatchesClosedForm) {
+  MobilityConfig cfg;
+  cfg.pattern = MovePattern::kNeighbor;
+  cfg.mean_pause = 20;
+  cfg.mean_transit = 3;
+  cfg.max_moves_per_host = 4;
+  cfg.regions = 4;
+  const auto acc = accumulate_f(cfg, 16, 32, 16);
+  EXPECT_NEAR(acc.f_overall(), analysis::neighbor_region_f(16, 4), 0.06);
+}
+
+TEST(MobilityModels, HotspotFIsLowestInTheHotRegion) {
+  MobilityConfig cfg;
+  cfg.pattern = MovePattern::kHotspot;
+  cfg.zipf_s = 1.2;
+  cfg.mean_pause = 20;
+  cfg.mean_transit = 3;
+  cfg.max_moves_per_host = 4;
+  cfg.regions = 4;
+  const auto acc = accumulate_f(cfg, 16, 32, 16);
+  // Region 0 holds the Zipf head: departures there mostly land back in
+  // the hot cells, so it crosses least; the tail region crosses most.
+  EXPECT_LT(acc.f_region(0), acc.f_region(3));
+}
+
+TEST(MobilityModels, CommuterFIsSkewedAcrossRegions) {
+  MobilityConfig cfg;
+  cfg.pattern = MovePattern::kCommuter;
+  cfg.mean_pause = 20;
+  cfg.mean_transit = 3;
+  cfg.max_moves_per_host = 6;
+  cfg.regions = 4;
+  cfg.phase_period = 200;
+  const auto acc = accumulate_f(cfg, 16, 32, 16);
+  double fmin = 2.0;
+  double fmax = 0.0;
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    fmin = std::min(fmin, acc.f_region(r));
+    fmax = std::max(fmax, acc.f_region(r));
+  }
+  ASSERT_GT(fmin, 0.0);
+  EXPECT_GE(fmax / fmin, 1.3) << "fmax=" << fmax << " fmin=" << fmin;
+}
+
+TEST(MobilityModels, MoveRateTracksPauseAndTransit) {
+  // One move cycle is pause + transit (+2 rounding ticks), so over a
+  // horizon T each host makes about T / (pause + transit + 2) moves.
+  MobilityConfig cfg;
+  cfg.mean_pause = 50;
+  cfg.mean_transit = 5;
+  cfg.stop_at = 3000;
+  std::uint64_t total_moves = 0;
+  const std::uint32_t num_seeds = 16;
+  const std::uint32_t num_mh = 8;
+  for (std::uint32_t s = 0; s < num_seeds; ++s) {
+    auto net_cfg = small_config(8, num_mh);
+    net_cfg.seed = 2000 + s;
+    Network net(net_cfg);
+    MobilityDriver driver(net, cfg);
+    net.start();
+    driver.start();
+    net.run();
+    total_moves += driver.moves();
+  }
+  const double per_host =
+      static_cast<double>(total_moves) / (num_seeds * num_mh);
+  const double expected = 3000.0 / (cfg.mean_pause + cfg.mean_transit + 2.0);
+  EXPECT_GT(per_host, 0.6 * expected);
+  EXPECT_LT(per_host, 1.3 * expected);
+}
+
+TEST(MobilityDriver, RegionAccountingSumsToMoves) {
+  Network net(small_config(4, 8));
+  MobilityConfig cfg;
+  cfg.mean_pause = 15;
+  cfg.max_moves_per_host = 3;
+  cfg.regions = 4;  // one region per cell: every move is significant
+  MobilityDriver driver(net, cfg);
+  net.start();
+  driver.start();
+  net.run();
+  std::uint64_t by_region = 0;
+  for (std::uint32_t r = 0; r < driver.regions(); ++r) {
+    by_region += driver.moves_in_region(r);
+    EXPECT_EQ(driver.f_region(r), driver.moves_in_region(r) > 0 ? 1.0 : 0.0);
+  }
+  EXPECT_EQ(by_region, driver.moves());
+  EXPECT_EQ(driver.f_overall(), 1.0);
+}
+
+TEST(MobilityDriver, NewModelsRunDeterministicallyThroughTheDriver) {
+  for (const auto pattern :
+       {MovePattern::kWaypoint, MovePattern::kCommuter, MovePattern::kFlashCrowd}) {
+    auto run_once = [pattern] {
+      auto cfg_net = small_config(8, 16);
+      cfg_net.seed = 777;
+      Network net(cfg_net);
+      MobilityConfig cfg;
+      cfg.pattern = pattern;
+      cfg.mean_pause = 25;
+      cfg.max_moves_per_host = 4;
+      cfg.phase_period = 150;
+      cfg.crowd_period = 150;
+      cfg.crowd_dwell = 75;
+      MobilityDriver driver(net, cfg);
+      net.start();
+      driver.start();
+      net.run();
+      std::vector<std::uint32_t> cells;
+      for (std::uint32_t i = 0; i < 16; ++i) {
+        cells.push_back(index(net.current_mss_of(mh_id(i))));
+      }
+      return cells;
+    };
+    EXPECT_EQ(run_once(), run_once()) << mobility::pattern_name(pattern);
+  }
 }
 
 // --------------------------------------------------------------------------
